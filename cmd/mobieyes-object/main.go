@@ -1,0 +1,105 @@
+// Command mobieyes-object runs one moving object as a separate process: it
+// connects to a mobieyes-server, integrates its own position in real time,
+// runs the MobiEyes client protocol (LQT maintenance, dead reckoning,
+// safe periods), and optionally wanders — changing direction at random
+// intervals like the paper's workload.
+//
+// Usage:
+//
+//	mobieyes-object -addr HOST:7070 -oid N [-x MILES] [-y MILES]
+//	                [-vx MPH] [-vy MPH] [-maxvel MPH] [-key K]
+//	                [-area SQMILES] [-alpha MILES] [-lazy] [-grouping]
+//	                [-wander SECONDS]
+//
+// The -area/-alpha/-lazy/-grouping flags must match the server's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+	"mobieyes/internal/remote"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "server address")
+		oid      = flag.Int("oid", 1, "object identifier")
+		x        = flag.Float64("x", 50, "initial x (miles)")
+		y        = flag.Float64("y", 50, "initial y (miles)")
+		vx       = flag.Float64("vx", 0, "initial x velocity (mph)")
+		vy       = flag.Float64("vy", 0, "initial y velocity (mph)")
+		maxvel   = flag.Float64("maxvel", 100, "maximum speed (mph)")
+		key      = flag.Uint64("key", 0, "property key (0 = derived from oid)")
+		area     = flag.Float64("area", 10000, "area in square miles (must match server)")
+		alpha    = flag.Float64("alpha", 5, "grid cell side (must match server)")
+		lazy     = flag.Bool("lazy", false, "lazy query propagation (must match server)")
+		grouping = flag.Bool("grouping", false, "query grouping (must match server)")
+		wander   = flag.Float64("wander", 0, "re-aim randomly every ~N seconds (0 = keep course)")
+	)
+	flag.Parse()
+
+	opts := core.Options{DeadReckoningThreshold: 0.01, Grouping: *grouping}
+	if *lazy {
+		opts.Mode = core.LazyPropagation
+	}
+	k := *key
+	if k == 0 {
+		k = uint64(*oid)*0x9e3779b9 + 1
+	}
+	side := math.Sqrt(*area)
+	obj, err := remote.Dial(remote.ObjectConfig{
+		Addr:    *addr,
+		UoD:     geo.NewRect(0, 0, side, side),
+		Alpha:   *alpha,
+		Options: opts,
+		OID:     model.ObjectID(*oid),
+		Pos:     geo.Pt(*x, *y),
+		Vel:     geo.Vec(*vx, *vy),
+		MaxVel:  *maxvel,
+		Props:   model.Props{Key: k},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobieyes-object:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("object %d connected to %s at (%.1f, %.1f)\n", *oid, *addr, *x, *y)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	var wanderC <-chan time.Time
+	if *wander > 0 {
+		t := time.NewTicker(time.Duration(*wander * float64(time.Second)))
+		defer t.Stop()
+		wanderC = t.C
+	}
+	rng := rand.New(rand.NewSource(int64(*oid)))
+	status := time.NewTicker(5 * time.Second)
+	defer status.Stop()
+
+	for {
+		select {
+		case <-sig:
+			fmt.Println("departing")
+			obj.Close()
+			return
+		case <-wanderC:
+			ang := rng.Float64() * 2 * math.Pi
+			speed := rng.Float64() * *maxvel
+			obj.SetVelocity(geo.Vec(speed*math.Cos(ang), speed*math.Sin(ang)))
+		case <-status.C:
+			p := obj.Position()
+			fmt.Printf("object %d at (%.2f, %.2f)\n", *oid, p.X, p.Y)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command mobieyes-server runs the MobiEyes server as a network service:
+// moving objects (cmd/mobieyes-object, or anything speaking internal/wire)
+// connect over TCP, and a line-based admin interface manages queries.
+//
+// Usage:
+//
+//	mobieyes-server [-addr :7070] [-admin :7071] [-area SQMILES]
+//	                [-alpha MILES] [-lazy] [-grouping]
+//
+// Admin protocol (one command per line, e.g. via netcat):
+//
+//	install <focalOID> <radius> <permille>   → "qid <id>"
+//	remove <qid>                             → "ok"
+//	result <qid>                             → "result <id> <oid…>"
+//	conns                                    → "conns <n>"
+//	quit                                     → closes the admin session
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/geo"
+	"mobieyes/internal/remote"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7070", "object listen address")
+		admin    = flag.String("admin", ":7071", "admin listen address")
+		area     = flag.Float64("area", 10000, "area in square miles")
+		alpha    = flag.Float64("alpha", 5, "grid cell side length")
+		lazy     = flag.Bool("lazy", false, "lazy query propagation")
+		grouping = flag.Bool("grouping", false, "query grouping")
+		restore  = flag.String("restore", "", "restore query state from a snapshot file")
+	)
+	flag.Parse()
+
+	opts := core.Options{DeadReckoningThreshold: 0.01, Grouping: *grouping}
+	if *lazy {
+		opts.Mode = core.LazyPropagation
+	}
+	side := math.Sqrt(*area)
+	cfg := remote.ServerConfig{
+		Addr:    *addr,
+		UoD:     geo.NewRect(0, 0, side, side),
+		Alpha:   *alpha,
+		Options: opts,
+	}
+	var srv *remote.Server
+	var err error
+	if *restore != "" {
+		f, ferr := os.Open(*restore)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		srv, err = remote.ListenAndRestore(cfg, f)
+		f.Close()
+	} else {
+		srv, err = remote.ListenAndServe(cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	adminSrv, err := remote.ServeAdmin(*admin, srv)
+	if err != nil {
+		fatal(err)
+	}
+	defer adminSrv.Close()
+	fmt.Printf("mobieyes-server: objects on %v, admin on %v, UoD %.0f×%.0f mi, alpha %.1f, %v\n",
+		srv.Addr(), adminSrv.Addr(), side, side, *alpha, opts.Mode)
+
+	// Serve until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mobieyes-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+package mobieyes_test
+
+import (
+	"fmt"
+	"time"
+
+	"mobieyes"
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+)
+
+// ExampleRun simulates a small MobiEyes deployment and prints whether the
+// distributed protocol produced exact results.
+func ExampleRun() {
+	cfg := mobieyes.DefaultConfig()
+	cfg.NumObjects = 400
+	cfg.NumQueries = 40
+	cfg.VelocityChangesPerStep = 40
+	cfg.AreaSqMiles = 4000
+	cfg.Steps = 5
+	cfg.Warmup = 2
+	cfg.MeasureError = true
+
+	m := mobieyes.Run(cfg)
+	fmt.Printf("approach: %v\n", m.Approach)
+	fmt.Printf("exact results: %v\n", m.AvgError == 0)
+	// Output:
+	// approach: MobiEyes
+	// exact results: true
+}
+
+// ExampleNewLiveSystem runs a two-object live system and waits for the
+// query result to converge.
+func ExampleNewLiveSystem() {
+	sys := mobieyes.NewLiveSystem(mobieyes.LiveConfig{
+		UoD:          geo.NewRect(0, 0, 50, 50),
+		Alpha:        5,
+		TickInterval: time.Millisecond,
+		TimeScale:    600,
+	})
+	defer sys.Close()
+
+	anyone := mobieyes.Filter{Seed: 1, Permille: 1000}
+	sys.AddObject(1, geo.Pt(25, 25), geo.Vec(0, 0), 100, model.Props{Key: 1})
+	sys.AddObject(2, geo.Pt(26, 25), geo.Vec(0, 0), 100, model.Props{Key: 2})
+	qid := sys.InstallQuery(1, mobieyes.CircleRegion{R: 3}, anyone, 100)
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if r := sys.Result(qid); len(r) == 2 {
+			fmt.Printf("targets: %v\n", r)
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	fmt.Println("did not converge")
+	// Output:
+	// targets: [1 2]
+}

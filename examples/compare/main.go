@@ -1,0 +1,54 @@
+// Compare: run MobiEyes (eager and lazy) and all centralized baselines of
+// the paper on one identical workload and print the §5 comparison table —
+// messaging cost, uplink share, server load and per-object radio power.
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+
+	"mobieyes"
+)
+
+func main() {
+	base := mobieyes.DefaultConfig()
+	base.NumObjects = 2000
+	base.NumQueries = 200
+	base.VelocityChangesPerStep = 200
+	base.AreaSqMiles = 20000
+	base.Steps = 15
+	base.Warmup = 5
+	base.MeasureError = true
+
+	type variant struct {
+		name string
+		mut  func(*mobieyes.Config)
+	}
+	variants := []variant{
+		{"naive", func(c *mobieyes.Config) { c.Approach = mobieyes.Naive }},
+		{"central optimal", func(c *mobieyes.Config) { c.Approach = mobieyes.CentralOptimal }},
+		{"object index", func(c *mobieyes.Config) { c.Approach = mobieyes.ObjectIndex }},
+		{"query index", func(c *mobieyes.Config) { c.Approach = mobieyes.QueryIndex }},
+		{"MobiEyes EQP", func(c *mobieyes.Config) {}},
+		{"MobiEyes LQP", func(c *mobieyes.Config) { c.Core.Mode = mobieyes.LazyPropagation }},
+		{"MobiEyes EQP+opt", func(c *mobieyes.Config) {
+			c.Core.SafePeriod = true
+			c.Core.Grouping = true
+		}},
+	}
+
+	fmt.Printf("workload: %d objects, %d queries, %.0f mi², %d steps of %.0f s\n\n",
+		base.NumObjects, base.NumQueries, base.AreaSqMiles, base.Steps, base.StepSeconds)
+	fmt.Printf("%-18s %10s %10s %14s %10s %8s\n",
+		"system", "msg/s", "uplink/s", "server/step", "mW/object", "error")
+	fmt.Println("------------------------------------------------------------------------------")
+	for _, v := range variants {
+		cfg := base
+		v.mut(&cfg)
+		m := mobieyes.Run(cfg)
+		fmt.Printf("%-18s %10.1f %10.1f %14v %10.3f %8.4f\n",
+			v.name, m.MessagesPerSecond(), m.UplinkMessagesPerSecond(),
+			m.ServerLoadPerStep(), m.AvgPowerWatts*1000, m.AvgError)
+	}
+}

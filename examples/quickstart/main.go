@@ -1,0 +1,47 @@
+// Quickstart: run a small MobiEyes simulation through the public API and
+// print the headline metrics, then compare against the naïve centralized
+// scheme on the same workload.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"mobieyes"
+)
+
+func main() {
+	cfg := mobieyes.DefaultConfig()
+	// A laptop-friendly slice of the paper's Table 1 setup: 2,000 objects
+	// and 200 moving queries over a 141×141 mile area.
+	cfg.NumObjects = 2000
+	cfg.NumQueries = 200
+	cfg.VelocityChangesPerStep = 200
+	cfg.AreaSqMiles = 20000
+	cfg.Steps = 20
+	cfg.Warmup = 5
+
+	fmt.Println("MobiEyes quickstart")
+	fmt.Printf("  %d moving objects, %d moving queries, %.0f mi² universe\n\n",
+		cfg.NumObjects, cfg.NumQueries, cfg.AreaSqMiles)
+
+	mob := mobieyes.Run(cfg)
+	fmt.Println("distributed (MobiEyes, eager propagation):")
+	printMetrics(mob)
+
+	cfg.Approach = mobieyes.Naive
+	naive := mobieyes.Run(cfg)
+	fmt.Println("centralized (naive position reporting):")
+	printMetrics(naive)
+
+	fmt.Printf("MobiEyes uses %.1f%% of the naive scheme's uplink messages\n",
+		100*float64(mob.UplinkMsgs)/float64(naive.UplinkMsgs))
+}
+
+func printMetrics(m mobieyes.Metrics) {
+	fmt.Printf("  messages:    %8.1f /s total (%.1f /s uplink)\n",
+		m.MessagesPerSecond(), m.UplinkMessagesPerSecond())
+	fmt.Printf("  server load: %8v per step\n", m.ServerLoadPerStep())
+	fmt.Printf("  radio power: %8.3f mW per object\n\n", m.AvgPowerWatts*1000)
+}

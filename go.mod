@@ -1,0 +1,3 @@
+module mobieyes
+
+go 1.22

@@ -1,0 +1,183 @@
+// Package analysis provides the analytical messaging-cost model the paper
+// alludes to in §5.3 ("The optimal value of the α parameter can be derived
+// analytically using a simple model. In this paper we omit the analytical
+// model for space restrictions.") — reconstructed here and validated against
+// the simulator.
+//
+// The model prices the three α-dependent message flows of MobiEyes with
+// eager propagation, per simulated second:
+//
+//   - Cell-crossing uplinks. An object moving at speed v in a uniformly
+//     random direction crosses the vertical lines of an α-grid at rate
+//     |v·cosθ|/α and the horizontal lines at |v·sinθ|/α; averaging over θ
+//     gives (2/π)·v/α each, so 4v/(πα) crossings per hour in total.
+//     Every crossing is one uplink report (and, for non-focal objects,
+//     possibly a one-to-one response, priced separately).
+//   - Focal relays and their broadcasts. Each velocity change of a focal
+//     object is one uplink plus one broadcast per query, fanned out through
+//     the base stations covering the query's monitoring region; the
+//     monitoring region is a square of side ≈ α + 2r̄ + α (the grid cells
+//     intersecting the bounding box), which a lattice of stations with
+//     spacing alen covers with ≈ ⌈(2α+2r̄)/alen⌉² transmissions. Focal cell
+//     crossings trigger the same broadcast over the union of old and new
+//     monitoring regions.
+//   - Eager installs. A non-focal object entering a new cell receives the
+//     queries newly relevant to that cell in one unicast; the probability
+//     that a crossing needs one is approximated by the fraction of cells
+//     covered by at least one monitoring region.
+//
+// The resulting TotalRate(α) is the U-shaped curve of the paper's Fig. 4;
+// OptimalAlpha minimizes it by golden-section search. The model is
+// deliberately simple — its value is predicting where the minimum lies and
+// how steep the small-α blowup is, which the tests check against the
+// simulator.
+package analysis
+
+import (
+	"math"
+)
+
+// Params describes the deployment and workload, in the units used
+// throughout the repository (miles, miles/hour, seconds).
+type Params struct {
+	NumObjects       int     // no
+	NumQueries       int     // nmq
+	VelocityChanges  int     // nmo, per time step
+	StepSeconds      float64 // ts
+	AreaSqMiles      float64
+	Alen             float64 // base station lattice spacing
+	MeanSpeed        float64 // E[|v|] over the population, mph
+	MeanQueryRadius  float64 // r̄, miles
+	MeanResultSize   float64 // E[|result|], for containment-report pricing
+	ContainmentChurn float64 // fraction of results changing per step
+}
+
+// DefaultParams returns parameters matching the Table 1 defaults. The mean
+// speed is E[uniform(0, maxVel)] averaged over the zipf speed distribution
+// (≈ 59 mph) and the mean radius the zipf-weighted mean of the radius list
+// (≈ 2.8 miles).
+func DefaultParams() Params {
+	return Params{
+		NumObjects:       10000,
+		NumQueries:       1000,
+		VelocityChanges:  1000,
+		StepSeconds:      30,
+		AreaSqMiles:      100000,
+		Alen:             10,
+		MeanSpeed:        59,
+		MeanQueryRadius:  2.8,
+		MeanResultSize:   2,
+		ContainmentChurn: 0.1,
+	}
+}
+
+// CrossingRate returns the expected number of grid-cell boundary crossings
+// per object per hour for cell side alpha: 4·v̄/(π·α), the isotropic-
+// direction line-crossing rate for the two orthogonal line families.
+func (p Params) CrossingRate(alpha float64) float64 {
+	return 4 * p.MeanSpeed / (math.Pi * alpha)
+}
+
+// MonRegionSide returns the expected side length (miles) of a monitoring
+// region for cell side alpha: the bounding box has side α + 2r̄ and the
+// covering grid cells extend it to at most 2α + 2r̄; the expectation over
+// uniformly placed boxes is ≈ 1.5α + 2r̄.
+func (p Params) MonRegionSide(alpha float64) float64 {
+	return 1.5*alpha + 2*p.MeanQueryRadius
+}
+
+// BroadcastFanout returns the expected number of base-station transmissions
+// needed to cover one monitoring region.
+func (p Params) BroadcastFanout(alpha float64) float64 {
+	side := p.MonRegionSide(alpha)
+	n := math.Ceil(side / p.Alen)
+	return n * n
+}
+
+// coverageFraction estimates the probability that a grid cell intersects at
+// least one monitoring region (used to price eager installs on crossings).
+func (p Params) coverageFraction(alpha float64) float64 {
+	side := p.MonRegionSide(alpha) + alpha // region dilated by one cell
+	perQuery := side * side / p.AreaSqMiles
+	// 1 − (1 − a)^n with n queries of relative area a, capped at 1.
+	f := 1 - math.Pow(1-math.Min(perQuery, 1), float64(p.NumQueries))
+	return f
+}
+
+// Rates is the per-second message budget predicted by the model.
+type Rates struct {
+	CellCrossUplinks float64 // object → server crossing reports
+	EagerInstalls    float64 // server → object one-to-one query handoffs
+	VelocityUplinks  float64 // focal velocity reports
+	VelocityBcasts   float64 // velocity-change broadcast transmissions
+	FocalMoveBcasts  float64 // query relocation broadcast transmissions
+	Containment      float64 // containment-change uplinks
+}
+
+// Total returns the total messages per second.
+func (r Rates) Total() float64 {
+	return r.CellCrossUplinks + r.EagerInstalls + r.VelocityUplinks +
+		r.VelocityBcasts + r.FocalMoveBcasts + r.Containment
+}
+
+// MessageRates evaluates the model at cell side alpha.
+func (p Params) MessageRates(alpha float64) Rates {
+	perObjectCrossPerSec := p.CrossingRate(alpha) / 3600
+	crossingsPerSec := float64(p.NumObjects) * perObjectCrossPerSec
+
+	// Distinct focal objects: nmq queries over no objects with replacement.
+	focals := float64(p.NumObjects) * (1 - math.Pow(1-1/float64(p.NumObjects), float64(p.NumQueries)))
+	focalFrac := focals / float64(p.NumObjects)
+
+	// Velocity changes per second hitting focal objects.
+	velChangesPerSec := float64(p.VelocityChanges) / p.StepSeconds
+	focalVelPerSec := velChangesPerSec * focalFrac
+
+	queriesPerFocal := float64(p.NumQueries) / math.Max(focals, 1)
+	fanout := p.BroadcastFanout(alpha)
+
+	focalCrossPerSec := focals * perObjectCrossPerSec
+
+	return Rates{
+		CellCrossUplinks: crossingsPerSec,
+		EagerInstalls:    crossingsPerSec * p.coverageFraction(alpha),
+		VelocityUplinks:  focalVelPerSec,
+		VelocityBcasts:   focalVelPerSec * queriesPerFocal * fanout,
+		// A focal crossing rebroadcasts each of its queries over roughly
+		// the union of two overlapping monitoring regions (≈ 1.3×).
+		FocalMoveBcasts: focalCrossPerSec * queriesPerFocal * fanout * 1.3,
+		Containment: float64(p.NumQueries) * p.MeanResultSize *
+			p.ContainmentChurn / p.StepSeconds,
+	}
+}
+
+// TotalRate returns the model's total messages/second at alpha.
+func (p Params) TotalRate(alpha float64) float64 {
+	return p.MessageRates(alpha).Total()
+}
+
+// OptimalAlpha minimizes TotalRate over [lo, hi] by golden-section search.
+// It panics if the bounds are not ordered and positive.
+func (p Params) OptimalAlpha(lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo {
+		panic("analysis: OptimalAlpha needs 0 < lo < hi")
+	}
+	const phi = 1.618033988749895
+	const tol = 1e-4
+	a, b := lo, hi
+	c := b - (b-a)/phi
+	d := a + (b-a)/phi
+	fc, fd := p.TotalRate(c), p.TotalRate(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)/phi
+			fc = p.TotalRate(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)/phi
+			fd = p.TotalRate(d)
+		}
+	}
+	return (a + b) / 2
+}

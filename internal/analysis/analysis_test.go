@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"mobieyes/internal/sim"
+)
+
+func TestCrossingRateFormula(t *testing.T) {
+	p := DefaultParams()
+	// 4·v/(π·α): doubling α halves the rate; doubling speed doubles it.
+	r5 := p.CrossingRate(5)
+	r10 := p.CrossingRate(10)
+	if math.Abs(r5/r10-2) > 1e-9 {
+		t.Errorf("rate not ∝ 1/α: %v vs %v", r5, r10)
+	}
+	p2 := p
+	p2.MeanSpeed *= 2
+	if math.Abs(p2.CrossingRate(5)/r5-2) > 1e-9 {
+		t.Error("rate not ∝ speed")
+	}
+	// Sanity magnitude: 59 mph, α=5 → 4·59/(π·5) ≈ 15 crossings/hour.
+	if r5 < 10 || r5 > 20 {
+		t.Errorf("CrossingRate(5) = %v, want ≈15", r5)
+	}
+}
+
+// TestCrossingRateMatchesSimulation validates the core analytical ingredient
+// against measured cell-change uplinks.
+func TestCrossingRateMatchesSimulation(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.NumObjects = 2000
+	cfg.NumQueries = 1 // almost no focal traffic
+	cfg.VelocityChangesPerStep = 200
+	cfg.AreaSqMiles = 20000
+	cfg.Steps = 10
+	cfg.Warmup = 3
+	m := sim.Run(cfg)
+
+	p := DefaultParams()
+	p.NumObjects = cfg.NumObjects
+	p.AreaSqMiles = cfg.AreaSqMiles
+	predicted := float64(p.NumObjects) * p.CrossingRate(cfg.Alpha) / 3600
+
+	// Measured uplink is dominated by crossing reports with 1 query.
+	measured := m.UplinkMessagesPerSecond()
+	ratio := measured / predicted
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Errorf("crossing-rate prediction off: predicted %.1f/s, measured %.1f/s (ratio %.2f)",
+			predicted, measured, ratio)
+	}
+}
+
+func TestTotalRateUShape(t *testing.T) {
+	p := DefaultParams()
+	left := p.TotalRate(0.5)
+	mid := p.TotalRate(p.OptimalAlpha(0.5, 32))
+	right := p.TotalRate(32)
+	if left <= mid || right <= mid {
+		t.Errorf("not U-shaped: f(0.5)=%v, f(opt)=%v, f(32)=%v", left, mid, right)
+	}
+}
+
+func TestOptimalAlphaInPaperRange(t *testing.T) {
+	// The paper reports an ideal α in [4,6] for nmq 100–1000; the
+	// reconstructed model should land in the same neighborhood.
+	p := DefaultParams()
+	opt := p.OptimalAlpha(0.5, 32)
+	if opt < 2 || opt > 12 {
+		t.Errorf("OptimalAlpha = %v, want within a factor of ~2 of the paper's [4,6]", opt)
+	}
+}
+
+func TestOptimalAlphaShiftsWithQueries(t *testing.T) {
+	// More queries make broadcasts dearer, pushing the optimum toward
+	// smaller cells; fewer queries tolerate bigger cells.
+	few := DefaultParams()
+	few.NumQueries = 100
+	many := DefaultParams()
+	many.NumQueries = 1000
+	optFew := few.OptimalAlpha(0.5, 32)
+	optMany := many.OptimalAlpha(0.5, 32)
+	if optMany > optFew {
+		t.Errorf("optimum with many queries (%v) above few queries (%v)", optMany, optFew)
+	}
+}
+
+func TestOptimalAlphaShiftsWithSpeed(t *testing.T) {
+	// Faster objects cross cells more often, favoring larger cells.
+	slow := DefaultParams()
+	slow.MeanSpeed = 20
+	fast := DefaultParams()
+	fast.MeanSpeed = 120
+	if fast.OptimalAlpha(0.5, 32) < slow.OptimalAlpha(0.5, 32) {
+		t.Error("faster objects should push the optimum α up")
+	}
+}
+
+func TestModelTracksSimulatedSmallAlphaBlowup(t *testing.T) {
+	// The measured Fig. 4 ratio msgs(α=0.5)/msgs(α=8) at full scale is ≈4;
+	// the model should predict a blowup of the same order (2–10×).
+	p := DefaultParams()
+	ratio := p.TotalRate(0.5) / p.TotalRate(8)
+	if ratio < 2 || ratio > 12 {
+		t.Errorf("small-α blowup ratio = %v, want within [2,12]", ratio)
+	}
+}
+
+func TestBroadcastFanoutGrowsWithAlpha(t *testing.T) {
+	p := DefaultParams()
+	if p.BroadcastFanout(16) <= p.BroadcastFanout(2) {
+		t.Error("fanout should grow with monitoring region size")
+	}
+	if p.BroadcastFanout(2) < 1 {
+		t.Error("fanout below one transmission")
+	}
+}
+
+func TestOptimalAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad bounds")
+		}
+	}()
+	DefaultParams().OptimalAlpha(5, 5)
+}
+
+func TestRatesTotalIsSum(t *testing.T) {
+	r := Rates{1, 2, 3, 4, 5, 6}
+	if r.Total() != 21 {
+		t.Errorf("Total = %v", r.Total())
+	}
+}

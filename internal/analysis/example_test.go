@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"mobieyes/internal/analysis"
+)
+
+// ExampleParams_OptimalAlpha finds the analytically optimal grid cell size
+// for the paper's Table 1 defaults.
+func ExampleParams_OptimalAlpha() {
+	p := analysis.DefaultParams()
+	opt := p.OptimalAlpha(0.5, 32)
+	fmt.Printf("optimal alpha is between 4 and 16 miles: %v\n", opt > 4 && opt < 16)
+	fmt.Printf("alpha=0.5 costs more than the optimum: %v\n",
+		p.TotalRate(0.5) > p.TotalRate(opt))
+	// Output:
+	// optimal alpha is between 4 and 16 miles: true
+	// alpha=0.5 costs more than the optimum: true
+}

@@ -1,0 +1,343 @@
+package centralized
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+)
+
+var acceptAll = model.Filter{Seed: 1, Permille: 1000}
+
+// world is a deterministic set of moving objects for baseline testing.
+type world struct {
+	rng  *rand.Rand
+	objs []*model.MovingObject
+}
+
+func newWorld(n int, seed int64) *world {
+	w := &world{rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < n; i++ {
+		o := &model.MovingObject{
+			ID:     model.ObjectID(i + 1),
+			Pos:    geo.Pt(w.rng.Float64()*100, w.rng.Float64()*100),
+			MaxVel: 200,
+			Props:  model.Props{Key: w.rng.Uint64()},
+		}
+		w.objs = append(w.objs, o)
+	}
+	return w
+}
+
+func (w *world) perturb(n int) {
+	for i := 0; i < n; i++ {
+		o := w.objs[w.rng.Intn(len(w.objs))]
+		ang := w.rng.Float64() * 2 * math.Pi
+		sp := w.rng.Float64() * o.MaxVel
+		o.Vel = geo.Vec(sp*math.Cos(ang), sp*math.Sin(ang))
+	}
+}
+
+func (w *world) move(dt model.Time) {
+	for _, o := range w.objs {
+		o.Move(dt)
+	}
+}
+
+// exact computes the reference result by brute force.
+func (w *world) exact(q model.Query) map[model.ObjectID]bool {
+	var focal *model.MovingObject
+	for _, o := range w.objs {
+		if o.ID == q.Focal {
+			focal = o
+			break
+		}
+	}
+	res := map[model.ObjectID]bool{}
+	if focal == nil {
+		return res
+	}
+	for _, o := range w.objs {
+		if q.Region.Contains(focal.Pos, o.Pos) && q.Filter.Matches(o.Props) {
+			res[o.ID] = true
+		}
+	}
+	return res
+}
+
+func sameResult(t *testing.T, tag string, got []model.ObjectID, want map[model.ObjectID]bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d ids, want %d", tag, len(got), len(want))
+	}
+	for _, oid := range got {
+		if !want[oid] {
+			t.Fatalf("%s: unexpected object %d in result", tag, oid)
+		}
+	}
+}
+
+func TestObjectIndexMatchesExact(t *testing.T) {
+	w := newWorld(200, 1)
+	s := NewObjectIndex()
+	queries := []model.Query{
+		{ID: 1, Focal: 1, Region: model.CircleRegion{R: 5}, Filter: acceptAll},
+		{ID: 2, Focal: 2, Region: model.CircleRegion{R: 10}, Filter: model.Filter{Seed: 9, Permille: 750}},
+		{ID: 3, Focal: 1, Region: model.CircleRegion{R: 2}, Filter: model.Filter{Seed: 4, Permille: 300}},
+	}
+	for _, q := range queries {
+		s.InstallQuery(q)
+	}
+	if s.NumQueries() != 3 {
+		t.Fatalf("NumQueries = %d", s.NumQueries())
+	}
+	for step := 0; step < 20; step++ {
+		w.perturb(40)
+		w.move(model.FromSeconds(30))
+		for _, o := range w.objs {
+			s.ReportPosition(o.ID, o.Pos, o.Props)
+		}
+		s.EvaluateAll()
+		for _, q := range queries {
+			sameResult(t, "object index", s.Result(q.ID), w.exact(q))
+		}
+	}
+}
+
+func TestObjectIndexRemoveQuery(t *testing.T) {
+	s := NewObjectIndex()
+	s.InstallQuery(model.Query{ID: 1, Focal: 1, Region: model.CircleRegion{R: 5}, Filter: acceptAll})
+	s.RemoveQuery(1)
+	if s.NumQueries() != 0 {
+		t.Fatal("query not removed")
+	}
+	if s.Result(1) != nil {
+		t.Fatal("result of removed query not nil")
+	}
+}
+
+func TestObjectIndexSkipsUnmovedObjects(t *testing.T) {
+	s := NewObjectIndex()
+	s.ReportPosition(1, geo.Pt(5, 5), model.Props{})
+	// Reporting the same position again must be a no-op (no index churn).
+	s.ReportPosition(1, geo.Pt(5, 5), model.Props{})
+	s.InstallQuery(model.Query{ID: 1, Focal: 1, Region: model.CircleRegion{R: 1}, Filter: acceptAll})
+	s.EvaluateAll()
+	if got := s.Result(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Result = %v", got)
+	}
+}
+
+func TestQueryIndexMatchesExactEventually(t *testing.T) {
+	// The query index updates differentially per report; after all objects
+	// of a step have reported (focal objects included), results are exact
+	// for objects that reported after the focal. To compare exactly, report
+	// focal objects first — then every probe sees fresh query rectangles.
+	w := newWorld(200, 2)
+	s := NewQueryIndex()
+	queries := []model.Query{
+		{ID: 1, Focal: 1, Region: model.CircleRegion{R: 5}, Filter: acceptAll},
+		{ID: 2, Focal: 2, Region: model.CircleRegion{R: 8}, Filter: model.Filter{Seed: 3, Permille: 750}},
+	}
+	for _, q := range queries {
+		s.InstallQuery(q)
+	}
+	focalIDs := map[model.ObjectID]bool{1: true, 2: true}
+	for step := 0; step < 20; step++ {
+		w.perturb(40)
+		w.move(model.FromSeconds(30))
+		for _, o := range w.objs { // focals first
+			if focalIDs[o.ID] {
+				s.ReportPosition(o.ID, o.Pos, o.Props)
+			}
+		}
+		for _, o := range w.objs {
+			if !focalIDs[o.ID] {
+				s.ReportPosition(o.ID, o.Pos, o.Props)
+			}
+		}
+		for _, q := range queries {
+			sameResult(t, "query index", s.Result(q.ID), w.exact(q))
+		}
+	}
+}
+
+func TestQueryIndexInstallBeforeFocalKnown(t *testing.T) {
+	s := NewQueryIndex()
+	s.InstallQuery(model.Query{ID: 1, Focal: 7, Region: model.CircleRegion{R: 3}, Filter: acceptAll})
+	// Probing before the focal reported: no crash, empty result.
+	s.ReportPosition(2, geo.Pt(1, 1), model.Props{})
+	if got := s.Result(1); len(got) != 0 {
+		t.Fatalf("Result = %v, want empty", got)
+	}
+	// Focal reports; object 2 reports again; both should be in the result.
+	s.ReportPosition(7, geo.Pt(1, 1), model.Props{})
+	s.ReportPosition(2, geo.Pt(1.5, 1), model.Props{})
+	got := s.Result(1)
+	if len(got) != 2 {
+		t.Fatalf("Result = %v, want [2 7]", got)
+	}
+}
+
+func TestQueryIndexRemoveQuery(t *testing.T) {
+	s := NewQueryIndex()
+	s.ReportPosition(1, geo.Pt(5, 5), model.Props{})
+	s.InstallQuery(model.Query{ID: 1, Focal: 1, Region: model.CircleRegion{R: 3}, Filter: acceptAll})
+	s.ReportPosition(2, geo.Pt(6, 5), model.Props{})
+	if len(s.Result(1)) == 0 {
+		t.Fatal("precondition: non-empty result")
+	}
+	s.RemoveQuery(1)
+	if s.NumQueries() != 0 {
+		t.Fatal("query not removed")
+	}
+	// A later report must not resurrect the query.
+	s.ReportPosition(2, geo.Pt(5.5, 5), model.Props{})
+	if got := s.Result(1); got != nil {
+		t.Fatalf("Result after removal = %v", got)
+	}
+}
+
+func TestQueryIndexMembershipLeave(t *testing.T) {
+	s := NewQueryIndex()
+	s.ReportPosition(1, geo.Pt(0, 0), model.Props{})
+	s.InstallQuery(model.Query{ID: 1, Focal: 1, Region: model.CircleRegion{R: 2}, Filter: acceptAll})
+	// Differential semantics: objects join results when they report, so the
+	// focal reports once more after installation.
+	s.ReportPosition(1, geo.Pt(0, 0), model.Props{})
+	s.ReportPosition(2, geo.Pt(1, 0), model.Props{})
+	if got := s.Result(1); len(got) != 2 {
+		t.Fatalf("Result = %v", got)
+	}
+	// Object 2 leaves.
+	s.ReportPosition(2, geo.Pt(50, 50), model.Props{})
+	got := s.Result(1)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Result after leave = %v", got)
+	}
+}
+
+func TestNaiveServer(t *testing.T) {
+	w := newWorld(100, 3)
+	s := NewNaiveServer()
+	q := model.Query{ID: 1, Focal: 5, Region: model.CircleRegion{R: 10}, Filter: model.Filter{Seed: 8, Permille: 750}}
+	s.InstallQuery(q)
+	for step := 0; step < 5; step++ {
+		w.perturb(20)
+		w.move(model.FromSeconds(30))
+		for _, o := range w.objs {
+			s.ReportPosition(o.ID, o.Pos, o.Props)
+		}
+		sameResult(t, "naive", s.Result(1), w.exact(q))
+	}
+	if s.Result(99) != nil {
+		t.Error("unknown query result not nil")
+	}
+}
+
+func TestCentralOptimalExtrapolation(t *testing.T) {
+	s := NewCentralOptimal()
+	s.InstallQuery(model.Query{ID: 1, Focal: 1, Region: model.CircleRegion{R: 3}, Filter: acceptAll})
+	// Focal at origin, still; object 2 moving east at 60 mph from (-5, 0).
+	s.ReportVelocity(1, geo.Pt(0, 0), geo.Vec(0, 0), 0, model.Props{})
+	s.ReportVelocity(2, geo.Pt(-5, 0), geo.Vec(60, 0), 0, model.Props{})
+
+	if got := s.Result(1, 0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("t=0: Result = %v", got)
+	}
+	// After 4 minutes object 2 is at (-1, 0): inside radius 3.
+	if got := s.Result(1, model.Time(4.0/60)); len(got) != 2 {
+		t.Fatalf("t=4min: Result = %v", got)
+	}
+	// After 10 minutes it is at (5, 0): outside again.
+	if got := s.Result(1, model.Time(10.0/60)); len(got) != 1 {
+		t.Fatalf("t=10min: Result = %v", got)
+	}
+	// Positions extrapolate.
+	p, ok := s.PositionAt(2, model.Time(1))
+	if !ok || p.Dist(geo.Pt(55, 0)) > 1e-9 {
+		t.Fatalf("PositionAt = %v, %v", p, ok)
+	}
+	if _, ok := s.PositionAt(99, 0); ok {
+		t.Error("unknown object extrapolated")
+	}
+}
+
+// TestCentralOptimalMatchesExactWithImmediateReports: when every velocity
+// change is reported instantly, extrapolated results equal brute force.
+func TestCentralOptimalMatchesExact(t *testing.T) {
+	w := newWorld(150, 4)
+	s := NewCentralOptimal()
+	q := model.Query{ID: 1, Focal: 1, Region: model.CircleRegion{R: 8}, Filter: acceptAll}
+	s.InstallQuery(q)
+	now := model.Time(0)
+	for _, o := range w.objs {
+		s.ReportVelocity(o.ID, o.Pos, o.Vel, now, o.Props)
+	}
+	last := make(map[model.ObjectID]geo.Vector)
+	for _, o := range w.objs {
+		last[o.ID] = o.Vel
+	}
+	for step := 0; step < 20; step++ {
+		w.perturb(30)
+		// Report only actual changes (the dead-reckoning ideal with Δ→0).
+		for _, o := range w.objs {
+			if o.Vel != last[o.ID] {
+				s.ReportVelocity(o.ID, o.Pos, o.Vel, now, o.Props)
+				last[o.ID] = o.Vel
+			}
+		}
+		w.move(model.FromSeconds(30))
+		now += model.FromSeconds(30)
+		sameResult(t, "central optimal", s.Result(1, now), w.exact(q))
+	}
+}
+
+func BenchmarkObjectIndexStep(b *testing.B) {
+	// One full step of the object-index server: 10k position updates plus
+	// evaluation of 1k queries (the paper's default scales).
+	w := newWorld(10000, 5)
+	s := NewObjectIndex()
+	for i := 0; i < 1000; i++ {
+		s.InstallQuery(model.Query{
+			ID: model.QueryID(i + 1), Focal: model.ObjectID(i%10000 + 1),
+			Region: model.CircleRegion{R: 3}, Filter: acceptAll,
+		})
+	}
+	for _, o := range w.objs {
+		s.ReportPosition(o.ID, o.Pos, o.Props)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.perturb(1000)
+		w.move(model.FromSeconds(30))
+		for _, o := range w.objs {
+			s.ReportPosition(o.ID, o.Pos, o.Props)
+		}
+		s.EvaluateAll()
+	}
+}
+
+func BenchmarkQueryIndexStep(b *testing.B) {
+	w := newWorld(10000, 6)
+	s := NewQueryIndex()
+	for i := 0; i < 1000; i++ {
+		s.InstallQuery(model.Query{
+			ID: model.QueryID(i + 1), Focal: model.ObjectID(i%10000 + 1),
+			Region: model.CircleRegion{R: 3}, Filter: acceptAll,
+		})
+	}
+	for _, o := range w.objs {
+		s.ReportPosition(o.ID, o.Pos, o.Props)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.perturb(1000)
+		w.move(model.FromSeconds(30))
+		for _, o := range w.objs {
+			s.ReportPosition(o.ID, o.Pos, o.Props)
+		}
+	}
+}

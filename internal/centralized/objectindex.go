@@ -1,0 +1,120 @@
+// Package centralized implements the four comparison systems of the
+// paper's evaluation (§5): the two centralized query processors built on a
+// spatial index — the object index and the query index (§5.2) — and the two
+// messaging baselines, naïve position reporting and the "central optimal"
+// velocity-vector reporting scheme (§5.3).
+//
+// All four share the premise the paper ascribes to centralized processing:
+// object location updates are shipped to the server and manipulated there.
+// The object and query indexes use the R*-tree substrate (internal/rtree),
+// matching the paper's choice of index structure.
+package centralized
+
+import (
+	"sort"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+	"mobieyes/internal/rtree"
+)
+
+// objInfo is the server's record of one reporting object.
+type objInfo struct {
+	pos   geo.Point
+	props model.Props
+}
+
+// ObjectIndex is the first centralized approach of §5.2: an R*-tree over
+// object positions, updated as position reports arrive; periodically all
+// queries are evaluated against the index.
+type ObjectIndex struct {
+	tree    *rtree.Tree
+	objs    map[model.ObjectID]objInfo
+	queries map[model.QueryID]model.Query
+	results map[model.QueryID]map[model.ObjectID]struct{}
+	buf     []int64 // scratch for searches
+}
+
+// NewObjectIndex returns an empty object-index server.
+func NewObjectIndex() *ObjectIndex {
+	return &ObjectIndex{
+		tree:    rtree.New(),
+		objs:    make(map[model.ObjectID]objInfo),
+		queries: make(map[model.QueryID]model.Query),
+		results: make(map[model.QueryID]map[model.ObjectID]struct{}),
+	}
+}
+
+// InstallQuery registers a moving query.
+func (s *ObjectIndex) InstallQuery(q model.Query) {
+	s.queries[q.ID] = q
+	s.results[q.ID] = make(map[model.ObjectID]struct{})
+}
+
+// RemoveQuery drops a query.
+func (s *ObjectIndex) RemoveQuery(qid model.QueryID) {
+	delete(s.queries, qid)
+	delete(s.results, qid)
+}
+
+// NumQueries returns the number of installed queries.
+func (s *ObjectIndex) NumQueries() int { return len(s.queries) }
+
+// ReportPosition ingests one position report: the R*-tree entry for the
+// object moves to its new position. This is the dominant server cost of the
+// approach ("it is costly due to the frequent updates required on the
+// spatial index over object locations").
+func (s *ObjectIndex) ReportPosition(oid model.ObjectID, pos geo.Point, props model.Props) {
+	pointBox := geo.NewRect(pos.X, pos.Y, 0, 0)
+	if old, ok := s.objs[oid]; ok {
+		if old.pos == pos {
+			return
+		}
+		s.tree.Update(int64(oid), geo.NewRect(old.pos.X, old.pos.Y, 0, 0), pointBox)
+	} else {
+		s.tree.Insert(rtree.Item{ID: int64(oid), Box: pointBox})
+	}
+	s.objs[oid] = objInfo{pos: pos, props: props}
+}
+
+// EvaluateAll recomputes every query's result from the object index: range
+// search with the query circle's bounding rectangle, then exact circle and
+// filter checks.
+func (s *ObjectIndex) EvaluateAll() {
+	for qid, q := range s.queries {
+		res := make(map[model.ObjectID]struct{})
+		focal, ok := s.objs[q.Focal]
+		if !ok {
+			s.results[qid] = res
+			continue
+		}
+		er := q.Region.EnclosingRadius()
+		searchBox := geo.NewRect(focal.pos.X-er, focal.pos.Y-er, 2*er, 2*er)
+		s.buf = s.tree.Search(searchBox, s.buf[:0])
+		for _, id := range s.buf {
+			oid := model.ObjectID(id)
+			o := s.objs[oid]
+			if q.Region.Contains(focal.pos, o.pos) && q.Filter.Matches(o.props) {
+				res[oid] = struct{}{}
+			}
+		}
+		s.results[qid] = res
+	}
+}
+
+// Result returns the last computed result of a query, sorted.
+func (s *ObjectIndex) Result(qid model.QueryID) []model.ObjectID {
+	return sortedResult(s.results[qid])
+}
+
+func sortedResult(set map[model.ObjectID]struct{}) []model.ObjectID {
+	if set == nil {
+		return nil
+	}
+	out := make([]model.ObjectID, 0, len(set))
+	for oid := range set {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

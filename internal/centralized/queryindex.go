@@ -1,0 +1,145 @@
+package centralized
+
+import (
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+	"mobieyes/internal/rtree"
+)
+
+// QueryIndex is the second centralized approach of §5.2: an R*-tree over
+// the spatial regions of the queries. When a focal object's new position
+// arrives, the affected query rectangles move in the index; when any
+// object's position arrives, it is run through the query index and the
+// results of the queries it entered or left are updated differentially.
+type QueryIndex struct {
+	tree    *rtree.Tree
+	queries map[model.QueryID]*qiEntry
+	byFocal map[model.ObjectID][]model.QueryID
+	objs    map[model.ObjectID]objInfo
+	// membership[oid] is the set of queries whose results contain oid.
+	membership map[model.ObjectID]map[model.QueryID]struct{}
+	results    map[model.QueryID]map[model.ObjectID]struct{}
+	buf        []int64
+}
+
+type qiEntry struct {
+	query model.Query
+	box   geo.Rect // current indexed rectangle (circle bounding box)
+	valid bool     // false until the focal object's position is known
+}
+
+// NewQueryIndex returns an empty query-index server.
+func NewQueryIndex() *QueryIndex {
+	return &QueryIndex{
+		tree:       rtree.New(),
+		queries:    make(map[model.QueryID]*qiEntry),
+		byFocal:    make(map[model.ObjectID][]model.QueryID),
+		objs:       make(map[model.ObjectID]objInfo),
+		membership: make(map[model.ObjectID]map[model.QueryID]struct{}),
+		results:    make(map[model.QueryID]map[model.ObjectID]struct{}),
+	}
+}
+
+// InstallQuery registers a moving query. The query enters the spatial index
+// as soon as its focal object's first position report arrives.
+func (s *QueryIndex) InstallQuery(q model.Query) {
+	e := &qiEntry{query: q}
+	s.queries[q.ID] = e
+	s.byFocal[q.Focal] = append(s.byFocal[q.Focal], q.ID)
+	s.results[q.ID] = make(map[model.ObjectID]struct{})
+	if focal, ok := s.objs[q.Focal]; ok {
+		e.box = regionBox(q, focal.pos)
+		e.valid = true
+		s.tree.Insert(rtree.Item{ID: int64(q.ID), Box: e.box})
+	}
+}
+
+// RemoveQuery drops a query from the index and from all memberships.
+func (s *QueryIndex) RemoveQuery(qid model.QueryID) {
+	e, ok := s.queries[qid]
+	if !ok {
+		return
+	}
+	if e.valid {
+		s.tree.Delete(rtree.Item{ID: int64(qid), Box: e.box})
+	}
+	qs := s.byFocal[e.query.Focal]
+	for i, id := range qs {
+		if id == qid {
+			s.byFocal[e.query.Focal] = append(qs[:i], qs[i+1:]...)
+			break
+		}
+	}
+	for oid := range s.results[qid] {
+		delete(s.membership[oid], qid)
+	}
+	delete(s.queries, qid)
+	delete(s.results, qid)
+}
+
+// NumQueries returns the number of installed queries.
+func (s *QueryIndex) NumQueries() int { return len(s.queries) }
+
+// ReportPosition ingests one position report. If the object is the focal
+// object of queries, their rectangles move in the index first ("the main
+// cost of this approach is to update the spatial index when focal objects
+// of the queries change their positions"); then the object is probed
+// against the index and the results are updated differentially.
+func (s *QueryIndex) ReportPosition(oid model.ObjectID, pos geo.Point, props model.Props) {
+	s.objs[oid] = objInfo{pos: pos, props: props}
+	for _, qid := range s.byFocal[oid] {
+		e := s.queries[qid]
+		newBox := regionBox(e.query, pos)
+		if e.valid {
+			if newBox != e.box {
+				s.tree.Update(int64(qid), e.box, newBox)
+				e.box = newBox
+			}
+		} else {
+			e.box = newBox
+			e.valid = true
+			s.tree.Insert(rtree.Item{ID: int64(qid), Box: e.box})
+		}
+	}
+
+	// Differential evaluation: probe the query index with the point.
+	s.buf = s.tree.Search(geo.NewRect(pos.X, pos.Y, 0, 0), s.buf[:0])
+	newSet := make(map[model.QueryID]struct{}, len(s.buf))
+	for _, id := range s.buf {
+		qid := model.QueryID(id)
+		e := s.queries[qid]
+		focal, ok := s.objs[e.query.Focal]
+		if !ok {
+			continue
+		}
+		if e.query.Region.Contains(focal.pos, pos) && e.query.Filter.Matches(props) {
+			newSet[qid] = struct{}{}
+		}
+	}
+	old := s.membership[oid]
+	for qid := range old {
+		if _, still := newSet[qid]; !still {
+			delete(s.results[qid], oid)
+		}
+	}
+	for qid := range newSet {
+		if _, had := old[qid]; !had {
+			if res, ok := s.results[qid]; ok {
+				res[oid] = struct{}{}
+			}
+		}
+	}
+	s.membership[oid] = newSet
+}
+
+// Result returns the current result of a query, sorted.
+func (s *QueryIndex) Result(qid model.QueryID) []model.ObjectID {
+	return sortedResult(s.results[qid])
+}
+
+// regionBox returns the bounding rectangle of a query's region when its
+// focal object sits at pos.
+func regionBox(q model.Query, pos geo.Point) geo.Rect {
+	er := q.Region.EnclosingRadius()
+	return geo.NewRect(pos.X-er, pos.Y-er, 2*er, 2*er)
+}

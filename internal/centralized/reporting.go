@@ -1,0 +1,108 @@
+package centralized
+
+import (
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+)
+
+// NaiveServer is the §5.3 "naïve" messaging baseline: every object reports
+// its position to the server at each time step if it moved. The server
+// merely stores the latest positions; Evaluate computes exact results by
+// brute force when asked (its cost is not part of the paper's comparison —
+// the naïve scheme is a messaging and power baseline).
+type NaiveServer struct {
+	objs    map[model.ObjectID]objInfo
+	queries map[model.QueryID]model.Query
+}
+
+// NewNaiveServer returns an empty naïve server.
+func NewNaiveServer() *NaiveServer {
+	return &NaiveServer{
+		objs:    make(map[model.ObjectID]objInfo),
+		queries: make(map[model.QueryID]model.Query),
+	}
+}
+
+// InstallQuery registers a query.
+func (s *NaiveServer) InstallQuery(q model.Query) { s.queries[q.ID] = q }
+
+// ReportPosition stores the object's latest position.
+func (s *NaiveServer) ReportPosition(oid model.ObjectID, pos geo.Point, props model.Props) {
+	s.objs[oid] = objInfo{pos: pos, props: props}
+}
+
+// Result computes a query's exact result from stored positions.
+func (s *NaiveServer) Result(qid model.QueryID) []model.ObjectID {
+	q, ok := s.queries[qid]
+	if !ok {
+		return nil
+	}
+	focal, ok := s.objs[q.Focal]
+	if !ok {
+		return nil
+	}
+	res := make(map[model.ObjectID]struct{})
+	for oid, o := range s.objs {
+		if q.Region.Contains(focal.pos, o.pos) && q.Filter.Matches(o.props) {
+			res[oid] = struct{}{}
+		}
+	}
+	return sortedResult(res)
+}
+
+// CentralOptimal is the §5.3 "central optimal" baseline: each object
+// reports its velocity vector (with position and timestamp) only when it
+// changed significantly, and the server extrapolates positions — "the
+// minimum amount of information required for a centralized approach to
+// evaluate queries unless there is an assumption about object trajectories".
+type CentralOptimal struct {
+	states  map[model.ObjectID]model.MotionState
+	props   map[model.ObjectID]model.Props
+	queries map[model.QueryID]model.Query
+}
+
+// NewCentralOptimal returns an empty central-optimal server.
+func NewCentralOptimal() *CentralOptimal {
+	return &CentralOptimal{
+		states:  make(map[model.ObjectID]model.MotionState),
+		props:   make(map[model.ObjectID]model.Props),
+		queries: make(map[model.QueryID]model.Query),
+	}
+}
+
+// InstallQuery registers a query.
+func (s *CentralOptimal) InstallQuery(q model.Query) { s.queries[q.ID] = q }
+
+// ReportVelocity ingests a significant velocity-vector change.
+func (s *CentralOptimal) ReportVelocity(oid model.ObjectID, pos geo.Point, vel geo.Vector, tm model.Time, props model.Props) {
+	s.states[oid] = model.MotionState{Pos: pos, Vel: vel, Tm: tm}
+	s.props[oid] = props
+}
+
+// PositionAt extrapolates an object's position at time t.
+func (s *CentralOptimal) PositionAt(oid model.ObjectID, t model.Time) (geo.Point, bool) {
+	st, ok := s.states[oid]
+	if !ok {
+		return geo.Point{}, false
+	}
+	return st.PredictAt(t), true
+}
+
+// Result computes a query's result at time t from extrapolated positions.
+func (s *CentralOptimal) Result(qid model.QueryID, t model.Time) []model.ObjectID {
+	q, ok := s.queries[qid]
+	if !ok {
+		return nil
+	}
+	focalPos, ok := s.PositionAt(q.Focal, t)
+	if !ok {
+		return nil
+	}
+	res := make(map[model.ObjectID]struct{})
+	for oid, st := range s.states {
+		if q.Region.Contains(focalPos, st.PredictAt(t)) && q.Filter.Matches(s.props[oid]) {
+			res[oid] = struct{}{}
+		}
+	}
+	return sortedResult(res)
+}

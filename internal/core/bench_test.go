@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+)
+
+// nullDown swallows downlink traffic.
+type nullDown struct{}
+
+func (nullDown) Broadcast(grid.CellRange, msg.Message) {}
+func (nullDown) Unicast(model.ObjectID, msg.Message)   {}
+
+// nullUp swallows uplink traffic.
+type nullUp struct{}
+
+func (nullUp) Send(msg.Message) {}
+
+// benchServer builds a server with n queries over distinct focal objects.
+func benchServer(b *testing.B, opts Options, n int) (*Server, *grid.Grid) {
+	b.Helper()
+	g := grid.New(geo.NewRect(0, 0, 316, 316), 5)
+	s := NewServer(g, opts, nullDown{})
+	for i := 0; i < n; i++ {
+		oid := model.ObjectID(i + 1)
+		s.OnFocalInfoResponse(msg.FocalInfoResponse{
+			OID: oid,
+			Pos: geo.Pt(float64(i%300)+5, float64((i*7)%300)+5),
+		})
+		s.InstallQuery(oid, model.CircleRegion{R: 3}, model.Filter{Seed: uint64(i), Permille: 750}, 250)
+	}
+	return s, g
+}
+
+// BenchmarkServerVelocityReport measures the §3.4 hot path: FOT update plus
+// per-query relay to the monitoring region.
+func BenchmarkServerVelocityReport(b *testing.B) {
+	s, _ := benchServer(b, Options{}, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oid := model.ObjectID(i%1000 + 1)
+		s.OnVelocityReport(msg.VelocityReport{
+			OID: oid,
+			Pos: geo.Pt(float64(i%300)+5, float64((i*7)%300)+5),
+			Vel: geo.Vec(float64(i%100), 50),
+			Tm:  model.Time(float64(i) / 120000),
+		})
+	}
+}
+
+// BenchmarkServerCellChange measures the §3.5 focal path: SQT/RQI updates
+// plus the combined-region rebroadcast.
+func BenchmarkServerCellChange(b *testing.B) {
+	s, g := benchServer(b, Options{}, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oid := model.ObjectID(i%1000 + 1)
+		x := float64((i*5)%300) + 5
+		y := float64((i*11)%300) + 5
+		s.OnCellChangeReport(msg.CellChangeReport{
+			OID:      oid,
+			PrevCell: g.CellOf(geo.Pt(x, y)),
+			NewCell:  g.CellOf(geo.Pt(x+5, y)),
+			Pos:      geo.Pt(x+5, y),
+		})
+	}
+}
+
+// BenchmarkServerContainmentReport measures the §3.6 differential result
+// update.
+func BenchmarkServerContainmentReport(b *testing.B) {
+	s, _ := benchServer(b, Options{}, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.OnContainmentReport(msg.ContainmentReport{
+			OID: model.ObjectID(i%5000 + 1), QID: model.QueryID(i%1000 + 1),
+			IsTarget: i%2 == 0,
+		})
+	}
+}
+
+// benchClient builds a client with n LQT entries bound to k focal objects.
+func benchClient(b *testing.B, opts Options, n, k int) *Client {
+	b.Helper()
+	g := grid.New(geo.NewRect(0, 0, 316, 316), 5)
+	pos := geo.Pt(150, 150)
+	c := NewClient(g, opts, nullUp{}, 1, model.Props{Key: 1}, 250, pos)
+	cell := g.CellOf(pos)
+	for i := 0; i < n; i++ {
+		focalPos := geo.Pt(150+float64(i%7), 150)
+		c.OnDownlink(msg.QueryInstall{Queries: []msg.QueryState{{
+			QID:         model.QueryID(i + 1),
+			Focal:       model.ObjectID(i%k + 10),
+			State:       model.MotionState{Pos: focalPos, Vel: geo.Vec(30, 0)},
+			Region:      model.CircleRegion{R: float64(1 + i%5)},
+			Filter:      model.Filter{Seed: 0, Permille: 1000},
+			MonRegion:   g.MonitoringRegion(cell, 20),
+			FocalMaxVel: 250,
+		}}}, pos, geo.Vec(0, 0), 0)
+	}
+	if c.LQTSize() != n {
+		b.Fatalf("LQT size = %d, want %d", c.LQTSize(), n)
+	}
+	return c
+}
+
+// BenchmarkClientEvaluate10 measures one §3.6 evaluation pass over a
+// 10-entry LQT (the paper's observed maximum).
+func BenchmarkClientEvaluate10(b *testing.B) {
+	c := benchClient(b, Options{}, 10, 10)
+	pos := geo.Pt(150, 150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.TickEvaluate(pos, geo.Vec(0, 0), model.Time(float64(i)/120000))
+	}
+}
+
+// BenchmarkClientEvaluate10Grouped: the same LQT with all queries on one
+// focal object and grouping on — one distance computation per pass.
+func BenchmarkClientEvaluate10Grouped(b *testing.B) {
+	c := benchClient(b, Options{Grouping: true}, 10, 1)
+	pos := geo.Pt(150, 150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.TickEvaluate(pos, geo.Vec(0, 0), model.Time(float64(i)/120000))
+	}
+}
+
+// BenchmarkClientEvaluateSafePeriod: distant queries mostly skip.
+func BenchmarkClientEvaluateSafePeriod(b *testing.B) {
+	c := benchClient(b, Options{SafePeriod: true}, 10, 10)
+	pos := geo.Pt(250, 250) // 140 miles from every focal: long safe periods
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.TickEvaluate(pos, geo.Vec(0, 0), model.Time(float64(i)/120000))
+	}
+}
+
+// BenchmarkClientCellChange measures the §3.5 object-side path.
+func BenchmarkClientCellChange(b *testing.B) {
+	c := benchClient(b, Options{}, 10, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := 150 + float64(i%2)*5 // oscillate across a cell border
+		c.TickCellChange(geo.Pt(x, 150), geo.Vec(30, 0), model.Time(float64(i)/120000))
+	}
+}

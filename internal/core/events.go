@@ -1,0 +1,29 @@
+package core
+
+import "mobieyes/internal/model"
+
+// ResultEvent is a differential change to a query's result set: an object
+// entered (Entered=true) or left the result. This is the continuous-query
+// output of the system — exactly the stream the paper's MQ semantics
+// defines, exposed so applications do not need to poll Result.
+type ResultEvent struct {
+	QID     model.QueryID
+	OID     model.ObjectID
+	Entered bool
+}
+
+// SetResultListener installs a callback invoked synchronously (on the
+// server's goroutine/callsite) for every result change, including the
+// implicit leaves when a query is removed. A nil listener disables
+// notifications. Only one listener is supported; fan-out belongs to the
+// caller (see internal/live.WatchQuery).
+func (s *Server) SetResultListener(fn func(ResultEvent)) {
+	s.onResult = fn
+}
+
+// notifyResult emits a result event if a listener is installed.
+func (s *Server) notifyResult(qid model.QueryID, oid model.ObjectID, entered bool) {
+	if s.onResult != nil {
+		s.onResult(ResultEvent{QID: qid, OID: oid, Entered: entered})
+	}
+}

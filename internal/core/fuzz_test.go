@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+)
+
+// TestProtocolFuzz drives the full protocol through randomized operation
+// interleavings — query installs and removals mid-flight, objects joining
+// and departing, velocity churn — under every option combination, checking
+// the server's results against brute-force ground truth after every step.
+// Under EQP with Δ=0 the results must be exact at all times.
+func TestProtocolFuzz(t *testing.T) {
+	optionSets := []Options{
+		{},
+		{SafePeriod: true},
+		{Grouping: true},
+		{SafePeriod: true, Grouping: true},
+	}
+	for oi, opts := range optionSets {
+		opts := opts
+		for seed := int64(1); seed <= 3; seed++ {
+			fuzzRun(t, opts, seed+int64(oi)*100)
+		}
+	}
+}
+
+func fuzzRun(t *testing.T, opts Options, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	h := newHarness(smallGrid(), opts)
+
+	// Population: 40 objects, some initially present.
+	const maxObjects = 40
+	present := make(map[model.ObjectID]bool)
+	nextOID := model.ObjectID(1)
+	addObject := func() {
+		if int(nextOID) > maxObjects {
+			return
+		}
+		oid := nextOID
+		nextOID++
+		pos := geo.Pt(10+rng.Float64()*80, 10+rng.Float64()*80)
+		maxVel := []float64{50, 100, 150, 200, 250}[rng.Intn(5)]
+		h.addObject(oid, pos, geo.Vec(0, 0), maxVel, rng.Uint64())
+		i := h.byOID[oid]
+		h.randomizeVelocities(rng, 1) // churn someone
+		h.clients[i].Join(h.objs[i].Pos, h.objs[i].Vel, h.now)
+		h.flushDown()
+		present[oid] = true
+	}
+	for i := 0; i < 25; i++ {
+		addObject()
+	}
+
+	// Live queries, keyed by qid. Departed objects stay in h.objs (the
+	// harness cannot remove them) but are exiled far outside the UoD so
+	// ground truth ignores them.
+	live := map[model.QueryID]bool{}
+	installRandom := func() {
+		// Pick a present focal object.
+		var candidates []model.ObjectID
+		for oid, on := range present {
+			if on {
+				candidates = append(candidates, oid)
+			}
+		}
+		if len(candidates) == 0 {
+			return
+		}
+		focal := candidates[rng.Intn(len(candidates))]
+		var region model.Region
+		if rng.Intn(3) == 0 {
+			region = model.RectRegion{W: 1 + rng.Float64()*6, H: 1 + rng.Float64()*6}
+		} else {
+			region = model.CircleRegion{R: 0.5 + rng.Float64()*4.5}
+		}
+		filter := model.Filter{Seed: rng.Uint64(), Permille: 750}
+		qid := h.installRegion(focal, region, filter, 250)
+		live[qid] = true
+	}
+	for i := 0; i < 6; i++ {
+		installRandom()
+	}
+
+	for step := 0; step < 25; step++ {
+		switch rng.Intn(10) {
+		case 0:
+			installRandom()
+		case 1: // remove a random live query
+			for qid := range live {
+				h.server.RemoveQuery(qid)
+				h.flushDown()
+				delete(live, qid)
+				break
+			}
+		case 2:
+			addObject()
+		case 3: // depart a random present non... any present object
+			for oid, on := range present {
+				if !on {
+					continue
+				}
+				i := h.byOID[oid]
+				h.clients[i].Depart()
+				h.flushDown()
+				present[oid] = false
+				// Exile so ground truth and future steps ignore it; it
+				// stops moving and never crosses cells again.
+				h.objs[i].Pos = geo.Pt(-1e6, -1e6)
+				h.objs[i].Vel = geo.Vec(0, 0)
+				// Queries it was focal of are gone.
+				for qid := range live {
+					if q, ok := h.server.Query(qid); !ok || q.Focal == oid {
+						delete(live, qid)
+					}
+				}
+				break
+			}
+		}
+
+		h.keepInside()
+		h.randomizeVelocities(rng, 6)
+		h.step(model.FromSeconds(30))
+
+		if err := h.server.CheckInvariants(); err != nil {
+			t.Fatalf("opts %+v seed %d step %d: %v", opts, seed, step, err)
+		}
+		for qid := range live {
+			got, want := h.server.Result(qid), h.fuzzGroundTruth(qid, present)
+			if !idsEqual(got, want) {
+				t.Fatalf("opts %+v seed %d step %d q%d: result %v, ground truth %v",
+					opts, seed, step, qid, got, want)
+			}
+		}
+	}
+}
+
+// fuzzGroundTruth is groundTruth restricted to present objects.
+func (h *harness) fuzzGroundTruth(qid model.QueryID, present map[model.ObjectID]bool) []model.ObjectID {
+	full := h.groundTruth(qid)
+	out := full[:0]
+	for _, oid := range full {
+		if present[oid] {
+			out = append(out, oid)
+		}
+	}
+	return out
+}

@@ -1,0 +1,657 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+)
+
+// fotEntry is one row of the focal object table FOT = (oid, pos, vel, tm),
+// §3.2, plus the focal object's maximum velocity (shipped to clients for
+// safe-period computation) and the number of queries bound to the object.
+type fotEntry struct {
+	state    model.MotionState
+	maxVel   float64
+	queries  []model.QueryID // queries whose focal object this is, sorted
+	currCell grid.CellID
+}
+
+// sqtEntry is one row of the server-side moving query table
+// SQT = (qid, oid, region, curr_cell, mon_region, filter, {result}), §3.2.
+type sqtEntry struct {
+	query     model.Query
+	currCell  grid.CellID
+	monRegion grid.CellRange
+	result    map[model.ObjectID]struct{}
+	// expiry is the time after which the query is uninstalled; zero means
+	// no expiry. The paper's motivating queries carry durations ("during
+	// next 2 hours", "during the next 20 minutes").
+	expiry model.Time
+}
+
+// pendingInstall is a query whose focal object's motion state has been
+// requested but not yet received (§3.3 step 3).
+type pendingInstall struct {
+	qid    model.QueryID
+	query  model.Query
+	maxVel float64
+}
+
+// Server is the MobiEyes server: a mediator between moving objects that
+// tracks significant position changes of focal objects and relays them to
+// the monitoring regions of the affected queries.
+type Server struct {
+	g    *grid.Grid
+	opts Options
+	down Downlink
+
+	fot     map[model.ObjectID]*fotEntry
+	sqt     map[model.QueryID]*sqtEntry
+	rqi     []map[model.QueryID]struct{} // indexed by grid cell index
+	pending map[model.ObjectID][]pendingInstall
+	// expiries holds the deadline of duration-bound queries (pending ones
+	// included; completion copies it into the SQT entry).
+	expiries map[model.QueryID]model.Time
+	nextQID  model.QueryID
+
+	// onResult, when set, receives every differential result change.
+	onResult func(ResultEvent)
+
+	// ops counts elementary server-side operations (table updates, RQI
+	// touches, broadcasts); a deterministic proxy for server load used by
+	// tests, complementing the wall-clock measurement of the experiments.
+	ops int64
+}
+
+// NewServer returns a MobiEyes server over grid g, sending through down.
+func NewServer(g *grid.Grid, opts Options, down Downlink) *Server {
+	return &Server{
+		g:        g,
+		opts:     opts,
+		down:     down,
+		fot:      make(map[model.ObjectID]*fotEntry),
+		sqt:      make(map[model.QueryID]*sqtEntry),
+		rqi:      makeRQI(g.NumCells()),
+		pending:  make(map[model.ObjectID][]pendingInstall),
+		expiries: make(map[model.QueryID]model.Time),
+		nextQID:  1,
+	}
+}
+
+func makeRQI(n int) []map[model.QueryID]struct{} {
+	r := make([]map[model.QueryID]struct{}, n)
+	for i := range r {
+		r[i] = make(map[model.QueryID]struct{})
+	}
+	return r
+}
+
+// Ops returns the cumulative deterministic operation count.
+func (s *Server) Ops() int64 { return s.ops }
+
+// NumQueries returns the number of installed queries.
+func (s *Server) NumQueries() int { return len(s.sqt) }
+
+// InstallQuery starts installation of a moving query (§3.3). The request
+// is the paper's (oid, region, filter) triple plus the focal object's
+// maximum velocity. The returned query identifier is assigned immediately;
+// if the focal object is not yet in the FOT, installation completes
+// asynchronously once the focal object answers the server's
+// FocalInfoRequest.
+func (s *Server) InstallQuery(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64) model.QueryID {
+	qid := s.nextQID
+	s.nextQID++
+	q := model.Query{ID: qid, Focal: focal, Region: region, Filter: filter}
+	if _, ok := s.fot[focal]; ok {
+		s.completeInstall(qid, q, focalMaxVel)
+		return qid
+	}
+	// §3.3 step 3: the focal object is unknown — request its motion state.
+	s.pending[focal] = append(s.pending[focal], pendingInstall{qid, q, focalMaxVel})
+	if len(s.pending[focal]) == 1 {
+		s.down.Unicast(focal, msg.FocalInfoRequest{OID: focal})
+	}
+	s.ops++
+	return qid
+}
+
+// InstallQueryUntil installs a query that expires at the given time — the
+// duration-bound form of the paper's motivating examples ("give me … during
+// the next 2 hours"). ExpireQueries removes it once the deadline passes.
+func (s *Server) InstallQueryUntil(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64, expiry model.Time) model.QueryID {
+	qid := s.InstallQuery(focal, region, filter, focalMaxVel)
+	s.expiries[qid] = expiry
+	if e, ok := s.sqt[qid]; ok {
+		e.expiry = expiry
+	}
+	return qid
+}
+
+// ExpireQueries removes every query whose expiry has passed and returns the
+// removed identifiers (sorted). Call it with the current time whenever the
+// clock advances; the engines do so once per step.
+func (s *Server) ExpireQueries(now model.Time) []model.QueryID {
+	var expired []model.QueryID
+	for qid, exp := range s.expiries {
+		if exp <= now {
+			expired = append(expired, qid)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, qid := range expired {
+		delete(s.expiries, qid)
+		s.RemoveQuery(qid)
+	}
+	return expired
+}
+
+// OnFocalInfoResponse receives a prospective focal object's motion state
+// and completes any pending installations for it.
+func (s *Server) OnFocalInfoResponse(m msg.FocalInfoResponse) {
+	st := model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}
+	if e, ok := s.fot[m.OID]; ok {
+		e.state = st
+		e.currCell = s.g.CellOf(st.Pos)
+	} else {
+		s.fot[m.OID] = &fotEntry{state: st, currCell: s.g.CellOf(st.Pos)}
+	}
+	s.ops++
+	for _, p := range s.pending[m.OID] {
+		s.completeInstall(p.qid, p.query, p.maxVel)
+	}
+	delete(s.pending, m.OID)
+}
+
+// completeInstall performs §3.3 steps 2 and 4: create the SQT entry, index
+// it in the RQI, notify the focal object, and broadcast the query to its
+// monitoring region.
+func (s *Server) completeInstall(qid model.QueryID, q model.Query, focalMaxVel float64) {
+	fe := s.fot[q.Focal]
+	if focalMaxVel > fe.maxVel {
+		fe.maxVel = focalMaxVel
+	}
+	fe.queries = insertSortedQID(fe.queries, qid)
+
+	currCell := fe.currCell
+	monRegion := s.g.MonitoringRegion(currCell, q.Region.EnclosingRadius())
+	s.sqt[qid] = &sqtEntry{
+		query:     q,
+		currCell:  currCell,
+		monRegion: monRegion,
+		result:    make(map[model.ObjectID]struct{}),
+		expiry:    s.expiries[qid],
+	}
+	s.rqiAdd(qid, monRegion)
+
+	// Tell the object it is now focal (sets hasMQ)…
+	s.down.Unicast(q.Focal, msg.FocalNotify{OID: q.Focal, QID: qid, Install: true})
+	// …and ship the query to every object in the monitoring region.
+	s.down.Broadcast(monRegion, msg.QueryInstall{
+		Queries: []msg.QueryState{s.queryState(qid)},
+	})
+	s.ops += 3
+}
+
+// RemoveQuery uninstalls a query: it is dropped from SQT and RQI, the
+// monitoring region is told to forget it, and the focal object's hasMQ is
+// cleared when its last query goes away.
+func (s *Server) RemoveQuery(qid model.QueryID) bool {
+	e, ok := s.sqt[qid]
+	if !ok {
+		return false
+	}
+	for _, oid := range s.Result(qid) {
+		s.notifyResult(qid, oid, false)
+	}
+	delete(s.expiries, qid)
+	s.rqiRemove(qid, e.monRegion)
+	delete(s.sqt, qid)
+	fe := s.fot[e.query.Focal]
+	fe.queries = removeSortedQID(fe.queries, qid)
+	s.down.Broadcast(e.monRegion, msg.QueryRemove{QIDs: []model.QueryID{qid}})
+	if len(fe.queries) == 0 {
+		s.down.Unicast(e.query.Focal, msg.FocalNotify{OID: e.query.Focal, QID: qid, Install: false})
+		delete(s.fot, e.query.Focal)
+	}
+	s.ops += 3
+	return true
+}
+
+// OnVelocityReport handles a focal object's significant velocity-vector
+// change (§3.4): update the FOT, then relay the new motion state to the
+// monitoring region of every query bound to the object. With grouping on,
+// queries sharing a monitoring region share one broadcast; under lazy
+// propagation the broadcast carries full query state.
+func (s *Server) OnVelocityReport(m msg.VelocityReport) {
+	fe, ok := s.fot[m.OID]
+	if !ok {
+		return // not a focal object (stale report after query removal)
+	}
+	fe.state = model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}
+	s.ops++
+	s.relayFocalState(fe)
+}
+
+// relayFocalState broadcasts fe's current motion state to the monitoring
+// regions of its queries.
+func (s *Server) relayFocalState(fe *fotEntry) {
+	if len(fe.queries) == 0 {
+		return
+	}
+	focal := s.sqt[fe.queries[0]].query.Focal
+	if s.opts.Grouping {
+		// One broadcast per distinct monitoring region (§4.1: MQs with
+		// matching monitoring regions are grouped).
+		for _, group := range s.groupsByMonRegion(fe) {
+			s.broadcastVelocityChange(focal, fe, group)
+		}
+	} else {
+		for _, qid := range fe.queries {
+			s.broadcastVelocityChange(focal, fe, []model.QueryID{qid})
+		}
+	}
+}
+
+// broadcastVelocityChange sends one VelocityChange covering the given
+// queries (all bound to focal, all with the same monitoring region).
+func (s *Server) broadcastVelocityChange(focal model.ObjectID, fe *fotEntry, qids []model.QueryID) {
+	region := s.sqt[qids[0]].monRegion
+	vc := msg.VelocityChange{Focal: focal, State: fe.state}
+	if s.opts.Mode == LazyPropagation {
+		// §3.5: expand the notification with region and filter so objects
+		// that changed cells silently can self-install.
+		for _, qid := range qids {
+			vc.Queries = append(vc.Queries, s.queryState(qid))
+		}
+	}
+	s.down.Broadcast(region, vc)
+	s.ops++
+}
+
+// groupsByMonRegion partitions fe's queries into groups with identical
+// monitoring regions, each group sorted by query ID. Ordering is
+// deterministic: groups appear in ascending order of their smallest QID.
+func (s *Server) groupsByMonRegion(fe *fotEntry) [][]model.QueryID {
+	var groups [][]model.QueryID
+	byRegion := make(map[grid.CellRange]int)
+	for _, qid := range fe.queries { // fe.queries is sorted
+		r := s.sqt[qid].monRegion
+		if gi, ok := byRegion[r]; ok {
+			groups[gi] = append(groups[gi], qid)
+		} else {
+			byRegion[r] = len(groups)
+			groups = append(groups, []model.QueryID{qid})
+		}
+	}
+	return groups
+}
+
+// OnCellChangeReport handles an object crossing into a new grid cell
+// (§3.5). For focal objects the affected queries' monitoring regions are
+// recomputed and re-broadcast; for non-focal objects (eager propagation)
+// the server ships the newly relevant queries one-to-one.
+func (s *Server) OnCellChangeReport(m msg.CellChangeReport) {
+	// The report carries the object's motion state; if installs are pending
+	// on this object (its FocalInfoRequest may have been lost in transit),
+	// complete them from the piggybacked state.
+	if len(s.pending[m.OID]) > 0 {
+		s.OnFocalInfoResponse(msg.FocalInfoResponse{OID: m.OID, Pos: m.Pos, Vel: m.Vel, Tm: m.Tm})
+	}
+	fe, isFocal := s.fot[m.OID]
+	if isFocal {
+		fe.state = model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}
+		fe.currCell = m.NewCell
+		for _, qid := range fe.queries {
+			s.relocateQuery(qid, m.NewCell)
+		}
+	}
+	// Ship the newly nearby queries. Under eager propagation every object
+	// reports cell changes and receives this; under lazy propagation only
+	// focal objects report, and they get the same treatment for free.
+	s.sendNewNearbyQueries(m.OID, m.PrevCell, m.NewCell)
+	s.ops++
+}
+
+// relocateQuery updates one query after its focal object moved to newCell:
+// SQT and RQI are refreshed and the union of old and new monitoring regions
+// receives the query's new state (§3.5).
+func (s *Server) relocateQuery(qid model.QueryID, newCell grid.CellID) {
+	e := s.sqt[qid]
+	oldRegion := e.monRegion
+	newRegion := s.g.MonitoringRegion(newCell, e.query.Region.EnclosingRadius())
+	e.currCell = newCell
+	if newRegion != oldRegion {
+		s.rqiRemove(qid, oldRegion)
+		s.rqiAdd(qid, newRegion)
+		e.monRegion = newRegion
+	}
+	s.down.Broadcast(oldRegion.Union(newRegion), msg.QueryInstall{
+		Queries: []msg.QueryState{s.queryState(qid)},
+	})
+	s.ops += 2
+}
+
+// sendNewNearbyQueries computes RQI(newCell) \ RQI(prevCell) and sends those
+// queries to the object one-to-one.
+func (s *Server) sendNewNearbyQueries(oid model.ObjectID, prevCell, newCell grid.CellID) {
+	if !s.g.Valid(newCell) {
+		return
+	}
+	newSet := s.rqi[s.g.CellIndex(newCell)]
+	if len(newSet) == 0 {
+		return
+	}
+	var oldSet map[model.QueryID]struct{}
+	if s.g.Valid(prevCell) {
+		oldSet = s.rqi[s.g.CellIndex(prevCell)]
+	}
+	var fresh []model.QueryID
+	for qid := range newSet {
+		if _, ok := oldSet[qid]; !ok {
+			fresh = append(fresh, qid)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+	qi := msg.QueryInstall{Queries: make([]msg.QueryState, 0, len(fresh))}
+	for _, qid := range fresh {
+		qi.Queries = append(qi.Queries, s.queryState(qid))
+	}
+	s.down.Unicast(oid, qi)
+	s.ops++
+}
+
+// OnContainmentReport applies a differential result update (§3.6).
+func (s *Server) OnContainmentReport(m msg.ContainmentReport) {
+	e, ok := s.sqt[m.QID]
+	if !ok {
+		return
+	}
+	if m.IsTarget {
+		if _, had := e.result[m.OID]; !had {
+			e.result[m.OID] = struct{}{}
+			s.notifyResult(m.QID, m.OID, true)
+		}
+	} else if _, had := e.result[m.OID]; had {
+		delete(e.result, m.OID)
+		s.notifyResult(m.QID, m.OID, false)
+	}
+	s.ops++
+}
+
+// OnGroupContainmentReport applies a grouped result update: one bitmap bit
+// per query in the group (§4.1).
+func (s *Server) OnGroupContainmentReport(m msg.GroupContainmentReport) {
+	for i, qid := range m.QIDs {
+		e, ok := s.sqt[qid]
+		if !ok {
+			continue
+		}
+		if m.Bitmap.Get(i) {
+			if _, had := e.result[m.OID]; !had {
+				e.result[m.OID] = struct{}{}
+				s.notifyResult(qid, m.OID, true)
+			}
+		} else if _, had := e.result[m.OID]; had {
+			delete(e.result, m.OID)
+			s.notifyResult(qid, m.OID, false)
+		}
+	}
+	s.ops += int64(len(m.QIDs))
+}
+
+// OnDepartureReport handles an object leaving the system: it is dropped
+// from every query result (with leave notifications) and every query it was
+// focal of is removed.
+func (s *Server) OnDepartureReport(m msg.DepartureReport) {
+	for qid, e := range s.sqt {
+		if _, in := e.result[m.OID]; in {
+			delete(e.result, m.OID)
+			s.notifyResult(qid, m.OID, false)
+		}
+	}
+	if fe, ok := s.fot[m.OID]; ok {
+		// RemoveQuery mutates fe.queries; iterate over a copy.
+		for _, qid := range append([]model.QueryID(nil), fe.queries...) {
+			s.RemoveQuery(qid)
+		}
+		delete(s.fot, m.OID)
+	}
+	delete(s.pending, m.OID)
+	s.ops++
+}
+
+// HandleUplink dispatches any uplink message to its handler. It panics on
+// message kinds the MobiEyes server does not consume (such as the naïve
+// baseline's position reports), which would indicate miswired transports.
+func (s *Server) HandleUplink(m msg.Message) {
+	switch mm := m.(type) {
+	case msg.VelocityReport:
+		s.OnVelocityReport(mm)
+	case msg.CellChangeReport:
+		s.OnCellChangeReport(mm)
+	case msg.ContainmentReport:
+		s.OnContainmentReport(mm)
+	case msg.GroupContainmentReport:
+		s.OnGroupContainmentReport(mm)
+	case msg.FocalInfoResponse:
+		s.OnFocalInfoResponse(mm)
+	case msg.DepartureReport:
+		s.OnDepartureReport(mm)
+	default:
+		panic(fmt.Sprintf("core: server cannot handle %v", m.Kind()))
+	}
+}
+
+// Result returns the current result set of a query as a sorted slice, or
+// nil if the query is unknown.
+func (s *Server) Result(qid model.QueryID) []model.ObjectID {
+	e, ok := s.sqt[qid]
+	if !ok {
+		return nil
+	}
+	out := make([]model.ObjectID, 0, len(e.result))
+	for oid := range e.result {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ResultContains reports whether oid is currently in qid's result.
+func (s *Server) ResultContains(qid model.QueryID, oid model.ObjectID) bool {
+	e, ok := s.sqt[qid]
+	if !ok {
+		return false
+	}
+	_, in := e.result[oid]
+	return in
+}
+
+// ResultSize returns |result| for a query (0 for unknown queries).
+func (s *Server) ResultSize(qid model.QueryID) int {
+	e, ok := s.sqt[qid]
+	if !ok {
+		return 0
+	}
+	return len(e.result)
+}
+
+// QueryIDs returns all installed query IDs in ascending order.
+func (s *Server) QueryIDs() []model.QueryID {
+	out := make([]model.QueryID, 0, len(s.sqt))
+	for qid := range s.sqt {
+		out = append(out, qid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Query returns the descriptor of an installed query.
+func (s *Server) Query(qid model.QueryID) (model.Query, bool) {
+	e, ok := s.sqt[qid]
+	if !ok {
+		return model.Query{}, false
+	}
+	return e.query, true
+}
+
+// MonRegion returns the current monitoring region of a query.
+func (s *Server) MonRegion(qid model.QueryID) (grid.CellRange, bool) {
+	e, ok := s.sqt[qid]
+	if !ok {
+		return grid.CellRange{}, false
+	}
+	return e.monRegion, true
+}
+
+// NearbyQueries returns RQI(cell): the queries whose monitoring regions
+// intersect the given cell, ascending.
+func (s *Server) NearbyQueries(cell grid.CellID) []model.QueryID {
+	if !s.g.Valid(cell) {
+		return nil
+	}
+	set := s.rqi[s.g.CellIndex(cell)]
+	out := make([]model.QueryID, 0, len(set))
+	for qid := range set {
+		out = append(out, qid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// queryState builds the wire representation of a query for clients.
+func (s *Server) queryState(qid model.QueryID) msg.QueryState {
+	e := s.sqt[qid]
+	fe := s.fot[e.query.Focal]
+	return msg.QueryState{
+		QID:         qid,
+		Focal:       e.query.Focal,
+		State:       fe.state,
+		Region:      e.query.Region,
+		Filter:      e.query.Filter,
+		MonRegion:   e.monRegion,
+		FocalMaxVel: fe.maxVel,
+	}
+}
+
+func (s *Server) rqiAdd(qid model.QueryID, region grid.CellRange) {
+	region.ForEach(func(c grid.CellID) {
+		if s.g.Valid(c) {
+			s.rqi[s.g.CellIndex(c)][qid] = struct{}{}
+			s.ops++
+		}
+	})
+}
+
+func (s *Server) rqiRemove(qid model.QueryID, region grid.CellRange) {
+	region.ForEach(func(c grid.CellID) {
+		if s.g.Valid(c) {
+			delete(s.rqi[s.g.CellIndex(c)], qid)
+			s.ops++
+		}
+	})
+}
+
+func insertSortedQID(qs []model.QueryID, qid model.QueryID) []model.QueryID {
+	i := sort.Search(len(qs), func(i int) bool { return qs[i] >= qid })
+	qs = append(qs, 0)
+	copy(qs[i+1:], qs[i:])
+	qs[i] = qid
+	return qs
+}
+
+func removeSortedQID(qs []model.QueryID, qid model.QueryID) []model.QueryID {
+	i := sort.Search(len(qs), func(i int) bool { return qs[i] >= qid })
+	if i < len(qs) && qs[i] == qid {
+		return append(qs[:i], qs[i+1:]...)
+	}
+	return qs
+}
+
+// CheckInvariants validates the server's internal consistency: every SQT
+// entry is indexed in exactly the RQI cells of its monitoring region, every
+// focal-object record lists exactly its live queries, and expiry
+// bookkeeping matches the SQT. It returns the first violation found, or
+// nil. Intended for tests and debugging; it walks every table.
+func (s *Server) CheckInvariants() error {
+	// RQI ↔ SQT agreement.
+	for qid, e := range s.sqt {
+		var count int
+		e.monRegion.ForEach(func(c grid.CellID) {
+			if !s.g.Valid(c) {
+				return
+			}
+			if _, ok := s.rqi[s.g.CellIndex(c)][qid]; ok {
+				count++
+			} else {
+				count = -1 << 30
+			}
+		})
+		if count < 0 {
+			return fmt.Errorf("core: query %d missing from RQI cells of its monitoring region", qid)
+		}
+	}
+	for idx, set := range s.rqi {
+		for qid := range set {
+			e, ok := s.sqt[qid]
+			if !ok {
+				return fmt.Errorf("core: RQI cell %d lists unknown query %d", idx, qid)
+			}
+			if !e.monRegion.Contains(s.g.CellAt(idx)) {
+				return fmt.Errorf("core: RQI cell %d lists query %d outside its monitoring region", idx, qid)
+			}
+		}
+	}
+	// FOT ↔ SQT agreement.
+	for oid, fe := range s.fot {
+		for _, qid := range fe.queries {
+			e, ok := s.sqt[qid]
+			if !ok {
+				return fmt.Errorf("core: focal %d lists unknown query %d", oid, qid)
+			}
+			if e.query.Focal != oid {
+				return fmt.Errorf("core: query %d listed under focal %d but bound to %d", qid, oid, e.query.Focal)
+			}
+		}
+	}
+	for qid, e := range s.sqt {
+		fe, ok := s.fot[e.query.Focal]
+		if !ok {
+			return fmt.Errorf("core: query %d has no FOT entry for focal %d", qid, e.query.Focal)
+		}
+		found := false
+		for _, q := range fe.queries {
+			if q == qid {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: query %d not listed under its focal %d", qid, e.query.Focal)
+		}
+	}
+	// Expiry bookkeeping: every expiry refers to a live or pending query.
+	for qid := range s.expiries {
+		if _, ok := s.sqt[qid]; ok {
+			continue
+		}
+		pendingFound := false
+		for _, ps := range s.pending {
+			for _, p := range ps {
+				if p.qid == qid {
+					pendingFound = true
+				}
+			}
+		}
+		if !pendingFound {
+			return fmt.Errorf("core: expiry recorded for unknown query %d", qid)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/wire"
+)
+
+// Snapshot format identifiers.
+const (
+	snapshotMagic   = "MOBS"
+	snapshotVersion = uint16(1)
+)
+
+// Snapshot serializes the server's durable state: every installed query
+// (identity, focal motion state, region, filter, monitoring region, expiry)
+// and its current result set, plus the query-ID counter. The reverse query
+// index and FOT are reconstructed on restore.
+//
+// A restored server resumes mediating exactly where the old one stopped —
+// moving objects keep their LQTs and notice nothing. Pending installations
+// (waiting on a FocalInfoRequest) are re-issued on restore.
+func (s *Server) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	writeU16 := func(v uint16) { var b [2]byte; le.PutUint16(b[:], v); bw.Write(b[:]) }
+	writeU32 := func(v uint32) { var b [4]byte; le.PutUint32(b[:], v); bw.Write(b[:]) }
+	writeU64 := func(v uint64) { var b [8]byte; le.PutUint64(b[:], v); bw.Write(b[:]) }
+	writeF := func(v float64) { writeU64(math.Float64bits(v)) }
+	writeBytes := func(b []byte) {
+		writeU32(uint32(len(b)))
+		bw.Write(b)
+	}
+
+	writeU16(snapshotVersion)
+	writeU32(uint32(s.nextQID))
+
+	qids := s.QueryIDs()
+	writeU32(uint32(len(qids)))
+	for _, qid := range qids {
+		e := s.sqt[qid]
+		// The wire QueryState carries everything describing the query.
+		writeBytes(wire.Encode(msg.QueryInstall{Queries: []msg.QueryState{s.queryState(qid)}}))
+		writeF(float64(e.expiry))
+		result := s.Result(qid)
+		writeU32(uint32(len(result)))
+		for _, oid := range result {
+			writeU32(uint32(oid))
+		}
+	}
+
+	// Pending installations: re-issued on restore.
+	var pendingFocals []model.ObjectID
+	for focal := range s.pending {
+		pendingFocals = append(pendingFocals, focal)
+	}
+	sort.Slice(pendingFocals, func(i, j int) bool { return pendingFocals[i] < pendingFocals[j] })
+	total := 0
+	for _, f := range pendingFocals {
+		total += len(s.pending[f])
+	}
+	writeU32(uint32(total))
+	for _, focal := range pendingFocals {
+		for _, p := range s.pending[focal] {
+			writeU32(uint32(p.qid))
+			writeU32(uint32(p.query.Focal))
+			writeBytes(wire.Encode(msg.QueryInstall{Queries: []msg.QueryState{{
+				QID:    p.qid,
+				Focal:  p.query.Focal,
+				Region: p.query.Region,
+				Filter: p.query.Filter,
+			}}}))
+			writeF(p.maxVel)
+			writeF(float64(s.expiries[p.qid]))
+		}
+	}
+	return bw.Flush()
+}
+
+// RestoreServer rebuilds a server from a snapshot. The grid and options
+// must match the snapshotting server's deployment. Pending installations
+// re-issue their FocalInfoRequests through down.
+func RestoreServer(g *grid.Grid, opts Options, down Downlink, r io.Reader) (*Server, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot magic: %w", err)
+	}
+	if string(head) != snapshotMagic {
+		return nil, errors.New("core: not a server snapshot")
+	}
+	le := binary.LittleEndian
+	readU16 := func() (uint16, error) {
+		var b [2]byte
+		_, err := io.ReadFull(br, b[:])
+		return le.Uint16(b[:]), err
+	}
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		_, err := io.ReadFull(br, b[:])
+		return le.Uint32(b[:]), err
+	}
+	readF := func() (float64, error) {
+		var b [8]byte
+		_, err := io.ReadFull(br, b[:])
+		return math.Float64frombits(le.Uint64(b[:])), err
+	}
+	readBytes := func() ([]byte, error) {
+		n, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<20 {
+			return nil, fmt.Errorf("core: implausible snapshot chunk of %d bytes", n)
+		}
+		b := make([]byte, n)
+		_, err = io.ReadFull(br, b)
+		return b, err
+	}
+	readQueryState := func() (msg.QueryState, error) {
+		raw, err := readBytes()
+		if err != nil {
+			return msg.QueryState{}, err
+		}
+		m, err := wire.Decode(raw)
+		if err != nil {
+			return msg.QueryState{}, err
+		}
+		qi, ok := m.(msg.QueryInstall)
+		if !ok || len(qi.Queries) != 1 {
+			return msg.QueryState{}, errors.New("core: malformed query record in snapshot")
+		}
+		return qi.Queries[0], nil
+	}
+
+	ver, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", ver)
+	}
+
+	s := NewServer(g, opts, down)
+	nextQID, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	s.nextQID = model.QueryID(nextQID)
+
+	nQueries, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nQueries; i++ {
+		qs, err := readQueryState()
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot query %d: %w", i, err)
+		}
+		expiry, err := readF()
+		if err != nil {
+			return nil, err
+		}
+		nRes, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		result := make(map[model.ObjectID]struct{}, nRes)
+		for j := uint32(0); j < nRes; j++ {
+			oid, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			result[model.ObjectID(oid)] = struct{}{}
+		}
+
+		// Rebuild FOT, SQT and RQI without any messaging: the moving
+		// objects still hold their LQTs.
+		fe, ok := s.fot[qs.Focal]
+		if !ok {
+			fe = &fotEntry{state: qs.State, currCell: g.CellOf(qs.State.Pos)}
+			s.fot[qs.Focal] = fe
+		}
+		if qs.FocalMaxVel > fe.maxVel {
+			fe.maxVel = qs.FocalMaxVel
+		}
+		fe.queries = insertSortedQID(fe.queries, qs.QID)
+		s.sqt[qs.QID] = &sqtEntry{
+			query:     model.Query{ID: qs.QID, Focal: qs.Focal, Region: qs.Region, Filter: qs.Filter},
+			currCell:  fe.currCell,
+			monRegion: qs.MonRegion,
+			result:    result,
+			expiry:    model.Time(expiry),
+		}
+		s.rqiAdd(qs.QID, qs.MonRegion)
+		if expiry != 0 {
+			s.expiries[qs.QID] = model.Time(expiry)
+		}
+	}
+
+	nPending, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nPending; i++ {
+		qidRaw, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		focalRaw, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		qs, err := readQueryState()
+		if err != nil {
+			return nil, err
+		}
+		maxVel, err := readF()
+		if err != nil {
+			return nil, err
+		}
+		expiry, err := readF()
+		if err != nil {
+			return nil, err
+		}
+		qid := model.QueryID(qidRaw)
+		focal := model.ObjectID(focalRaw)
+		s.pending[focal] = append(s.pending[focal], pendingInstall{
+			qid: qid,
+			query: model.Query{
+				ID: qid, Focal: focal, Region: qs.Region, Filter: qs.Filter,
+			},
+			maxVel: maxVel,
+		})
+		if expiry != 0 {
+			s.expiries[qid] = model.Time(expiry)
+		}
+		if len(s.pending[focal]) == 1 {
+			s.down.Unicast(focal, msg.FocalInfoRequest{OID: focal})
+		}
+	}
+	return s, nil
+}

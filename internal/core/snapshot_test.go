@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+)
+
+// TestSnapshotRestoreMidRun is the fault-tolerance property: snapshot the
+// server mid-run, replace it with a restored copy, keep the world moving —
+// results stay exact at every step, as if nothing happened.
+func TestSnapshotRestoreMidRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	h := newHarness(smallGrid(), Options{})
+	for i := 0; i < 40; i++ {
+		pos := geo.Pt(10+rng.Float64()*80, 10+rng.Float64()*80)
+		h.addObject(model.ObjectID(i+1), pos, geo.Vec(0, 0), 200, rng.Uint64())
+	}
+	h.randomizeVelocities(rng, 40)
+	var qids []model.QueryID
+	for i := 0; i < 8; i++ {
+		qids = append(qids, h.install(model.ObjectID(i+1), 1+rng.Float64()*4, matchAll, 250))
+	}
+
+	for step := 0; step < 10; step++ {
+		h.keepInside()
+		h.randomizeVelocities(rng, 8)
+		h.step(model.FromSeconds(30))
+	}
+	for _, qid := range qids {
+		if got, want := h.server.Result(qid), h.groundTruth(qid); !idsEqual(got, want) {
+			t.Fatalf("pre-snapshot q%d: %v vs %v", qid, got, want)
+		}
+	}
+
+	// Crash: snapshot, discard the server, restore.
+	var buf bytes.Buffer
+	if err := h.server.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreServer(h.g, h.optsVal, harnessDown{h}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.server = restored
+	h.flushDown()
+
+	// Immediately consistent…
+	for _, qid := range qids {
+		if got, want := h.server.Result(qid), h.groundTruth(qid); !idsEqual(got, want) {
+			t.Fatalf("post-restore q%d: %v vs %v", qid, got, want)
+		}
+	}
+	// …and stays exact while the world keeps moving.
+	for step := 0; step < 15; step++ {
+		h.keepInside()
+		h.randomizeVelocities(rng, 8)
+		h.step(model.FromSeconds(30))
+		for _, qid := range qids {
+			if got, want := h.server.Result(qid), h.groundTruth(qid); !idsEqual(got, want) {
+				t.Fatalf("step %d after restore, q%d: %v vs %v", step, qid, got, want)
+			}
+		}
+	}
+}
+
+func TestSnapshotPreservesExpiries(t *testing.T) {
+	h := newHarness(smallGrid(), Options{})
+	h.addObject(1, geo.Pt(50, 50), geo.Vec(0, 0), 100, 11)
+	qid := h.server.InstallQueryUntil(1, model.CircleRegion{R: 3}, matchAll, 100, model.FromSeconds(60))
+	h.flushDown()
+
+	var buf bytes.Buffer
+	if err := h.server.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreServer(h.g, h.optsVal, harnessDown{h}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.server = restored
+	if expired := h.server.ExpireQueries(model.FromSeconds(30)); len(expired) != 0 {
+		t.Fatalf("expired early: %v", expired)
+	}
+	if expired := h.server.ExpireQueries(model.FromSeconds(90)); len(expired) != 1 || expired[0] != qid {
+		t.Fatalf("ExpireQueries = %v, want [%d]", expired, qid)
+	}
+}
+
+func TestSnapshotPreservesPendingInstalls(t *testing.T) {
+	h := newHarness(smallGrid(), Options{})
+	h.addObject(1, geo.Pt(50, 50), geo.Vec(0, 0), 100, 11)
+	// Enqueue the install but do NOT deliver the FocalInfoRequest: the
+	// installation is pending at snapshot time.
+	qid := h.server.InstallQuery(1, model.CircleRegion{R: 3}, matchAll, 100)
+	h.downQueue = nil // drop the in-flight request, as a crash would
+
+	var buf bytes.Buffer
+	if err := h.server.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreServer(h.g, h.optsVal, harnessDown{h}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.server = restored
+	// Restore re-issued the FocalInfoRequest; delivering it completes the
+	// install.
+	h.flushDown()
+	if _, ok := h.server.Query(qid); !ok {
+		t.Fatal("pending install did not complete after restore")
+	}
+	h.step(model.FromSeconds(30))
+	if got, want := h.server.Result(qid), h.groundTruth(qid); !idsEqual(got, want) {
+		t.Fatalf("Result = %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotNextQIDPreserved(t *testing.T) {
+	h := newHarness(smallGrid(), Options{})
+	h.addObject(1, geo.Pt(50, 50), geo.Vec(0, 0), 100, 11)
+	q1 := h.install(1, 3, matchAll, 100)
+
+	var buf bytes.Buffer
+	if err := h.server.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreServer(h.g, h.optsVal, harnessDown{h}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.server = restored
+	q2 := h.install(1, 5, matchAll, 100)
+	if q2 <= q1 {
+		t.Fatalf("restored server reused query IDs: %d after %d", q2, q1)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	g := smallGrid()
+	down := harnessDown{newHarness(g, Options{})}
+	for name, data := range map[string][]byte{
+		"empty":     nil,
+		"bad magic": []byte("NOPE1234"),
+		"truncated": []byte("MOBS"),
+	} {
+		if _, err := RestoreServer(g, Options{}, down, bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: restore accepted invalid snapshot", name)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quick is a heavily scaled-down option set: figures keep their structure
+// but each run takes milliseconds.
+var quick = RunOpts{Steps: 3, Warmup: 1, ScaleDiv: 20, Seed: 1}
+
+func checkFigure(t *testing.T, f Figure) {
+	t.Helper()
+	if f.ID == "" || f.Title == "" || f.XLabel == "" || f.YLabel == "" {
+		t.Errorf("%s: incomplete labeling: %+v", f.ID, f)
+	}
+	if len(f.X) == 0 {
+		t.Fatalf("%s: empty x axis", f.ID)
+	}
+	if len(f.Series) == 0 {
+		t.Fatalf("%s: no series", f.ID)
+	}
+	for _, s := range f.Series {
+		if len(s.Y) != len(f.X) {
+			t.Fatalf("%s series %q: %d points for %d x values", f.ID, s.Name, len(s.Y), len(f.X))
+		}
+		for i, y := range s.Y {
+			if y < 0 {
+				t.Errorf("%s series %q: negative value %v at x=%v", f.ID, s.Name, y, f.X[i])
+			}
+		}
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	f := Fig1(quick)
+	checkFigure(t, f)
+	// The object index must be the most expensive system at the largest
+	// query count; MobiEyes must beat it by a wide margin.
+	idx := len(f.X) - 1
+	byName := seriesMap(f)
+	if byName["object index"][idx] < 5*byName["MobiEyes EQP"][idx] {
+		t.Errorf("object index %v not ≫ MobiEyes %v",
+			byName["object index"][idx], byName["MobiEyes EQP"][idx])
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	f := Fig2(quick)
+	checkFigure(t, f)
+	byName := seriesMap(f)
+	// Larger α ⇒ fewer silent cell crossings ⇒ less error (on average over
+	// the sweep).
+	if avg(byName["alpha=10"]) > avg(byName["alpha=2.5"]) {
+		t.Errorf("error at alpha=10 (%v) exceeds alpha=2.5 (%v)",
+			avg(byName["alpha=10"]), avg(byName["alpha=2.5"]))
+	}
+	// LQP error is bounded.
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			if y > 1 {
+				t.Errorf("error %v > 1", y)
+			}
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	f := Fig4(quick)
+	checkFigure(t, f)
+	// More queries ⇒ more messages, at every α.
+	byName := seriesMap(f)
+	lo, hi := byName["nmq=5"], byName["nmq=50"]
+	if lo == nil || hi == nil {
+		t.Fatalf("unexpected series names: %v", seriesNames(f))
+	}
+	if avg(hi) <= avg(lo) {
+		t.Errorf("messaging with 10x queries (%v) not above fewer (%v)", avg(hi), avg(lo))
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	f := Fig9(quick)
+	checkFigure(t, f)
+	byName := seriesMap(f)
+	// Naive is the power hog everywhere.
+	for i := range f.X {
+		if byName["naive"][i] <= byName["central optimal"][i] {
+			t.Errorf("x=%v: naive power %v not above central optimal %v",
+				f.X[i], byName["naive"][i], byName["central optimal"][i])
+		}
+	}
+}
+
+func TestFig10Fig11Fig12Shapes(t *testing.T) {
+	f10 := Fig10(quick)
+	checkFigure(t, f10)
+	for _, s := range f10.Series {
+		if s.Y[len(s.Y)-1] <= s.Y[0] {
+			t.Errorf("fig10 %s: LQT at α=16 (%v) not above α=1 (%v)", s.Name, s.Y[len(s.Y)-1], s.Y[0])
+		}
+	}
+	f11 := Fig11(quick)
+	checkFigure(t, f11)
+	for _, s := range f11.Series {
+		if s.Y[len(s.Y)-1] <= s.Y[0] {
+			t.Errorf("fig11 %s: LQT not increasing in queries", s.Name)
+		}
+	}
+	f12 := Fig12(quick)
+	checkFigure(t, f12)
+	s := f12.Series[0]
+	if s.Y[len(s.Y)-1] <= s.Y[0] {
+		t.Errorf("fig12: LQT at factor 3 (%v) not above factor 0.5 (%v)", s.Y[len(s.Y)-1], s.Y[0])
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	f := Fig13(quick)
+	checkFigure(t, f)
+	if len(f.Series) != 3 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+}
+
+func TestRemainingFiguresSmoke(t *testing.T) {
+	// Figs. 3, 5, 6, 7, 8 are heavier; smoke-test structure only.
+	for _, fn := range []func(RunOpts) Figure{Fig3, Fig5, Fig6, Fig7, Fig8} {
+		checkFigure(t, fn(quick))
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	f := Figure{
+		ID: "figX", Title: "T", XLabel: "x", YLabel: "y", LogY: true,
+		X: []float64{1, 2},
+		Series: []Series{
+			{Name: "a,b", Y: []float64{3, 4}},
+			{Name: "c", Y: []float64{5, 6}},
+		},
+	}
+	var tbl bytes.Buffer
+	f.WriteTable(&tbl)
+	out := tbl.String()
+	for _, want := range []string{"figX", "log scale", "a,b", "c"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	f.WriteCSV(&csv)
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != `x,"a,b",c` {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if lines[1] != "1,3,5" || lines[2] != "2,4,6" {
+		t.Errorf("csv rows = %q %q", lines[1], lines[2])
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	out := buf.String()
+	for _, want := range []string{"30 seconds", "10000", "100000", "0.75", "zipf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q", want)
+		}
+	}
+}
+
+func TestRunOptsNormalize(t *testing.T) {
+	o := RunOpts{}.normalize()
+	if o.Steps == 0 || o.Warmup == 0 || o.ScaleDiv == 0 || o.Seed == 0 {
+		t.Errorf("normalize left zeroes: %+v", o)
+	}
+	cfg := RunOpts{ScaleDiv: 10}.normalize().base()
+	if cfg.NumObjects != 1000 || cfg.NumQueries != 100 {
+		t.Errorf("base scaling wrong: %+v", cfg)
+	}
+}
+
+func seriesMap(f Figure) map[string][]float64 {
+	m := map[string][]float64{}
+	for _, s := range f.Series {
+		m[s.Name] = s.Y
+	}
+	return m
+}
+
+func seriesNames(f Figure) []string {
+	var out []string
+	for _, s := range f.Series {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+func avg(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+func TestBreakdown(t *testing.T) {
+	rows := Breakdown(quick)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]bool{}
+	for _, r := range rows {
+		byName[r.Name] = true
+		if r.Metrics.UplinkMsgs == 0 {
+			t.Errorf("%s: no traffic", r.Name)
+		}
+		if len(r.Metrics.ByKind) == 0 {
+			t.Errorf("%s: no per-kind stats", r.Name)
+		}
+	}
+	if !byName["naive"] || !byName["MobiEyes LQP"] {
+		t.Errorf("missing variants: %v", byName)
+	}
+	var buf bytes.Buffer
+	WriteBreakdown(&buf, rows)
+	if !strings.Contains(buf.String(), "CellChangeReport") {
+		t.Error("breakdown table missing kind rows")
+	}
+}
+
+func TestFig5Fig6Fig7Shapes(t *testing.T) {
+	f5 := Fig5(quick)
+	checkFigure(t, f5)
+	byName := seriesMap(f5)
+	// Naive grows linearly with the population; last point ≈ objects/30s.
+	naive := byName["naive"]
+	if naive[len(naive)-1] <= naive[0] {
+		t.Error("fig5: naive not increasing with objects")
+	}
+	f6 := Fig6(quick)
+	checkFigure(t, f6)
+	byName6 := seriesMap(f6)
+	// LQP uplink is far below naive uplink at the largest population.
+	idx := len(f6.X) - 1
+	lqpLo := byName6["LQP nmq=5"]
+	if lqpLo == nil {
+		t.Fatalf("series names: %v", seriesNames(f6))
+	}
+	if lqpLo[idx] >= byName6["naive"][idx]/2 {
+		t.Errorf("fig6: LQP uplink %v not well below naive %v", lqpLo[idx], byName6["naive"][idx])
+	}
+	f7 := Fig7(quick)
+	checkFigure(t, f7)
+	byName7 := seriesMap(f7)
+	// Central optimal grows with nmo; naive stays flat.
+	co := byName7["central optimal"]
+	if co[len(co)-1] <= co[0] {
+		t.Error("fig7: central optimal not increasing with nmo")
+	}
+}
+
+func TestAlphaModel(t *testing.T) {
+	f := AlphaModel(quick)
+	checkFigure(t, f)
+	byName := seriesMap(f)
+	simulated, modeled := byName["simulated"], byName["analytical model"]
+	if simulated == nil || modeled == nil {
+		t.Fatalf("series: %v", seriesNames(f))
+	}
+	// Both curves fall steeply from α=0.5 to the mid-range: the small-α
+	// blowup is the property the model exists to predict.
+	if simulated[0] <= simulated[3] {
+		t.Error("simulated curve missing the small-alpha blowup")
+	}
+	if modeled[0] <= modeled[3] {
+		t.Error("model curve missing the small-alpha blowup")
+	}
+}

@@ -1,0 +1,477 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"mobieyes/internal/analysis"
+	"mobieyes/internal/core"
+	"mobieyes/internal/sim"
+)
+
+// Fig1 reproduces "Impact of distributed query processing on server load":
+// server load (wall time per step) as a function of the number of queries,
+// for the object index, the query index, MobiEyes EQP and MobiEyes LQP.
+func Fig1(o RunOpts) Figure {
+	o = o.normalize()
+	xs := o.queriesSweep()
+	run := func(a sim.Approach, opts core.Options) func(float64) float64 {
+		return func(x float64) float64 {
+			cfg := o.base()
+			cfg.Approach = a
+			cfg.Core = opts
+			cfg.NumQueries = int(x)
+			return float64(sim.Run(cfg).ServerLoadPerStep().Microseconds()) / 1000
+		}
+	}
+	return Figure{
+		ID:     "fig1",
+		Title:  "Impact of distributed query processing on server load",
+		XLabel: "queries",
+		YLabel: "server load (ms/step)",
+		LogY:   true,
+		X:      xs,
+		Series: []Series{
+			series("object index", xs, run(sim.ObjectIndex, core.Options{})),
+			series("query index", xs, run(sim.QueryIndex, core.Options{})),
+			series("MobiEyes EQP", xs, run(sim.MobiEyes, mobiOpts(core.EagerPropagation))),
+			series("MobiEyes LQP", xs, run(sim.MobiEyes, mobiOpts(core.LazyPropagation))),
+		},
+	}
+}
+
+// Fig2 reproduces "Error associated with lazy query propagation": average
+// result error of MobiEyes LQP as a function of the number of objects
+// changing velocity per step, for three grid cell sizes.
+func Fig2(o RunOpts) Figure {
+	o = o.normalize()
+	xs := o.nmoSweep()
+	run := func(alpha float64) func(float64) float64 {
+		return func(x float64) float64 {
+			cfg := o.base()
+			cfg.Core = mobiOpts(core.LazyPropagation)
+			cfg.Alpha = alpha
+			cfg.VelocityChangesPerStep = int(x)
+			cfg.MeasureError = true
+			return sim.Run(cfg).AvgError
+		}
+	}
+	return Figure{
+		ID:     "fig2",
+		Title:  "Error associated with lazy query propagation",
+		XLabel: "velocity changes/step",
+		YLabel: "avg result error",
+		X:      xs,
+		Series: []Series{
+			series("alpha=2.5", xs, run(2.5)),
+			series("alpha=5", xs, run(5)),
+			series("alpha=10", xs, run(10)),
+		},
+	}
+}
+
+// Fig3 reproduces "Effect of α on server load": server load as a function
+// of the grid cell size for MobiEyes and both centralized indexes (whose
+// load does not depend on α; they are the flat reference lines).
+func Fig3(o RunOpts) Figure {
+	o = o.normalize()
+	xs := []float64{0.5, 1, 2, 4, 8, 16}
+	mobi := series("MobiEyes EQP", xs, func(x float64) float64 {
+		cfg := o.base()
+		cfg.Core = mobiOpts(core.EagerPropagation)
+		cfg.Alpha = x
+		return float64(sim.Run(cfg).ServerLoadPerStep().Microseconds()) / 1000
+	})
+	// The baselines do not use the grid; run each once and replicate.
+	flat := func(a sim.Approach) Series {
+		cfg := o.base()
+		cfg.Approach = a
+		v := float64(sim.Run(cfg).ServerLoadPerStep().Microseconds()) / 1000
+		y := make([]float64, len(xs))
+		for i := range y {
+			y[i] = v
+		}
+		return Series{Name: a.String() + " (flat)", Y: y}
+	}
+	return Figure{
+		ID:     "fig3",
+		Title:  "Effect of alpha on server load",
+		XLabel: "alpha (miles)",
+		YLabel: "server load (ms/step)",
+		LogY:   true,
+		X:      xs,
+		Series: []Series{flat(sim.ObjectIndex), flat(sim.QueryIndex), mobi},
+	}
+}
+
+// Fig4 reproduces "Effect of α on messaging cost": wireless messages per
+// second as a function of the grid cell size, for three query counts.
+func Fig4(o RunOpts) Figure {
+	o = o.normalize()
+	xs := []float64{0.5, 1, 2, 4, 6, 8, 16}
+	nmqs := scaleInts([]int{100, 500, 1000}, o.ScaleDiv)
+	var ss []Series
+	for _, nmq := range nmqs {
+		nmq := nmq
+		ss = append(ss, series(seriesName("nmq", nmq), xs, func(x float64) float64 {
+			cfg := o.base()
+			cfg.Core = mobiOpts(core.EagerPropagation)
+			cfg.Alpha = x
+			cfg.NumQueries = int(nmq)
+			return sim.Run(cfg).MessagesPerSecond()
+		}))
+	}
+	return Figure{
+		ID:     "fig4",
+		Title:  "Effect of alpha on messaging cost",
+		XLabel: "alpha (miles)",
+		YLabel: "messages/second",
+		X:      xs,
+		Series: ss,
+	}
+}
+
+// Fig5 reproduces "Effect of number of objects on messaging cost". While
+// the object count varies, the ratio nmo/no stays at its default (10%).
+func Fig5(o RunOpts) Figure {
+	return objectsSweepFigure(o, "fig5",
+		"Effect of number of objects on messaging cost",
+		"messages/second", false,
+		func(m sim.Metrics) float64 { return m.MessagesPerSecond() })
+}
+
+// Fig6 reproduces "Effect of number of objects on uplink messaging cost"
+// (log scale in the paper): the uplink component of Fig. 5.
+func Fig6(o RunOpts) Figure {
+	return objectsSweepFigure(o, "fig6",
+		"Effect of number of objects on uplink messaging cost",
+		"uplink messages/second", true,
+		func(m sim.Metrics) float64 { return m.UplinkMessagesPerSecond() })
+}
+
+func objectsSweepFigure(o RunOpts, id, title, ylabel string, logY bool, metric func(sim.Metrics) float64) Figure {
+	o = o.normalize()
+	xs := o.objectsSweep()
+	runAt := func(a sim.Approach, opts core.Options, nmq int) func(float64) float64 {
+		return func(x float64) float64 {
+			cfg := o.base()
+			cfg.Approach = a
+			cfg.Core = opts
+			cfg.NumObjects = int(x)
+			cfg.NumQueries = nmq
+			cfg.VelocityChangesPerStep = int(x) / 10 // keep nmo/no constant
+			if cfg.VelocityChangesPerStep < 1 {
+				cfg.VelocityChangesPerStep = 1
+			}
+			return metric(sim.Run(cfg))
+		}
+	}
+	nmqLo := intMax(100/o.ScaleDiv, 1)
+	nmqHi := intMax(1000/o.ScaleDiv, 1)
+	return Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "objects",
+		YLabel: ylabel,
+		LogY:   logY,
+		X:      xs,
+		Series: []Series{
+			series("naive", xs, runAt(sim.Naive, core.Options{}, nmqHi)),
+			series("central optimal", xs, runAt(sim.CentralOptimal, sim.DefaultConfig().Core, nmqHi)),
+			series(seriesName("EQP nmq", float64(nmqLo)), xs, runAt(sim.MobiEyes, mobiOpts(core.EagerPropagation), nmqLo)),
+			series(seriesName("EQP nmq", float64(nmqHi)), xs, runAt(sim.MobiEyes, mobiOpts(core.EagerPropagation), nmqHi)),
+			series(seriesName("LQP nmq", float64(nmqLo)), xs, runAt(sim.MobiEyes, mobiOpts(core.LazyPropagation), nmqLo)),
+			series(seriesName("LQP nmq", float64(nmqHi)), xs, runAt(sim.MobiEyes, mobiOpts(core.LazyPropagation), nmqHi)),
+		},
+	}
+}
+
+// Fig7 reproduces "Effect of number of objects changing velocity vector per
+// time step on messaging cost".
+func Fig7(o RunOpts) Figure {
+	o = o.normalize()
+	xs := o.nmoSweep()
+	runAt := func(a sim.Approach, opts core.Options, nmq int) func(float64) float64 {
+		return func(x float64) float64 {
+			cfg := o.base()
+			cfg.Approach = a
+			cfg.Core = opts
+			cfg.NumQueries = nmq
+			cfg.VelocityChangesPerStep = int(x)
+			return sim.Run(cfg).MessagesPerSecond()
+		}
+	}
+	nmqLo := intMax(100/o.ScaleDiv, 1)
+	nmqHi := intMax(1000/o.ScaleDiv, 1)
+	return Figure{
+		ID:     "fig7",
+		Title:  "Effect of velocity changes per step on messaging cost",
+		XLabel: "velocity changes/step",
+		YLabel: "messages/second",
+		X:      xs,
+		Series: []Series{
+			series("naive", xs, runAt(sim.Naive, core.Options{}, nmqHi)),
+			series("central optimal", xs, runAt(sim.CentralOptimal, sim.DefaultConfig().Core, nmqHi)),
+			series(seriesName("EQP nmq", float64(nmqLo)), xs, runAt(sim.MobiEyes, mobiOpts(core.EagerPropagation), nmqLo)),
+			series(seriesName("EQP nmq", float64(nmqHi)), xs, runAt(sim.MobiEyes, mobiOpts(core.EagerPropagation), nmqHi)),
+			series(seriesName("LQP nmq", float64(nmqLo)), xs, runAt(sim.MobiEyes, mobiOpts(core.LazyPropagation), nmqLo)),
+			series(seriesName("LQP nmq", float64(nmqHi)), xs, runAt(sim.MobiEyes, mobiOpts(core.LazyPropagation), nmqHi)),
+		},
+	}
+}
+
+// Fig8 reproduces "Effect of base station coverage area on messaging cost".
+func Fig8(o RunOpts) Figure {
+	o = o.normalize()
+	xs := []float64{5, 10, 20, 40, 80}
+	nmqs := scaleInts([]int{100, 500, 1000}, o.ScaleDiv)
+	var ss []Series
+	for _, nmq := range nmqs {
+		nmq := nmq
+		ss = append(ss, series(seriesName("nmq", nmq), xs, func(x float64) float64 {
+			cfg := o.base()
+			cfg.Core = mobiOpts(core.EagerPropagation)
+			cfg.Alen = x
+			cfg.NumQueries = int(nmq)
+			return sim.Run(cfg).MessagesPerSecond()
+		}))
+	}
+	return Figure{
+		ID:     "fig8",
+		Title:  "Effect of base station coverage area on messaging cost",
+		XLabel: "alen (miles)",
+		YLabel: "messages/second",
+		X:      xs,
+		Series: ss,
+	}
+}
+
+// Fig9 reproduces "Effect of number of queries on per object power
+// consumption due to communication".
+func Fig9(o RunOpts) Figure {
+	o = o.normalize()
+	xs := o.queriesSweep()
+	run := func(a sim.Approach, opts core.Options) func(float64) float64 {
+		return func(x float64) float64 {
+			cfg := o.base()
+			cfg.Approach = a
+			cfg.Core = opts
+			cfg.NumQueries = int(x)
+			return sim.Run(cfg).AvgPowerWatts * 1000 // mW
+		}
+	}
+	return Figure{
+		ID:     "fig9",
+		Title:  "Per-object power consumption due to communication",
+		XLabel: "queries",
+		YLabel: "avg power (mW/object)",
+		X:      xs,
+		Series: []Series{
+			series("naive", xs, run(sim.Naive, core.Options{})),
+			series("central optimal", xs, run(sim.CentralOptimal, sim.DefaultConfig().Core)),
+			series("MobiEyes", xs, run(sim.MobiEyes, mobiOpts(core.EagerPropagation))),
+		},
+	}
+}
+
+// Fig10 reproduces "Effect of α on the average number of queries evaluated
+// per step on a moving object" (the average LQT size).
+func Fig10(o RunOpts) Figure {
+	o = o.normalize()
+	xs := []float64{1, 2, 4, 8, 16}
+	nmqs := scaleInts([]int{100, 500, 1000}, o.ScaleDiv)
+	var ss []Series
+	for _, nmq := range nmqs {
+		nmq := nmq
+		ss = append(ss, series(seriesName("nmq", nmq), xs, func(x float64) float64 {
+			cfg := o.base()
+			cfg.Core = mobiOpts(core.EagerPropagation)
+			cfg.Alpha = x
+			cfg.NumQueries = int(nmq)
+			return sim.Run(cfg).AvgLQTSize
+		}))
+	}
+	return Figure{
+		ID:     "fig10",
+		Title:  "Effect of alpha on average LQT size",
+		XLabel: "alpha (miles)",
+		YLabel: "avg LQT size",
+		X:      xs,
+		Series: ss,
+	}
+}
+
+// Fig11 reproduces "Effect of the total number of queries on the average
+// LQT size".
+func Fig11(o RunOpts) Figure {
+	o = o.normalize()
+	xs := o.queriesSweep()
+	run := func(alpha float64) func(float64) float64 {
+		return func(x float64) float64 {
+			cfg := o.base()
+			cfg.Core = mobiOpts(core.EagerPropagation)
+			cfg.Alpha = alpha
+			cfg.NumQueries = int(x)
+			return sim.Run(cfg).AvgLQTSize
+		}
+	}
+	return Figure{
+		ID:     "fig11",
+		Title:  "Effect of number of queries on average LQT size",
+		XLabel: "queries",
+		YLabel: "avg LQT size",
+		X:      xs,
+		Series: []Series{
+			series("alpha=2.5", xs, run(2.5)),
+			series("alpha=5", xs, run(5)),
+			series("alpha=10", xs, run(10)),
+		},
+	}
+}
+
+// Fig12 reproduces "Effect of the query radius on the average LQT size":
+// all radii scaled by a factor.
+func Fig12(o RunOpts) Figure {
+	o = o.normalize()
+	xs := []float64{0.5, 1, 1.5, 2, 2.5, 3}
+	s := series("default config", xs, func(x float64) float64 {
+		cfg := o.base()
+		cfg.Core = mobiOpts(core.EagerPropagation)
+		cfg.RadiusFactor = x
+		return sim.Run(cfg).AvgLQTSize
+	})
+	return Figure{
+		ID:     "fig12",
+		Title:  "Effect of query radius factor on average LQT size",
+		XLabel: "radius factor",
+		YLabel: "avg LQT size",
+		X:      xs,
+		Series: []Series{s},
+	}
+}
+
+// Fig13 reproduces "Effect of the safe period optimization on the average
+// query processing load of a moving object": client processing time per
+// object per step, with and without the optimization. A third series adds
+// this implementation's predictive scheduler (exact entry times instead of
+// worst-case bounds) — an extension beyond the paper for comparison.
+func Fig13(o RunOpts) Figure {
+	o = o.normalize()
+	xs := []float64{1, 2, 4, 8, 16}
+	run := func(mut func(*core.Options)) func(float64) float64 {
+		return func(x float64) float64 {
+			cfg := o.base()
+			cfg.Core = mobiOpts(core.EagerPropagation)
+			mut(&cfg.Core)
+			cfg.Alpha = x
+			m := sim.Run(cfg)
+			return float64(m.ClientLoadPerObjectStep(cfg.NumObjects).Nanoseconds()) / 1000 // µs
+		}
+	}
+	return Figure{
+		ID:     "fig13",
+		Title:  "Effect of the safe period optimization on client load",
+		XLabel: "alpha (miles)",
+		YLabel: "client processing (microseconds/object/step)",
+		X:      xs,
+		Series: []Series{
+			series("base", xs, run(func(*core.Options) {})),
+			series("safe period", xs, run(func(o *core.Options) { o.SafePeriod = true })),
+			series("predictive (ext)", xs, run(func(o *core.Options) { o.Predictive = true })),
+		},
+	}
+}
+
+func seriesName(prefix string, v float64) string {
+	return prefix + "=" + strconv.Itoa(int(v))
+}
+
+func intMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Breakdown runs the default workload under each approach and reports the
+// per-message-kind traffic — the explanation behind Figs. 5–7: which flows
+// each scheme pays for. Not a paper figure; an observability extra.
+func Breakdown(o RunOpts) []BreakdownRow {
+	o = o.normalize()
+	variants := []struct {
+		name string
+		cfg  func() sim.Config
+	}{
+		{"naive", func() sim.Config { c := o.base(); c.Approach = sim.Naive; return c }},
+		{"central optimal", func() sim.Config { c := o.base(); c.Approach = sim.CentralOptimal; return c }},
+		{"MobiEyes EQP", func() sim.Config { c := o.base(); c.Core = mobiOpts(core.EagerPropagation); return c }},
+		{"MobiEyes LQP", func() sim.Config { c := o.base(); c.Core = mobiOpts(core.LazyPropagation); return c }},
+		{"EQP grouping", func() sim.Config {
+			c := o.base()
+			c.Core = mobiOpts(core.EagerPropagation)
+			c.Core.Grouping = true
+			return c
+		}},
+	}
+	var rows []BreakdownRow
+	for _, v := range variants {
+		m := sim.Run(v.cfg())
+		rows = append(rows, BreakdownRow{Name: v.name, Metrics: m})
+	}
+	return rows
+}
+
+// BreakdownRow pairs an approach label with its full metrics.
+type BreakdownRow struct {
+	Name    string
+	Metrics sim.Metrics
+}
+
+// WriteBreakdown renders breakdown rows as an aligned table.
+func WriteBreakdown(w io.Writer, rows []BreakdownRow) {
+	fmt.Fprintln(w, "breakdown: wireless traffic by message kind (messages over the measured run)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-16s %8.1f msg/s (%.1f up / %.1f down)\n",
+			r.Name, r.Metrics.MessagesPerSecond(), r.Metrics.UplinkMessagesPerSecond(),
+			r.Metrics.MessagesPerSecond()-r.Metrics.UplinkMessagesPerSecond())
+		for _, ks := range r.Metrics.ByKind {
+			fmt.Fprintf(w, "      %-24s %8d up  %8d down  (%d / %d bytes)\n",
+				ks.Kind, ks.UplinkMsgs, ks.DownlinkMsgs, ks.UplinkBytes, ks.DownlinkBytes)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// AlphaModel compares the analytical messaging-cost model of
+// internal/analysis against the simulator over the Fig. 4 α sweep — the
+// validation the paper's omitted model would have needed.
+func AlphaModel(o RunOpts) Figure {
+	o = o.normalize()
+	xs := []float64{0.5, 1, 2, 4, 6, 8, 16}
+
+	simSeries := series("simulated", xs, func(x float64) float64 {
+		cfg := o.base()
+		cfg.Core = mobiOpts(core.EagerPropagation)
+		cfg.Alpha = x
+		return sim.Run(cfg).MessagesPerSecond()
+	})
+
+	p := analysis.DefaultParams()
+	cfg := o.base()
+	p.NumObjects = cfg.NumObjects
+	p.NumQueries = cfg.NumQueries
+	p.VelocityChanges = cfg.VelocityChangesPerStep
+	p.AreaSqMiles = cfg.AreaSqMiles
+	p.Alen = cfg.Alen
+	modelSeries := series("analytical model", xs, p.TotalRate)
+
+	return Figure{
+		ID:     "alphamodel",
+		Title:  "Analytical model vs simulation (messaging cost over alpha)",
+		XLabel: "alpha (miles)",
+		YLabel: "messages/second",
+		X:      xs,
+		Series: []Series{simSeries, modelSeries},
+	}
+}

@@ -1,0 +1,241 @@
+// Package geo provides the planar geometry primitives used throughout the
+// MobiEyes system: points, velocity vectors, axis-aligned rectangles and
+// circles, together with the containment, intersection and distance
+// predicates the paper's definitions are built from (Gedik & Liu, EDBT 2004,
+// §2.2).
+//
+// All coordinates are in miles and all velocities in miles per hour, matching
+// the units of the paper's simulation setup (Table 1). The package is purely
+// computational and allocation-free on the hot paths.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the universe of discourse.
+type Point struct {
+	X, Y float64
+}
+
+// Vector is a velocity vector (miles per hour per component).
+type Vector struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Vec is shorthand for Vector{x, y}.
+func Vec(x, y float64) Vector { return Vector{x, y} }
+
+// Add returns p translated by v scaled by hours, i.e. the position reached
+// after moving for the given duration (in hours) at constant velocity v.
+func (p Point) Add(v Vector, hours float64) Point {
+	return Point{p.X + v.X*hours, p.Y + v.Y*hours}
+}
+
+// Sub returns the displacement vector from q to p.
+func (p Point) Sub(q Point) Vector { return Vector{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root for comparisons against squared radii.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Len returns the magnitude of v.
+func (v Vector) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Scale returns v scaled by s.
+func (v Vector) Scale(s float64) Vector { return Vector{v.X * s, v.Y * s} }
+
+// Normalize returns the unit vector in the direction of v. The zero vector
+// normalizes to itself.
+func (v Vector) Normalize() Vector {
+	l := v.Len()
+	if l == 0 {
+		return Vector{}
+	}
+	return Vector{v.X / l, v.Y / l}
+}
+
+// String implements fmt.Stringer.
+func (v Vector) String() string { return fmt.Sprintf("<%.3f, %.3f>", v.X, v.Y) }
+
+// Rect is the rectangle-shaped region of the paper:
+// Rect(lx, ly, w, h) = {(x, y) : x ∈ [lx, lx+w] ∧ y ∈ [ly, ly+h]}.
+//
+// Internally Rect stores its two corners rather than origin+extent so that
+// Union and Intersection are exact min/max operations with no floating point
+// drift — a property the R*-tree's delete-by-exact-box relies on.
+type Rect struct {
+	LX, LY float64 // lower-left corner
+	HX, HY float64 // upper-right corner; HX ≥ LX and HY ≥ LY when valid
+}
+
+// NewRect returns the rectangle with lower-left corner (lx, ly) and the
+// given extents, matching the paper's Rect(lx, ly, w, h) notation.
+func NewRect(lx, ly, w, h float64) Rect { return Rect{lx, ly, lx + w, ly + h} }
+
+// RectFromCorners returns the smallest rectangle containing both corner
+// points, regardless of their ordering.
+func RectFromCorners(a, b Point) Rect {
+	return Rect{
+		math.Min(a.X, b.X), math.Min(a.Y, b.Y),
+		math.Max(a.X, b.X), math.Max(a.Y, b.Y),
+	}
+}
+
+// W returns the width of r.
+func (r Rect) W() float64 { return r.HX - r.LX }
+
+// H returns the height of r.
+func (r Rect) H() float64 { return r.HY - r.LY }
+
+// Center returns the center point of r.
+func (r Rect) Center() Point { return Point{(r.LX + r.HX) / 2, (r.LY + r.HY) / 2} }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return (r.HX - r.LX) * (r.HY - r.LY) }
+
+// Margin returns half the perimeter (the R*-tree "margin" measure uses
+// the sum of extents; callers that need the full perimeter double it).
+func (r Rect) Margin() float64 { return (r.HX - r.LX) + (r.HY - r.LY) }
+
+// Empty reports whether r has negative extent in either dimension.
+func (r Rect) Empty() bool { return r.HX < r.LX || r.HY < r.LY }
+
+// Contains reports whether p lies inside r (boundary inclusive, per the
+// paper's closed-interval definition).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.LX && p.X <= r.HX && p.Y >= r.LY && p.Y <= r.HY
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.LX >= r.LX && s.HX <= r.HX && s.LY >= r.LY && s.HY <= r.HY
+}
+
+// Intersects reports whether r and s share at least one point (boundary
+// touching counts, matching the paper's A∩bound_box ≠ ∅ test).
+func (r Rect) Intersects(s Rect) bool {
+	return r.LX <= s.HX && s.LX <= r.HX && r.LY <= s.HY && s.LY <= r.HY
+}
+
+// Intersection returns the overlap of r and s. If they do not intersect the
+// result is Empty.
+func (r Rect) Intersection(s Rect) Rect {
+	return Rect{
+		math.Max(r.LX, s.LX), math.Max(r.LY, s.LY),
+		math.Min(r.HX, s.HX), math.Min(r.HY, s.HY),
+	}
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		math.Min(r.LX, s.LX), math.Min(r.LY, s.LY),
+		math.Max(r.HX, s.HX), math.Max(r.HY, s.HY),
+	}
+}
+
+// Expand returns r grown by d on every side.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{r.LX - d, r.LY - d, r.HX + d, r.HY + d}
+}
+
+// OverlapArea returns the area of the intersection of r and s, or 0 when
+// they are disjoint.
+func (r Rect) OverlapArea(s Rect) float64 {
+	w := math.Min(r.HX, s.HX) - math.Max(r.LX, s.LX)
+	if w <= 0 {
+		return 0
+	}
+	h := math.Min(r.HY, s.HY) - math.Max(r.LY, s.LY)
+	if h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// ClosestPoint returns the point inside r closest to p (p itself when p is
+// inside r).
+func (r Rect) ClosestPoint(p Point) Point {
+	x := math.Max(r.LX, math.Min(p.X, r.HX))
+	y := math.Max(r.LY, math.Min(p.Y, r.HY))
+	return Point{x, y}
+}
+
+// DistToPoint returns the minimum distance from p to r (0 when p is inside).
+func (r Rect) DistToPoint(p Point) float64 {
+	return r.ClosestPoint(p).Dist(p)
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("Rect(%.3f, %.3f, %.3f, %.3f)", r.LX, r.LY, r.HX-r.LX, r.HY-r.LY)
+}
+
+// Circle is the circle-shaped region of the paper:
+// Circle(cx, cy, r) = {(x, y) : (x−cx)² + (y−cy)² ≤ r²}.
+type Circle struct {
+	Center Point
+	R      float64
+}
+
+// NewCircle returns the circle with the given center and radius.
+func NewCircle(c Point, r float64) Circle { return Circle{c, r} }
+
+// Contains reports whether p lies inside c (boundary inclusive).
+func (c Circle) Contains(p Point) bool {
+	return c.Center.Dist2(p) <= c.R*c.R
+}
+
+// IntersectsRect reports whether c and r share at least one point.
+func (c Circle) IntersectsRect(r Rect) bool {
+	return r.ClosestPoint(c.Center).Dist2(c.Center) <= c.R*c.R
+}
+
+// ContainsRect reports whether r lies entirely inside c.
+func (c Circle) ContainsRect(r Rect) bool {
+	// All four corners inside the circle ⇒ the rectangle is inside, since
+	// the circle is convex.
+	r2 := c.R * c.R
+	corners := [4]Point{
+		{r.LX, r.LY}, {r.HX, r.LY}, {r.LX, r.HY}, {r.HX, r.HY},
+	}
+	for _, p := range corners {
+		if c.Center.Dist2(p) > r2 {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectsCircle reports whether c and d share at least one point.
+func (c Circle) IntersectsCircle(d Circle) bool {
+	rr := c.R + d.R
+	return c.Center.Dist2(d.Center) <= rr*rr
+}
+
+// BoundingRect returns the axis-aligned bounding rectangle of c.
+func (c Circle) BoundingRect() Rect {
+	return Rect{c.Center.X - c.R, c.Center.Y - c.R, c.Center.X + c.R, c.Center.Y + c.R}
+}
+
+// String implements fmt.Stringer.
+func (c Circle) String() string {
+	return fmt.Sprintf("Circle(%.3f, %.3f, %.3f)", c.Center.X, c.Center.Y, c.R)
+}

@@ -1,0 +1,383 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointAdd(t *testing.T) {
+	p := Pt(1, 2)
+	v := Vec(10, -20)
+	got := p.Add(v, 0.5) // half an hour
+	want := Pt(6, -8)
+	if got != want {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+}
+
+func TestPointAddZeroDuration(t *testing.T) {
+	p := Pt(3, 4)
+	if got := p.Add(Vec(100, 100), 0); got != p {
+		t.Errorf("Add with 0 hours moved the point: %v", got)
+	}
+}
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-1, -1), Pt(2, 3), 5},
+	}
+	for _, c := range cases {
+		if got := c.a.Dist(c.b); !almostEqual(got, c.want) {
+			t.Errorf("Dist(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.a.Dist2(c.b); !almostEqual(got, c.want*c.want) {
+			t.Errorf("Dist2(%v, %v) = %v, want %v", c.a, c.b, got, c.want*c.want)
+		}
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return almostEqual(a.Dist(b), b.Dist(a))
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(4)), MaxCount: 500,
+		Values: boundedRectPairValues}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorLen(t *testing.T) {
+	if got := Vec(3, 4).Len(); !almostEqual(got, 5) {
+		t.Errorf("Len = %v, want 5", got)
+	}
+	if got := (Vector{}).Len(); got != 0 {
+		t.Errorf("zero vector Len = %v", got)
+	}
+}
+
+func TestVectorNormalize(t *testing.T) {
+	v := Vec(3, 4).Normalize()
+	if !almostEqual(v.Len(), 1) {
+		t.Errorf("normalized length = %v, want 1", v.Len())
+	}
+	if z := (Vector{}).Normalize(); z != (Vector{}) {
+		t.Errorf("zero vector normalized to %v", z)
+	}
+}
+
+func TestVectorScale(t *testing.T) {
+	if got := Vec(1, -2).Scale(3); got != Vec(3, -6) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(0, 0, 10, 5)
+	inside := []Point{{0, 0}, {10, 5}, {5, 2.5}, {0, 5}, {10, 0}}
+	outside := []Point{{-0.001, 0}, {10.001, 0}, {5, 5.001}, {5, -0.001}}
+	for _, p := range inside {
+		if !r.Contains(p) {
+			t.Errorf("%v should contain %v", r, p)
+		}
+	}
+	for _, p := range outside {
+		if r.Contains(p) {
+			t.Errorf("%v should not contain %v", r, p)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	cases := []struct {
+		s    Rect
+		want bool
+	}{
+		{NewRect(5, 5, 10, 10), true},
+		{NewRect(10, 10, 1, 1), true}, // corner touch
+		{NewRect(-5, -5, 5, 5), true}, // corner touch at origin
+		{NewRect(11, 0, 1, 1), false},
+		{NewRect(0, 11, 1, 1), false},
+		{NewRect(2, 2, 3, 3), true}, // fully inside
+		{NewRect(-1, -1, 12, 12), true},
+	}
+	for _, c := range cases {
+		if got := r.Intersects(c.s); got != c.want {
+			t.Errorf("Intersects(%v, %v) = %v, want %v", r, c.s, got, c.want)
+		}
+		if got := c.s.Intersects(r); got != c.want {
+			t.Errorf("Intersects not symmetric for %v, %v", r, c.s)
+		}
+	}
+}
+
+func TestRectIntersectionUnion(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	s := NewRect(5, 5, 10, 10)
+	i := r.Intersection(s)
+	if i != NewRect(5, 5, 5, 5) {
+		t.Errorf("Intersection = %v", i)
+	}
+	u := r.Union(s)
+	if u != NewRect(0, 0, 15, 15) {
+		t.Errorf("Union = %v", u)
+	}
+	disjoint := r.Intersection(NewRect(20, 20, 1, 1))
+	if !disjoint.Empty() {
+		t.Errorf("disjoint intersection not empty: %v", disjoint)
+	}
+}
+
+func TestRectUnionContainsBoth(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		a := NewRect(ax, ay, math.Abs(aw), math.Abs(ah))
+		b := NewRect(bx, by, math.Abs(bw), math.Abs(bh))
+		u := a.Union(b)
+		return containsRectEps(u, a) && containsRectEps(u, b)
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 500,
+		Values: boundedRectPairValues}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectIntersectionInsideBoth(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		a := NewRect(ax, ay, math.Abs(aw), math.Abs(ah))
+		b := NewRect(bx, by, math.Abs(bw), math.Abs(bh))
+		i := a.Intersection(b)
+		if i.Empty() {
+			return !a.Intersects(b) ||
+				// Degenerate touching produces a zero-extent rect which we
+				// treat as non-empty only when extents are exactly zero.
+				(i.W() >= 0 && i.H() >= 0)
+		}
+		return containsRectEps(a, i) && containsRectEps(b, i)
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(2)), MaxCount: 500,
+		Values: boundedRectPairValues}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectOverlapAreaMatchesIntersection(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		a := NewRect(ax, ay, math.Abs(aw), math.Abs(ah))
+		b := NewRect(bx, by, math.Abs(bw), math.Abs(bh))
+		i := a.Intersection(b)
+		want := 0.0
+		if !i.Empty() {
+			want = i.Area()
+		}
+		return almostEqual(a.OverlapArea(b), want)
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(3)), MaxCount: 500,
+		Values: boundedRectPairValues}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// containsRectEps is ContainsRect with a 1-ulp-scale tolerance: the Rect
+// representation stores (origin, extent), so lx+(hx−lx) can differ from hx
+// by one ulp, which is irrelevant to the geometric property under test.
+func containsRectEps(r, s Rect) bool {
+	const eps = 1e-9
+	return s.LX >= r.LX-eps && s.HX <= r.HX+eps &&
+		s.LY >= r.LY-eps && s.HY <= r.HY+eps
+}
+
+// boundedRectPairValues generates 8 bounded float64 args to keep property
+// tests in a numerically sane range.
+func boundedRectPairValues(args []reflect.Value, r *rand.Rand) {
+	for i := range args {
+		args[i] = reflect.ValueOf(r.Float64()*200 - 100)
+	}
+}
+
+func TestRectFromCorners(t *testing.T) {
+	r := RectFromCorners(Pt(5, 7), Pt(1, 2))
+	if r != NewRect(1, 2, 4, 5) {
+		t.Errorf("RectFromCorners = %v", r)
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := NewRect(2, 2, 4, 4).Expand(1)
+	if r != NewRect(1, 1, 6, 6) {
+		t.Errorf("Expand = %v", r)
+	}
+}
+
+func TestRectClosestPoint(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	cases := []struct {
+		p, want Point
+	}{
+		{Pt(5, 5), Pt(5, 5)},
+		{Pt(-3, 5), Pt(0, 5)},
+		{Pt(15, 15), Pt(10, 10)},
+		{Pt(5, -2), Pt(5, 0)},
+	}
+	for _, c := range cases {
+		if got := r.ClosestPoint(c.p); got != c.want {
+			t.Errorf("ClosestPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if d := r.DistToPoint(Pt(13, 14)); !almostEqual(d, 5) {
+		t.Errorf("DistToPoint = %v, want 5", d)
+	}
+}
+
+func TestRectCenterArea(t *testing.T) {
+	r := NewRect(0, 0, 4, 6)
+	if c := r.Center(); c != Pt(2, 3) {
+		t.Errorf("Center = %v", c)
+	}
+	if a := r.Area(); a != 24 {
+		t.Errorf("Area = %v", a)
+	}
+	if m := r.Margin(); m != 10 {
+		t.Errorf("Margin = %v", m)
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := NewCircle(Pt(0, 0), 5)
+	if !c.Contains(Pt(3, 4)) {
+		t.Error("boundary point should be contained")
+	}
+	if c.Contains(Pt(3.001, 4)) {
+		t.Error("outside point contained")
+	}
+	if !c.Contains(Pt(0, 0)) {
+		t.Error("center not contained")
+	}
+}
+
+func TestCircleIntersectsRect(t *testing.T) {
+	c := NewCircle(Pt(0, 0), 5)
+	cases := []struct {
+		r    Rect
+		want bool
+	}{
+		{NewRect(-1, -1, 2, 2), true},         // circle contains rect
+		{NewRect(-100, -100, 200, 200), true}, // rect contains circle
+		{NewRect(4, 4, 2, 2), false},          // corner at (4,4) is dist √32 > 5
+		{NewRect(3, 3, 2, 2), true},           // corner at (3,3) is dist √18 < 5
+		{NewRect(5, -1, 2, 2), true},          // edge touch at (5,0)
+		{NewRect(6, 6, 1, 1), false},
+	}
+	for _, cse := range cases {
+		if got := c.IntersectsRect(cse.r); got != cse.want {
+			t.Errorf("IntersectsRect(%v) = %v, want %v", cse.r, got, cse.want)
+		}
+	}
+}
+
+func TestCircleContainsRect(t *testing.T) {
+	c := NewCircle(Pt(0, 0), 5)
+	if !c.ContainsRect(NewRect(-3, -3, 6, 6)) {
+		t.Error("should contain rect with corners at dist √18")
+	}
+	if c.ContainsRect(NewRect(-4, -4, 8, 8)) {
+		t.Error("should not contain rect with corners at dist √32")
+	}
+}
+
+func TestCircleIntersectsCircle(t *testing.T) {
+	a := NewCircle(Pt(0, 0), 3)
+	b := NewCircle(Pt(6, 0), 3) // exactly touching
+	if !a.IntersectsCircle(b) {
+		t.Error("touching circles should intersect")
+	}
+	far := NewCircle(Pt(6.001, 0), 3)
+	if a.IntersectsCircle(far) {
+		t.Error("separated circles should not intersect")
+	}
+}
+
+func TestCircleBoundingRect(t *testing.T) {
+	c := NewCircle(Pt(2, 3), 1.5)
+	want := NewRect(0.5, 1.5, 3, 3)
+	if got := c.BoundingRect(); got != want {
+		t.Errorf("BoundingRect = %v, want %v", got, want)
+	}
+}
+
+// Property: a circle intersects a rectangle iff the distance from the center
+// to the rectangle is within the radius. Cross-checks IntersectsRect against
+// a Monte Carlo point test.
+func TestCircleRectIntersectionConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		c := NewCircle(Pt(rng.Float64()*20-10, rng.Float64()*20-10), rng.Float64()*5+0.1)
+		r := NewRect(rng.Float64()*20-10, rng.Float64()*20-10, rng.Float64()*10, rng.Float64()*10)
+		got := c.IntersectsRect(r)
+		want := r.DistToPoint(c.Center) <= c.R
+		if got != want {
+			t.Fatalf("IntersectsRect(%v, %v) = %v, dist test = %v", c, r, got, want)
+		}
+	}
+}
+
+// Property: containment in a circle implies containment in its bounding rect.
+func TestCircleBoundingRectContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		c := NewCircle(Pt(rng.Float64()*10, rng.Float64()*10), rng.Float64()*5)
+		p := Pt(rng.Float64()*20-5, rng.Float64()*20-5)
+		if c.Contains(p) && !c.BoundingRect().Contains(p) {
+			t.Fatalf("point %v in circle %v but not in bounding rect", p, c)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	// Smoke tests only: the exact format is not part of the API contract,
+	// but String must not panic and must be non-empty.
+	for _, s := range []string{
+		Pt(1, 2).String(),
+		Vec(1, 2).String(),
+		NewRect(0, 0, 1, 1).String(),
+		NewCircle(Pt(0, 0), 1).String(),
+	} {
+		if s == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+func BenchmarkRectIntersects(b *testing.B) {
+	r := NewRect(0, 0, 10, 10)
+	s := NewRect(5, 5, 10, 10)
+	for i := 0; i < b.N; i++ {
+		if !r.Intersects(s) {
+			b.Fatal("expected intersection")
+		}
+	}
+}
+
+func BenchmarkCircleIntersectsRect(b *testing.B) {
+	c := NewCircle(Pt(0, 0), 5)
+	r := NewRect(3, 3, 2, 2)
+	for i := 0; i < b.N; i++ {
+		if !c.IntersectsRect(r) {
+			b.Fatal("expected intersection")
+		}
+	}
+}

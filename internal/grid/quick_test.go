@@ -1,0 +1,85 @@
+package grid
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mobieyes/internal/geo"
+)
+
+// quickPoints bounds quick-generated coordinates to a sane neighborhood of
+// the UoD (including outside-the-border cases, which clamp).
+func quickPoints(args []reflect.Value, r *rand.Rand) {
+	for i := range args {
+		args[i] = reflect.ValueOf(r.Float64()*140 - 20)
+	}
+}
+
+// Property: CellOf always returns a valid cell, and for in-UoD points the
+// cell's rectangle contains the point.
+func TestQuickCellOfTotality(t *testing.T) {
+	g := New(geo.NewRect(0, 0, 100, 100), 5)
+	f := func(x, y float64) bool {
+		p := geo.Pt(x, y)
+		c := g.CellOf(p)
+		if !g.Valid(c) {
+			return false
+		}
+		if g.UoD().Contains(p) && p.X < 100 && p.Y < 100 {
+			return g.CellRect(c).Contains(p)
+		}
+		return true
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 2000, Values: quickPoints}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the monitoring region always contains the focal cell and covers
+// the bounding box.
+func TestQuickMonitoringRegionCoversBoundingBox(t *testing.T) {
+	g := New(geo.NewRect(0, 0, 100, 100), 5)
+	f := func(x, y, r float64) bool {
+		p := geo.Pt(clamp(x, 0, 99.99), clamp(y, 0, 99.99))
+		radius := clamp(r, 0, 20)
+		cell := g.CellOf(p)
+		mr := g.MonitoringRegion(cell, radius)
+		if !mr.Contains(cell) {
+			return false
+		}
+		bb := g.BoundingBox(cell, radius)
+		covered := g.RegionRect(mr)
+		return covered.ContainsRect(bb.Intersection(g.UoD()))
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(2)), MaxCount: 2000, Values: quickPoints}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CellIndex is a bijection onto [0, NumCells).
+func TestQuickCellIndexBijective(t *testing.T) {
+	g := New(geo.NewRect(0, 0, 100, 100), 7)
+	f := func(x, y float64) bool {
+		c := g.CellOf(geo.Pt(x, y))
+		idx := g.CellIndex(c)
+		return idx >= 0 && idx < g.NumCells() && g.CellAt(idx) == c
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(3)), MaxCount: 2000, Values: quickPoints}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

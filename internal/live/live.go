@@ -1,0 +1,457 @@
+// Package live runs MobiEyes as a concurrent system: one goroutine per
+// moving object and one for the server, exchanging the protocol messages of
+// internal/msg over channels. It wraps the same deterministic state
+// machines as the simulation (core.Server, core.Client) in a real-time
+// harness, which is the natural Go rendering of the paper's mobile system —
+// moving objects are independent computing devices, the server is a
+// mediator, and everything communicates asynchronously.
+//
+// Time runs on the wall clock, scaled by Config.TimeScale (simulated
+// seconds per wall second), so a demo can compress hours of movement into
+// seconds. Each object advances its own position continuously from its
+// velocity vector; there is no global step.
+package live
+
+import (
+	"sync"
+	"time"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/network"
+)
+
+// Config configures a live system.
+type Config struct {
+	// UoD is the universe of discourse; Alpha the grid cell side (miles).
+	UoD   geo.Rect
+	Alpha float64
+	// TickInterval is the wall-clock period of each object's local clock
+	// (cell-change detection, dead reckoning, query evaluation).
+	TickInterval time.Duration
+	// TimeScale is simulated seconds per wall second (e.g. 3600 makes one
+	// wall second one simulated hour). Zero defaults to 1.
+	TimeScale float64
+	// Options selects the protocol variant.
+	Options core.Options
+}
+
+// System is a running live MobiEyes deployment.
+type System struct {
+	cfg Config
+	g   *grid.Grid
+
+	start time.Time
+
+	mu     sync.RWMutex
+	agents map[model.ObjectID]*agent
+
+	uplink   chan msg.Message
+	requests chan func(*core.Server)
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	watchMu  sync.Mutex
+	watchers map[model.QueryID][]*watcher
+
+	meterMu sync.Mutex
+	meter   network.Meter
+}
+
+// NewSystem starts the server goroutine and returns an empty system.
+func NewSystem(cfg Config) *System {
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = 100 * time.Millisecond
+	}
+	s := &System{
+		cfg:      cfg,
+		g:        grid.New(cfg.UoD, cfg.Alpha),
+		start:    time.Now(),
+		agents:   make(map[model.ObjectID]*agent),
+		uplink:   make(chan msg.Message, 1024),
+		requests: make(chan func(*core.Server), 64),
+		done:     make(chan struct{}),
+	}
+	s.watchers = make(map[model.QueryID][]*watcher)
+	srv := core.NewServer(s.g, cfg.Options, systemDownlink{s})
+	srv.SetResultListener(s.dispatchResultEvent)
+	s.wg.Add(1)
+	go s.serverLoop(srv)
+	return s
+}
+
+// watcher forwards result events for one query to a subscriber channel via
+// an unbounded mailbox, so the server goroutine never blocks on slow
+// consumers.
+type watcher struct {
+	qid  model.QueryID
+	mail *mailbox
+	out  chan core.ResultEvent
+}
+
+// WatchQuery returns a channel delivering every differential change to the
+// query's result set, in order. The channel closes when the system shuts
+// down. Result changes propagate at object-tick granularity, so subscribing
+// right after InstallQuery returns observes the query's first results.
+func (s *System) WatchQuery(qid model.QueryID) <-chan core.ResultEvent {
+	w := &watcher{qid: qid, mail: newMailbox(), out: make(chan core.ResultEvent)}
+	s.watchMu.Lock()
+	s.watchers[qid] = append(s.watchers[qid], w)
+	s.watchMu.Unlock()
+	s.wg.Add(1)
+	go w.pump(s)
+	return w.out
+}
+
+func (w *watcher) pump(s *System) {
+	defer s.wg.Done()
+	defer close(w.out)
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-w.mail.signal:
+			for _, m := range w.mail.drain() {
+				ev := m.(resultEventMsg).ev
+				select {
+				case w.out <- ev:
+				case <-s.done:
+					return
+				}
+			}
+		}
+	}
+}
+
+// resultEventMsg adapts ResultEvent to the mailbox's msg.Message element
+// type.
+type resultEventMsg struct{ ev core.ResultEvent }
+
+func (resultEventMsg) Kind() msg.Kind { return msg.Kind(-1) }
+func (resultEventMsg) Size() int      { return 0 }
+
+// dispatchResultEvent runs on the server goroutine.
+func (s *System) dispatchResultEvent(ev core.ResultEvent) {
+	s.watchMu.Lock()
+	ws := s.watchers[ev.QID]
+	s.watchMu.Unlock()
+	for _, w := range ws {
+		w.mail.put(resultEventMsg{ev})
+	}
+}
+
+// now returns the current simulated time.
+func (s *System) now() model.Time {
+	return model.FromSeconds(time.Since(s.start).Seconds() * s.cfg.TimeScale)
+}
+
+func (s *System) serverLoop(srv *core.Server) {
+	defer s.wg.Done()
+	expiry := time.NewTicker(s.cfg.TickInterval)
+	defer expiry.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case m := <-s.uplink:
+			srv.HandleUplink(m)
+		case req := <-s.requests:
+			req(srv)
+		case <-expiry.C:
+			srv.ExpireQueries(s.now())
+		}
+	}
+}
+
+// request runs fn on the server goroutine and waits for it to finish.
+func (s *System) request(fn func(*core.Server)) {
+	doneCh := make(chan struct{})
+	select {
+	case s.requests <- func(srv *core.Server) {
+		fn(srv)
+		close(doneCh)
+	}:
+	case <-s.done:
+		return
+	}
+	select {
+	case <-doneCh:
+	case <-s.done:
+	}
+}
+
+// Stats returns a snapshot of the wireless-traffic counters: message and
+// byte totals per direction plus the per-kind breakdown.
+func (s *System) Stats() (uplinkMsgs, downlinkMsgs, uplinkBytes, downlinkBytes int64, byKind []network.KindStats) {
+	s.meterMu.Lock()
+	defer s.meterMu.Unlock()
+	return s.meter.UplinkMessages(), s.meter.DownlinkMessages(),
+		s.meter.UplinkBytes(), s.meter.DownlinkBytes(), s.meter.Snapshot()
+}
+
+func (s *System) recordUplink(m msg.Message) {
+	s.meterMu.Lock()
+	s.meter.RecordUplink(m)
+	s.meterMu.Unlock()
+}
+
+func (s *System) recordDownlink(m msg.Message, copies int) {
+	s.meterMu.Lock()
+	s.meter.RecordDownlink(m, copies)
+	s.meterMu.Unlock()
+}
+
+// systemDownlink delivers server messages to agents. Broadcasts go to every
+// agent (the clients self-filter by monitoring region, exactly as under a
+// base station whose coverage exceeds the region); unicasts go to one.
+// Deliveries never block the server: each agent has an unbounded mailbox.
+type systemDownlink struct{ s *System }
+
+func (d systemDownlink) Broadcast(region grid.CellRange, m msg.Message) {
+	d.s.recordDownlink(m, 1)
+	d.s.mu.RLock()
+	defer d.s.mu.RUnlock()
+	for _, a := range d.s.agents {
+		a.mail.put(m)
+	}
+}
+
+func (d systemDownlink) Unicast(oid model.ObjectID, m msg.Message) {
+	d.s.recordDownlink(m, 1)
+	d.s.mu.RLock()
+	a := d.s.agents[oid]
+	d.s.mu.RUnlock()
+	if a != nil {
+		a.mail.put(m)
+	}
+}
+
+// AddObject spawns a moving object with the given initial state and starts
+// its goroutine. Adding an existing ID replaces nothing and is ignored.
+func (s *System) AddObject(oid model.ObjectID, pos geo.Point, vel geo.Vector, maxVel float64, props model.Props) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.agents[oid]; ok {
+		return
+	}
+	a := &agent{
+		sys:    s,
+		oid:    oid,
+		pos:    pos,
+		vel:    vel,
+		lastT:  s.now(),
+		mail:   newMailbox(),
+		ctrl:   make(chan func(*agent), 16),
+		stop:   make(chan struct{}),
+		client: core.NewClient(s.g, s.cfg.Options, agentUplink{s}, oid, props, maxVel, pos),
+	}
+	s.agents[oid] = a
+	s.wg.Add(1)
+	go a.loop()
+}
+
+// RemoveObject departs an object from the system: it announces its
+// departure (leaving every query result it was in, tearing down queries it
+// was focal of) and its goroutine stops. Removing an unknown object is a
+// no-op.
+func (s *System) RemoveObject(oid model.ObjectID) {
+	s.mu.Lock()
+	a := s.agents[oid]
+	delete(s.agents, oid)
+	s.mu.Unlock()
+	if a == nil {
+		return
+	}
+	s.withAgentDirect(a, func(a *agent) {
+		a.client.Depart()
+	})
+	close(a.stop)
+}
+
+// InstallQuery installs a moving query on the running system and returns
+// its identifier. Installation completes asynchronously (the server may
+// need to fetch the focal object's motion state first).
+func (s *System) InstallQuery(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64) model.QueryID {
+	var qid model.QueryID
+	s.request(func(srv *core.Server) {
+		qid = srv.InstallQuery(focal, region, filter, focalMaxVel)
+	})
+	return qid
+}
+
+// InstallQueryFor installs a query that uninstalls itself after the given
+// simulated duration (in simulated seconds).
+func (s *System) InstallQueryFor(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64, durationSimSeconds float64) model.QueryID {
+	var qid model.QueryID
+	expiry := s.now() + model.FromSeconds(durationSimSeconds)
+	s.request(func(srv *core.Server) {
+		qid = srv.InstallQueryUntil(focal, region, filter, focalMaxVel, expiry)
+	})
+	return qid
+}
+
+// RemoveQuery uninstalls a query.
+func (s *System) RemoveQuery(qid model.QueryID) {
+	s.request(func(srv *core.Server) { srv.RemoveQuery(qid) })
+}
+
+// Result returns the server's current result set for a query.
+func (s *System) Result(qid model.QueryID) []model.ObjectID {
+	var out []model.ObjectID
+	s.request(func(srv *core.Server) { out = srv.Result(qid) })
+	return out
+}
+
+// SetVelocity changes an object's velocity vector, as if the device turned.
+func (s *System) SetVelocity(oid model.ObjectID, vel geo.Vector) {
+	s.withAgent(oid, func(a *agent) {
+		a.advance()
+		a.vel = vel
+	})
+}
+
+// Position returns an object's current position.
+func (s *System) Position(oid model.ObjectID) (geo.Point, bool) {
+	var p geo.Point
+	ok := s.withAgent(oid, func(a *agent) {
+		a.advance()
+		p = a.pos
+	})
+	return p, ok
+}
+
+// withAgent runs fn on the agent's goroutine and waits.
+func (s *System) withAgent(oid model.ObjectID, fn func(*agent)) bool {
+	s.mu.RLock()
+	a := s.agents[oid]
+	s.mu.RUnlock()
+	if a == nil {
+		return false
+	}
+	return s.withAgentDirect(a, fn)
+}
+
+func (s *System) withAgentDirect(a *agent, fn func(*agent)) bool {
+	doneCh := make(chan struct{})
+	select {
+	case a.ctrl <- func(a *agent) {
+		fn(a)
+		close(doneCh)
+	}:
+	case <-a.stop:
+		return false
+	case <-s.done:
+		return false
+	}
+	select {
+	case <-doneCh:
+		return true
+	case <-a.stop:
+		return false
+	case <-s.done:
+		return false
+	}
+}
+
+// Close stops every goroutine and waits for them to exit.
+func (s *System) Close() {
+	close(s.done)
+	s.wg.Wait()
+}
+
+// agentUplink forwards client messages to the server goroutine.
+type agentUplink struct{ s *System }
+
+func (u agentUplink) Send(m msg.Message) {
+	u.s.recordUplink(m)
+	select {
+	case u.s.uplink <- m:
+	case <-u.s.done:
+	}
+}
+
+// agent is one moving object: position integrator plus protocol client.
+type agent struct {
+	sys    *System
+	oid    model.ObjectID
+	pos    geo.Point
+	vel    geo.Vector
+	lastT  model.Time
+	mail   *mailbox
+	ctrl   chan func(*agent)
+	stop   chan struct{}
+	client *core.Client
+}
+
+// advance integrates the position up to the current simulated time.
+func (a *agent) advance() {
+	now := a.sys.now()
+	a.pos = a.pos.Add(a.vel, float64(now-a.lastT))
+	a.lastT = now
+}
+
+func (a *agent) loop() {
+	defer a.sys.wg.Done()
+	// Announce arrival: pick up the standing queries of our starting cell.
+	a.advance()
+	a.client.Join(a.pos, a.vel, a.lastT)
+	ticker := time.NewTicker(a.sys.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.sys.done:
+			return
+		case <-a.stop:
+			return
+		case <-a.mail.signal:
+			for _, m := range a.mail.drain() {
+				a.advance()
+				a.client.OnDownlink(m, a.pos, a.vel, a.lastT)
+			}
+		case fn := <-a.ctrl:
+			fn(a)
+		case <-ticker.C:
+			a.advance()
+			a.client.TickCellChange(a.pos, a.vel, a.lastT)
+			a.client.TickDeadReckoning(a.pos, a.vel, a.lastT)
+			a.client.TickEvaluate(a.pos, a.vel, a.lastT)
+		}
+	}
+}
+
+// mailbox is an unbounded, signal-driven message queue: producers never
+// block, which breaks the server↔agent delivery cycle that bounded
+// channels would deadlock on.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []msg.Message
+	signal chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{signal: make(chan struct{}, 1)}
+}
+
+func (mb *mailbox) put(m msg.Message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	select {
+	case mb.signal <- struct{}{}:
+	default:
+	}
+}
+
+func (mb *mailbox) drain() []msg.Message {
+	mb.mu.Lock()
+	q := mb.queue
+	mb.queue = nil
+	mb.mu.Unlock()
+	return q
+}

@@ -1,0 +1,373 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+)
+
+// fastConfig compresses time hard so tests finish in tens of milliseconds:
+// one wall millisecond ticks, 600 simulated seconds per wall second.
+func fastConfig() Config {
+	return Config{
+		UoD:          geo.NewRect(0, 0, 100, 100),
+		Alpha:        5,
+		TickInterval: time.Millisecond,
+		TimeScale:    600,
+	}
+}
+
+var acceptAll = model.Filter{Seed: 1, Permille: 1000}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestLiveBasicContainment(t *testing.T) {
+	s := NewSystem(fastConfig())
+	defer s.Close()
+
+	s.AddObject(1, geo.Pt(50, 50), geo.Vec(0, 0), 100, model.Props{Key: 1})
+	s.AddObject(2, geo.Pt(51, 50), geo.Vec(0, 0), 100, model.Props{Key: 2})
+	s.AddObject(3, geo.Pt(90, 90), geo.Vec(0, 0), 100, model.Props{Key: 3})
+
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100)
+	ok := waitFor(t, 2*time.Second, func() bool {
+		r := s.Result(qid)
+		return len(r) == 2 && r[0] == 1 && r[1] == 2
+	})
+	if !ok {
+		t.Fatalf("result never converged to [1 2]: %v", s.Result(qid))
+	}
+}
+
+func TestLiveObjectMovesIntoRegion(t *testing.T) {
+	s := NewSystem(fastConfig())
+	defer s.Close()
+
+	s.AddObject(1, geo.Pt(50, 50), geo.Vec(0, 0), 300, model.Props{Key: 1})
+	// Object 2 starts 10 miles east, outside r=3, driving west at 300 mph.
+	// At TimeScale 600, it covers 300 mph × 600 = 50 simulated miles per
+	// wall second — it enters the region within ~0.2 wall seconds.
+	s.AddObject(2, geo.Pt(60, 50), geo.Vec(-300, 0), 300, model.Props{Key: 2})
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 300)
+
+	entered := waitFor(t, 3*time.Second, func() bool {
+		for _, oid := range s.Result(qid) {
+			if oid == 2 {
+				return true
+			}
+		}
+		return false
+	})
+	if !entered {
+		t.Fatal("object 2 never entered the result while driving through")
+	}
+	// It keeps going and must eventually leave again.
+	left := waitFor(t, 3*time.Second, func() bool {
+		for _, oid := range s.Result(qid) {
+			if oid == 2 {
+				return false
+			}
+		}
+		return true
+	})
+	if !left {
+		t.Fatal("object 2 never left the result after passing through")
+	}
+}
+
+func TestLiveSetVelocity(t *testing.T) {
+	s := NewSystem(fastConfig())
+	defer s.Close()
+
+	s.AddObject(1, geo.Pt(20, 50), geo.Vec(0, 0), 300, model.Props{Key: 1})
+	p0, ok := s.Position(1)
+	if !ok {
+		t.Fatal("Position failed")
+	}
+	s.SetVelocity(1, geo.Vec(300, 0))
+	moved := waitFor(t, 2*time.Second, func() bool {
+		p, _ := s.Position(1)
+		return p.X > p0.X+1
+	})
+	if !moved {
+		t.Fatal("object did not move after SetVelocity")
+	}
+	if _, ok := s.Position(99); ok {
+		t.Error("unknown object has a position")
+	}
+}
+
+func TestLiveQueryFollowsFocal(t *testing.T) {
+	s := NewSystem(fastConfig())
+	defer s.Close()
+
+	// Focal drives east; a parked object sits in its path.
+	s.AddObject(1, geo.Pt(30, 50), geo.Vec(250, 0), 300, model.Props{Key: 1})
+	s.AddObject(2, geo.Pt(45, 50), geo.Vec(0, 0), 300, model.Props{Key: 2})
+	qid := s.InstallQuery(1, model.CircleRegion{R: 2}, acceptAll, 300)
+
+	hit := waitFor(t, 4*time.Second, func() bool {
+		for _, oid := range s.Result(qid) {
+			if oid == 2 {
+				return true
+			}
+		}
+		return false
+	})
+	if !hit {
+		t.Fatal("moving query never swept over the parked object")
+	}
+}
+
+func TestLiveRemoveQuery(t *testing.T) {
+	s := NewSystem(fastConfig())
+	defer s.Close()
+	s.AddObject(1, geo.Pt(50, 50), geo.Vec(0, 0), 100, model.Props{Key: 1})
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100)
+	if !waitFor(t, 2*time.Second, func() bool { return len(s.Result(qid)) == 1 }) {
+		t.Fatal("result never converged")
+	}
+	s.RemoveQuery(qid)
+	if len(s.Result(qid)) != 0 {
+		t.Fatal("result survives removal")
+	}
+}
+
+func TestLiveDuplicateAddIgnored(t *testing.T) {
+	s := NewSystem(fastConfig())
+	defer s.Close()
+	s.AddObject(1, geo.Pt(10, 10), geo.Vec(0, 0), 100, model.Props{})
+	s.AddObject(1, geo.Pt(90, 90), geo.Vec(0, 0), 100, model.Props{})
+	p, ok := s.Position(1)
+	if !ok || p.Dist(geo.Pt(10, 10)) > 1 {
+		t.Fatalf("duplicate AddObject replaced the original: %v", p)
+	}
+}
+
+func TestLiveCloseIsIdempotentlySafe(t *testing.T) {
+	s := NewSystem(fastConfig())
+	s.AddObject(1, geo.Pt(10, 10), geo.Vec(50, 50), 100, model.Props{})
+	s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100)
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	// Requests after Close return promptly with zero values.
+	if r := s.Result(1); r != nil {
+		t.Errorf("Result after Close = %v", r)
+	}
+	if _, ok := s.Position(1); ok {
+		t.Error("Position after Close succeeded")
+	}
+}
+
+func TestLiveManyObjectsUnderRace(t *testing.T) {
+	// Primarily a data-race canary (run with -race); 50 objects moving and
+	// a handful of queries.
+	s := NewSystem(fastConfig())
+	defer s.Close()
+	for i := 1; i <= 50; i++ {
+		x := float64((i*7)%90 + 5)
+		y := float64((i*13)%90 + 5)
+		s.AddObject(model.ObjectID(i), geo.Pt(x, y), geo.Vec(float64(i%5)*20-40, 30), 250, model.Props{Key: uint64(i)})
+	}
+	var qids []model.QueryID
+	for i := 1; i <= 5; i++ {
+		qids = append(qids, s.InstallQuery(model.ObjectID(i), model.CircleRegion{R: 5}, acceptAll, 250))
+	}
+	time.Sleep(100 * time.Millisecond)
+	for _, qid := range qids {
+		_ = s.Result(qid)
+	}
+	for i := 1; i <= 50; i++ {
+		s.SetVelocity(model.ObjectID(i), geo.Vec(10, -10))
+	}
+	time.Sleep(50 * time.Millisecond)
+	total := 0
+	for _, qid := range qids {
+		total += len(s.Result(qid))
+	}
+	if total == 0 {
+		t.Error("no query ever matched anything — system seems inert")
+	}
+}
+
+func TestLiveWatchQuery(t *testing.T) {
+	s := NewSystem(fastConfig())
+	defer s.Close()
+
+	s.AddObject(1, geo.Pt(50, 50), geo.Vec(0, 0), 300, model.Props{Key: 1})
+	// Object 2 drives through the region: one enter and one leave event.
+	s.AddObject(2, geo.Pt(60, 50), geo.Vec(-300, 0), 300, model.Props{Key: 2})
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 300)
+	events := s.WatchQuery(qid)
+
+	var enters, leaves int
+	deadline := time.After(5 * time.Second)
+	for enters == 0 || leaves == 0 {
+		select {
+		case ev := <-events:
+			if ev.QID != qid {
+				t.Fatalf("event for wrong query: %+v", ev)
+			}
+			if ev.OID == 2 {
+				if ev.Entered {
+					enters++
+				} else {
+					leaves++
+				}
+			}
+		case <-deadline:
+			t.Fatalf("missing events: %d enters, %d leaves of object 2", enters, leaves)
+		}
+	}
+}
+
+func TestLiveWatchChannelClosesOnShutdown(t *testing.T) {
+	s := NewSystem(fastConfig())
+	s.AddObject(1, geo.Pt(50, 50), geo.Vec(0, 0), 100, model.Props{Key: 1})
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100)
+	events := s.WatchQuery(qid)
+	s.Close()
+	select {
+	case _, ok := <-events:
+		for ok {
+			_, ok = <-events
+		}
+	case <-time.After(time.Second):
+		t.Fatal("watch channel not closed after shutdown")
+	}
+}
+
+func TestLiveRemoveQueryEmitsLeaves(t *testing.T) {
+	s := NewSystem(fastConfig())
+	defer s.Close()
+	s.AddObject(1, geo.Pt(50, 50), geo.Vec(0, 0), 100, model.Props{Key: 1})
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100)
+	events := s.WatchQuery(qid)
+	// Wait until the focal itself enters the result.
+	deadline := time.After(3 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if ev.Entered && ev.OID == 1 {
+				goto installed
+			}
+		case <-deadline:
+			t.Fatal("focal never entered its own query result")
+		}
+	}
+installed:
+	s.RemoveQuery(qid)
+	select {
+	case ev := <-events:
+		if ev.Entered || ev.OID != 1 {
+			t.Fatalf("expected leave of object 1, got %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no leave event after RemoveQuery")
+	}
+}
+
+// TestLiveLateJoinerLearnsStandingQueries: an object added after a query is
+// installed must still become a target — the Join handshake hands it the
+// standing queries of its starting cell.
+func TestLiveLateJoinerLearnsStandingQueries(t *testing.T) {
+	s := NewSystem(fastConfig())
+	defer s.Close()
+	s.AddObject(1, geo.Pt(50, 50), geo.Vec(0, 0), 100, model.Props{Key: 1})
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100)
+	if !waitFor(t, 2*time.Second, func() bool { return len(s.Result(qid)) == 1 }) {
+		t.Fatal("initial result never converged")
+	}
+	// Parachute a new object right next to the focal, well inside the
+	// region and inside the monitoring region.
+	s.AddObject(2, geo.Pt(51, 50), geo.Vec(0, 0), 100, model.Props{Key: 2})
+	if !waitFor(t, 3*time.Second, func() bool { return len(s.Result(qid)) == 2 }) {
+		t.Fatalf("late joiner never entered the result: %v", s.Result(qid))
+	}
+}
+
+// TestLiveRemoveObjectCleansResults: a departing object leaves every query
+// result; a departing focal object takes its queries with it.
+func TestLiveRemoveObjectCleansResults(t *testing.T) {
+	s := NewSystem(fastConfig())
+	defer s.Close()
+	s.AddObject(1, geo.Pt(50, 50), geo.Vec(0, 0), 100, model.Props{Key: 1})
+	s.AddObject(2, geo.Pt(51, 50), geo.Vec(0, 0), 100, model.Props{Key: 2})
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100)
+	if !waitFor(t, 2*time.Second, func() bool { return len(s.Result(qid)) == 2 }) {
+		t.Fatal("result never converged")
+	}
+	// Non-focal departure.
+	s.RemoveObject(2)
+	if !waitFor(t, 2*time.Second, func() bool {
+		r := s.Result(qid)
+		return len(r) == 1 && r[0] == 1
+	}) {
+		t.Fatalf("departed object still in result: %v", s.Result(qid))
+	}
+	if _, ok := s.Position(2); ok {
+		t.Error("removed object still has a position")
+	}
+	// Focal departure tears the query down.
+	s.RemoveObject(1)
+	if !waitFor(t, 2*time.Second, func() bool { return len(s.Result(qid)) == 0 }) {
+		t.Fatalf("focal departure left the query alive: %v", s.Result(qid))
+	}
+	// Removing an unknown object is a no-op.
+	s.RemoveObject(99)
+}
+
+func TestLiveQueryExpires(t *testing.T) {
+	s := NewSystem(fastConfig())
+	defer s.Close()
+	s.AddObject(1, geo.Pt(50, 50), geo.Vec(0, 0), 100, model.Props{Key: 1})
+	// 60 simulated seconds ≈ 100 wall ms at TimeScale 600.
+	qid := s.InstallQueryFor(1, model.CircleRegion{R: 3}, acceptAll, 100, 60)
+	if !waitFor(t, 2*time.Second, func() bool { return len(s.Result(qid)) == 1 }) {
+		t.Fatal("result never converged before expiry")
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return len(s.Result(qid)) == 0 }) {
+		t.Fatal("duration-bound query never expired")
+	}
+}
+
+func TestLiveStats(t *testing.T) {
+	s := NewSystem(fastConfig())
+	defer s.Close()
+	s.AddObject(1, geo.Pt(50, 50), geo.Vec(100, 0), 300, model.Props{Key: 1})
+	s.AddObject(2, geo.Pt(51, 50), geo.Vec(0, 0), 300, model.Props{Key: 2})
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 300)
+	if !waitFor(t, 2*time.Second, func() bool { return len(s.Result(qid)) >= 1 }) {
+		t.Fatal("no results")
+	}
+	up, down, upB, downB, byKind := s.Stats()
+	if up == 0 || down == 0 {
+		t.Errorf("stats: %d up, %d down", up, down)
+	}
+	if upB == 0 || downB == 0 {
+		t.Errorf("byte stats: %d up, %d down", upB, downB)
+	}
+	if len(byKind) == 0 {
+		t.Error("no per-kind stats")
+	}
+	var total int64
+	for _, ks := range byKind {
+		total += ks.UplinkMsgs + ks.DownlinkMsgs
+	}
+	if total != up+down {
+		t.Errorf("per-kind sum %d != totals %d", total, up+down)
+	}
+}

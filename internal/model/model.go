@@ -1,0 +1,305 @@
+// Package model defines the object and query model of the MobiEyes paper
+// (§2.2–§2.3): moving objects ⟨oid, pos, vel, {props}⟩, moving queries
+// ⟨qid, oid, region, filter⟩, the simulation clock, and the dead-reckoning
+// motion state shared by the server-side FOT, the object-side LQT and the
+// centralized baselines.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobieyes/internal/geo"
+)
+
+// ObjectID uniquely identifies a moving object (the paper's oid).
+type ObjectID int32
+
+// QueryID uniquely identifies a moving query (the paper's qid).
+type QueryID int32
+
+// Time is simulation time in hours. Positions are in miles and velocities
+// in miles per hour, so position extrapolation is pos + vel·Δt with Δt in
+// hours and no unit conversions anywhere.
+type Time float64
+
+// Hours returns t as a plain float64 hour count.
+func (t Time) Hours() float64 { return float64(t) }
+
+// Seconds returns t in seconds.
+func (t Time) Seconds() float64 { return float64(t) * 3600 }
+
+// FromSeconds converts a duration in seconds to Time.
+func FromSeconds(s float64) Time { return Time(s / 3600) }
+
+// Props carries the object-specific properties the paper's query filters
+// are evaluated against. A single 64-bit key suffices to model filters of
+// any selectivity: the paper fixes selectivity at 0.75 but leaves the
+// attribute domain unspecified (see DESIGN.md §3).
+type Props struct {
+	Key uint64
+}
+
+// Filter is a boolean predicate over object properties. It is modeled as a
+// keyed hash test accepting a configurable fraction of objects: Matches is
+// deterministic, independent across filters with different seeds, and has
+// selectivity Permille/1000 over uniformly distributed property keys.
+type Filter struct {
+	Seed     uint64
+	Permille uint32 // acceptance rate in 1/1000 units; 750 = paper default
+}
+
+// Matches reports whether the filter accepts an object with the given
+// properties.
+func (f Filter) Matches(p Props) bool {
+	return hash64(p.Key^f.Seed)%1000 < uint64(f.Permille)
+}
+
+// MineKey searches rng for a property key the filter accepts (accept=true)
+// or rejects (accept=false). It lets applications hand out keys encoding a
+// semantic class — "customers looking for a taxi", "friendly units" — such
+// that a particular query filter selects exactly that class. It panics for
+// filters that accept everything or nothing when asked for the impossible
+// polarity.
+func MineKey(f Filter, accept bool, rng *rand.Rand) uint64 {
+	if (accept && f.Permille == 0) || (!accept && f.Permille >= 1000) {
+		panic("model: MineKey asked for a key the filter cannot produce")
+	}
+	for {
+		k := rng.Uint64()
+		if f.Matches(Props{Key: k}) == accept {
+			return k
+		}
+	}
+}
+
+// hash64 is SplitMix64, a strong and fast 64-bit mixer.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// MovingObject is the paper's ⟨oid, pos, vel, {props}⟩ quadruple plus the
+// per-object maximum velocity the safe-period optimization relies on.
+type MovingObject struct {
+	ID     ObjectID
+	Pos    geo.Point
+	Vel    geo.Vector
+	MaxVel float64 // miles/hour; upper bound on |Vel|
+	Props  Props
+}
+
+// Move advances the object's position by dt at its current velocity.
+func (o *MovingObject) Move(dt Time) {
+	o.Pos = o.Pos.Add(o.Vel, dt.Hours())
+}
+
+// Region is the shape of a moving query's spatial region. Per §2.3 of the
+// paper, a region "can be described by a closed shape description such as a
+// rectangle, or a circle, or any other closed shape description which has a
+// computationally cheap point containment check", bound to the focal object
+// through a binding point. Implementations are immutable values.
+type Region interface {
+	// Contains reports whether p lies inside the region when its binding
+	// point sits at binding.
+	Contains(binding, p geo.Point) bool
+	// EnclosingRadius returns the maximum distance from the binding point
+	// to any point of the region. Bounding boxes, monitoring regions and
+	// safe periods are computed from this radius, which keeps them sound
+	// for every shape.
+	EnclosingRadius() float64
+}
+
+// CircleRegion is the paper's default query region: a circle of radius R
+// centered on the focal object.
+type CircleRegion struct {
+	R float64
+}
+
+// Contains implements Region.
+func (c CircleRegion) Contains(binding, p geo.Point) bool {
+	return binding.Dist2(p) <= c.R*c.R
+}
+
+// EnclosingRadius implements Region.
+func (c CircleRegion) EnclosingRadius() float64 { return c.R }
+
+// String implements fmt.Stringer.
+func (c CircleRegion) String() string { return fmt.Sprintf("circle(r=%.2f)", c.R) }
+
+// RectRegion is an axis-aligned rectangular query region of the given
+// extents, bound to the focal object at its center.
+type RectRegion struct {
+	W, H float64
+}
+
+// Contains implements Region.
+func (r RectRegion) Contains(binding, p geo.Point) bool {
+	return p.X >= binding.X-r.W/2 && p.X <= binding.X+r.W/2 &&
+		p.Y >= binding.Y-r.H/2 && p.Y <= binding.Y+r.H/2
+}
+
+// EnclosingRadius implements Region.
+func (r RectRegion) EnclosingRadius() float64 {
+	return math.Hypot(r.W/2, r.H/2)
+}
+
+// String implements fmt.Stringer.
+func (r RectRegion) String() string { return fmt.Sprintf("rect(%.2fx%.2f)", r.W, r.H) }
+
+// PolygonRegion is a simple polygon query region whose vertices are given
+// relative to the binding point (the focal object's position). Vertices may
+// describe convex or concave polygons; self-intersecting polygons give
+// even-odd semantics.
+type PolygonRegion struct {
+	Vertices []geo.Point
+}
+
+// NewPolygonRegion returns a polygon region. It panics with fewer than
+// three vertices — not a meaningful region, hence a programming error.
+func NewPolygonRegion(vertices []geo.Point) PolygonRegion {
+	if len(vertices) < 3 {
+		panic(fmt.Sprintf("model: polygon with %d vertices", len(vertices)))
+	}
+	return PolygonRegion{Vertices: append([]geo.Point(nil), vertices...)}
+}
+
+// Contains implements Region with an even-odd ray cast.
+func (pr PolygonRegion) Contains(binding, p geo.Point) bool {
+	// Translate the query point into the polygon's local frame.
+	x := p.X - binding.X
+	y := p.Y - binding.Y
+	inside := false
+	n := len(pr.Vertices)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := pr.Vertices[i], pr.Vertices[j]
+		if (vi.Y > y) != (vj.Y > y) &&
+			x < (vj.X-vi.X)*(y-vi.Y)/(vj.Y-vi.Y)+vi.X {
+			inside = !inside
+		}
+	}
+	return inside
+}
+
+// EnclosingRadius implements Region: the farthest vertex from the binding
+// point bounds every point of the polygon.
+func (pr PolygonRegion) EnclosingRadius() float64 {
+	var max float64
+	for _, v := range pr.Vertices {
+		if d := math.Hypot(v.X, v.Y); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String implements fmt.Stringer.
+func (pr PolygonRegion) String() string {
+	return fmt.Sprintf("polygon(%d vertices)", len(pr.Vertices))
+}
+
+// Query is the paper's moving query ⟨qid, oid, region, filter⟩: a spatial
+// region bound to the focal object plus a filter over target properties.
+type Query struct {
+	ID     QueryID
+	Focal  ObjectID
+	Region Region
+	Filter Filter
+}
+
+// String implements fmt.Stringer.
+func (q Query) String() string {
+	return fmt.Sprintf("MQ(q%d focal=o%d %v)", q.ID, q.Focal, q.Region)
+}
+
+// MotionState is the dead-reckoning record ⟨pos, vel, tm⟩ that a focal
+// object last relayed: the position and velocity vector it sampled at time
+// Tm. Everyone holding a MotionState can predict the focal object's
+// position at any later time.
+type MotionState struct {
+	Pos geo.Point
+	Vel geo.Vector
+	Tm  Time
+}
+
+// PredictAt extrapolates the position at time t assuming constant velocity
+// since Tm (the paper's motion model footnote: modeling inaccuracy is not
+// considered; motion is piecewise linear).
+func (m MotionState) PredictAt(t Time) geo.Point {
+	return m.Pos.Add(m.Vel, float64(t-m.Tm))
+}
+
+// Deviation returns the distance between the actual position at time t and
+// the position predicted from this state — the quantity the paper's dead
+// reckoning compares against the threshold Δ (§3.4).
+func (m MotionState) Deviation(actual geo.Point, t Time) float64 {
+	return m.PredictAt(t).Dist(actual)
+}
+
+// NeedsRelay reports whether the deviation at time t exceeds the dead
+// reckoning threshold, i.e. whether the velocity vector change is
+// "significant" and must be relayed.
+func (m MotionState) NeedsRelay(actual geo.Point, t Time, threshold float64) bool {
+	return m.Deviation(actual, t) > threshold
+}
+
+// EntryTime returns the earliest t ≥ 0 (in hours) at which a point starting
+// at relative position d with relative velocity w (both relative to a
+// circle of radius r centered at the origin) is inside the circle, and
+// whether such a time exists. A point already inside returns 0. Both
+// trajectories must be linear — exactly the regime between velocity-vector
+// changes in the MobiEyes motion model.
+//
+// It solves |d + w·t|² = r²:  (w·w)t² + 2(d·w)t + (d·d − r²) = 0.
+func EntryTime(d, w geo.Vector, r float64) (float64, bool) {
+	c := d.X*d.X + d.Y*d.Y - r*r
+	if c <= 0 {
+		return 0, true // already inside
+	}
+	a := w.X*w.X + w.Y*w.Y
+	b := 2 * (d.X*w.X + d.Y*w.Y)
+	if a == 0 {
+		return 0, false // no relative motion, outside forever
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return 0, false // the trajectory misses the circle
+	}
+	sq := math.Sqrt(disc)
+	t1 := (-b - sq) / (2 * a)
+	if t1 >= 0 {
+		return t1, true
+	}
+	t2 := (-b + sq) / (2 * a)
+	if t2 >= 0 {
+		// Started inside the swept interval? c > 0 rules that out; t2 ≥ 0 >
+		// t1 means the circle was exited in the past — no future entry.
+		return 0, false
+	}
+	return 0, false
+}
+
+// SafePeriod computes the paper's safe period sp(o, q) (§4.2): a worst-case
+// lower bound, in hours, on the time before object o at distance dist from
+// the focal object of a query with radius r can be inside the query region,
+// given both objects' maximum velocities. A non-positive result means the
+// object may already be inside (no safe period).
+func SafePeriod(dist, radius, oMaxVel, focalMaxVel float64) float64 {
+	closing := oMaxVel + focalMaxVel
+	if closing <= 0 {
+		// Neither object can move; the object is safe forever unless it is
+		// already inside.
+		if dist > radius {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	sp := (dist - radius) / closing
+	if sp < 0 {
+		return 0
+	}
+	return sp
+}

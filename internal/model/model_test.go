@@ -1,0 +1,484 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mobieyes/internal/geo"
+)
+
+func TestTimeConversions(t *testing.T) {
+	ts := FromSeconds(30)
+	if got := ts.Hours(); math.Abs(got-1.0/120) > 1e-12 {
+		t.Errorf("30s = %v hours, want 1/120", got)
+	}
+	if got := ts.Seconds(); math.Abs(got-30) > 1e-9 {
+		t.Errorf("Seconds round trip = %v", got)
+	}
+}
+
+func TestFilterSelectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := Filter{Seed: 12345, Permille: 750}
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if f.Matches(Props{Key: rng.Uint64()}) {
+			hits++
+		}
+	}
+	sel := float64(hits) / float64(n)
+	if sel < 0.74 || sel > 0.76 {
+		t.Errorf("selectivity = %v, want ≈0.75", sel)
+	}
+}
+
+func TestFilterDeterminism(t *testing.T) {
+	f := Filter{Seed: 7, Permille: 500}
+	p := Props{Key: 42}
+	first := f.Matches(p)
+	for i := 0; i < 10; i++ {
+		if f.Matches(p) != first {
+			t.Fatal("Matches is not deterministic")
+		}
+	}
+}
+
+func TestFilterIndependence(t *testing.T) {
+	// Two filters with different seeds should decide independently: the
+	// joint acceptance rate of two 50% filters should be ≈25%.
+	rng := rand.New(rand.NewSource(2))
+	f1 := Filter{Seed: 1, Permille: 500}
+	f2 := Filter{Seed: 2, Permille: 500}
+	n, both := 100000, 0
+	for i := 0; i < n; i++ {
+		p := Props{Key: rng.Uint64()}
+		if f1.Matches(p) && f2.Matches(p) {
+			both++
+		}
+	}
+	rate := float64(both) / float64(n)
+	if rate < 0.24 || rate > 0.26 {
+		t.Errorf("joint rate = %v, want ≈0.25", rate)
+	}
+}
+
+func TestFilterEdgeRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	all := Filter{Seed: 9, Permille: 1000}
+	none := Filter{Seed: 9, Permille: 0}
+	for i := 0; i < 1000; i++ {
+		p := Props{Key: rng.Uint64()}
+		if !all.Matches(p) {
+			t.Fatal("Permille=1000 rejected a key")
+		}
+		if none.Matches(p) {
+			t.Fatal("Permille=0 accepted a key")
+		}
+	}
+}
+
+func TestMovingObjectMove(t *testing.T) {
+	o := MovingObject{Pos: geo.Pt(10, 10), Vel: geo.Vec(60, -120)}
+	o.Move(FromSeconds(60)) // one minute at 60 mph east, 120 mph south
+	want := geo.Pt(11, 8)
+	if o.Pos.Dist(want) > 1e-9 {
+		t.Errorf("Pos = %v, want %v", o.Pos, want)
+	}
+}
+
+func TestCircleRegion(t *testing.T) {
+	r := CircleRegion{R: 5}
+	if !r.Contains(geo.Pt(3, 4), geo.Pt(6, 8)) { // dist 5, boundary
+		t.Error("boundary point should be inside")
+	}
+	if r.Contains(geo.Pt(3, 4), geo.Pt(9, 8)) {
+		t.Error("outside point inside")
+	}
+	if r.EnclosingRadius() != 5 {
+		t.Errorf("EnclosingRadius = %v", r.EnclosingRadius())
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestRectRegion(t *testing.T) {
+	r := RectRegion{W: 4, H: 2}
+	b := geo.Pt(10, 10)
+	inside := []geo.Point{b, geo.Pt(12, 11), geo.Pt(8, 9), geo.Pt(12, 9)}
+	outside := []geo.Point{geo.Pt(12.1, 10), geo.Pt(10, 11.1), geo.Pt(7.9, 10)}
+	for _, p := range inside {
+		if !r.Contains(b, p) {
+			t.Errorf("%v should be inside", p)
+		}
+	}
+	for _, p := range outside {
+		if r.Contains(b, p) {
+			t.Errorf("%v should be outside", p)
+		}
+	}
+	want := math.Hypot(2, 1)
+	if math.Abs(r.EnclosingRadius()-want) > 1e-12 {
+		t.Errorf("EnclosingRadius = %v, want %v", r.EnclosingRadius(), want)
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// Property: every point of a region lies within EnclosingRadius of the
+// binding point — the soundness requirement for bounding boxes, monitoring
+// regions and safe periods.
+func TestEnclosingRadiusSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	regions := []Region{
+		CircleRegion{R: 3},
+		RectRegion{W: 5, H: 2},
+		RectRegion{W: 0.5, H: 8},
+	}
+	for _, reg := range regions {
+		b := geo.Pt(rng.Float64()*10, rng.Float64()*10)
+		er := reg.EnclosingRadius()
+		for i := 0; i < 2000; i++ {
+			p := geo.Pt(b.X+rng.Float64()*20-10, b.Y+rng.Float64()*20-10)
+			if reg.Contains(b, p) && b.Dist(p) > er+1e-9 {
+				t.Fatalf("%v: point %v inside but at distance %v > enclosing %v",
+					reg, p, b.Dist(p), er)
+			}
+		}
+	}
+}
+
+func TestMotionStatePredict(t *testing.T) {
+	m := MotionState{Pos: geo.Pt(0, 0), Vel: geo.Vec(100, 0), Tm: 0}
+	got := m.PredictAt(Time(0.5))
+	want := geo.Pt(50, 0)
+	if got.Dist(want) > 1e-9 {
+		t.Errorf("PredictAt = %v, want %v", got, want)
+	}
+	// Prediction at the recording time is the recorded position.
+	if m.PredictAt(0) != m.Pos {
+		t.Error("PredictAt(Tm) != Pos")
+	}
+}
+
+func TestMotionStateDeviation(t *testing.T) {
+	m := MotionState{Pos: geo.Pt(0, 0), Vel: geo.Vec(100, 0), Tm: 0}
+	// Actual object turned north and is at (50, 10) at t=0.5.
+	dev := m.Deviation(geo.Pt(50, 10), Time(0.5))
+	if math.Abs(dev-10) > 1e-9 {
+		t.Errorf("Deviation = %v, want 10", dev)
+	}
+	if !m.NeedsRelay(geo.Pt(50, 10), Time(0.5), 5) {
+		t.Error("deviation 10 > threshold 5 should need relay")
+	}
+	if m.NeedsRelay(geo.Pt(50, 10), Time(0.5), 15) {
+		t.Error("deviation 10 < threshold 15 should not need relay")
+	}
+}
+
+// Property: an object moving at constant velocity never needs a relay.
+func TestConstantVelocityNeverRelays(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		pos := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		vel := geo.Vec(rng.Float64()*200-100, rng.Float64()*200-100)
+		m := MotionState{Pos: pos, Vel: vel, Tm: 0}
+		o := MovingObject{Pos: pos, Vel: vel}
+		for step := 0; step < 20; step++ {
+			o.Move(FromSeconds(30))
+			now := FromSeconds(float64(step+1) * 30)
+			if m.Deviation(o.Pos, now) > 1e-6 {
+				t.Fatalf("deviation %v for constant motion", m.Deviation(o.Pos, now))
+			}
+		}
+	}
+}
+
+func TestSafePeriod(t *testing.T) {
+	cases := []struct {
+		dist, radius, ov, fv float64
+		want                 float64
+	}{
+		{10, 2, 100, 60, 0.05}, // (10−2)/160 hours
+		{2, 5, 100, 100, 0},    // already inside → no safe period
+		{5, 5, 50, 50, 0},      // exactly on boundary
+	}
+	for _, c := range cases {
+		if got := SafePeriod(c.dist, c.radius, c.ov, c.fv); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("SafePeriod(%v,%v,%v,%v) = %v, want %v", c.dist, c.radius, c.ov, c.fv, got, c.want)
+		}
+	}
+}
+
+func TestSafePeriodStationary(t *testing.T) {
+	if got := SafePeriod(10, 2, 0, 0); !math.IsInf(got, 1) {
+		t.Errorf("stationary objects outside region: SafePeriod = %v, want +Inf", got)
+	}
+	if got := SafePeriod(1, 2, 0, 0); got != 0 {
+		t.Errorf("stationary object inside region: SafePeriod = %v, want 0", got)
+	}
+}
+
+// Property (safety, §4.2): during the safe period the object cannot be
+// inside the query region, for any motion respecting the velocity bounds.
+func TestSafePeriodIsSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		op := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		fp := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		radius := rng.Float64()*5 + 0.5
+		ov := rng.Float64() * 250
+		fv := rng.Float64() * 250
+		dist := op.Dist(fp)
+		if dist <= radius {
+			continue
+		}
+		sp := SafePeriod(dist, radius, ov, fv)
+		// Worst-case motion: both approach head-on at max speed. At any
+		// t ≤ sp, separation ≥ dist − (ov+fv)·t ≥ radius.
+		for _, frac := range []float64{0.25, 0.5, 0.99} {
+			tm := sp * frac
+			sep := dist - (ov+fv)*tm
+			if sep < radius-1e-9 {
+				t.Fatalf("object inside region during safe period: sep=%v radius=%v", sep, radius)
+			}
+		}
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Query{ID: 3, Focal: 9, Region: CircleRegion{R: 1.5}}
+	if q.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestMineKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := Filter{Seed: 123, Permille: 300}
+	for i := 0; i < 50; i++ {
+		if !f.Matches(Props{Key: MineKey(f, true, rng)}) {
+			t.Fatal("mined accepting key rejected")
+		}
+		if f.Matches(Props{Key: MineKey(f, false, rng)}) {
+			t.Fatal("mined rejecting key accepted")
+		}
+	}
+}
+
+func TestMineKeyPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, c := range []struct {
+		f      Filter
+		accept bool
+	}{
+		{Filter{Permille: 0}, true},
+		{Filter{Permille: 1000}, false},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MineKey(%+v, %v) should panic", c.f, c.accept)
+				}
+			}()
+			MineKey(c.f, c.accept, rng)
+		}()
+	}
+}
+
+func TestPolygonRegionContains(t *testing.T) {
+	// A unit square centered on the binding point.
+	sq := NewPolygonRegion([]geo.Point{
+		geo.Pt(-1, -1), geo.Pt(1, -1), geo.Pt(1, 1), geo.Pt(-1, 1),
+	})
+	b := geo.Pt(10, 20)
+	inside := []geo.Point{geo.Pt(10, 20), geo.Pt(10.9, 20.9), geo.Pt(9.1, 19.1)}
+	outside := []geo.Point{geo.Pt(11.1, 20), geo.Pt(10, 21.1), geo.Pt(8.8, 20)}
+	for _, p := range inside {
+		if !sq.Contains(b, p) {
+			t.Errorf("square should contain %v", p)
+		}
+	}
+	for _, p := range outside {
+		if sq.Contains(b, p) {
+			t.Errorf("square should not contain %v", p)
+		}
+	}
+}
+
+func TestPolygonRegionConcave(t *testing.T) {
+	// An L-shape: the notch at the top-right is outside.
+	l := NewPolygonRegion([]geo.Point{
+		geo.Pt(0, 0), geo.Pt(4, 0), geo.Pt(4, 2), geo.Pt(2, 2),
+		geo.Pt(2, 4), geo.Pt(0, 4),
+	})
+	b := geo.Pt(0, 0)
+	if !l.Contains(b, geo.Pt(1, 3)) {
+		t.Error("upper arm of the L should be inside")
+	}
+	if !l.Contains(b, geo.Pt(3, 1)) {
+		t.Error("lower arm of the L should be inside")
+	}
+	if l.Contains(b, geo.Pt(3, 3)) {
+		t.Error("the notch should be outside")
+	}
+}
+
+func TestPolygonRegionEnclosingRadius(t *testing.T) {
+	tri := NewPolygonRegion([]geo.Point{geo.Pt(3, 4), geo.Pt(-1, 0), geo.Pt(0, -2)})
+	if got := tri.EnclosingRadius(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("EnclosingRadius = %v, want 5", got)
+	}
+	if tri.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// Property: polygon containment implies distance ≤ enclosing radius (the
+// soundness contract every Region must obey).
+func TestPolygonEnclosingRadiusSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(6)
+		vs := make([]geo.Point, n)
+		for i := range vs {
+			vs[i] = geo.Pt(rng.Float64()*8-4, rng.Float64()*8-4)
+		}
+		pr := NewPolygonRegion(vs)
+		er := pr.EnclosingRadius()
+		b := geo.Pt(rng.Float64()*10, rng.Float64()*10)
+		for i := 0; i < 500; i++ {
+			p := geo.Pt(b.X+rng.Float64()*12-6, b.Y+rng.Float64()*12-6)
+			if pr.Contains(b, p) && b.Dist(p) > er+1e-9 {
+				t.Fatalf("point %v inside polygon but at distance %v > %v", p, b.Dist(p), er)
+			}
+		}
+	}
+}
+
+func TestNewPolygonRegionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 2 vertices")
+		}
+	}()
+	NewPolygonRegion([]geo.Point{geo.Pt(0, 0), geo.Pt(1, 1)})
+}
+
+func TestNewPolygonRegionCopiesVertices(t *testing.T) {
+	vs := []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0), geo.Pt(0, 1)}
+	pr := NewPolygonRegion(vs)
+	vs[0] = geo.Pt(99, 99)
+	if pr.Vertices[0] == geo.Pt(99, 99) {
+		t.Fatal("polygon aliases caller's slice")
+	}
+}
+
+// quick: the safe period is monotone — farther objects are safe longer,
+// faster bounds shrink it.
+func TestQuickSafePeriodMonotonicity(t *testing.T) {
+	f := func(d1, d2, r, v1, v2 float64) bool {
+		d1, d2 = math.Abs(d1), math.Abs(d2)
+		r = math.Abs(r)
+		v1, v2 = math.Abs(v1)+1, math.Abs(v2)+1
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		// Monotone in distance…
+		if SafePeriod(d1, r, v1, v2) > SafePeriod(d2, r, v1, v2) {
+			return false
+		}
+		// …and antitone in the speed bound.
+		return SafePeriod(d2, r, v1, v2) >= SafePeriod(d2, r, v1*2, v2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(r.Float64() * 100)
+			}
+		}}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick: filter decisions are a pure function of (seed, permille, key).
+func TestQuickFilterPurity(t *testing.T) {
+	f := func(seed, key uint64, permille uint32) bool {
+		fl := Filter{Seed: seed, Permille: permille % 1001}
+		a := fl.Matches(Props{Key: key})
+		b := fl.Matches(Props{Key: key})
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntryTime(t *testing.T) {
+	// Object 10 miles east of the region, closing at 100 mph relative: it
+	// reaches the r=2 boundary after 8 miles = 0.08 h.
+	et, ok := EntryTime(geo.Vec(10, 0), geo.Vec(-100, 0), 2)
+	if !ok || math.Abs(et-0.08) > 1e-9 {
+		t.Errorf("EntryTime = %v, %v; want 0.08, true", et, ok)
+	}
+	// Already inside.
+	if et, ok := EntryTime(geo.Vec(1, 0), geo.Vec(50, 0), 2); !ok || et != 0 {
+		t.Errorf("inside: %v, %v", et, ok)
+	}
+	// Moving away: never enters.
+	if _, ok := EntryTime(geo.Vec(10, 0), geo.Vec(100, 0), 2); ok {
+		t.Error("diverging trajectories should never enter")
+	}
+	// Passing by at distance > r: never enters.
+	if _, ok := EntryTime(geo.Vec(10, 5), geo.Vec(-100, 0), 2); ok {
+		t.Error("trajectory missing the circle should never enter")
+	}
+	// No relative motion, outside.
+	if _, ok := EntryTime(geo.Vec(10, 0), geo.Vec(0, 0), 2); ok {
+		t.Error("stationary outside should never enter")
+	}
+	// Grazing trajectory (tangent): y offset exactly r.
+	if _, ok := EntryTime(geo.Vec(10, 2), geo.Vec(-100, 0), 2); !ok {
+		t.Error("tangent trajectory should touch the circle")
+	}
+}
+
+// Property: EntryTime is sound and tight — strictly before it the point is
+// outside; at it, on or inside the boundary.
+func TestQuickEntryTimeSoundAndTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 3000; i++ {
+		d := geo.Vec(rng.Float64()*40-20, rng.Float64()*40-20)
+		w := geo.Vec(rng.Float64()*200-100, rng.Float64()*200-100)
+		r := rng.Float64()*5 + 0.1
+		at := func(t float64) float64 {
+			x := d.X + w.X*t
+			y := d.Y + w.Y*t
+			return math.Hypot(x, y)
+		}
+		et, ok := EntryTime(d, w, r)
+		if !ok {
+			// Never inside: sample the future.
+			for _, tm := range []float64{0, 0.01, 0.1, 1, 10} {
+				if at(tm) < r-1e-9 {
+					t.Fatalf("EntryTime said never, but inside at t=%v (d=%v w=%v r=%v)", tm, d, w, r)
+				}
+			}
+			continue
+		}
+		if at(et) > r+1e-6 {
+			t.Fatalf("at entry time %v the point is at distance %v > r=%v", et, at(et), r)
+		}
+		if et > 0 {
+			for _, frac := range []float64{0.25, 0.75, 0.99} {
+				if at(et*frac) < r-1e-6 {
+					t.Fatalf("inside before the entry time (t=%v of %v)", et*frac, et)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package msg defines every message exchanged between moving objects and
+// the server in MobiEyes and in the centralized baselines, together with
+// byte-accurate wire sizes used by the power model (§5.3 of the paper
+// simulates "message sizes instead of message counts" for the power study).
+//
+// Wire-size model: each message carries a fixed header (type, length,
+// addressing) plus its payload fields. Field sizes: object/query IDs 4 B,
+// coordinates and times 8 B each (so a point is 16 B, a velocity vector
+// 16 B), grid cell 8 B, cell range 16 B, filter 12 B.
+//
+// Uplink messages travel from a moving object to the server through its
+// base station; downlink messages are either broadcast by base stations to
+// everything in their coverage area or sent one-to-one to a single object.
+package msg
+
+import (
+	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+)
+
+// Field and header sizes in bytes.
+const (
+	HeaderSize    = 16
+	IDSize        = 4
+	ScalarSize    = 8
+	PointSize     = 16
+	VectorSize    = 16
+	TimeSize      = 8
+	CellSize      = 8
+	CellRangeSize = 16
+	FilterSize    = 12
+	BoolSize      = 1
+)
+
+// Kind discriminates message types for metering and dispatch.
+type Kind int
+
+// Message kinds. Uplink kinds first, then downlink kinds.
+const (
+	// Uplink.
+	KindPositionReport Kind = iota
+	KindVelocityReport
+	KindCellChangeReport
+	KindContainmentReport
+	KindGroupContainmentReport
+	KindFocalInfoResponse
+	KindDepartureReport
+	// Downlink.
+	KindQueryInstall
+	KindQueryRemove
+	KindVelocityChange
+	KindFocalNotify
+	KindFocalInfoRequest
+
+	numKinds
+)
+
+// NumKinds is the number of distinct message kinds.
+const NumKinds = int(numKinds)
+
+var kindNames = [...]string{
+	"PositionReport", "VelocityReport", "CellChangeReport",
+	"ContainmentReport", "GroupContainmentReport", "FocalInfoResponse",
+	"DepartureReport",
+	"QueryInstall", "QueryRemove", "VelocityChange",
+	"FocalNotify", "FocalInfoRequest",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return "UnknownKind"
+	}
+	return kindNames[k]
+}
+
+// Uplink reports whether messages of this kind travel object → server.
+func (k Kind) Uplink() bool { return k <= KindDepartureReport }
+
+// Message is implemented by every protocol message.
+type Message interface {
+	Kind() Kind
+	Size() int // wire size in bytes, header included
+}
+
+// ---------------------------------------------------------------------------
+// Uplink messages.
+
+// PositionReport is the naïve baseline's per-step report: the object's new
+// position (§5.3, "each object reports its position directly to the server
+// at each time step, if its position has changed").
+type PositionReport struct {
+	OID model.ObjectID
+	Pos geo.Point
+	Tm  model.Time
+}
+
+func (PositionReport) Kind() Kind { return KindPositionReport }
+func (PositionReport) Size() int  { return HeaderSize + IDSize + PointSize + TimeSize }
+
+// VelocityReport carries a significant velocity-vector change: the new
+// velocity vector, the position, and the timestamp at which both were
+// recorded (§3.4). It is used by MobiEyes focal objects and by the central
+// optimal baseline for every object.
+type VelocityReport struct {
+	OID model.ObjectID
+	Pos geo.Point
+	Vel geo.Vector
+	Tm  model.Time
+}
+
+func (VelocityReport) Kind() Kind { return KindVelocityReport }
+func (VelocityReport) Size() int {
+	return HeaderSize + IDSize + PointSize + VectorSize + TimeSize
+}
+
+// CellChangeReport notifies the server that an object moved to a new grid
+// cell: its identifier, previous cell and new cell (§3.5).
+type CellChangeReport struct {
+	OID      model.ObjectID
+	PrevCell grid.CellID
+	NewCell  grid.CellID
+	// Pos/Vel/Tm piggyback the object's motion state so the server can
+	// refresh FOT entries of focal objects without a second round trip.
+	Pos geo.Point
+	Vel geo.Vector
+	Tm  model.Time
+}
+
+func (CellChangeReport) Kind() Kind { return KindCellChangeReport }
+func (CellChangeReport) Size() int {
+	return HeaderSize + IDSize + 2*CellSize + PointSize + VectorSize + TimeSize
+}
+
+// ContainmentReport is the differential result update: the object entered
+// (IsTarget=true) or left (IsTarget=false) the spatial region of one query
+// (§3.6).
+type ContainmentReport struct {
+	OID      model.ObjectID
+	QID      model.QueryID
+	IsTarget bool
+}
+
+func (ContainmentReport) Kind() Kind { return KindContainmentReport }
+func (ContainmentReport) Size() int  { return HeaderSize + 2*IDSize + BoolSize }
+
+// GroupContainmentReport is the grouped-query result update of §4.1: one
+// bitmap covering every query in a server-side query group, one bit per
+// query (1 = object is in that query's result).
+type GroupContainmentReport struct {
+	OID    model.ObjectID
+	Focal  model.ObjectID // the group is keyed by focal object
+	QIDs   []model.QueryID
+	Bitmap Bitmap
+}
+
+func (GroupContainmentReport) Kind() Kind { return KindGroupContainmentReport }
+func (m GroupContainmentReport) Size() int {
+	return HeaderSize + 2*IDSize + 2 + len(m.QIDs)*IDSize + len(m.Bitmap.bits)
+}
+
+// DepartureReport announces that an object is leaving the system (powering
+// off, leaving coverage for good). The server removes it from every query
+// result and tears down any queries it was the focal object of. The paper
+// assumes a static population; this message is the minimal extension for
+// dynamic ones.
+type DepartureReport struct {
+	OID model.ObjectID
+}
+
+func (DepartureReport) Kind() Kind { return KindDepartureReport }
+func (DepartureReport) Size() int  { return HeaderSize + IDSize }
+
+// FocalInfoResponse answers a FocalInfoRequest during query installation
+// (§3.3 step 3): the focal object's current motion state.
+type FocalInfoResponse struct {
+	OID model.ObjectID
+	Pos geo.Point
+	Vel geo.Vector
+	Tm  model.Time
+}
+
+func (FocalInfoResponse) Kind() Kind { return KindFocalInfoResponse }
+func (FocalInfoResponse) Size() int {
+	return HeaderSize + IDSize + PointSize + VectorSize + TimeSize
+}
+
+// ---------------------------------------------------------------------------
+// Downlink messages.
+
+// QueryState is the full description of one moving query as shipped to
+// moving objects: identity, focal motion state, spatial region, filter and
+// monitoring region. Objects store exactly these fields in their LQT.
+type QueryState struct {
+	QID       model.QueryID
+	Focal     model.ObjectID
+	State     model.MotionState
+	Region    model.Region
+	Filter    model.Filter
+	MonRegion grid.CellRange
+	// FocalMaxVel lets receivers compute safe periods (§4.2).
+	FocalMaxVel float64
+}
+
+// RegionSize is the wire size of a fixed-parameter region descriptor
+// (circle or rectangle): a one-byte shape tag plus two scalars.
+const RegionSize = 1 + 2*ScalarSize
+
+// RegionWireSize returns the encoded size of any region: circles and
+// rectangles are fixed-size; polygons carry a vertex count and their
+// vertices.
+func RegionWireSize(r model.Region) int {
+	if p, ok := r.(model.PolygonRegion); ok {
+		return 1 + 2 + len(p.Vertices)*PointSize
+	}
+	return RegionSize
+}
+
+// wireSize of one QueryState entry.
+func (qs QueryState) wireSize() int {
+	return 2*IDSize + PointSize + VectorSize + TimeSize + RegionWireSize(qs.Region) +
+		FilterSize + CellRangeSize + ScalarSize
+}
+
+// QueryInstall ships one or more queries to the objects inside a region.
+// It is used for initial installation (§3.3), for re-installation after a
+// focal object changes cells (§3.5), and — as a one-to-one message — to
+// hand a non-focal object the nearby queries of its new cell under eager
+// query propagation.
+type QueryInstall struct {
+	Queries []QueryState
+}
+
+func (QueryInstall) Kind() Kind { return KindQueryInstall }
+func (m QueryInstall) Size() int {
+	n := HeaderSize + 2 // count
+	for _, qs := range m.Queries {
+		n += qs.wireSize()
+	}
+	return n
+}
+
+// QueryRemove tells objects to drop queries from their LQTs (uninstall).
+type QueryRemove struct {
+	QIDs []model.QueryID
+}
+
+func (QueryRemove) Kind() Kind { return KindQueryRemove }
+func (m QueryRemove) Size() int {
+	return HeaderSize + 2 + len(m.QIDs)*IDSize
+}
+
+// VelocityChange relays a focal object's significant velocity change to the
+// monitoring regions of its queries (§3.4). Under lazy query propagation
+// the notification is "expanded to include the spatial region and the
+// filter of the queries" so that objects that changed cells without
+// contacting the server can self-install them (§3.5); in that case Queries
+// carries the full query states and the message is correspondingly larger.
+type VelocityChange struct {
+	Focal model.ObjectID
+	State model.MotionState
+	// Queries is empty under EQP; under LQP it carries the full state of
+	// every query bound to the focal object.
+	Queries []QueryState
+}
+
+func (VelocityChange) Kind() Kind { return KindVelocityChange }
+func (m VelocityChange) Size() int {
+	n := HeaderSize + IDSize + PointSize + VectorSize + TimeSize + 2
+	for _, qs := range m.Queries {
+		n += qs.wireSize()
+	}
+	return n
+}
+
+// FocalNotify is the one-to-one installation notification that makes an
+// object set its hasMQ flag (§3.3): it now is a focal object and must
+// report significant velocity changes and cell crossings.
+type FocalNotify struct {
+	OID model.ObjectID
+	QID model.QueryID
+	// Install reports whether the object gained (true) or lost (false) its
+	// last query.
+	Install bool
+}
+
+func (FocalNotify) Kind() Kind { return KindFocalNotify }
+func (FocalNotify) Size() int  { return HeaderSize + 2*IDSize + BoolSize }
+
+// FocalInfoRequest asks a prospective focal object for its motion state
+// during installation (§3.3 step 3).
+type FocalInfoRequest struct {
+	OID model.ObjectID
+}
+
+func (FocalInfoRequest) Kind() Kind { return KindFocalInfoRequest }
+func (FocalInfoRequest) Size() int  { return HeaderSize + IDSize }
+
+// ---------------------------------------------------------------------------
+
+// Bitmap is the query bitmap of §4.1: one bit per query in a query group.
+type Bitmap struct {
+	bits []byte
+	n    int
+}
+
+// NewBitmap returns a bitmap with room for n bits, all zero.
+func NewBitmap(n int) Bitmap {
+	return Bitmap{bits: make([]byte, (n+7)/8), n: n}
+}
+
+// Len returns the number of bits.
+func (b Bitmap) Len() int { return b.n }
+
+// Set sets bit i to v.
+func (b Bitmap) Set(i int, v bool) {
+	if i < 0 || i >= b.n {
+		panic("msg: bitmap index out of range")
+	}
+	if v {
+		b.bits[i/8] |= 1 << (i % 8)
+	} else {
+		b.bits[i/8] &^= 1 << (i % 8)
+	}
+}
+
+// Get returns bit i.
+func (b Bitmap) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		panic("msg: bitmap index out of range")
+	}
+	return b.bits[i/8]&(1<<(i%8)) != 0
+}
+
+// Bytes exposes the packed bit storage (little-endian bit order within each
+// byte). It is the wire representation; mutating it mutates the bitmap.
+func (b Bitmap) Bytes() []byte { return b.bits }
+
+// Clone returns an independent copy of b.
+func (b Bitmap) Clone() Bitmap {
+	nb := Bitmap{bits: append([]byte(nil), b.bits...), n: b.n}
+	return nb
+}
+
+// Equal reports whether two bitmaps have identical length and contents.
+func (b Bitmap) Equal(o Bitmap) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.bits {
+		if b.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}

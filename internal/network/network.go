@@ -1,0 +1,266 @@
+// Package network models the wireless infrastructure of the MobiEyes system
+// (§2.2): a set of base stations whose circular coverage areas jointly cover
+// the universe of discourse, the grid-cell-to-base-station mapping Bmap, the
+// minimal-broadcast set cover the server uses to reach a monitoring region,
+// and the message/byte meters behind every messaging-cost experiment
+// (Figs. 4–8).
+//
+// The deployment follows the paper's alen parameter ("base station side
+// length"): stations sit on a square lattice with spacing alen, each
+// covering the circumscribed circle of its alen×alen square, so the UoD is
+// fully covered with modest overlap between neighbors.
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/msg"
+)
+
+// StationID identifies a base station within a deployment.
+type StationID int
+
+// Deployment is a fixed layout of base stations over a grid's universe of
+// discourse, with the Bmap (cell → covering stations) precomputed.
+type Deployment struct {
+	g        *grid.Grid
+	alen     float64
+	cols     int
+	rows     int
+	stations []geo.Circle
+	byCell   [][]StationID // Bmap, indexed by grid.CellIndex
+	cellsOf  [][]int32     // inverse Bmap: station → intersecting cell indices
+}
+
+// NewDeployment lays out base stations with lattice spacing alen over g's
+// universe of discourse. It panics if alen is not positive.
+func NewDeployment(g *grid.Grid, alen float64) *Deployment {
+	if alen <= 0 {
+		panic(fmt.Sprintf("network: non-positive base station side %v", alen))
+	}
+	u := g.UoD()
+	cols := int(math.Ceil(u.W() / alen))
+	rows := int(math.Ceil(u.H() / alen))
+	d := &Deployment{g: g, alen: alen, cols: cols, rows: rows}
+	radius := alen * math.Sqrt2 / 2 // circumscribes the alen×alen square
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			center := geo.Pt(u.LX+(float64(c)+0.5)*alen, u.LY+(float64(r)+0.5)*alen)
+			d.stations = append(d.stations, geo.NewCircle(center, radius))
+		}
+	}
+	// Precompute Bmap: for each grid cell, the stations whose coverage
+	// intersects the cell (§2.2: Bmap(i,j) = {b : b ∩ A_{i,j} ≠ ∅}).
+	d.byCell = make([][]StationID, g.NumCells())
+	d.cellsOf = make([][]int32, len(d.stations))
+	for idx := 0; idx < g.NumCells(); idx++ {
+		cellRect := g.CellRect(g.CellAt(idx))
+		for sid, s := range d.stations {
+			if s.IntersectsRect(cellRect) {
+				d.byCell[idx] = append(d.byCell[idx], StationID(sid))
+				d.cellsOf[sid] = append(d.cellsOf[sid], int32(idx))
+			}
+		}
+	}
+	return d
+}
+
+// CellsForStation returns the dense indices of the grid cells a station's
+// coverage intersects — the inverse of the Bmap, used to deliver broadcasts
+// at cell granularity.
+func (d *Deployment) CellsForStation(id StationID) []int32 { return d.cellsOf[id] }
+
+// NumStations returns the number of base stations.
+func (d *Deployment) NumStations() int { return len(d.stations) }
+
+// Station returns the coverage circle of a station.
+func (d *Deployment) Station(id StationID) geo.Circle { return d.stations[id] }
+
+// Alen returns the lattice spacing.
+func (d *Deployment) Alen() float64 { return d.alen }
+
+// StationsForCell is the paper's Bmap: the non-empty set of stations whose
+// coverage intersects the given grid cell.
+func (d *Deployment) StationsForCell(c grid.CellID) []StationID {
+	return d.byCell[d.g.CellIndex(c)]
+}
+
+// StationOf returns the station whose center is nearest to p among those
+// covering p — the station a moving object at p uplinks through.
+func (d *Deployment) StationOf(p geo.Point) StationID {
+	// The lattice makes the nearest-center station an O(1) lookup; it
+	// always covers p because its circle circumscribes its square.
+	u := d.g.UoD()
+	c := int((p.X - u.LX) / d.alen)
+	r := int((p.Y - u.LY) / d.alen)
+	if c < 0 {
+		c = 0
+	} else if c >= d.cols {
+		c = d.cols - 1
+	}
+	if r < 0 {
+		r = 0
+	} else if r >= d.rows {
+		r = d.rows - 1
+	}
+	return StationID(r*d.cols + c)
+}
+
+// Cover returns a small set of stations whose coverage jointly intersects
+// every cell of region, computed with the classic greedy set-cover
+// heuristic over the Bmap (§3.3: "the server uses the mapping Bmap to
+// determine the minimal set of base stations that covers the monitoring
+// region").
+func (d *Deployment) Cover(region grid.CellRange) []StationID {
+	// Collect the cells to cover and the candidate stations.
+	type cellKey = grid.CellID
+	uncovered := make(map[cellKey]struct{}, region.NumCells())
+	candSet := make(map[StationID]struct{})
+	region.ForEach(func(c grid.CellID) {
+		if !d.g.Valid(c) {
+			return
+		}
+		uncovered[c] = struct{}{}
+		for _, sid := range d.StationsForCell(c) {
+			candSet[sid] = struct{}{}
+		}
+	})
+	if len(uncovered) == 0 {
+		return nil
+	}
+	cands := make([]StationID, 0, len(candSet))
+	for sid := range candSet {
+		cands = append(cands, sid)
+	}
+
+	var cover []StationID
+	for len(uncovered) > 0 {
+		best, bestCount := StationID(-1), 0
+		for _, sid := range cands {
+			count := 0
+			circ := d.stations[sid]
+			for c := range uncovered {
+				if circ.IntersectsRect(d.g.CellRect(c)) {
+					count++
+				}
+			}
+			if count > bestCount || (count == bestCount && count > 0 && (best == -1 || sid < best)) {
+				best, bestCount = sid, count
+			}
+		}
+		if best == -1 {
+			// Cannot happen while the deployment covers the UoD; guard
+			// against infinite loops regardless.
+			break
+		}
+		cover = append(cover, best)
+		circ := d.stations[best]
+		for c := range uncovered {
+			if circ.IntersectsRect(d.g.CellRect(c)) {
+				delete(uncovered, c)
+			}
+		}
+	}
+	return cover
+}
+
+// Covers reports whether station id's coverage contains point p.
+func (d *Deployment) Covers(id StationID, p geo.Point) bool {
+	return d.stations[id].Contains(p)
+}
+
+// Meter counts messages and bytes on the wireless medium, split by
+// direction and message kind. A broadcast relayed through k base stations
+// counts as k downlink messages, matching the paper's accounting ("the
+// total number of messages sent on the wireless medium per second").
+type Meter struct {
+	upCount   [msg.NumKinds]int64
+	downCount [msg.NumKinds]int64
+	upBytes   [msg.NumKinds]int64
+	downBytes [msg.NumKinds]int64
+}
+
+// RecordUplink counts one uplink message.
+func (m *Meter) RecordUplink(mm msg.Message) {
+	k := mm.Kind()
+	m.upCount[k]++
+	m.upBytes[k] += int64(mm.Size())
+}
+
+// RecordDownlink counts a downlink message sent as copies transmissions
+// (one per base station involved; 1 for a one-to-one message).
+func (m *Meter) RecordDownlink(mm msg.Message, copies int) {
+	k := mm.Kind()
+	m.downCount[k] += int64(copies)
+	m.downBytes[k] += int64(copies * mm.Size())
+}
+
+// UplinkMessages returns the total uplink message count.
+func (m *Meter) UplinkMessages() int64 { return sum(m.upCount[:]) }
+
+// DownlinkMessages returns the total downlink message count.
+func (m *Meter) DownlinkMessages() int64 { return sum(m.downCount[:]) }
+
+// TotalMessages returns all messages sent on the wireless medium.
+func (m *Meter) TotalMessages() int64 { return m.UplinkMessages() + m.DownlinkMessages() }
+
+// UplinkBytes returns the total uplink bytes.
+func (m *Meter) UplinkBytes() int64 { return sum(m.upBytes[:]) }
+
+// DownlinkBytes returns the total downlink bytes.
+func (m *Meter) DownlinkBytes() int64 { return sum(m.downBytes[:]) }
+
+// CountByKind returns the message count for one kind (both directions).
+func (m *Meter) CountByKind(k msg.Kind) int64 { return m.upCount[k] + m.downCount[k] }
+
+// KindStats is the per-message-kind traffic record of a Meter.
+type KindStats struct {
+	Kind          msg.Kind
+	UplinkMsgs    int64
+	DownlinkMsgs  int64
+	UplinkBytes   int64
+	DownlinkBytes int64
+}
+
+// Snapshot returns per-kind statistics for every kind with any traffic,
+// ordered by kind.
+func (m *Meter) Snapshot() []KindStats {
+	var out []KindStats
+	for k := 0; k < msg.NumKinds; k++ {
+		if m.upCount[k] == 0 && m.downCount[k] == 0 {
+			continue
+		}
+		out = append(out, KindStats{
+			Kind:          msg.Kind(k),
+			UplinkMsgs:    m.upCount[k],
+			DownlinkMsgs:  m.downCount[k],
+			UplinkBytes:   m.upBytes[k],
+			DownlinkBytes: m.downBytes[k],
+		})
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() { *m = Meter{} }
+
+// AddTo accumulates m into dst.
+func (m *Meter) AddTo(dst *Meter) {
+	for k := 0; k < msg.NumKinds; k++ {
+		dst.upCount[k] += m.upCount[k]
+		dst.downCount[k] += m.downCount[k]
+		dst.upBytes[k] += m.upBytes[k]
+		dst.downBytes[k] += m.downBytes[k]
+	}
+}
+
+func sum(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,86 @@
+// Package power implements the communication energy model of §5.3 of the
+// MobiEyes paper: a simple GSM/GPRS radio where the transmit path consists
+// of transmitter electronics plus a transmit amplifier and the receive path
+// of receiver electronics, with asymmetric uplink/downlink bandwidth.
+//
+// With the paper's parameters (150 mW TX electronics, 300 mW amplifier at
+// 30 % efficiency, 120 mW RX electronics, 14 kbps up, 28 kbps down) the
+// model yields ≈82 µJ/bit transmitted and ≈4.3 µJ/bit received, matching
+// the ~80 and ~5 µJ/bit the paper quotes. Sending is roughly 19× more
+// expensive than receiving, which is why MobiEyes' suppression of uplink
+// traffic matters for battery life.
+package power
+
+// Model is a per-bit communication energy model.
+type Model struct {
+	TxElectronicsW float64 // transmitter electronics draw, watts
+	AmpOutputW     float64 // transmit amplifier output power, watts
+	AmpEfficiency  float64 // amplifier efficiency in (0, 1]
+	RxElectronicsW float64 // receiver electronics draw, watts
+	UplinkBps      float64 // uplink bandwidth, bits/second
+	DownlinkBps    float64 // downlink bandwidth, bits/second
+}
+
+// DefaultGPRS returns the paper's radio parameters.
+func DefaultGPRS() Model {
+	return Model{
+		TxElectronicsW: 0.150,
+		AmpOutputW:     0.300,
+		AmpEfficiency:  0.30,
+		RxElectronicsW: 0.120,
+		UplinkBps:      14000,
+		DownlinkBps:    28000,
+	}
+}
+
+// TxJoulesPerBit returns the energy to transmit one bit.
+func (m Model) TxJoulesPerBit() float64 {
+	return (m.TxElectronicsW + m.AmpOutputW/m.AmpEfficiency) / m.UplinkBps
+}
+
+// RxJoulesPerBit returns the energy to receive one bit.
+func (m Model) RxJoulesPerBit() float64 {
+	return m.RxElectronicsW / m.DownlinkBps
+}
+
+// TxEnergy returns the energy in joules to transmit a message of the given
+// size in bytes.
+func (m Model) TxEnergy(bytes int) float64 {
+	return float64(bytes*8) * m.TxJoulesPerBit()
+}
+
+// RxEnergy returns the energy in joules to receive a message of the given
+// size in bytes.
+func (m Model) RxEnergy(bytes int) float64 {
+	return float64(bytes*8) * m.RxJoulesPerBit()
+}
+
+// Account accumulates per-object communication energy.
+type Account struct {
+	model   Model
+	txBytes int64
+	rxBytes int64
+}
+
+// NewAccount returns an empty energy account under the given model.
+func NewAccount(m Model) *Account { return &Account{model: m} }
+
+// Sent records bytes transmitted by the object.
+func (a *Account) Sent(bytes int) { a.txBytes += int64(bytes) }
+
+// Received records bytes received by the object.
+func (a *Account) Received(bytes int) { a.rxBytes += int64(bytes) }
+
+// TxBytes returns total bytes transmitted.
+func (a *Account) TxBytes() int64 { return a.txBytes }
+
+// RxBytes returns total bytes received.
+func (a *Account) RxBytes() int64 { return a.rxBytes }
+
+// Joules returns the total communication energy spent.
+func (a *Account) Joules() float64 {
+	return a.model.TxEnergy(int(a.txBytes)) + a.model.RxEnergy(int(a.rxBytes))
+}
+
+// Reset zeroes the account.
+func (a *Account) Reset() { a.txBytes, a.rxBytes = 0, 0 }

@@ -1,0 +1,70 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultGPRSPerBitEnergies(t *testing.T) {
+	m := DefaultGPRS()
+	// Paper §5.3: transmitting ≈80 µJ/bit, receiving ≈5 µJ/bit.
+	tx := m.TxJoulesPerBit()
+	if tx < 70e-6 || tx > 90e-6 {
+		t.Errorf("TxJoulesPerBit = %v, want ≈80 µJ", tx)
+	}
+	rx := m.RxJoulesPerBit()
+	if rx < 3e-6 || rx > 6e-6 {
+		t.Errorf("RxJoulesPerBit = %v, want ≈5 µJ", rx)
+	}
+	// Sending must be much more expensive than receiving.
+	if tx/rx < 10 {
+		t.Errorf("tx/rx ratio = %v, want ≥ 10", tx/rx)
+	}
+}
+
+func TestEnergyScalesWithBytes(t *testing.T) {
+	m := DefaultGPRS()
+	if got, want := m.TxEnergy(100), 100*m.TxEnergy(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TxEnergy not linear: %v vs %v", got, want)
+	}
+	if m.TxEnergy(0) != 0 || m.RxEnergy(0) != 0 {
+		t.Error("zero bytes should cost zero energy")
+	}
+	// 1 byte = 8 bits.
+	if got, want := m.RxEnergy(1), 8*m.RxJoulesPerBit(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("RxEnergy(1) = %v, want %v", got, want)
+	}
+}
+
+func TestAccount(t *testing.T) {
+	m := DefaultGPRS()
+	a := NewAccount(m)
+	a.Sent(100)
+	a.Sent(50)
+	a.Received(1000)
+	if a.TxBytes() != 150 || a.RxBytes() != 1000 {
+		t.Fatalf("bytes = %d tx / %d rx", a.TxBytes(), a.RxBytes())
+	}
+	want := m.TxEnergy(150) + m.RxEnergy(1000)
+	if got := a.Joules(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Joules = %v, want %v", got, want)
+	}
+	a.Reset()
+	if a.Joules() != 0 || a.TxBytes() != 0 || a.RxBytes() != 0 {
+		t.Error("Reset did not clear the account")
+	}
+}
+
+func TestTxDominatedWorkload(t *testing.T) {
+	// An object that sends as much as it receives must spend almost all of
+	// its energy transmitting — the asymmetry that motivates MobiEyes' cut
+	// of uplink traffic.
+	m := DefaultGPRS()
+	a := NewAccount(m)
+	a.Sent(1000)
+	a.Received(1000)
+	txShare := m.TxEnergy(1000) / a.Joules()
+	if txShare < 0.9 {
+		t.Errorf("tx share = %v, want > 0.9", txShare)
+	}
+}

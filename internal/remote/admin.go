@@ -1,0 +1,196 @@
+package remote
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mobieyes/internal/model"
+)
+
+// AdminServer exposes a line-based text interface for managing a running
+// Server — the operational surface of a deployment, usable with netcat:
+//
+//	install <focalOID> <radius> <permille>   → "qid <id>"
+//	remove <qid>                             → "ok"
+//	result <qid>                             → "result <id> <oid…>"
+//	conns                                    → "conns <n>"
+//	stats                                    → "stats <up> <down> <upB> <downB>"
+//	snapshot <path>                          → "ok" (writes a state snapshot)
+//	quit                                     → closes the session
+type AdminServer struct {
+	ln   net.Listener
+	srv  *Server
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	sessions map[net.Conn]struct{}
+}
+
+// ServeAdmin starts the admin listener on addr for srv.
+func ServeAdmin(addr string, srv *Server) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &AdminServer{ln: ln, srv: srv, done: make(chan struct{}),
+		sessions: make(map[net.Conn]struct{})}
+	a.wg.Add(1)
+	go a.acceptLoop()
+	return a, nil
+}
+
+// Addr returns the bound admin address.
+func (a *AdminServer) Addr() net.Addr { return a.ln.Addr() }
+
+// Close stops the admin listener and terminates active sessions.
+func (a *AdminServer) Close() {
+	a.once.Do(func() {
+		close(a.done)
+		a.ln.Close()
+		a.mu.Lock()
+		for conn := range a.sessions {
+			conn.Close()
+		}
+		a.mu.Unlock()
+	})
+	a.wg.Wait()
+}
+
+func (a *AdminServer) acceptLoop() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			select {
+			case <-a.done:
+				return
+			default:
+				continue
+			}
+		}
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			a.serveSession(conn)
+		}()
+	}
+}
+
+func (a *AdminServer) serveSession(conn net.Conn) {
+	a.mu.Lock()
+	a.sessions[conn] = struct{}{}
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.sessions, conn)
+		a.mu.Unlock()
+		conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		select {
+		case <-a.done:
+			return
+		default:
+		}
+		if !a.handleCommand(conn, strings.Fields(sc.Text())) {
+			return
+		}
+	}
+}
+
+// handleCommand executes one admin command; false ends the session.
+func (a *AdminServer) handleCommand(conn net.Conn, fields []string) bool {
+	if len(fields) == 0 {
+		return true
+	}
+	switch fields[0] {
+	case "install":
+		if len(fields) != 4 {
+			fmt.Fprintln(conn, "err usage: install <focalOID> <radius> <permille>")
+			return true
+		}
+		focal, err1 := strconv.Atoi(fields[1])
+		radius, err2 := strconv.ParseFloat(fields[2], 64)
+		permille, err3 := strconv.Atoi(fields[3])
+		if err1 != nil || err2 != nil || err3 != nil || radius <= 0 || permille < 0 || permille > 1000 {
+			fmt.Fprintln(conn, "err bad arguments")
+			return true
+		}
+		qid := a.srv.InstallQuery(model.ObjectID(focal),
+			model.CircleRegion{R: radius},
+			model.Filter{Seed: uint64(focal)*7919 + 13, Permille: uint32(permille)},
+			1000)
+		fmt.Fprintf(conn, "qid %d\n", qid)
+	case "remove":
+		qid, ok := parseQID(conn, fields)
+		if !ok {
+			return true
+		}
+		a.srv.RemoveQuery(qid)
+		fmt.Fprintln(conn, "ok")
+	case "result":
+		qid, ok := parseQID(conn, fields)
+		if !ok {
+			return true
+		}
+		res := a.srv.Result(qid)
+		fmt.Fprintf(conn, "result %d", qid)
+		for _, oid := range res {
+			fmt.Fprintf(conn, " %d", oid)
+		}
+		fmt.Fprintln(conn)
+	case "conns":
+		fmt.Fprintf(conn, "conns %d\n", a.srv.NumConnected())
+	case "stats":
+		up, down, upB, downB, _ := a.srv.Stats()
+		fmt.Fprintf(conn, "stats %d %d %d %d\n", up, down, upB, downB)
+	case "snapshot":
+		if len(fields) != 2 {
+			fmt.Fprintln(conn, "err usage: snapshot <path>")
+			return true
+		}
+		if err := a.writeSnapshot(fields[1]); err != nil {
+			fmt.Fprintf(conn, "err %v\n", err)
+			return true
+		}
+		fmt.Fprintln(conn, "ok")
+	case "quit":
+		return false
+	default:
+		fmt.Fprintln(conn, "err unknown command")
+	}
+	return true
+}
+
+func parseQID(conn net.Conn, fields []string) (model.QueryID, bool) {
+	if len(fields) != 2 {
+		fmt.Fprintf(conn, "err usage: %s <qid>\n", fields[0])
+		return 0, false
+	}
+	qid, err := strconv.Atoi(fields[1])
+	if err != nil {
+		fmt.Fprintln(conn, "err bad qid")
+		return 0, false
+	}
+	return model.QueryID(qid), true
+}
+
+func (a *AdminServer) writeSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := a.srv.Snapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,227 @@
+package remote
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/wire"
+)
+
+// ObjectConfig configures one moving-object node.
+type ObjectConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// UoD, Alpha and Options must match the server's configuration (in a
+	// real deployment they would be provisioned together).
+	UoD     geo.Rect
+	Alpha   float64
+	Options core.Options
+
+	OID    model.ObjectID
+	Pos    geo.Point
+	Vel    geo.Vector
+	MaxVel float64
+	Props  model.Props
+
+	// TickInterval is the device's local processing period (cell-change
+	// detection, dead reckoning, query evaluation). Default 100 ms.
+	TickInterval time.Duration
+}
+
+// Object is a moving object participating in a remote MobiEyes deployment:
+// it integrates its own position, runs the core.Client protocol logic, and
+// exchanges wire frames with the server over TCP.
+type Object struct {
+	cfg    ObjectConfig
+	conn   net.Conn
+	client *core.Client
+
+	ctrl chan func(*objState)
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+
+	mail *objMailbox
+}
+
+// objState is the goroutine-owned mutable state.
+type objState struct {
+	pos   geo.Point
+	vel   geo.Vector
+	lastT model.Time
+}
+
+// objMailbox queues decoded downlink messages without blocking the reader.
+type objMailbox struct {
+	mu     sync.Mutex
+	queue  []interface{}
+	signal chan struct{}
+}
+
+func (mb *objMailbox) put(v interface{}) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, v)
+	mb.mu.Unlock()
+	select {
+	case mb.signal <- struct{}{}:
+	default:
+	}
+}
+
+func (mb *objMailbox) drain() []interface{} {
+	mb.mu.Lock()
+	q := mb.queue
+	mb.queue = nil
+	mb.mu.Unlock()
+	return q
+}
+
+// Dial connects a moving object to the server and starts its device loop.
+func Dial(cfg ObjectConfig) (*Object, error) {
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = 100 * time.Millisecond
+	}
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, encodeHello(cfg.OID)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	o := &Object{
+		cfg:  cfg,
+		conn: conn,
+		ctrl: make(chan func(*objState), 16),
+		done: make(chan struct{}),
+		mail: &objMailbox{signal: make(chan struct{}, 1)},
+	}
+	g := grid.New(cfg.UoD, cfg.Alpha)
+	o.client = core.NewClient(g, cfg.Options, objUplink{o}, cfg.OID, cfg.Props, cfg.MaxVel, cfg.Pos)
+
+	o.wg.Add(2)
+	go o.readLoop()
+	go o.deviceLoop()
+	return o, nil
+}
+
+// objUplink sends client messages as wire frames.
+type objUplink struct{ o *Object }
+
+func (u objUplink) Send(m msg.Message) {
+	// Write errors surface on the read side as a disconnect; the device
+	// keeps functioning locally.
+	_ = writeFrame(u.o.conn, messageFrame(m))
+}
+
+// readLoop decodes downlink frames into the mailbox.
+func (o *Object) readLoop() {
+	defer o.wg.Done()
+	br := bufio.NewReader(o.conn)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			return // disconnected; deviceLoop keeps running until Close
+		}
+		m, err := wire.Decode(payload)
+		if err != nil {
+			return
+		}
+		o.mail.put(m)
+	}
+}
+
+// deviceLoop is the object's "firmware": integrate position, process
+// downlink messages, and run the protocol ticks.
+func (o *Object) deviceLoop() {
+	defer o.wg.Done()
+	st := &objState{pos: o.cfg.Pos, vel: o.cfg.Vel, lastT: nowHours()}
+
+	advance := func() {
+		now := nowHours()
+		st.pos = st.pos.Add(st.vel, float64(now-st.lastT))
+		st.lastT = now
+	}
+
+	// Announce arrival so standing queries reach us.
+	o.client.Join(st.pos, st.vel, st.lastT)
+
+	ticker := time.NewTicker(o.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-o.done:
+			advance()
+			o.client.Depart()
+			// Closing the connection unblocks the read loop.
+			o.conn.Close()
+			return
+		case <-o.mail.signal:
+			for _, v := range o.mail.drain() {
+				advance()
+				o.client.OnDownlink(v.(msg.Message), st.pos, st.vel, st.lastT)
+			}
+		case fn := <-o.ctrl:
+			fn(st)
+		case <-ticker.C:
+			advance()
+			o.client.TickCellChange(st.pos, st.vel, st.lastT)
+			o.client.TickDeadReckoning(st.pos, st.vel, st.lastT)
+			o.client.TickEvaluate(st.pos, st.vel, st.lastT)
+		}
+	}
+}
+
+// withState runs fn on the device goroutine and waits.
+func (o *Object) withState(fn func(*objState)) bool {
+	doneCh := make(chan struct{})
+	select {
+	case o.ctrl <- func(st *objState) {
+		fn(st)
+		close(doneCh)
+	}:
+	case <-o.done:
+		return false
+	}
+	select {
+	case <-doneCh:
+		return true
+	case <-o.done:
+		return false
+	}
+}
+
+// SetVelocity changes the object's velocity vector.
+func (o *Object) SetVelocity(vel geo.Vector) {
+	o.withState(func(st *objState) {
+		now := nowHours()
+		st.pos = st.pos.Add(st.vel, float64(now-st.lastT))
+		st.lastT = now
+		st.vel = vel
+	})
+}
+
+// Position returns the object's current position.
+func (o *Object) Position() geo.Point {
+	var p geo.Point
+	o.withState(func(st *objState) {
+		p = st.pos.Add(st.vel, float64(nowHours()-st.lastT))
+	})
+	return p
+}
+
+// Close departs cleanly: a departure report is sent, then the connection
+// closes.
+func (o *Object) Close() {
+	o.once.Do(func() {
+		close(o.done)
+		o.wg.Wait()
+	})
+}

@@ -1,0 +1,447 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+)
+
+var acceptAll = model.Filter{Seed: 1, Permille: 1000}
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := ListenAndServe(ServerConfig{
+		Addr:  "127.0.0.1:0",
+		UoD:   geo.NewRect(0, 0, 100, 100),
+		Alpha: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func dialObject(t *testing.T, s *Server, oid model.ObjectID, pos geo.Point, vel geo.Vector) *Object {
+	t.Helper()
+	o, err := Dial(ObjectConfig{
+		Addr:  s.Addr().String(),
+		UoD:   geo.NewRect(0, 0, 100, 100),
+		Alpha: 5,
+		OID:   oid, Pos: pos, Vel: vel,
+		MaxVel:       100000, // objects move in real time; tests drive fast
+		Props:        model.Props{Key: uint64(oid)},
+		TickInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Close)
+	return o
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestRemoteBasicContainment(t *testing.T) {
+	s := testServer(t)
+	dialObject(t, s, 1, geo.Pt(50, 50), geo.Vec(0, 0))
+	dialObject(t, s, 2, geo.Pt(51, 50), geo.Vec(0, 0))
+	dialObject(t, s, 3, geo.Pt(90, 90), geo.Vec(0, 0))
+
+	if !waitFor(t, 2*time.Second, func() bool { return s.NumConnected() == 3 }) {
+		t.Fatalf("connections = %d, want 3", s.NumConnected())
+	}
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100000)
+	ok := waitFor(t, 3*time.Second, func() bool {
+		r := s.Result(qid)
+		return len(r) == 2 && r[0] == 1 && r[1] == 2
+	})
+	if !ok {
+		t.Fatalf("result never converged over TCP: %v", s.Result(qid))
+	}
+}
+
+func TestRemoteDriveThrough(t *testing.T) {
+	s := testServer(t)
+	dialObject(t, s, 1, geo.Pt(50, 50), geo.Vec(0, 0))
+	// Object 2 drives west at 36,000 mph = 10 miles per real second.
+	o2 := dialObject(t, s, 2, geo.Pt(62, 50), geo.Vec(-36000, 0))
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100000)
+
+	entered := waitFor(t, 4*time.Second, func() bool {
+		for _, oid := range s.Result(qid) {
+			if oid == 2 {
+				return true
+			}
+		}
+		return false
+	})
+	if !entered {
+		t.Fatalf("object 2 never entered (pos now %v)", o2.Position())
+	}
+	left := waitFor(t, 4*time.Second, func() bool {
+		for _, oid := range s.Result(qid) {
+			if oid == 2 {
+				return false
+			}
+		}
+		return true
+	})
+	if !left {
+		t.Fatal("object 2 never left after passing through")
+	}
+}
+
+func TestRemoteSetVelocityAndPosition(t *testing.T) {
+	s := testServer(t)
+	o := dialObject(t, s, 1, geo.Pt(10, 10), geo.Vec(0, 0))
+	p0 := o.Position()
+	o.SetVelocity(geo.Vec(36000, 0))
+	if !waitFor(t, 2*time.Second, func() bool { return o.Position().X > p0.X+1 }) {
+		t.Fatal("object did not move after SetVelocity")
+	}
+}
+
+func TestRemoteCleanDeparture(t *testing.T) {
+	s := testServer(t)
+	dialObject(t, s, 1, geo.Pt(50, 50), geo.Vec(0, 0))
+	o2 := dialObject(t, s, 2, geo.Pt(51, 50), geo.Vec(0, 0))
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100000)
+	if !waitFor(t, 3*time.Second, func() bool { return len(s.Result(qid)) == 2 }) {
+		t.Fatal("precondition: result of 2")
+	}
+	o2.Close()
+	if !waitFor(t, 3*time.Second, func() bool {
+		r := s.Result(qid)
+		return len(r) == 1 && r[0] == 1
+	}) {
+		t.Fatalf("departed object lingers in result: %v", s.Result(qid))
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return s.NumConnected() == 1 }) {
+		t.Fatalf("connections = %d after departure", s.NumConnected())
+	}
+}
+
+func TestRemoteAbruptDisconnectSynthesizesDeparture(t *testing.T) {
+	s := testServer(t)
+	dialObject(t, s, 1, geo.Pt(50, 50), geo.Vec(0, 0))
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100000)
+	// Wait until installation completed (the focal answered and entered its
+	// own result) so the raw report below finds the query registered.
+	if !waitFor(t, 2*time.Second, func() bool { return len(s.Result(qid)) == 1 }) {
+		t.Fatal("query never finished installing")
+	}
+
+	// A raw connection that handshakes, reports containment, then vanishes.
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, encodeHello(42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, messageFrame(msg.ContainmentReport{OID: 42, QID: qid, IsTarget: true})); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool {
+		for _, oid := range s.Result(qid) {
+			if oid == 42 {
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Fatal("raw report never landed")
+	}
+	conn.Close() // abrupt disconnect, no departure report
+	if !waitFor(t, 2*time.Second, func() bool {
+		for _, oid := range s.Result(qid) {
+			if oid == 42 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("server did not synthesize a departure for the vanished object")
+	}
+}
+
+func TestRemoteRejectsGarbage(t *testing.T) {
+	s := testServer(t)
+	// Garbage before the handshake.
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{1, 2, 3})
+	conn.Close()
+
+	// Valid handshake, garbage frame afterwards.
+	conn2, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFrame(conn2, encodeHello(7))
+	writeFrame(conn2, []byte{0xde, 0xad, 0xbe, 0xef})
+	defer conn2.Close()
+
+	// The server survives and still serves real clients.
+	dialObject(t, s, 1, geo.Pt(50, 50), geo.Vec(0, 0))
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100000)
+	if !waitFor(t, 3*time.Second, func() bool { return len(s.Result(qid)) == 1 }) {
+		t.Fatal("server unhealthy after garbage connections")
+	}
+}
+
+func TestRemoteResultEvents(t *testing.T) {
+	s := testServer(t)
+	events := make(chan core.ResultEvent, 256)
+	s.SetResultListener(func(ev core.ResultEvent) {
+		select {
+		case events <- ev:
+		default:
+		}
+	})
+	dialObject(t, s, 1, geo.Pt(50, 50), geo.Vec(0, 0))
+	dialObject(t, s, 2, geo.Pt(51, 50), geo.Vec(0, 0))
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100000)
+
+	seen := map[model.ObjectID]bool{}
+	deadline := time.After(3 * time.Second)
+	for len(seen) < 2 {
+		select {
+		case ev := <-events:
+			if ev.QID == qid && ev.Entered {
+				seen[ev.OID] = true
+			}
+		case <-deadline:
+			t.Fatalf("enter events seen: %v", seen)
+		}
+	}
+}
+
+func TestRemoteLQPMode(t *testing.T) {
+	// The protocol variant flows through the remote deployment unchanged.
+	s, err := ListenAndServe(ServerConfig{
+		Addr:    "127.0.0.1:0",
+		UoD:     geo.NewRect(0, 0, 100, 100),
+		Alpha:   5,
+		Options: core.Options{Mode: core.LazyPropagation},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 1; i <= 3; i++ {
+		o, err := Dial(ObjectConfig{
+			Addr: s.Addr().String(), UoD: geo.NewRect(0, 0, 100, 100), Alpha: 5,
+			Options: core.Options{Mode: core.LazyPropagation},
+			OID:     model.ObjectID(i), Pos: geo.Pt(48+float64(i)*2, 50),
+			MaxVel: 100000, Props: model.Props{Key: uint64(i)},
+			TickInterval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer o.Close()
+	}
+	qid := s.InstallQuery(1, model.CircleRegion{R: 5}, acceptAll, 100000)
+	if !waitFor(t, 3*time.Second, func() bool { return len(s.Result(qid)) == 3 }) {
+		t.Fatalf("LQP result = %v", s.Result(qid))
+	}
+}
+
+// TestRemoteSnapshotRestore: kill the server mid-run, restore from a
+// snapshot on a new listener, reconnect the objects — tracking resumes.
+func TestRemoteSnapshotRestore(t *testing.T) {
+	s := testServer(t)
+	o1 := dialObject(t, s, 1, geo.Pt(50, 50), geo.Vec(0, 0))
+	o2 := dialObject(t, s, 2, geo.Pt(51, 50), geo.Vec(0, 0))
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100000)
+	if !waitFor(t, 3*time.Second, func() bool { return len(s.Result(qid)) == 2 }) {
+		t.Fatal("precondition: result of 2")
+	}
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	o1.Close()
+	o2.Close()
+
+	s2, err := ListenAndRestore(ServerConfig{
+		Addr:  "127.0.0.1:0",
+		UoD:   geo.NewRect(0, 0, 100, 100),
+		Alpha: 5,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	// The query survived the restart with its result intact.
+	if got := s2.Result(qid); len(got) != 2 {
+		t.Fatalf("restored result = %v", got)
+	}
+	// Fresh objects reconnect; a new one enters the still-live query.
+	dialObject(t, s2, 1, geo.Pt(50, 50), geo.Vec(0, 0))
+	dialObject(t, s2, 3, geo.Pt(49, 50), geo.Vec(0, 0))
+	if !waitFor(t, 3*time.Second, func() bool {
+		for _, oid := range s2.Result(qid) {
+			if oid == 3 {
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Fatalf("new object never tracked after restore: %v", s2.Result(qid))
+	}
+}
+
+func TestRemoteStats(t *testing.T) {
+	s := testServer(t)
+	dialObject(t, s, 1, geo.Pt(50, 50), geo.Vec(0, 0))
+	dialObject(t, s, 2, geo.Pt(51, 50), geo.Vec(0, 0))
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100000)
+	if !waitFor(t, 3*time.Second, func() bool { return len(s.Result(qid)) == 2 }) {
+		t.Fatal("no results")
+	}
+	up, down, upB, downB, byKind := s.Stats()
+	if up == 0 || down == 0 || upB == 0 || downB == 0 {
+		t.Errorf("stats: %d/%d msgs, %d/%d bytes", up, down, upB, downB)
+	}
+	if len(byKind) == 0 {
+		t.Error("no per-kind stats")
+	}
+}
+
+// adminSession dials the admin port and provides a line-oriented exchange.
+type adminSession struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+}
+
+func dialAdmin(t *testing.T, a *AdminServer) *adminSession {
+	t.Helper()
+	conn, err := net.Dial("tcp", a.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &adminSession{conn: conn, sc: bufio.NewScanner(conn)}
+}
+
+func (s *adminSession) cmd(t *testing.T, line string) string {
+	t.Helper()
+	if _, err := fmt.Fprintln(s.conn, line); err != nil {
+		t.Fatal(err)
+	}
+	if !s.sc.Scan() {
+		t.Fatalf("no reply to %q", line)
+	}
+	return s.sc.Text()
+}
+
+func TestAdminServer(t *testing.T) {
+	s := testServer(t)
+	admin, err := ServeAdmin("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	dialObject(t, s, 1, geo.Pt(50, 50), geo.Vec(0, 0))
+	dialObject(t, s, 2, geo.Pt(51, 50), geo.Vec(0, 0))
+	if !waitFor(t, 2*time.Second, func() bool { return s.NumConnected() == 2 }) {
+		t.Fatal("objects never connected")
+	}
+
+	a := dialAdmin(t, admin)
+	if got := a.cmd(t, "conns"); got != "conns 2" {
+		t.Errorf("conns reply = %q", got)
+	}
+	reply := a.cmd(t, "install 1 3 1000")
+	var qid int
+	if _, err := fmt.Sscanf(reply, "qid %d", &qid); err != nil {
+		t.Fatalf("install reply = %q", reply)
+	}
+	if !waitFor(t, 3*time.Second, func() bool {
+		return a.cmd(t, fmt.Sprintf("result %d", qid)) == fmt.Sprintf("result %d 1 2", qid)
+	}) {
+		t.Fatalf("result never converged: %q", a.cmd(t, fmt.Sprintf("result %d", qid)))
+	}
+	if got := a.cmd(t, "stats"); len(got) < 6 || got[:5] != "stats" {
+		t.Errorf("stats reply = %q", got)
+	}
+
+	// Snapshot via admin.
+	path := t.TempDir() + "/snap.bin"
+	if got := a.cmd(t, "snapshot "+path); got != "ok" {
+		t.Errorf("snapshot reply = %q", got)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Errorf("snapshot file missing or empty: %v", err)
+	}
+
+	if got := a.cmd(t, fmt.Sprintf("remove %d", qid)); got != "ok" {
+		t.Errorf("remove reply = %q", got)
+	}
+	if got := a.cmd(t, fmt.Sprintf("result %d", qid)); got != fmt.Sprintf("result %d", qid) {
+		t.Errorf("result after remove = %q", got)
+	}
+
+	// Error paths.
+	for _, bad := range []string{"install", "install x y z", "remove", "remove x", "bogus"} {
+		if got := a.cmd(t, bad); len(got) < 3 || got[:3] != "err" {
+			t.Errorf("%q reply = %q, want err", bad, got)
+		}
+	}
+}
+
+// TestRemoteReconnectReplacesSession: dialing again with the same object ID
+// supersedes the old connection (device rebooted); tracking continues.
+func TestRemoteReconnectReplacesSession(t *testing.T) {
+	s := testServer(t)
+	dialObject(t, s, 1, geo.Pt(50, 50), geo.Vec(0, 0))
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100000)
+	if !waitFor(t, 3*time.Second, func() bool { return len(s.Result(qid)) == 1 }) {
+		t.Fatal("initial tracking failed")
+	}
+	// Reconnect with the same OID at a position inside the region.
+	o1b := dialObject(t, s, 1, geo.Pt(50.5, 50), geo.Vec(0, 0))
+	_ = o1b
+	if !waitFor(t, 3*time.Second, func() bool { return s.NumConnected() == 1 }) {
+		t.Fatalf("connections = %d after reconnect", s.NumConnected())
+	}
+	// The focal still tracks itself.
+	if !waitFor(t, 3*time.Second, func() bool {
+		for _, oid := range s.Result(qid) {
+			if oid == 1 {
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Fatalf("tracking lost after reconnect: %v", s.Result(qid))
+	}
+}

@@ -1,0 +1,427 @@
+package remote
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/network"
+	"mobieyes/internal/wire"
+)
+
+// ServerConfig configures a network MobiEyes server.
+type ServerConfig struct {
+	// Addr is the TCP listen address, e.g. ":7070" or "127.0.0.1:0".
+	Addr string
+	// UoD and Alpha define the grid, exactly as in the simulation.
+	UoD   geo.Rect
+	Alpha float64
+	// Options selects the protocol variant.
+	Options core.Options
+}
+
+// Server is a MobiEyes server listening for moving-object connections.
+// Its query-management methods (InstallQuery, RemoveQuery, Result) are safe
+// for concurrent use.
+type Server struct {
+	cfg ServerConfig
+	g   *grid.Grid
+	ln  net.Listener
+
+	uplink   chan msg.Message
+	requests chan func(*core.Server)
+	done     chan struct{}
+	closing  sync.Once
+	wg       sync.WaitGroup
+
+	meterMu sync.Mutex
+	meter   network.Meter
+
+	mu    sync.RWMutex
+	conns map[model.ObjectID]*serverConn
+	// pendingUni holds unicast frames for objects that are not connected
+	// yet (or are between reconnects); flushed at handshake. Bounded per
+	// object so a never-connecting ID cannot grow memory.
+	pendingUni map[model.ObjectID][][]byte
+}
+
+// maxPendingUnicasts bounds the per-object queue of undeliverable frames.
+const maxPendingUnicasts = 64
+
+// serverConn is one connected moving object.
+type serverConn struct {
+	oid  model.ObjectID
+	conn net.Conn
+	out  *outbox
+}
+
+// ListenAndServe starts a server on cfg.Addr.
+func ListenAndServe(cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		g:          grid.New(cfg.UoD, cfg.Alpha),
+		ln:         ln,
+		uplink:     make(chan msg.Message, 1024),
+		requests:   make(chan func(*core.Server), 64),
+		done:       make(chan struct{}),
+		conns:      make(map[model.ObjectID]*serverConn),
+		pendingUni: make(map[model.ObjectID][][]byte),
+	}
+	srv := core.NewServer(s.g, cfg.Options, serverDownlink{s})
+	s.wg.Add(2)
+	go s.coreLoop(srv)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server and disconnects every object.
+func (s *Server) Close() {
+	s.closing.Do(func() {
+		close(s.done)
+		s.ln.Close()
+		s.mu.Lock()
+		for _, c := range s.conns {
+			c.conn.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+// coreLoop owns the core.Server state machine.
+func (s *Server) coreLoop(srv *core.Server) {
+	defer s.wg.Done()
+	expiry := time.NewTicker(time.Second)
+	defer expiry.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case m := <-s.uplink:
+			srv.HandleUplink(m)
+		case req := <-s.requests:
+			req(srv)
+		case <-expiry.C:
+			srv.ExpireQueries(nowHours())
+		}
+	}
+}
+
+// request runs fn on the core loop and waits.
+func (s *Server) request(fn func(*core.Server)) {
+	doneCh := make(chan struct{})
+	select {
+	case s.requests <- func(srv *core.Server) {
+		fn(srv)
+		close(doneCh)
+	}:
+	case <-s.done:
+		return
+	}
+	select {
+	case <-doneCh:
+	case <-s.done:
+	}
+}
+
+// InstallQuery installs a moving query.
+func (s *Server) InstallQuery(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64) model.QueryID {
+	var qid model.QueryID
+	s.request(func(srv *core.Server) {
+		qid = srv.InstallQuery(focal, region, filter, focalMaxVel)
+	})
+	return qid
+}
+
+// RemoveQuery uninstalls a query.
+func (s *Server) RemoveQuery(qid model.QueryID) {
+	s.request(func(srv *core.Server) { srv.RemoveQuery(qid) })
+}
+
+// Result returns a query's current result set.
+func (s *Server) Result(qid model.QueryID) []model.ObjectID {
+	var out []model.ObjectID
+	s.request(func(srv *core.Server) { out = srv.Result(qid) })
+	return out
+}
+
+// SetResultListener streams differential result events (delivered on the
+// server's core loop; keep the callback fast).
+func (s *Server) SetResultListener(fn func(core.ResultEvent)) {
+	s.request(func(srv *core.Server) { srv.SetResultListener(fn) })
+}
+
+// Snapshot serializes the server's durable query state (see
+// core.Server.Snapshot) for restart without reinstalling queries.
+func (s *Server) Snapshot(w io.Writer) error {
+	var err error
+	s.request(func(srv *core.Server) { err = srv.Snapshot(w) })
+	return err
+}
+
+// ListenAndRestore starts a server whose query state is restored from a
+// snapshot. Connected objects resume being tracked as they reconnect and
+// report.
+func ListenAndRestore(cfg ServerConfig, snapshot io.Reader) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		g:          grid.New(cfg.UoD, cfg.Alpha),
+		ln:         ln,
+		uplink:     make(chan msg.Message, 1024),
+		requests:   make(chan func(*core.Server), 64),
+		done:       make(chan struct{}),
+		conns:      make(map[model.ObjectID]*serverConn),
+		pendingUni: make(map[model.ObjectID][][]byte),
+	}
+	srv, err := core.RestoreServer(s.g, cfg.Options, serverDownlink{s}, snapshot)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	s.wg.Add(2)
+	go s.coreLoop(srv)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// ExpireQueries removes duration-bound queries past the given time.
+func (s *Server) ExpireQueries(now model.Time) []model.QueryID {
+	var out []model.QueryID
+	s.request(func(srv *core.Server) { out = srv.ExpireQueries(now) })
+	return out
+}
+
+// Stats returns a snapshot of the traffic counters: message and byte totals
+// per direction plus the per-kind breakdown. A broadcast counts once (the
+// TCP fabric has one logical downlink per object; per-connection fan-out is
+// visible in the byte totals of the per-kind rows).
+func (s *Server) Stats() (uplinkMsgs, downlinkMsgs, uplinkBytes, downlinkBytes int64, byKind []network.KindStats) {
+	s.meterMu.Lock()
+	defer s.meterMu.Unlock()
+	return s.meter.UplinkMessages(), s.meter.DownlinkMessages(),
+		s.meter.UplinkBytes(), s.meter.DownlinkBytes(), s.meter.Snapshot()
+}
+
+func (s *Server) recordUplink(m msg.Message) {
+	s.meterMu.Lock()
+	s.meter.RecordUplink(m)
+	s.meterMu.Unlock()
+}
+
+func (s *Server) recordDownlink(m msg.Message, copies int) {
+	s.meterMu.Lock()
+	s.meter.RecordDownlink(m, copies)
+	s.meterMu.Unlock()
+}
+
+// NumConnected returns the number of connected objects.
+func (s *Server) NumConnected() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.conns)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				// Transient accept errors: keep serving.
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles one object connection: handshake, register, then pump
+// uplink frames into the core loop. A vanished connection is treated as a
+// departure so the population stays consistent.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	br := bufio.NewReader(conn)
+
+	hello, err := readFrame(br)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	oid, err := decodeHello(hello)
+	if err != nil {
+		conn.Close()
+		return
+	}
+
+	sc := &serverConn{oid: oid, conn: conn, out: newOutbox(conn)}
+	s.mu.Lock()
+	if old, ok := s.conns[oid]; ok {
+		old.conn.Close() // a reconnect replaces the stale session
+	}
+	s.conns[oid] = sc
+	queued := s.pendingUni[oid]
+	delete(s.pendingUni, oid)
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go sc.out.run(&s.wg)
+	// Deliver unicasts that arrived before the object connected (typically
+	// the FocalInfoRequest of an install racing the handshake).
+	for _, frame := range queued {
+		sc.out.send(frame)
+	}
+
+readLoop:
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			break
+		}
+		m, err := wire.Decode(payload)
+		if err != nil {
+			break // protocol violation: drop the connection
+		}
+		s.recordUplink(m)
+		select {
+		case s.uplink <- m:
+		case <-s.done:
+			break readLoop
+		}
+		if _, bye := m.(msg.DepartureReport); bye {
+			break
+		}
+	}
+
+	s.mu.Lock()
+	if s.conns[oid] == sc {
+		delete(s.conns, oid)
+	}
+	s.mu.Unlock()
+	sc.out.close()
+	conn.Close()
+	// Synthesize a departure if the object vanished without one, so its
+	// results do not go stale forever.
+	select {
+	case s.uplink <- msg.DepartureReport{OID: oid}:
+	case <-s.done:
+	}
+}
+
+// serverDownlink fans server messages out to connections. Broadcasts go to
+// every connected object (clients self-filter by monitoring region, exactly
+// as under ubiquitous base-station coverage); unicasts to one.
+type serverDownlink struct{ s *Server }
+
+func (d serverDownlink) Broadcast(region grid.CellRange, m msg.Message) {
+	d.s.recordDownlink(m, 1)
+	frame := messageFrame(m)
+	d.s.mu.RLock()
+	defer d.s.mu.RUnlock()
+	for _, c := range d.s.conns {
+		c.out.send(frame)
+	}
+}
+
+func (d serverDownlink) Unicast(oid model.ObjectID, m msg.Message) {
+	d.s.recordDownlink(m, 1)
+	frame := messageFrame(m)
+	d.s.mu.Lock()
+	c := d.s.conns[oid]
+	if c == nil {
+		q := d.s.pendingUni[oid]
+		if len(q) < maxPendingUnicasts {
+			d.s.pendingUni[oid] = append(q, frame)
+		}
+		d.s.mu.Unlock()
+		return
+	}
+	d.s.mu.Unlock()
+	c.out.send(frame)
+}
+
+// outbox serializes writes to one connection without ever blocking the
+// core loop: frames queue in memory and a dedicated writer goroutine drains
+// them.
+type outbox struct {
+	conn   net.Conn
+	mu     sync.Mutex
+	queue  [][]byte
+	signal chan struct{}
+	closed bool
+}
+
+func newOutbox(conn net.Conn) *outbox {
+	return &outbox{conn: conn, signal: make(chan struct{}, 1)}
+}
+
+func (o *outbox) send(frame []byte) {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
+	o.queue = append(o.queue, frame)
+	o.mu.Unlock()
+	select {
+	case o.signal <- struct{}{}:
+	default:
+	}
+}
+
+func (o *outbox) close() {
+	o.mu.Lock()
+	o.closed = true
+	o.mu.Unlock()
+	select {
+	case o.signal <- struct{}{}:
+	default:
+	}
+}
+
+func (o *outbox) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for range o.signal {
+		for {
+			o.mu.Lock()
+			if o.closed {
+				o.mu.Unlock()
+				return
+			}
+			if len(o.queue) == 0 {
+				o.mu.Unlock()
+				break
+			}
+			frame := o.queue[0]
+			o.queue = o.queue[1:]
+			o.mu.Unlock()
+			if err := writeFrame(o.conn, frame); err != nil {
+				o.conn.Close()
+				o.mu.Lock()
+				o.closed = true
+				o.mu.Unlock()
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"mobieyes/internal/geo"
+)
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := BulkLoad(nil)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.Search(geo.NewRect(0, 0, 100, 100), nil); len(got) != 0 {
+		t.Fatalf("Search = %v", got)
+	}
+}
+
+func TestBulkLoadSingleNode(t *testing.T) {
+	items := []Item{
+		{ID: 1, Box: geo.NewRect(0, 0, 1, 1)},
+		{ID: 2, Box: geo.NewRect(5, 5, 1, 1)},
+	}
+	tr := BulkLoad(items)
+	if tr.Len() != 2 || tr.Height() != 1 {
+		t.Fatalf("Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{1, 7, 32, 33, 100, 1000, 5000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		items := make([]Item, n)
+		bf := &bruteForce{}
+		for i := range items {
+			items[i] = Item{ID: int64(i), Box: randRect(rng, 500, 10)}
+			bf.insert(items[i])
+		}
+		tr := BulkLoad(items)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for q := 0; q < 50; q++ {
+			query := randRect(rng, 500, 60)
+			if got, want := tr.Search(query, nil), bf.search(query); !equalIDs(got, want) {
+				t.Fatalf("n=%d query %v: %d vs %d ids", n, query, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := make([]Item, 500)
+	bf := &bruteForce{}
+	for i := range items {
+		items[i] = Item{ID: int64(i), Box: randPointRect(rng, 300)}
+		bf.insert(items[i])
+	}
+	tr := BulkLoadWithCapacity(items, 8)
+	// Mixed mutations on the bulk-loaded tree must behave identically to an
+	// incrementally built one.
+	for step := 0; step < 1500; step++ {
+		switch rng.Intn(3) {
+		case 0:
+			it := Item{ID: int64(1000 + step), Box: randPointRect(rng, 300)}
+			tr.Insert(it)
+			bf.insert(it)
+		case 1:
+			if len(bf.items) > 0 {
+				it := bf.items[rng.Intn(len(bf.items))]
+				if !tr.Delete(it) {
+					t.Fatalf("step %d: Delete(%v) failed", step, it)
+				}
+				bf.delete(it)
+			}
+		default:
+			q := randRect(rng, 300, 40)
+			if got, want := tr.Search(q, nil), bf.search(q); !equalIDs(got, want) {
+				t.Fatalf("step %d: mismatch %d vs %d", step, len(got), len(want))
+			}
+		}
+		if step%211 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+}
+
+func TestBulkLoadIsDenser(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := make([]Item, 4000)
+	for i := range items {
+		items[i] = Item{ID: int64(i), Box: randPointRect(rng, 316)}
+	}
+	bulk := BulkLoad(items)
+	incr := New()
+	for _, it := range items {
+		incr.Insert(it)
+	}
+	if bulk.Height() > incr.Height() {
+		t.Errorf("bulk height %d exceeds incremental height %d", bulk.Height(), incr.Height())
+	}
+}
+
+func TestBulkLoadPanicsOnTinyCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BulkLoadWithCapacity(nil, 2)
+}
+
+func BenchmarkBulkLoad10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	items := make([]Item, 10000)
+	for i := range items {
+		items[i] = Item{ID: int64(i), Box: randPointRect(rng, 316)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BulkLoad(items)
+	}
+}
+
+func BenchmarkIncrementalLoad10k(b *testing.B) {
+	// Ablation partner for BenchmarkBulkLoad10k.
+	rng := rand.New(rand.NewSource(5))
+	items := make([]Item, 10000)
+	for i := range items {
+		items[i] = Item{ID: int64(i), Box: randPointRect(rng, 316)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New()
+		for _, it := range items {
+			tr.Insert(it)
+		}
+	}
+}

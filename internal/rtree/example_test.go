@@ -1,0 +1,47 @@
+package rtree_test
+
+import (
+	"fmt"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/rtree"
+)
+
+// ExampleTree_Search indexes a few points and runs a range query.
+func ExampleTree_Search() {
+	tr := rtree.New()
+	tr.Insert(rtree.Item{ID: 1, Box: geo.NewRect(1, 1, 0, 0)})
+	tr.Insert(rtree.Item{ID: 2, Box: geo.NewRect(5, 5, 0, 0)})
+	tr.Insert(rtree.Item{ID: 3, Box: geo.NewRect(2, 2, 0, 0)})
+
+	ids := tr.Search(geo.NewRect(0, 0, 3, 3), nil)
+	fmt.Println(len(ids), "items in [0,3]×[0,3]")
+	// Output:
+	// 2 items in [0,3]×[0,3]
+}
+
+// ExampleTree_Nearest finds the two nearest neighbors of a query point.
+func ExampleTree_Nearest() {
+	tr := rtree.New()
+	for i := 1; i <= 10; i++ {
+		tr.Insert(rtree.Item{ID: int64(i), Box: geo.NewRect(float64(i), 0, 0, 0)})
+	}
+	for _, it := range tr.Nearest(geo.Pt(3.4, 0), 2) {
+		fmt.Println("id", it.ID)
+	}
+	// Output:
+	// id 3
+	// id 4
+}
+
+// ExampleBulkLoad packs a sorted dataset directly into a tree.
+func ExampleBulkLoad() {
+	items := make([]rtree.Item, 1000)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), Box: geo.NewRect(float64(i%100), float64(i/100), 1, 1)}
+	}
+	tr := rtree.BulkLoad(items)
+	fmt.Println("items:", tr.Len())
+	// Output:
+	// items: 1000
+}

@@ -1,0 +1,101 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"mobieyes/internal/geo"
+)
+
+// Nearest returns up to k items whose rectangles are nearest to p, ordered
+// nearest first (ties in arbitrary order). It implements the classic
+// best-first branch-and-bound traversal (Hjaltason & Samet): a priority
+// queue over nodes and items keyed by minimum distance to p, so only the
+// parts of the tree that can contain a result are visited.
+//
+// The paper's evaluation needs only range queries, but nearest-neighbor
+// search over moving objects is the natural companion operation (its
+// related-work section cites several moving-object NN papers); exposing it
+// makes the substrate complete for downstream use.
+func (t *Tree) Nearest(p geo.Point, k int) []Item {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	pq := &nnQueue{}
+	heap.Init(pq)
+	heap.Push(pq, nnEntry{dist: 0, node: t.root})
+
+	out := make([]Item, 0, k)
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(nnEntry)
+		if e.node == nil {
+			out = append(out, e.item)
+			if len(out) == k {
+				return out
+			}
+			continue
+		}
+		for i := range e.node.entries {
+			ne := &e.node.entries[i]
+			d := ne.box.DistToPoint(p)
+			if e.node.leaf {
+				heap.Push(pq, nnEntry{dist: d, item: Item{ID: ne.id, Box: ne.box}})
+			} else {
+				heap.Push(pq, nnEntry{dist: d, node: ne.child})
+			}
+		}
+	}
+	return out
+}
+
+// NearestFunc visits items in order of increasing distance to p until fn
+// returns false. It allows distance-ordered scans with arbitrary stopping
+// conditions (e.g. "nearest item satisfying a filter").
+func (t *Tree) NearestFunc(p geo.Point, fn func(it Item, dist float64) bool) {
+	if t.size == 0 {
+		return
+	}
+	pq := &nnQueue{}
+	heap.Init(pq)
+	heap.Push(pq, nnEntry{dist: 0, node: t.root})
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(nnEntry)
+		if e.node == nil {
+			if !fn(e.item, e.dist) {
+				return
+			}
+			continue
+		}
+		for i := range e.node.entries {
+			ne := &e.node.entries[i]
+			d := ne.box.DistToPoint(p)
+			if e.node.leaf {
+				heap.Push(pq, nnEntry{dist: d, item: Item{ID: ne.id, Box: ne.box}})
+			} else {
+				heap.Push(pq, nnEntry{dist: d, node: ne.child})
+			}
+		}
+	}
+}
+
+// nnEntry is a queue element: either an internal node (node != nil) or a
+// candidate item.
+type nnEntry struct {
+	dist float64
+	node *node
+	item Item
+}
+
+// nnQueue is a min-heap over nnEntry by distance.
+type nnQueue []nnEntry
+
+func (q nnQueue) Len() int            { return len(q) }
+func (q nnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x interface{}) { *q = append(*q, x.(nnEntry)) }
+func (q *nnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

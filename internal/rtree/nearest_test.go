@@ -1,0 +1,159 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mobieyes/internal/geo"
+)
+
+// bruteNearest is the reference kNN: sort all items by distance.
+func bruteNearest(items []Item, p geo.Point, k int) []Item {
+	out := append([]Item(nil), items...)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Box.DistToPoint(p) < out[j].Box.DistToPoint(p)
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func TestNearestEmptyAndDegenerate(t *testing.T) {
+	tr := New()
+	if got := tr.Nearest(geo.Pt(0, 0), 5); got != nil {
+		t.Fatalf("Nearest on empty tree = %v", got)
+	}
+	tr.Insert(Item{ID: 1, Box: geo.NewRect(3, 4, 0, 0)})
+	if got := tr.Nearest(geo.Pt(0, 0), 0); got != nil {
+		t.Fatalf("Nearest with k=0 = %v", got)
+	}
+	got := tr.Nearest(geo.Pt(0, 0), 10)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("Nearest = %v", got)
+	}
+}
+
+func TestNearestOrdering(t *testing.T) {
+	tr := New()
+	for i := 1; i <= 20; i++ {
+		tr.Insert(Item{ID: int64(i), Box: geo.NewRect(float64(i), 0, 0, 0)})
+	}
+	got := tr.Nearest(geo.Pt(0, 0), 5)
+	if len(got) != 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, it := range got {
+		if it.ID != int64(i+1) {
+			t.Fatalf("position %d: ID %d, want %d", i, it.ID, i+1)
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var items []Item
+	tr := NewWithCapacity(8)
+	for i := 0; i < 3000; i++ {
+		it := Item{ID: int64(i), Box: randRect(rng, 400, 5)}
+		items = append(items, it)
+		tr.Insert(it)
+	}
+	for trial := 0; trial < 100; trial++ {
+		p := geo.Pt(rng.Float64()*400, rng.Float64()*400)
+		k := 1 + rng.Intn(20)
+		got := tr.Nearest(p, k)
+		want := bruteNearest(items, p, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d items, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			gd := got[i].Box.DistToPoint(p)
+			wd := want[i].Box.DistToPoint(p)
+			if gd != wd { // distances must match even when IDs tie
+				t.Fatalf("k=%d position %d: dist %v, want %v", k, i, gd, wd)
+			}
+		}
+		// Distances are non-decreasing.
+		for i := 1; i < len(got); i++ {
+			if got[i].Box.DistToPoint(p) < got[i-1].Box.DistToPoint(p) {
+				t.Fatalf("result not distance-ordered at %d", i)
+			}
+		}
+	}
+}
+
+func TestNearestFunc(t *testing.T) {
+	tr := New()
+	for i := 1; i <= 50; i++ {
+		tr.Insert(Item{ID: int64(i), Box: geo.NewRect(float64(i), 0, 0, 0)})
+	}
+	// Find the nearest item with an even ID — a filtered NN query.
+	var found Item
+	tr.NearestFunc(geo.Pt(0.6, 0), func(it Item, dist float64) bool {
+		if it.ID%2 == 0 {
+			found = it
+			return false
+		}
+		return true
+	})
+	if found.ID != 2 {
+		t.Fatalf("nearest even ID = %d, want 2", found.ID)
+	}
+	// Distances arrive in non-decreasing order.
+	last := -1.0
+	tr.NearestFunc(geo.Pt(25, 0), func(it Item, dist float64) bool {
+		if dist < last {
+			t.Fatalf("distance regressed: %v after %v", dist, last)
+		}
+		last = dist
+		return true
+	})
+	// Empty tree: no calls.
+	empty := New()
+	empty.NearestFunc(geo.Pt(0, 0), func(Item, float64) bool {
+		t.Fatal("callback on empty tree")
+		return false
+	})
+}
+
+func TestNearestAfterMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := NewWithCapacity(6)
+	var items []Item
+	for i := 0; i < 500; i++ {
+		it := Item{ID: int64(i), Box: randPointRect(rng, 100)}
+		items = append(items, it)
+		tr.Insert(it)
+	}
+	// Delete half.
+	for i := 0; i < 250; i++ {
+		tr.Delete(items[i])
+	}
+	items = items[250:]
+	p := geo.Pt(50, 50)
+	got := tr.Nearest(p, 10)
+	want := bruteNearest(items, p, 10)
+	for i := range got {
+		if got[i].Box.DistToPoint(p) != want[i].Box.DistToPoint(p) {
+			t.Fatalf("position %d mismatch after deletions", i)
+		}
+	}
+}
+
+func BenchmarkNearest10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(Item{ID: int64(i), Box: randPointRect(rng, 316)})
+	}
+	pts := make([]geo.Point, 1024)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*316, rng.Float64()*316)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Nearest(pts[i%len(pts)], 10)
+	}
+}

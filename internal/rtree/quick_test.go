@@ -1,0 +1,115 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mobieyes/internal/geo"
+)
+
+// boxSpec is a quick-generatable rectangle description.
+type boxSpec struct {
+	X, Y, W, H float64
+}
+
+// Generate implements quick.Generator with bounded, valid extents.
+func (boxSpec) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(boxSpec{
+		X: r.Float64() * 300,
+		Y: r.Float64() * 300,
+		W: r.Float64() * 10,
+		H: r.Float64() * 10,
+	})
+}
+
+func (b boxSpec) rect() geo.Rect { return geo.NewRect(b.X, b.Y, b.W, b.H) }
+
+// Property: every inserted item is findable by searching with its own box,
+// and the tree's invariants hold, for arbitrary insertion batches.
+func TestQuickInsertThenFindSelf(t *testing.T) {
+	f := func(boxes []boxSpec) bool {
+		tr := NewWithCapacity(8)
+		for i, b := range boxes {
+			tr.Insert(Item{ID: int64(i), Box: b.rect()})
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		for i, b := range boxes {
+			found := false
+			for _, id := range tr.Search(b.rect(), nil) {
+				if id == int64(i) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: deleting every item leaves an empty, valid tree regardless of
+// the insertion set.
+func TestQuickInsertDeleteAll(t *testing.T) {
+	f := func(boxes []boxSpec) bool {
+		tr := NewWithCapacity(6)
+		items := make([]Item, len(boxes))
+		for i, b := range boxes {
+			items[i] = Item{ID: int64(i), Box: b.rect()}
+			tr.Insert(items[i])
+		}
+		for _, it := range items {
+			if !tr.Delete(it) {
+				return false
+			}
+		}
+		if tr.Len() != 0 {
+			return false
+		}
+		return tr.checkInvariants() == nil
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(2)), MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: search results are exactly the brute-force intersection set.
+func TestQuickSearchEquivalence(t *testing.T) {
+	f := func(boxes []boxSpec, query boxSpec) bool {
+		tr := New()
+		q := query.rect()
+		want := map[int64]bool{}
+		for i, b := range boxes {
+			it := Item{ID: int64(i), Box: b.rect()}
+			tr.Insert(it)
+			if it.Box.Intersects(q) {
+				want[it.ID] = true
+			}
+		}
+		got := tr.Search(q, nil)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, id := range got {
+			if !want[id] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(3)), MaxCount: 80}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,444 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/network"
+	"mobieyes/internal/power"
+	"mobieyes/internal/workload"
+)
+
+// Engine runs the MobiEyes protocol over a simulated mobile system: one
+// core.Server, one core.Client per moving object, a base-station deployment
+// with metered broadcast delivery, and the Table 1 workload process.
+//
+// Broadcast delivery is modeled at grid-cell granularity: a broadcast sent
+// through a set of base stations reaches every object whose current cell
+// intersects a chosen station's coverage (see DESIGN.md §3 — this is the
+// cell-resolution version of circle containment, identical for all
+// approaches and deterministic).
+type Engine struct {
+	cfg   Config
+	g     *grid.Grid
+	dep   *network.Deployment
+	w     *workload.Workload
+	srv   *core.Server
+	cls   []*core.Client
+	bkt   *buckets
+	meter network.Meter
+	now   model.Time
+
+	qids []model.QueryID // installed queries, parallel to w.Queries
+
+	// transport queues (drained between phases).
+	upQueue   []msg.Message
+	downQueue []engineDown
+	// clientUp buffers each client's uplinks during a parallel phase; the
+	// buffers merge into upQueue in object order afterwards, keeping
+	// parallel runs bit-for-bit identical to serial ones.
+	clientUp [][]msg.Message
+	parallel bool
+
+	// per-object radio accounts.
+	accounts []*power.Account
+
+	// accumulated measurements (only while measuring).
+	measuring   bool
+	serverNanos int64
+	clientNanos int64
+	lqtSamples  int64
+	lqtTotal    int64
+	errSamples  int64
+	errTotal    float64
+	stepsSeen   int
+
+	gtScratch map[model.ObjectID]struct{}
+
+	// history accumulates per-step records while measuring (enabled by
+	// CollectHistory).
+	collectHistory bool
+	history        []StepRecord
+	lastUp         int64
+	lastDown       int64
+	lastUpBytes    int64
+	lastDownBytes  int64
+	lastServerNs   int64
+}
+
+// engineDown is a queued downlink delivery.
+type engineDown struct {
+	target model.ObjectID // -1 = broadcast
+	cells  []int32        // target cell indices for broadcasts
+	m      msg.Message
+}
+
+// NewEngine builds a MobiEyes simulation from cfg and installs all queries.
+// It panics on configurations the constructors reject (zero objects, bad α).
+func NewEngine(cfg Config) *Engine {
+	g := grid.New(cfg.UoD(), cfg.Alpha)
+	e := &Engine{
+		cfg:       cfg,
+		g:         g,
+		dep:       network.NewDeployment(g, cfg.Alen),
+		w:         workload.New(cfg.WorkloadConfig()),
+		bkt:       newBuckets(g),
+		gtScratch: make(map[model.ObjectID]struct{}),
+	}
+	e.srv = core.NewServer(g, cfg.Core, engineDownlink{e})
+	for i, o := range e.w.Objects {
+		up := engineUplink{e, i}
+		e.cls = append(e.cls, core.NewClient(g, cfg.Core, up, o.ID, o.Props, o.MaxVel, o.Pos))
+		e.accounts = append(e.accounts, power.NewAccount(cfg.Radio))
+	}
+	e.bkt.rebuild(e.w.Objects)
+	e.clientUp = make([][]msg.Message, len(e.cls))
+
+	// Install all queries; message exchange during installation is not
+	// metered as steady-state traffic (the paper measures the running
+	// system), so reset the meter afterwards.
+	for _, spec := range e.w.Queries {
+		focal := e.w.Objects[int(spec.Focal)-1]
+		qid := e.timedInstall(spec, focal.MaxVel)
+		e.qids = append(e.qids, qid)
+	}
+	e.drain()
+	e.meter.Reset()
+	for _, a := range e.accounts {
+		a.Reset()
+	}
+	return e
+}
+
+func (e *Engine) timedInstall(spec workload.QuerySpec, focalMaxVel float64) model.QueryID {
+	qid := e.srv.InstallQuery(spec.Focal, model.CircleRegion{R: spec.Radius}, spec.Filter, focalMaxVel)
+	e.drain()
+	return qid
+}
+
+// Grid returns the engine's grid (for inspection and tests).
+func (e *Engine) Grid() *grid.Grid { return e.g }
+
+// Server returns the MobiEyes server under simulation.
+func (e *Engine) Server() *core.Server { return e.srv }
+
+// Clients returns the per-object protocol clients.
+func (e *Engine) Clients() []*core.Client { return e.cls }
+
+// Workload returns the generated workload.
+func (e *Engine) Workload() *workload.Workload { return e.w }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() model.Time { return e.now }
+
+// engineDownlink implements core.Downlink with metered, cell-granular
+// delivery.
+type engineDownlink struct{ e *Engine }
+
+func (d engineDownlink) Broadcast(region grid.CellRange, m msg.Message) {
+	e := d.e
+	stations := e.dep.Cover(region)
+	e.meter.RecordDownlink(m, len(stations))
+	// Union of target cells across chosen stations, deduplicated.
+	var cells []int32
+	seen := map[int32]struct{}{}
+	for _, sid := range stations {
+		for _, ci := range e.dep.CellsForStation(sid) {
+			if _, ok := seen[ci]; !ok {
+				seen[ci] = struct{}{}
+				cells = append(cells, ci)
+			}
+		}
+	}
+	e.downQueue = append(e.downQueue, engineDown{target: -1, cells: cells, m: m})
+}
+
+func (d engineDownlink) Unicast(oid model.ObjectID, m msg.Message) {
+	e := d.e
+	e.meter.RecordDownlink(m, 1)
+	e.downQueue = append(e.downQueue, engineDown{target: oid, m: m})
+}
+
+// engineUplink implements core.Uplink for one object.
+type engineUplink struct {
+	e *Engine
+	i int // object index
+}
+
+func (u engineUplink) Send(m msg.Message) {
+	e := u.e
+	if e.parallel {
+		// Phase running across workers: buffer privately; metering happens
+		// at the ordered merge.
+		e.clientUp[u.i] = append(e.clientUp[u.i], m)
+		return
+	}
+	e.meter.RecordUplink(m)
+	e.accounts[u.i].Sent(m.Size())
+	e.upQueue = append(e.upQueue, m)
+}
+
+// drain processes queued uplinks (timed as server work) and delivers queued
+// downlinks (which may enqueue more uplinks) until both queues are empty.
+func (e *Engine) drain() {
+	for len(e.upQueue) > 0 || len(e.downQueue) > 0 {
+		if len(e.upQueue) > 0 {
+			m := e.upQueue[0]
+			e.upQueue = e.upQueue[1:]
+			start := time.Now()
+			e.srv.HandleUplink(m)
+			if e.measuring {
+				e.serverNanos += time.Since(start).Nanoseconds()
+			}
+			continue
+		}
+		q := e.downQueue[0]
+		e.downQueue = e.downQueue[1:]
+		e.deliver(q)
+	}
+}
+
+func (e *Engine) deliver(q engineDown) {
+	if q.target >= 0 {
+		i := int(q.target) - 1
+		e.accounts[i].Received(q.m.Size())
+		o := e.w.Objects[i]
+		e.cls[i].OnDownlink(q.m, o.Pos, o.Vel, e.now)
+		return
+	}
+	size := q.m.Size()
+	for _, ci := range q.cells {
+		for _, oi := range e.bkt.cells[ci] {
+			e.accounts[oi].Received(size)
+			o := e.w.Objects[oi]
+			e.cls[oi].OnDownlink(q.m, o.Pos, o.Vel, e.now)
+		}
+	}
+}
+
+// Step advances the simulation by one time step, executing the full §3
+// pipeline: perturb velocities, move, handle cell changes, dead reckoning,
+// local query evaluation, and differential result updates.
+func (e *Engine) Step() {
+	dt := model.FromSeconds(e.cfg.StepSeconds)
+	e.now += dt
+
+	// 1. Workload: border bounces and random velocity changes.
+	e.w.BounceAtBorders()
+	e.w.PerturbStep()
+
+	// 2. Motion.
+	for _, o := range e.w.Objects {
+		o.Move(dt)
+	}
+	e.bkt.rebuild(e.w.Objects)
+
+	// Duration-bound queries expire as the clock advances.
+	start0 := time.Now()
+	e.srv.ExpireQueries(e.now)
+	if e.measuring {
+		e.serverNanos += time.Since(start0).Nanoseconds()
+	}
+	e.drain()
+
+	// 3. Cell-change phase.
+	e.forEachClient(func(i int, c *core.Client) {
+		o := e.w.Objects[i]
+		c.TickCellChange(o.Pos, o.Vel, e.now)
+	})
+	e.drain()
+
+	// 4. Dead-reckoning phase.
+	e.forEachClient(func(i int, c *core.Client) {
+		o := e.w.Objects[i]
+		c.TickDeadReckoning(o.Pos, o.Vel, e.now)
+	})
+	e.drain()
+
+	// 5. Evaluation phase (timed as client processing).
+	start := time.Now()
+	e.forEachClient(func(i int, c *core.Client) {
+		c.TickEvaluate(e.w.Objects[i].Pos, e.w.Objects[i].Vel, e.now)
+	})
+	if e.measuring {
+		e.clientNanos += time.Since(start).Nanoseconds()
+	}
+	e.drain()
+
+	// 6. Measurements.
+	if e.measuring {
+		e.stepsSeen++
+		var stepLQT int64
+		for _, c := range e.cls {
+			stepLQT += int64(c.LQTSize())
+		}
+		e.lqtTotal += stepLQT
+		e.lqtSamples += int64(len(e.cls))
+		stepErrBefore, stepErrSamplesBefore := e.errTotal, e.errSamples
+		if e.cfg.MeasureError {
+			e.measureError()
+		}
+		if e.collectHistory {
+			rec := StepRecord{
+				Step:          e.stepsSeen,
+				UplinkMsgs:    e.meter.UplinkMessages() - e.lastUp,
+				DownlinkMsgs:  e.meter.DownlinkMessages() - e.lastDown,
+				UplinkBytes:   e.meter.UplinkBytes() - e.lastUpBytes,
+				DownlinkBytes: e.meter.DownlinkBytes() - e.lastDownBytes,
+				AvgLQTSize:    float64(stepLQT) / float64(len(e.cls)),
+				ServerNanos:   e.serverNanos - e.lastServerNs,
+			}
+			if n := e.errSamples - stepErrSamplesBefore; n > 0 {
+				rec.Error = (e.errTotal - stepErrBefore) / float64(n)
+			}
+			e.history = append(e.history, rec)
+			e.lastUp = e.meter.UplinkMessages()
+			e.lastDown = e.meter.DownlinkMessages()
+			e.lastUpBytes = e.meter.UplinkBytes()
+			e.lastDownBytes = e.meter.DownlinkBytes()
+			e.lastServerNs = e.serverNanos
+		}
+	}
+}
+
+// CollectHistory enables per-step time-series collection for subsequent
+// measured steps; History returns the records.
+func (e *Engine) CollectHistory() { e.collectHistory = true }
+
+// History returns the per-step records collected so far.
+func (e *Engine) History() []StepRecord { return e.history }
+
+// forEachClient runs fn for every client, serially or across
+// cfg.Parallelism workers. In parallel mode uplinks buffer per client and
+// merge in object order, so the observable behavior is identical.
+func (e *Engine) forEachClient(fn func(i int, c *core.Client)) {
+	workers := e.cfg.Parallelism
+	if workers <= 1 || len(e.cls) < 2*workers {
+		for i, c := range e.cls {
+			fn(i, c)
+		}
+		return
+	}
+	e.parallel = true
+	var wg sync.WaitGroup
+	chunk := (len(e.cls) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(e.cls) {
+			hi = len(e.cls)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i, e.cls[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	e.parallel = false
+	// Ordered merge: meter and queue exactly as the serial engine would.
+	for i := range e.clientUp {
+		for _, m := range e.clientUp[i] {
+			e.meter.RecordUplink(m)
+			e.accounts[i].Sent(m.Size())
+			e.upQueue = append(e.upQueue, m)
+		}
+		e.clientUp[i] = e.clientUp[i][:0]
+	}
+}
+
+func (e *Engine) measureError() {
+	for i, spec := range e.w.Queries {
+		qid := e.qids[i]
+		correct := groundTruth(e.bkt, e.w.Objects, spec, e.gtScratch)
+		e.gtScratch = correct
+		err, ok := resultError(correct, func(oid model.ObjectID) bool {
+			return e.srv.ResultContains(qid, oid)
+		})
+		if ok {
+			e.errTotal += err
+			e.errSamples++
+		}
+	}
+}
+
+// VerifyExact compares every query result against ground truth and returns
+// an error describing the first mismatch (nil when exact). Used by
+// integration tests of the EQP/Δ=0 exactness invariant.
+func (e *Engine) VerifyExact() error {
+	for i, spec := range e.w.Queries {
+		qid := e.qids[i]
+		correct := groundTruth(e.bkt, e.w.Objects, spec, nil)
+		if got := e.srv.ResultSize(qid); got != len(correct) {
+			return fmt.Errorf("query %d: result size %d, ground truth %d", qid, got, len(correct))
+		}
+		for oid := range correct {
+			if !e.srv.ResultContains(qid, oid) {
+				return fmt.Errorf("query %d: missing object %d", qid, oid)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the configured warmup and measured steps and returns the
+// collected metrics.
+func (e *Engine) Run() Metrics {
+	for i := 0; i < e.cfg.Warmup; i++ {
+		e.Step()
+	}
+	e.meter.Reset()
+	for _, a := range e.accounts {
+		a.Reset()
+	}
+	e.measuring = true
+	for i := 0; i < e.cfg.Steps; i++ {
+		e.Step()
+	}
+	e.measuring = false
+	return e.metrics()
+}
+
+func (e *Engine) metrics() Metrics {
+	m := Metrics{
+		Approach:      MobiEyes,
+		Steps:         e.stepsSeen,
+		Seconds:       float64(e.stepsSeen) * e.cfg.StepSeconds,
+		UplinkMsgs:    e.meter.UplinkMessages(),
+		DownlinkMsgs:  e.meter.DownlinkMessages(),
+		UplinkBytes:   e.meter.UplinkBytes(),
+		DownlinkBytes: e.meter.DownlinkBytes(),
+		ServerNanos:   e.serverNanos,
+		ClientNanos:   e.clientNanos,
+		ServerOps:     e.srv.Ops(),
+		ByKind:        e.meter.Snapshot(),
+	}
+	if e.lqtSamples > 0 {
+		m.AvgLQTSize = float64(e.lqtTotal) / float64(e.lqtSamples)
+	}
+	if e.errSamples > 0 {
+		m.AvgError = e.errTotal / float64(e.errSamples)
+	}
+	if len(e.accounts) > 0 && m.Seconds > 0 {
+		var joules float64
+		for _, a := range e.accounts {
+			joules += a.Joules()
+		}
+		m.AvgPowerWatts = joules / float64(len(e.accounts)) / m.Seconds
+	}
+	for _, c := range e.cls {
+		m.Evals += c.Evals()
+		m.Skipped += c.SkippedEvals()
+	}
+	return m
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/workload"
+)
+
+// buckets maps grid cells to the indices of the objects inside them,
+// rebuilt once per step. It accelerates both broadcast delivery and
+// ground-truth evaluation.
+type buckets struct {
+	g     *grid.Grid
+	cells [][]int32
+}
+
+func newBuckets(g *grid.Grid) *buckets {
+	return &buckets{g: g, cells: make([][]int32, g.NumCells())}
+}
+
+// rebuild re-buckets all objects.
+func (b *buckets) rebuild(objs []*model.MovingObject) {
+	for i := range b.cells {
+		b.cells[i] = b.cells[i][:0]
+	}
+	for i, o := range objs {
+		idx := b.g.CellIndex(b.g.CellOf(o.Pos))
+		b.cells[idx] = append(b.cells[idx], int32(i))
+	}
+}
+
+// forEachInRegion visits every object index bucketed in cells of the range.
+func (b *buckets) forEachInRegion(cr grid.CellRange, fn func(i int32)) {
+	for row := cr.Min.Row; row <= cr.Max.Row; row++ {
+		for col := cr.Min.Col; col <= cr.Max.Col; col++ {
+			c := grid.CellID{Col: col, Row: row}
+			if !b.g.Valid(c) {
+				continue
+			}
+			for _, i := range b.cells[b.g.CellIndex(c)] {
+				fn(i)
+			}
+		}
+	}
+}
+
+// groundTruth evaluates the exact result of a query spec against the
+// current object population using the cell buckets for pruning.
+func groundTruth(b *buckets, objs []*model.MovingObject, q workload.QuerySpec, dst map[model.ObjectID]struct{}) map[model.ObjectID]struct{} {
+	if dst == nil {
+		dst = make(map[model.ObjectID]struct{})
+	} else {
+		for k := range dst {
+			delete(dst, k)
+		}
+	}
+	focal := objs[int(q.Focal)-1]
+	region := geo.NewCircle(focal.Pos, q.Radius)
+	cr := b.g.CellsIntersecting(region.BoundingRect())
+	r2 := q.Radius * q.Radius
+	b.forEachInRegion(cr, func(i int32) {
+		o := objs[i]
+		if o.Pos.Dist2(focal.Pos) <= r2 && q.Filter.Matches(o.Props) {
+			dst[o.ID] = struct{}{}
+		}
+	})
+	return dst
+}
+
+// resultError computes the paper's Fig. 2 error measure for one query: the
+// number of object identifiers missing from the reported result divided by
+// the size of the correct result. Queries with empty correct results are
+// reported as (0, false) and excluded from averages.
+func resultError(correct map[model.ObjectID]struct{}, reported func(model.ObjectID) bool) (float64, bool) {
+	if len(correct) == 0 {
+		return 0, false
+	}
+	missing := 0
+	for oid := range correct {
+		if !reported(oid) {
+			missing++
+		}
+	}
+	return float64(missing) / float64(len(correct)), true
+}

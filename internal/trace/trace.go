@@ -1,0 +1,290 @@
+// Package trace records and replays object mobility. A Trace captures the
+// initial population (positions, velocities, speed bounds, property keys)
+// and the exact sequence of per-step velocity changes of a workload run, in
+// a compact binary format. Replaying a trace reproduces every trajectory
+// bit-for-bit, which makes captured scenarios portable: a failing protocol
+// run can be recorded once and replayed deterministically in a regression
+// test, independent of the random process that produced it.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+	"mobieyes/internal/workload"
+)
+
+// magic identifies the trace format; version gates incompatible changes.
+const (
+	magic   = "MOBT"
+	version = uint16(1)
+)
+
+// ObjectInit is the initial state of one recorded object.
+type ObjectInit struct {
+	ID       model.ObjectID
+	Pos      geo.Point
+	Vel      geo.Vector
+	MaxVel   float64
+	PropsKey uint64
+}
+
+// VelocityChange is one scripted velocity assignment: at the step it
+// belongs to, object Index (into the Objects slice) switches to Vel before
+// moving.
+type VelocityChange struct {
+	Index uint32
+	Vel   geo.Vector
+}
+
+// Step is the set of velocity changes applied at the start of one step.
+type Step struct {
+	Changes []VelocityChange
+}
+
+// Trace is a recorded mobility scenario.
+type Trace struct {
+	StepSeconds float64
+	Objects     []ObjectInit
+	Steps       []Step
+}
+
+// Record runs w's mobility process for the given number of steps and
+// captures it: the returned trace replays to exactly the trajectories the
+// workload produced. The workload's objects are advanced as a side effect
+// (recording *is* a run).
+func Record(w *workload.Workload, steps int) *Trace {
+	t := &Trace{StepSeconds: w.Config().StepSeconds}
+	if t.StepSeconds <= 0 {
+		t.StepSeconds = 30
+	}
+	for _, o := range w.Objects {
+		t.Objects = append(t.Objects, ObjectInit{
+			ID: o.ID, Pos: o.Pos, Vel: o.Vel, MaxVel: o.MaxVel, PropsKey: o.Props.Key,
+		})
+	}
+	dt := model.FromSeconds(t.StepSeconds)
+	for s := 0; s < steps; s++ {
+		// Mirror the engine's step order: bounce, perturb, move. Bounces
+		// and perturbations both change velocities; capturing the final
+		// velocity of every touched object keeps replay exact.
+		before := make([]geo.Vector, len(w.Objects))
+		for i, o := range w.Objects {
+			before[i] = o.Vel
+		}
+		w.BounceAtBorders()
+		w.PerturbStep()
+		var st Step
+		for i, o := range w.Objects {
+			if o.Vel != before[i] {
+				st.Changes = append(st.Changes, VelocityChange{Index: uint32(i), Vel: o.Vel})
+			}
+		}
+		t.Steps = append(t.Steps, st)
+		for _, o := range w.Objects {
+			o.Move(dt)
+		}
+	}
+	return t
+}
+
+// Player replays a trace step by step over a fresh copy of the recorded
+// population.
+type Player struct {
+	trace   *Trace
+	Objects []*model.MovingObject
+	step    int
+}
+
+// NewPlayer returns a player positioned before the first step.
+func NewPlayer(t *Trace) *Player {
+	p := &Player{trace: t}
+	for _, oi := range t.Objects {
+		p.Objects = append(p.Objects, &model.MovingObject{
+			ID: oi.ID, Pos: oi.Pos, Vel: oi.Vel, MaxVel: oi.MaxVel,
+			Props: model.Props{Key: oi.PropsKey},
+		})
+	}
+	return p
+}
+
+// Done reports whether every recorded step has been replayed.
+func (p *Player) Done() bool { return p.step >= len(p.trace.Steps) }
+
+// Step applies the next recorded step: scripted velocity changes, then
+// motion. It returns the indices of objects whose velocity changed, or
+// false when the trace is exhausted.
+func (p *Player) Step() ([]uint32, bool) {
+	if p.Done() {
+		return nil, false
+	}
+	st := p.trace.Steps[p.step]
+	p.step++
+	changed := make([]uint32, 0, len(st.Changes))
+	for _, ch := range st.Changes {
+		p.Objects[ch.Index].Vel = ch.Vel
+		changed = append(changed, ch.Index)
+	}
+	dt := model.FromSeconds(p.trace.StepSeconds)
+	for _, o := range p.Objects {
+		o.Move(dt)
+	}
+	return changed, true
+}
+
+// Write serializes the trace. The format is little-endian binary:
+// magic, version, step seconds, object table, then per-step change lists.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	writeU16 := func(v uint16) { var b [2]byte; le.PutUint16(b[:], v); bw.Write(b[:]) }
+	writeU32 := func(v uint32) { var b [4]byte; le.PutUint32(b[:], v); bw.Write(b[:]) }
+	writeU64 := func(v uint64) { var b [8]byte; le.PutUint64(b[:], v); bw.Write(b[:]) }
+	writeF := func(v float64) { writeU64(math.Float64bits(v)) }
+
+	writeU16(version)
+	writeF(t.StepSeconds)
+	writeU32(uint32(len(t.Objects)))
+	for _, o := range t.Objects {
+		writeU32(uint32(o.ID))
+		writeF(o.Pos.X)
+		writeF(o.Pos.Y)
+		writeF(o.Vel.X)
+		writeF(o.Vel.Y)
+		writeF(o.MaxVel)
+		writeU64(o.PropsKey)
+	}
+	writeU32(uint32(len(t.Steps)))
+	for _, st := range t.Steps {
+		writeU32(uint32(len(st.Changes)))
+		for _, ch := range st.Changes {
+			writeU32(ch.Index)
+			writeF(ch.Vel.X)
+			writeF(ch.Vel.Y)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, errors.New("trace: bad magic (not a trace file)")
+	}
+	le := binary.LittleEndian
+	readU16 := func() (uint16, error) {
+		var b [2]byte
+		_, err := io.ReadFull(br, b[:])
+		return le.Uint16(b[:]), err
+	}
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		_, err := io.ReadFull(br, b[:])
+		return le.Uint32(b[:]), err
+	}
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		_, err := io.ReadFull(br, b[:])
+		return le.Uint64(b[:]), err
+	}
+	readF := func() (float64, error) {
+		v, err := readU64()
+		return math.Float64frombits(v), err
+	}
+
+	ver, err := readU16()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	t := &Trace{}
+	if t.StepSeconds, err = readF(); err != nil {
+		return nil, fmt.Errorf("trace: reading step seconds: %w", err)
+	}
+	if t.StepSeconds <= 0 || math.IsNaN(t.StepSeconds) {
+		return nil, fmt.Errorf("trace: invalid step seconds %v", t.StepSeconds)
+	}
+	nObj, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading object count: %w", err)
+	}
+	const maxObjects = 10_000_000
+	if nObj > maxObjects {
+		return nil, fmt.Errorf("trace: implausible object count %d", nObj)
+	}
+	t.Objects = make([]ObjectInit, nObj)
+	for i := range t.Objects {
+		o := &t.Objects[i]
+		var id uint32
+		if id, err = readU32(); err == nil {
+			o.ID = model.ObjectID(id)
+			if o.Pos.X, err = readF(); err == nil {
+				if o.Pos.Y, err = readF(); err == nil {
+					if o.Vel.X, err = readF(); err == nil {
+						if o.Vel.Y, err = readF(); err == nil {
+							if o.MaxVel, err = readF(); err == nil {
+								o.PropsKey, err = readU64()
+							}
+						}
+					}
+				}
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading object %d: %w", i, err)
+		}
+	}
+	nSteps, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading step count: %w", err)
+	}
+	const maxSteps = 100_000_000
+	if nSteps > maxSteps {
+		return nil, fmt.Errorf("trace: implausible step count %d", nSteps)
+	}
+	t.Steps = make([]Step, nSteps)
+	for s := range t.Steps {
+		nCh, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading step %d: %w", s, err)
+		}
+		if uint64(nCh) > uint64(nObj)*4 {
+			return nil, fmt.Errorf("trace: implausible change count %d at step %d", nCh, s)
+		}
+		if nCh == 0 {
+			continue
+		}
+		t.Steps[s].Changes = make([]VelocityChange, nCh)
+		for c := range t.Steps[s].Changes {
+			ch := &t.Steps[s].Changes[c]
+			if ch.Index, err = readU32(); err == nil {
+				if ch.Vel.X, err = readF(); err == nil {
+					ch.Vel.Y, err = readF()
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace: reading change %d of step %d: %w", c, s, err)
+			}
+			if ch.Index >= nObj {
+				return nil, fmt.Errorf("trace: change references object %d of %d", ch.Index, nObj)
+			}
+		}
+	}
+	return t, nil
+}

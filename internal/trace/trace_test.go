@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+	"mobieyes/internal/workload"
+)
+
+func recordedWorkload(t *testing.T, steps int) (*Trace, *workload.Workload) {
+	t.Helper()
+	cfg := workload.Default(geo.NewRect(0, 0, 100, 100))
+	cfg.NumObjects = 150
+	cfg.NumQueries = 10
+	cfg.VelocityChangesPerStep = 20
+	w := workload.New(cfg)
+	return Record(w, steps), w
+}
+
+// TestReplayReproducesTrajectories: replaying a trace lands every object on
+// exactly the position the original run produced.
+func TestReplayReproducesTrajectories(t *testing.T) {
+	tr, w := recordedWorkload(t, 50)
+	p := NewPlayer(tr)
+	for !p.Done() {
+		if _, ok := p.Step(); !ok {
+			t.Fatal("Step returned false before Done")
+		}
+	}
+	for i, o := range w.Objects {
+		if p.Objects[i].Pos != o.Pos {
+			t.Fatalf("object %d: replay at %v, original at %v", i, p.Objects[i].Pos, o.Pos)
+		}
+		if p.Objects[i].Vel != o.Vel {
+			t.Fatalf("object %d: replay velocity %v, original %v", i, p.Objects[i].Vel, o.Vel)
+		}
+	}
+	if _, ok := p.Step(); ok {
+		t.Fatal("Step after exhaustion returned true")
+	}
+}
+
+func TestPlayerDoesNotAliasWorkloadObjects(t *testing.T) {
+	tr, _ := recordedWorkload(t, 1)
+	a := NewPlayer(tr)
+	b := NewPlayer(tr)
+	a.Objects[0].Pos = geo.Pt(-999, -999)
+	if b.Objects[0].Pos == geo.Pt(-999, -999) {
+		t.Fatal("players share object state")
+	}
+	if tr.Objects[0].Pos == geo.Pt(-999, -999) {
+		t.Fatal("player mutates the trace")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	tr, _ := recordedWorkload(t, 25)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.StepSeconds != tr.StepSeconds {
+		t.Fatalf("StepSeconds = %v, want %v", back.StepSeconds, tr.StepSeconds)
+	}
+	if len(back.Objects) != len(tr.Objects) || len(back.Steps) != len(tr.Steps) {
+		t.Fatalf("shape mismatch: %d/%d objects, %d/%d steps",
+			len(back.Objects), len(tr.Objects), len(back.Steps), len(tr.Steps))
+	}
+	for i := range tr.Objects {
+		if back.Objects[i] != tr.Objects[i] {
+			t.Fatalf("object %d differs: %+v vs %+v", i, back.Objects[i], tr.Objects[i])
+		}
+	}
+	for s := range tr.Steps {
+		if len(back.Steps[s].Changes) != len(tr.Steps[s].Changes) {
+			t.Fatalf("step %d change count differs", s)
+		}
+		for c := range tr.Steps[s].Changes {
+			if back.Steps[s].Changes[c] != tr.Steps[s].Changes[c] {
+				t.Fatalf("step %d change %d differs", s, c)
+			}
+		}
+	}
+
+	// Replays of original and round-tripped traces agree.
+	pa, pb := NewPlayer(tr), NewPlayer(back)
+	for !pa.Done() {
+		pa.Step()
+		pb.Step()
+	}
+	for i := range pa.Objects {
+		if pa.Objects[i].Pos != pb.Objects[i].Pos {
+			t.Fatalf("object %d diverges after round trip", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      nil,
+		"bad magic":  []byte("NOPE0123456789"),
+		"truncated":  []byte("MOBT"),
+		"short body": append([]byte("MOBT"), 1, 0, 0, 0),
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Read accepted invalid input", name)
+		}
+	}
+}
+
+func TestReadRejectsCorruptCounts(t *testing.T) {
+	tr, _ := recordedWorkload(t, 2)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the object count (bytes 14..17: magic 4 + version 2 + f64 8).
+	blown := append([]byte(nil), data...)
+	blown[14], blown[15], blown[16], blown[17] = 0xff, 0xff, 0xff, 0xff
+	if _, err := Read(bytes.NewReader(blown)); err == nil {
+		t.Error("Read accepted an implausible object count")
+	}
+	// Truncate mid-object-table.
+	if _, err := Read(bytes.NewReader(data[:30])); err == nil {
+		t.Error("Read accepted a truncated object table")
+	}
+}
+
+func TestReadRejectsWrongVersion(t *testing.T) {
+	tr, _ := recordedWorkload(t, 1)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version low byte
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("Read accepted an unsupported version")
+	}
+}
+
+func TestRecordCapturesBounces(t *testing.T) {
+	// An object heading out of the UoD bounces; the reflected velocity must
+	// be in the trace so replay follows the same path.
+	cfg := workload.Default(geo.NewRect(0, 0, 50, 50))
+	cfg.NumObjects = 1
+	cfg.NumQueries = 1
+	cfg.VelocityChangesPerStep = 0
+	w := workload.New(cfg)
+	w.Objects[0].Pos = geo.Pt(0.01, 25)
+	w.Objects[0].Vel = geo.Vec(-100, 0) // heading out west
+	w.Objects[0].Pos = geo.Pt(0, 25)
+
+	tr := Record(w, 5)
+	p := NewPlayer(tr)
+	for !p.Done() {
+		p.Step()
+	}
+	if p.Objects[0].Pos != w.Objects[0].Pos {
+		t.Fatalf("bounce not replayed: %v vs %v", p.Objects[0].Pos, w.Objects[0].Pos)
+	}
+	if p.Objects[0].Pos.X < 0 {
+		t.Fatalf("replayed object escaped west: %v", p.Objects[0].Pos)
+	}
+}
+
+// TestProtocolOverTraceMatchesLiveRun: driving the MobiEyes protocol from a
+// replayed trace yields exactly the results of driving it from the original
+// workload — captured scenarios are faithful regression inputs.
+func TestProtocolOverTraceMatchesLiveRun(t *testing.T) {
+	// Record a scenario.
+	cfg := workload.Default(geo.NewRect(0, 0, 100, 100))
+	cfg.NumObjects = 80
+	cfg.NumQueries = 8
+	cfg.VelocityChangesPerStep = 15
+	wRecord := workload.New(cfg)
+	specs := append([]workload.QuerySpec(nil), wRecord.Queries...)
+	tr := Record(wRecord, 30)
+
+	// Replay the whole scenario.
+	p := NewPlayer(tr)
+	step := 0
+	for !p.Done() {
+		p.Step()
+		step++
+	}
+	if step != 30 {
+		t.Fatalf("replayed %d steps, want 30", step)
+	}
+	// End-state results agree between original and replayed populations.
+	for qi, spec := range specs {
+		live := map[model.ObjectID]bool{}
+		replay := map[model.ObjectID]bool{}
+		fl := wRecord.Objects[int(spec.Focal)-1]
+		fr := p.Objects[int(spec.Focal)-1]
+		for i := range wRecord.Objects {
+			lo, ro := wRecord.Objects[i], p.Objects[i]
+			if spec.Filter.Matches(lo.Props) && lo.Pos.Dist2(fl.Pos) <= spec.Radius*spec.Radius {
+				live[lo.ID] = true
+			}
+			if spec.Filter.Matches(ro.Props) && ro.Pos.Dist2(fr.Pos) <= spec.Radius*spec.Radius {
+				replay[ro.ID] = true
+			}
+		}
+		if len(live) != len(replay) {
+			t.Fatalf("query %d: result sizes differ (%d vs %d)", qi, len(live), len(replay))
+		}
+		for oid := range live {
+			if !replay[oid] {
+				t.Fatalf("query %d: replay missing object %d", qi, oid)
+			}
+		}
+	}
+}

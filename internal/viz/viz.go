@@ -1,0 +1,174 @@
+// Package viz renders simulation state to raster images: objects, query
+// regions, grid lines and monitoring regions over the universe of
+// discourse. It backs cmd/mobiviz, which turns a simulation run into PNG
+// frames — often the fastest way to see that monitoring regions follow
+// their focal objects and results flip exactly at region boundaries.
+//
+// The canvas maps the UoD onto a square image with the y-axis pointing up
+// (world convention), i.e. image rows are flipped.
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"mobieyes/internal/geo"
+)
+
+// Canvas rasterizes world-coordinate drawing operations.
+type Canvas struct {
+	img   *image.RGBA
+	uod   geo.Rect
+	scale float64 // pixels per mile
+}
+
+// NewCanvas returns a canvas for the given universe of discourse, widthPx
+// pixels wide (height follows the UoD aspect ratio). It panics for
+// non-positive dimensions — a configuration error.
+func NewCanvas(uod geo.Rect, widthPx int) *Canvas {
+	if widthPx <= 0 || uod.W() <= 0 || uod.H() <= 0 {
+		panic(fmt.Sprintf("viz: invalid canvas (%d px over %v)", widthPx, uod))
+	}
+	scale := float64(widthPx) / uod.W()
+	heightPx := int(uod.H()*scale + 0.5)
+	if heightPx < 1 {
+		heightPx = 1
+	}
+	return &Canvas{
+		img:   image.NewRGBA(image.Rect(0, 0, widthPx, heightPx)),
+		uod:   uod,
+		scale: scale,
+	}
+}
+
+// Image exposes the underlying image.
+func (c *Canvas) Image() *image.RGBA { return c.img }
+
+// Size returns the pixel dimensions.
+func (c *Canvas) Size() (w, h int) {
+	b := c.img.Bounds()
+	return b.Dx(), b.Dy()
+}
+
+// Clear fills the canvas with a color.
+func (c *Canvas) Clear(col color.RGBA) {
+	b := c.img.Bounds()
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			c.img.SetRGBA(x, y, col)
+		}
+	}
+}
+
+// ToPixel maps a world point to pixel coordinates (y flipped).
+func (c *Canvas) ToPixel(p geo.Point) (x, y int) {
+	_, h := c.Size()
+	x = int((p.X - c.uod.LX) * c.scale)
+	y = h - 1 - int((p.Y-c.uod.LY)*c.scale)
+	return x, y
+}
+
+func (c *Canvas) set(x, y int, col color.RGBA) {
+	if image.Pt(x, y).In(c.img.Bounds()) {
+		c.img.SetRGBA(x, y, col)
+	}
+}
+
+// DrawPoint draws a filled disc of the given pixel radius at world point p.
+func (c *Canvas) DrawPoint(p geo.Point, radiusPx int, col color.RGBA) {
+	cx, cy := c.ToPixel(p)
+	r2 := radiusPx * radiusPx
+	for dy := -radiusPx; dy <= radiusPx; dy++ {
+		for dx := -radiusPx; dx <= radiusPx; dx++ {
+			if dx*dx+dy*dy <= r2 {
+				c.set(cx+dx, cy+dy, col)
+			}
+		}
+	}
+}
+
+// DrawCircle draws the outline of a world-coordinate circle using the
+// midpoint circle algorithm.
+func (c *Canvas) DrawCircle(circle geo.Circle, col color.RGBA) {
+	cx, cy := c.ToPixel(circle.Center)
+	r := int(circle.R*c.scale + 0.5)
+	if r <= 0 {
+		c.set(cx, cy, col)
+		return
+	}
+	x, y, err := r, 0, 1-r
+	for x >= y {
+		for _, pt := range [8][2]int{
+			{x, y}, {y, x}, {-y, x}, {-x, y},
+			{-x, -y}, {-y, -x}, {y, -x}, {x, -y},
+		} {
+			c.set(cx+pt[0], cy+pt[1], col)
+		}
+		y++
+		if err < 0 {
+			err += 2*y + 1
+		} else {
+			x--
+			err += 2*(y-x) + 1
+		}
+	}
+}
+
+// DrawRect draws the outline of a world-coordinate rectangle.
+func (c *Canvas) DrawRect(r geo.Rect, col color.RGBA) {
+	x0, y0 := c.ToPixel(geo.Pt(r.LX, r.LY))
+	x1, y1 := c.ToPixel(geo.Pt(r.HX, r.HY))
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	for x := x0; x <= x1; x++ {
+		c.set(x, y0, col)
+		c.set(x, y1, col)
+	}
+	for y := y0; y <= y1; y++ {
+		c.set(x0, y, col)
+		c.set(x1, y, col)
+	}
+}
+
+// DrawGrid draws the α-grid lines over the UoD.
+func (c *Canvas) DrawGrid(alpha float64, col color.RGBA) {
+	if alpha <= 0 {
+		return
+	}
+	w, h := c.Size()
+	for gx := c.uod.LX; gx <= c.uod.HX+1e-9; gx += alpha {
+		x, _ := c.ToPixel(geo.Pt(gx, c.uod.LY))
+		for y := 0; y < h; y++ {
+			c.set(x, y, col)
+		}
+	}
+	for gy := c.uod.LY; gy <= c.uod.HY+1e-9; gy += alpha {
+		_, y := c.ToPixel(geo.Pt(c.uod.LX, gy))
+		for x := 0; x < w; x++ {
+			c.set(x, y, col)
+		}
+	}
+}
+
+// EncodePNG writes the canvas as PNG.
+func (c *Canvas) EncodePNG(w io.Writer) error {
+	return png.Encode(w, c.img)
+}
+
+// Standard palette for simulation frames.
+var (
+	Background = color.RGBA{18, 18, 24, 255}
+	GridLine   = color.RGBA{40, 40, 52, 255}
+	Object     = color.RGBA{150, 150, 160, 255}
+	Focal      = color.RGBA{80, 160, 255, 255}
+	Target     = color.RGBA{255, 90, 90, 255}
+	Region     = color.RGBA{90, 220, 140, 255}
+	MonRegion  = color.RGBA{70, 110, 80, 255}
+)

@@ -1,0 +1,166 @@
+package viz
+
+import (
+	"bytes"
+	"image/color"
+	"image/png"
+	"math"
+	"testing"
+
+	"mobieyes/internal/geo"
+)
+
+func testCanvas() *Canvas {
+	return NewCanvas(geo.NewRect(0, 0, 100, 100), 200)
+}
+
+func TestNewCanvasDimensions(t *testing.T) {
+	c := testCanvas()
+	w, h := c.Size()
+	if w != 200 || h != 200 {
+		t.Fatalf("size = %dx%d, want 200x200", w, h)
+	}
+	// Non-square UoD keeps the aspect ratio.
+	c2 := NewCanvas(geo.NewRect(0, 0, 100, 50), 200)
+	w2, h2 := c2.Size()
+	if w2 != 200 || h2 != 100 {
+		t.Fatalf("size = %dx%d, want 200x100", w2, h2)
+	}
+}
+
+func TestNewCanvasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCanvas(geo.NewRect(0, 0, 100, 100), 0)
+}
+
+func TestToPixelOrientation(t *testing.T) {
+	c := testCanvas()
+	// World origin (bottom-left) maps to the bottom-left pixel.
+	x, y := c.ToPixel(geo.Pt(0, 0))
+	if x != 0 || y != 199 {
+		t.Errorf("origin → (%d,%d), want (0,199)", x, y)
+	}
+	// Top-right corner.
+	x, y = c.ToPixel(geo.Pt(99.9, 99.9))
+	if x != 199 || y != 0 {
+		t.Errorf("top-right → (%d,%d), want (199,0)", x, y)
+	}
+	// Moving north decreases the pixel row.
+	_, y1 := c.ToPixel(geo.Pt(50, 10))
+	_, y2 := c.ToPixel(geo.Pt(50, 90))
+	if y2 >= y1 {
+		t.Error("y axis not flipped")
+	}
+}
+
+func TestClearAndDrawPoint(t *testing.T) {
+	c := testCanvas()
+	c.Clear(Background)
+	if got := c.Image().RGBAAt(100, 100); got != Background {
+		t.Fatalf("Clear failed: %v", got)
+	}
+	red := color.RGBA{255, 0, 0, 255}
+	c.DrawPoint(geo.Pt(50, 50), 2, red)
+	px, py := c.ToPixel(geo.Pt(50, 50))
+	if got := c.Image().RGBAAt(px, py); got != red {
+		t.Fatalf("point center not drawn: %v", got)
+	}
+	if got := c.Image().RGBAAt(px+2, py); got != red {
+		t.Fatal("point radius not filled")
+	}
+	if got := c.Image().RGBAAt(px+4, py); got == red {
+		t.Fatal("point overflowed its radius")
+	}
+	// Off-canvas points must not panic.
+	c.DrawPoint(geo.Pt(-50, -50), 3, red)
+	c.DrawPoint(geo.Pt(500, 500), 3, red)
+}
+
+func TestDrawCirclePixelsOnRing(t *testing.T) {
+	c := testCanvas()
+	c.Clear(Background)
+	col := color.RGBA{0, 255, 0, 255}
+	circle := geo.NewCircle(geo.Pt(50, 50), 20)
+	c.DrawCircle(circle, col)
+
+	cx, cy := c.ToPixel(circle.Center)
+	rPx := circle.R * 2 // scale = 2 px/mile
+	found := 0
+	w, h := c.Size()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if c.Image().RGBAAt(x, y) != col {
+				continue
+			}
+			found++
+			d := math.Hypot(float64(x-cx), float64(y-cy))
+			if math.Abs(d-rPx) > 1.5 {
+				t.Fatalf("circle pixel (%d,%d) at distance %.1f, want ≈%.1f", x, y, d, rPx)
+			}
+		}
+	}
+	if found < 100 {
+		t.Fatalf("only %d circle pixels drawn", found)
+	}
+}
+
+func TestDrawRectOutline(t *testing.T) {
+	c := testCanvas()
+	c.Clear(Background)
+	col := color.RGBA{0, 0, 255, 255}
+	c.DrawRect(geo.NewRect(10, 10, 30, 20), col)
+	// Corners are on the outline.
+	for _, p := range []geo.Point{geo.Pt(10, 10), geo.Pt(40, 10), geo.Pt(10, 30), geo.Pt(40, 30)} {
+		x, y := c.ToPixel(p)
+		if got := c.Image().RGBAAt(x, y); got != col {
+			t.Errorf("corner %v not drawn: %v", p, got)
+		}
+	}
+	// Interior stays clear.
+	x, y := c.ToPixel(geo.Pt(25, 20))
+	if got := c.Image().RGBAAt(x, y); got == col {
+		t.Error("rect interior filled")
+	}
+}
+
+func TestDrawGrid(t *testing.T) {
+	c := testCanvas()
+	c.Clear(Background)
+	c.DrawGrid(25, GridLine)
+	// A grid line at x=25 runs the full height.
+	x, _ := c.ToPixel(geo.Pt(25, 0))
+	for _, y := range []int{0, 50, 199} {
+		if got := c.Image().RGBAAt(x, y); got != GridLine {
+			t.Fatalf("grid column missing at y=%d", y)
+		}
+	}
+	// Zero alpha is a no-op, not a hang.
+	c.DrawGrid(0, GridLine)
+}
+
+func TestEncodePNGRoundTrip(t *testing.T) {
+	c := testCanvas()
+	c.Clear(Background)
+	c.DrawPoint(geo.Pt(10, 10), 3, Target)
+	var buf bytes.Buffer
+	if err := c.EncodePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds() != c.Image().Bounds() {
+		t.Fatalf("decoded bounds %v, want %v", img.Bounds(), c.Image().Bounds())
+	}
+	px, py := c.ToPixel(geo.Pt(10, 10))
+	r, g, b, _ := img.At(px, py).RGBA()
+	wr, wg, wb, _ := Target.RGBA()
+	if r != wr || g != wg || b != wb {
+		t.Fatal("drawn pixel lost in PNG round trip")
+	}
+}

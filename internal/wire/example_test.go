@@ -1,0 +1,29 @@
+package wire_test
+
+import (
+	"fmt"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/wire"
+)
+
+// ExampleEncode shows that a message's declared Size is its exact encoded
+// length — the property that ties the power model to real bytes.
+func ExampleEncode() {
+	m := msg.VelocityReport{
+		OID: 7,
+		Pos: geo.Pt(12.5, 40),
+		Vel: geo.Vec(-60, 30),
+		Tm:  model.FromSeconds(90),
+	}
+	b := wire.Encode(m)
+	fmt.Println("encoded bytes == Size():", len(b) == m.Size())
+
+	back, _ := wire.Decode(b)
+	fmt.Println("round trip:", back == m)
+	// Output:
+	// encoded bytes == Size(): true
+	// round trip: true
+}

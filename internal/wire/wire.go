@@ -1,0 +1,409 @@
+// Package wire is the binary codec for the MobiEyes protocol messages of
+// internal/msg. Every message encodes to exactly msg.Message.Size() bytes —
+// the same figure the power model charges — so the byte accounting of the
+// simulation is the byte layout of a real deployment (internal/remote sends
+// these frames over TCP).
+//
+// Layout: a 16-byte header (magic, version, kind, flags, payload length,
+// source and destination object IDs) followed by the payload fields in
+// little-endian order, sized per the constants in internal/msg. Regions
+// encode as a one-byte shape tag plus two float64 parameters.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+)
+
+// Header layout constants.
+const (
+	Magic   = uint16(0xE7E5) // "mobieyes"
+	Version = uint8(1)
+)
+
+// Region shape tags.
+const (
+	regionCircle  = uint8(1)
+	regionRect    = uint8(2)
+	regionPolygon = uint8(3)
+)
+
+// ErrTruncated reports a buffer shorter than its header or declared length.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// encoder appends primitive values to a buffer.
+type encoder struct{ b []byte }
+
+func (e *encoder) u8(v uint8)    { e.b = append(e.b, v) }
+func (e *encoder) u16(v uint16)  { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *encoder) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *encoder) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *encoder) boolByte(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) point(p geo.Point)          { e.f64(p.X); e.f64(p.Y) }
+func (e *encoder) vector(v geo.Vector)        { e.f64(v.X); e.f64(v.Y) }
+func (e *encoder) time(t model.Time)          { e.f64(float64(t)) }
+func (e *encoder) oid(id model.ObjectID)      { e.u32(uint32(id)) }
+func (e *encoder) qid(id model.QueryID)       { e.u32(uint32(id)) }
+func (e *encoder) cell(c grid.CellID)         { e.u32(uint32(int32(c.Col))); e.u32(uint32(int32(c.Row))) }
+func (e *encoder) cellRange(r grid.CellRange) { e.cell(r.Min); e.cell(r.Max) }
+func (e *encoder) filter(f model.Filter) {
+	e.u64(f.Seed)
+	e.u32(f.Permille)
+}
+
+func (e *encoder) region(r model.Region) {
+	switch rr := r.(type) {
+	case model.CircleRegion:
+		e.u8(regionCircle)
+		e.f64(rr.R)
+		e.f64(0)
+	case model.RectRegion:
+		e.u8(regionRect)
+		e.f64(rr.W)
+		e.f64(rr.H)
+	case model.PolygonRegion:
+		e.u8(regionPolygon)
+		e.u16(uint16(len(rr.Vertices)))
+		for _, v := range rr.Vertices {
+			e.point(v)
+		}
+	default:
+		// Unknown shapes degrade to their enclosing circle: every consumer
+		// of a Region can work with that soundly.
+		e.u8(regionCircle)
+		e.f64(r.EnclosingRadius())
+		e.f64(0)
+	}
+}
+
+func (e *encoder) motionState(s model.MotionState) {
+	e.point(s.Pos)
+	e.vector(s.Vel)
+	e.time(s.Tm)
+}
+
+func (e *encoder) queryState(qs msg.QueryState) {
+	e.qid(qs.QID)
+	e.oid(qs.Focal)
+	e.motionState(qs.State)
+	e.region(qs.Region)
+	e.filter(qs.Filter)
+	e.cellRange(qs.MonRegion)
+	e.f64(qs.FocalMaxVel)
+}
+
+// decoder consumes primitive values from a buffer.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.b) {
+		d.err = ErrTruncated
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) f64() float64     { return math.Float64frombits(d.u64()) }
+func (d *decoder) boolByte() bool   { return d.u8() != 0 }
+func (d *decoder) point() geo.Point { return geo.Pt(d.f64(), d.f64()) }
+func (d *decoder) vector() geo.Vector {
+	return geo.Vec(d.f64(), d.f64())
+}
+func (d *decoder) time() model.Time    { return model.Time(d.f64()) }
+func (d *decoder) oid() model.ObjectID { return model.ObjectID(d.u32()) }
+func (d *decoder) qid() model.QueryID  { return model.QueryID(d.u32()) }
+func (d *decoder) cell() grid.CellID {
+	return grid.CellID{Col: int(int32(d.u32())), Row: int(int32(d.u32()))}
+}
+func (d *decoder) cellRange() grid.CellRange {
+	return grid.CellRange{Min: d.cell(), Max: d.cell()}
+}
+func (d *decoder) filter() model.Filter {
+	return model.Filter{Seed: d.u64(), Permille: d.u32()}
+}
+
+// regionOrPolygon decodes a region including the variable-length polygon
+// form.
+func (d *decoder) regionVar() model.Region {
+	tag := d.u8()
+	switch tag {
+	case regionCircle:
+		a := d.f64()
+		d.f64()
+		return model.CircleRegion{R: a}
+	case regionRect:
+		return model.RectRegion{W: d.f64(), H: d.f64()}
+	case regionPolygon:
+		n := int(d.u16())
+		if n < 3 || !d.need(n*16) {
+			if d.err == nil {
+				d.err = fmt.Errorf("wire: polygon with %d vertices", n)
+			}
+			return model.CircleRegion{}
+		}
+		vs := make([]geo.Point, n)
+		for i := range vs {
+			vs[i] = d.point()
+		}
+		return model.PolygonRegion{Vertices: vs}
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("wire: unknown region tag %d", tag)
+		}
+		return model.CircleRegion{}
+	}
+}
+
+func (d *decoder) motionState() model.MotionState {
+	return model.MotionState{Pos: d.point(), Vel: d.vector(), Tm: d.time()}
+}
+
+func (d *decoder) queryState() msg.QueryState {
+	return msg.QueryState{
+		QID:         d.qid(),
+		Focal:       d.oid(),
+		State:       d.motionState(),
+		Region:      d.regionVar(),
+		Filter:      d.filter(),
+		MonRegion:   d.cellRange(),
+		FocalMaxVel: d.f64(),
+	}
+}
+
+// Encode serializes m. The result is exactly m.Size() bytes.
+func Encode(m msg.Message) []byte {
+	e := &encoder{b: make([]byte, 0, m.Size())}
+	// Header: magic(2) version(1) kind(1) length(4) src(4) dst(4) = 16.
+	e.u16(Magic)
+	e.u8(Version)
+	e.u8(uint8(m.Kind()))
+	e.u32(uint32(m.Size()))
+	e.u32(0) // src, assigned by the transport layer when needed
+	e.u32(0) // dst
+
+	switch mm := m.(type) {
+	case msg.PositionReport:
+		e.oid(mm.OID)
+		e.point(mm.Pos)
+		e.time(mm.Tm)
+	case msg.VelocityReport:
+		e.oid(mm.OID)
+		e.point(mm.Pos)
+		e.vector(mm.Vel)
+		e.time(mm.Tm)
+	case msg.CellChangeReport:
+		e.oid(mm.OID)
+		e.cell(mm.PrevCell)
+		e.cell(mm.NewCell)
+		e.point(mm.Pos)
+		e.vector(mm.Vel)
+		e.time(mm.Tm)
+	case msg.ContainmentReport:
+		e.oid(mm.OID)
+		e.qid(mm.QID)
+		e.boolByte(mm.IsTarget)
+	case msg.GroupContainmentReport:
+		e.oid(mm.OID)
+		e.oid(mm.Focal)
+		e.u16(uint16(len(mm.QIDs)))
+		for _, q := range mm.QIDs {
+			e.qid(q)
+		}
+		e.b = append(e.b, mm.Bitmap.Bytes()...)
+	case msg.FocalInfoResponse:
+		e.oid(mm.OID)
+		e.point(mm.Pos)
+		e.vector(mm.Vel)
+		e.time(mm.Tm)
+	case msg.DepartureReport:
+		e.oid(mm.OID)
+	case msg.QueryInstall:
+		e.u16(uint16(len(mm.Queries)))
+		for _, qs := range mm.Queries {
+			e.queryState(qs)
+		}
+	case msg.QueryRemove:
+		e.u16(uint16(len(mm.QIDs)))
+		for _, q := range mm.QIDs {
+			e.qid(q)
+		}
+	case msg.VelocityChange:
+		e.oid(mm.Focal)
+		e.motionState(mm.State)
+		e.u16(uint16(len(mm.Queries)))
+		for _, qs := range mm.Queries {
+			e.queryState(qs)
+		}
+	case msg.FocalNotify:
+		e.oid(mm.OID)
+		e.qid(mm.QID)
+		e.boolByte(mm.Install)
+	case msg.FocalInfoRequest:
+		e.oid(mm.OID)
+	default:
+		panic(fmt.Sprintf("wire: cannot encode %T", m))
+	}
+	return e.b
+}
+
+// Decode parses one message. The buffer must contain the whole message (use
+// the framing in internal/remote for streams).
+func Decode(b []byte) (msg.Message, error) {
+	d := &decoder{b: b}
+	if magic := d.u16(); magic != Magic && d.err == nil {
+		return nil, fmt.Errorf("wire: bad magic %#04x", magic)
+	}
+	if ver := d.u8(); ver != Version && d.err == nil {
+		return nil, fmt.Errorf("wire: unsupported version %d", ver)
+	}
+	kind := msg.Kind(d.u8())
+	length := d.u32()
+	d.u32() // src
+	d.u32() // dst
+	if d.err != nil {
+		return nil, d.err
+	}
+	if int(length) != len(b) {
+		return nil, fmt.Errorf("wire: declared length %d, buffer %d", length, len(b))
+	}
+
+	var m msg.Message
+	switch kind {
+	case msg.KindPositionReport:
+		m = msg.PositionReport{OID: d.oid(), Pos: d.point(), Tm: d.time()}
+	case msg.KindVelocityReport:
+		m = msg.VelocityReport{OID: d.oid(), Pos: d.point(), Vel: d.vector(), Tm: d.time()}
+	case msg.KindCellChangeReport:
+		m = msg.CellChangeReport{
+			OID: d.oid(), PrevCell: d.cell(), NewCell: d.cell(),
+			Pos: d.point(), Vel: d.vector(), Tm: d.time(),
+		}
+	case msg.KindContainmentReport:
+		m = msg.ContainmentReport{OID: d.oid(), QID: d.qid(), IsTarget: d.boolByte()}
+	case msg.KindGroupContainmentReport:
+		g := msg.GroupContainmentReport{OID: d.oid(), Focal: d.oid()}
+		n := int(d.u16())
+		if n > (len(b)-d.off)/4 {
+			return nil, ErrTruncated
+		}
+		g.QIDs = make([]model.QueryID, n)
+		for i := range g.QIDs {
+			g.QIDs[i] = d.qid()
+		}
+		bm := msg.NewBitmap(n)
+		raw := bm.Bytes()
+		for i := range raw {
+			raw[i] = d.u8()
+		}
+		g.Bitmap = bm
+		m = g
+	case msg.KindFocalInfoResponse:
+		m = msg.FocalInfoResponse{OID: d.oid(), Pos: d.point(), Vel: d.vector(), Tm: d.time()}
+	case msg.KindDepartureReport:
+		m = msg.DepartureReport{OID: d.oid()}
+	case msg.KindQueryInstall:
+		n := int(d.u16())
+		if n > (len(b)-d.off)/4 {
+			return nil, ErrTruncated
+		}
+		qi := msg.QueryInstall{Queries: make([]msg.QueryState, n)}
+		for i := range qi.Queries {
+			qi.Queries[i] = d.queryState()
+		}
+		m = qi
+	case msg.KindQueryRemove:
+		n := int(d.u16())
+		if n > (len(b)-d.off)/4 {
+			return nil, ErrTruncated
+		}
+		qr := msg.QueryRemove{QIDs: make([]model.QueryID, n)}
+		for i := range qr.QIDs {
+			qr.QIDs[i] = d.qid()
+		}
+		m = qr
+	case msg.KindVelocityChange:
+		vc := msg.VelocityChange{Focal: d.oid(), State: d.motionState()}
+		n := int(d.u16())
+		if n > (len(b)-d.off)/4 {
+			return nil, ErrTruncated
+		}
+		vc.Queries = make([]msg.QueryState, n)
+		for i := range vc.Queries {
+			vc.Queries[i] = d.queryState()
+		}
+		if len(vc.Queries) == 0 {
+			vc.Queries = nil
+		}
+		m = vc
+	case msg.KindFocalNotify:
+		m = msg.FocalNotify{OID: d.oid(), QID: d.qid(), Install: d.boolByte()}
+	case msg.KindFocalInfoRequest:
+		m = msg.FocalInfoRequest{OID: d.oid()}
+	default:
+		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-d.off)
+	}
+	return m, nil
+}

@@ -1,0 +1,441 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+)
+
+func smallConfig() Config {
+	cfg := Default(geo.NewRect(0, 0, 100, 100))
+	cfg.NumObjects = 1000
+	cfg.NumQueries = 200
+	cfg.VelocityChangesPerStep = 100
+	return cfg
+}
+
+func TestGenerationCounts(t *testing.T) {
+	w := New(smallConfig())
+	if len(w.Objects) != 1000 {
+		t.Fatalf("objects = %d", len(w.Objects))
+	}
+	if len(w.Queries) != 200 {
+		t.Fatalf("queries = %d", len(w.Queries))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(smallConfig())
+	b := New(smallConfig())
+	for i := range a.Objects {
+		if a.Objects[i].Pos != b.Objects[i].Pos || a.Objects[i].Vel != b.Objects[i].Vel {
+			t.Fatalf("object %d differs across same-seed generations", i)
+		}
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatalf("query %d differs across same-seed generations", i)
+		}
+	}
+	cfg := smallConfig()
+	cfg.Seed = 2
+	c := New(cfg)
+	same := true
+	for i := range a.Objects {
+		if a.Objects[i].Pos != c.Objects[i].Pos {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical object placements")
+	}
+}
+
+func TestObjectsInsideUoD(t *testing.T) {
+	w := New(smallConfig())
+	u := w.Config().UoD
+	for _, o := range w.Objects {
+		if !u.Contains(o.Pos) {
+			t.Fatalf("object %d at %v outside UoD", o.ID, o.Pos)
+		}
+	}
+}
+
+func TestObjectsRoughlyUniform(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumObjects = 20000
+	w := New(cfg)
+	// Quadrant counts should each be ≈25%.
+	var q [4]int
+	for _, o := range w.Objects {
+		i := 0
+		if o.Pos.X > 50 {
+			i++
+		}
+		if o.Pos.Y > 50 {
+			i += 2
+		}
+		q[i]++
+	}
+	for i, n := range q {
+		frac := float64(n) / 20000
+		if frac < 0.22 || frac > 0.28 {
+			t.Errorf("quadrant %d fraction = %v", i, frac)
+		}
+	}
+}
+
+func TestSpeedsAreZipfOrdered(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumObjects = 20000
+	w := New(cfg)
+	counts := map[float64]int{}
+	for _, o := range w.Objects {
+		counts[o.MaxVel]++
+	}
+	// Zipf over {100, 50, 150, 200, 250}: 100 most common, 250 least.
+	if !(counts[100] > counts[50] && counts[50] > counts[150] &&
+		counts[150] > counts[200] && counts[200] > counts[250]) {
+		t.Errorf("speed counts not zipf-ordered: %v", counts)
+	}
+	for _, o := range w.Objects {
+		if o.Vel.Len() > o.MaxVel+1e-9 {
+			t.Fatalf("object %d speed %v exceeds max %v", o.ID, o.Vel.Len(), o.MaxVel)
+		}
+	}
+}
+
+func TestRadiusDistribution(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumQueries = 20000
+	w := New(cfg)
+	var sum float64
+	for _, q := range w.Queries {
+		if q.Radius <= 0 {
+			t.Fatalf("non-positive radius %v", q.Radius)
+		}
+		sum += q.Radius
+	}
+	mean := sum / float64(len(w.Queries))
+	// Zipf-weighted mean of {3,2,1,4,5} with θ=0.8 is ≈2.8.
+	if mean < 2.3 || mean > 3.3 {
+		t.Errorf("mean radius = %v, want ≈2.8", mean)
+	}
+}
+
+func TestRadiusFactorScales(t *testing.T) {
+	cfg := smallConfig()
+	a := New(cfg)
+	cfg.RadiusFactor = 2
+	b := New(cfg)
+	var sa, sb float64
+	for i := range a.Queries {
+		sa += a.Queries[i].Radius
+		sb += b.Queries[i].Radius
+	}
+	ratio := sb / sa
+	if math.Abs(ratio-2) > 0.05 {
+		t.Errorf("radius factor 2 scaled totals by %v", ratio)
+	}
+}
+
+func TestQueryFocalsValidAndFiltersDistinct(t *testing.T) {
+	w := New(smallConfig())
+	seeds := map[uint64]bool{}
+	for _, q := range w.Queries {
+		if q.Focal < 1 || int(q.Focal) > len(w.Objects) {
+			t.Fatalf("focal %d out of range", q.Focal)
+		}
+		if q.Filter.Permille != 750 {
+			t.Fatalf("selectivity = %d", q.Filter.Permille)
+		}
+		seeds[q.Filter.Seed] = true
+	}
+	if len(seeds) < len(w.Queries)*9/10 {
+		t.Errorf("filter seeds not distinct enough: %d unique of %d", len(seeds), len(w.Queries))
+	}
+}
+
+func TestFilterSelectivityOverPopulation(t *testing.T) {
+	w := New(smallConfig())
+	q := w.Queries[0]
+	hits := 0
+	for _, o := range w.Objects {
+		if q.Filter.Matches(o.Props) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(len(w.Objects))
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("filter selectivity over population = %v, want ≈0.75", frac)
+	}
+}
+
+func TestPerturbStepCountsAndBounds(t *testing.T) {
+	w := New(smallConfig())
+	changed := w.PerturbStep()
+	if len(changed) != 100 {
+		t.Fatalf("changed = %d", len(changed))
+	}
+	for _, i := range changed {
+		o := w.Objects[i]
+		if o.Vel.Len() > o.MaxVel+1e-9 {
+			t.Fatalf("perturbed speed %v exceeds max %v", o.Vel.Len(), o.MaxVel)
+		}
+	}
+}
+
+func TestBounceAtBorders(t *testing.T) {
+	w := New(smallConfig())
+	o := w.Objects[0]
+	o.Pos = geo.Pt(0, 50)
+	o.Vel = geo.Vec(-10, 5)
+	w.BounceAtBorders()
+	if o.Vel.X != 10 || o.Vel.Y != 5 {
+		t.Errorf("west-bound object at west border: Vel = %v", o.Vel)
+	}
+	o.Pos = geo.Pt(100, 100)
+	o.Vel = geo.Vec(10, 10)
+	w.BounceAtBorders()
+	if o.Vel.X != -10 || o.Vel.Y != -10 {
+		t.Errorf("corner bounce: Vel = %v", o.Vel)
+	}
+	// Inbound objects at the border are untouched.
+	o.Pos = geo.Pt(0, 50)
+	o.Vel = geo.Vec(10, 0)
+	w.BounceAtBorders()
+	if o.Vel.X != 10 {
+		t.Errorf("inbound object reflected: Vel = %v", o.Vel)
+	}
+}
+
+// TestPopulationStaysInsideOverLongRun: moving + bouncing keeps every object
+// in (or at the edge of) the UoD indefinitely.
+func TestPopulationStaysInside(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumObjects = 500
+	w := New(cfg)
+	u := w.Config().UoD.Expand(2.5) // one 30 s step at 250 mph ≈ 2.1 miles
+	for step := 0; step < 200; step++ {
+		w.BounceAtBorders()
+		for _, o := range w.Objects {
+			o.Move(model.FromSeconds(30))
+		}
+		w.PerturbStep()
+	}
+	for _, o := range w.Objects {
+		if !u.Contains(o.Pos) {
+			t.Fatalf("object %d escaped to %v", o.ID, o.Pos)
+		}
+	}
+}
+
+func TestZipfListDistribution(t *testing.T) {
+	z := newZipfList(5, 0.8)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 5)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.sample(rng)]++
+	}
+	// Probabilities ∝ 1/(k+1)^0.8.
+	total := 0.0
+	for k := 0; k < 5; k++ {
+		total += 1 / math.Pow(float64(k+1), 0.8)
+	}
+	for k := 0; k < 5; k++ {
+		want := 1 / math.Pow(float64(k+1), 0.8) / total
+		got := float64(counts[k]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d: frequency %v, want %v", k, got, want)
+		}
+	}
+	// Monotone decreasing.
+	for k := 1; k < 5; k++ {
+		if counts[k] >= counts[k-1] {
+			t.Errorf("zipf counts not decreasing: %v", counts)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"zero objects": func(c *Config) { c.NumObjects = 0 },
+		"empty speeds": func(c *Config) { c.MaxSpeeds = nil },
+		"empty radii":  func(c *Config) { c.RadiusMeans = nil },
+	} {
+		cfg := smallConfig()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func waypointConfig() Config {
+	cfg := smallConfig()
+	cfg.Mobility = RandomWaypoint
+	cfg.NumObjects = 200
+	return cfg
+}
+
+func TestWaypointObjectsStayInside(t *testing.T) {
+	w := New(waypointConfig())
+	u := w.Config().UoD.Expand(0.01)
+	for step := 0; step < 300; step++ {
+		w.PerturbStep()
+		for _, o := range w.Objects {
+			o.Move(model.FromSeconds(30))
+		}
+	}
+	for i, o := range w.Objects {
+		if !u.Contains(o.Pos) {
+			t.Fatalf("waypoint object %d escaped to %v", i, o.Pos)
+		}
+	}
+}
+
+func TestWaypointArrivalsAndPauses(t *testing.T) {
+	w := New(waypointConfig())
+	arrived := 0
+	paused := 0
+	for step := 0; step < 300; step++ {
+		w.PerturbStep()
+		for i, o := range w.Objects {
+			if o.Vel == (geo.Vector{}) {
+				paused++
+				_ = i
+			}
+			o.Move(model.FromSeconds(30))
+		}
+	}
+	// After arrival the object sits exactly on its destination while paused.
+	for i, o := range w.Objects {
+		if o.Vel == (geo.Vector{}) {
+			dest, ok := w.Destination(i)
+			if !ok {
+				t.Fatal("Destination unavailable in waypoint mode")
+			}
+			if o.Pos.Dist(dest) > 1e-6 {
+				t.Fatalf("paused object %d at %v, destination %v", i, o.Pos, dest)
+			}
+			arrived++
+		}
+	}
+	if paused == 0 {
+		t.Error("no pauses observed over 300 steps")
+	}
+	if arrived == 0 {
+		t.Skip("no object paused at final step (unlucky seed)")
+	}
+}
+
+func TestWaypointSpeedsBounded(t *testing.T) {
+	w := New(waypointConfig())
+	for step := 0; step < 100; step++ {
+		w.PerturbStep()
+		for _, o := range w.Objects {
+			if o.Vel.Len() > o.MaxVel+1e-9 {
+				t.Fatalf("waypoint speed %v exceeds max %v", o.Vel.Len(), o.MaxVel)
+			}
+			o.Move(model.FromSeconds(30))
+		}
+	}
+}
+
+func TestWaypointVelocityChangesReported(t *testing.T) {
+	w := New(waypointConfig())
+	total := 0
+	for step := 0; step < 200; step++ {
+		total += len(w.PerturbStep())
+		for _, o := range w.Objects {
+			o.Move(model.FromSeconds(30))
+		}
+	}
+	if total == 0 {
+		t.Error("waypoint process never reported a velocity change")
+	}
+}
+
+func TestDestinationUnavailableForRandomWalk(t *testing.T) {
+	w := New(smallConfig())
+	if _, ok := w.Destination(0); ok {
+		t.Error("Destination available in RandomWalk mode")
+	}
+}
+
+func TestMobilityModelString(t *testing.T) {
+	if RandomWalk.String() == "" || RandomWaypoint.String() == "" {
+		t.Error("empty mobility names")
+	}
+	if RandomWalk.String() == RandomWaypoint.String() {
+		t.Error("mobility names collide")
+	}
+}
+
+func TestGaussMarkovSpeedsBounded(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Mobility = GaussMarkov
+	w := New(cfg)
+	for step := 0; step < 150; step++ {
+		w.BounceAtBorders()
+		changed := w.PerturbStep()
+		if len(changed) == 0 {
+			t.Fatal("Gauss-Markov step changed nothing")
+		}
+		for _, o := range w.Objects {
+			if o.Vel.Len() > o.MaxVel+1e-9 {
+				t.Fatalf("speed %v exceeds max %v", o.Vel.Len(), o.MaxVel)
+			}
+			o.Move(model.FromSeconds(30))
+		}
+	}
+	// Motion is smooth: consecutive velocities stay correlated. Check that
+	// the average per-step direction change is modest.
+	prev := make([]geo.Vector, len(w.Objects))
+	for i, o := range w.Objects {
+		prev[i] = o.Vel
+	}
+	w.PerturbStep()
+	var relChange, n float64
+	for i, o := range w.Objects {
+		if prev[i].Len() < 1 {
+			continue
+		}
+		d := geo.Vec(o.Vel.X-prev[i].X, o.Vel.Y-prev[i].Y)
+		relChange += d.Len() / prev[i].Len()
+		n++
+	}
+	if avg := relChange / n; avg > 1.0 {
+		t.Errorf("avg relative velocity change per step = %v — not smooth", avg)
+	}
+}
+
+func TestGaussMarkovStaysNearUoD(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Mobility = GaussMarkov
+	cfg.NumObjects = 300
+	w := New(cfg)
+	u := w.Config().UoD.Expand(2.5)
+	for step := 0; step < 300; step++ {
+		w.BounceAtBorders()
+		w.PerturbStep()
+		for _, o := range w.Objects {
+			o.Move(model.FromSeconds(30))
+		}
+	}
+	for _, o := range w.Objects {
+		if !u.Contains(o.Pos) {
+			t.Fatalf("object escaped to %v", o.Pos)
+		}
+	}
+}

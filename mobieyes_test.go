@@ -1,0 +1,81 @@
+package mobieyes
+
+import (
+	"testing"
+	"time"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/model"
+)
+
+// TestFacadeRun exercises the public simulation API end to end.
+func TestFacadeRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumObjects = 500
+	cfg.NumQueries = 50
+	cfg.VelocityChangesPerStep = 50
+	cfg.AreaSqMiles = 5000
+	cfg.Steps = 5
+	cfg.Warmup = 2
+	cfg.MeasureError = true
+
+	m := Run(cfg)
+	if m.Approach != MobiEyes {
+		t.Errorf("Approach = %v", m.Approach)
+	}
+	if m.MessagesPerSecond() <= 0 {
+		t.Error("no traffic")
+	}
+	if m.AvgError != 0 {
+		t.Errorf("EQP error = %v", m.AvgError)
+	}
+
+	cfg.Core.Mode = LazyPropagation
+	lqp := Run(cfg)
+	if lqp.UplinkMsgs >= m.UplinkMsgs {
+		t.Errorf("LQP uplinks %d not below EQP %d", lqp.UplinkMsgs, m.UplinkMsgs)
+	}
+}
+
+// TestFacadeApproaches runs every baseline through the facade constants.
+func TestFacadeApproaches(t *testing.T) {
+	for _, a := range []Approach{Naive, CentralOptimal, ObjectIndex, QueryIndex} {
+		cfg := DefaultConfig()
+		cfg.Approach = a
+		cfg.NumObjects = 300
+		cfg.NumQueries = 30
+		cfg.VelocityChangesPerStep = 30
+		cfg.AreaSqMiles = 2500
+		cfg.Steps = 3
+		cfg.Warmup = 1
+		if m := Run(cfg); m.UplinkMsgs == 0 {
+			t.Errorf("%v produced no traffic", a)
+		}
+	}
+}
+
+// TestFacadeLiveSystem exercises the live runtime through the facade.
+func TestFacadeLiveSystem(t *testing.T) {
+	sys := NewLiveSystem(LiveConfig{
+		UoD:          geo.NewRect(0, 0, 50, 50),
+		Alpha:        5,
+		TickInterval: time.Millisecond,
+		TimeScale:    600,
+		Options:      Options{Grouping: true},
+	})
+	defer sys.Close()
+
+	all := model.Filter{Seed: 1, Permille: 1000}
+	sys.AddObject(1, geo.Pt(25, 25), geo.Vec(0, 0), 100, model.Props{Key: 1})
+	sys.AddObject(2, geo.Pt(26, 25), geo.Vec(0, 0), 100, model.Props{Key: 2})
+	qid := sys.InstallQuery(1, model.CircleRegion{R: 3}, all, 100)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(sys.Result(qid)) == 2 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("live result never converged: %v", sys.Result(qid))
+}
