@@ -1,0 +1,31 @@
+# Developer entry points. `make check` is the tier-1.5 gate CI runs: build,
+# vet, full test suite, and the concurrency-sensitive packages again under
+# the race detector.
+
+GO ?= go
+
+.PHONY: build vet test race check bench bench-sharded
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The sharded server, the concurrent engine drain and the remote transport
+# are the packages with real concurrency; run them under -race.
+race:
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/remote/...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1s ./internal/core/
+
+# Serial vs sharded uplink throughput (see EXPERIMENTS.md).
+bench-sharded:
+	$(GO) test -run xxx -bench 'BenchmarkUplink' -benchtime 2s ./internal/core/
+	$(GO) test -run xxx -bench 'BenchmarkEngineStep' -benchtime 20x .

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-exp all|table1|fig1..fig13] [-steps N] [-warmup N]
-//	            [-scalediv D] [-seed S] [-csv DIR]
+//	            [-scalediv D] [-seed S] [-csv DIR] [-shards N]
 //
 // With -exp all (the default) every experiment runs in paper order. The
 // -scalediv flag divides the population sizes and area by D for quick
@@ -30,6 +30,7 @@ func main() {
 		scalediv = flag.Int("scalediv", 1, "divide population sizes and area by this factor")
 		seed     = flag.Int64("seed", 1, "workload random seed")
 		csvDir   = flag.String("csv", "", "also write each figure as CSV into this directory")
+		shards   = flag.Int("shards", 0, "server shards for MobiEyes runs (0/1 = serial server, >1 = concurrent sharded server)")
 	)
 	flag.Parse()
 
@@ -38,6 +39,7 @@ func main() {
 		Warmup:   *warmup,
 		ScaleDiv: *scalediv,
 		Seed:     *seed,
+		Shards:   *shards,
 	}
 
 	runners := map[string]func(experiments.RunOpts) experiments.Figure{

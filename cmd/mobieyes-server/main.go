@@ -38,6 +38,7 @@ func main() {
 		lazy     = flag.Bool("lazy", false, "lazy query propagation")
 		grouping = flag.Bool("grouping", false, "query grouping")
 		restore  = flag.String("restore", "", "restore query state from a snapshot file")
+		shards   = flag.Int("shards", 0, "server grid partitions (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 		UoD:     geo.NewRect(0, 0, side, side),
 		Alpha:   *alpha,
 		Options: opts,
+		Shards:  *shards,
 	}
 	var srv *remote.Server
 	var err error

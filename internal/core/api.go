@@ -1,0 +1,48 @@
+package core
+
+import (
+	"io"
+
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+)
+
+// ServerAPI is the server-side surface of the MobiEyes protocol, implemented
+// by both the serial Server and the grid-partitioned ShardedServer. Engines
+// and transports program against this interface so the two implementations
+// are interchangeable; the sharded implementation is additionally safe for
+// concurrent use by multiple goroutines.
+type ServerAPI interface {
+	// Query lifecycle (§3.3).
+	InstallQuery(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64) model.QueryID
+	InstallQueryUntil(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64, expiry model.Time) model.QueryID
+	RemoveQuery(qid model.QueryID) bool
+	ExpireQueries(now model.Time) []model.QueryID
+
+	// Uplink dispatch (§3.4–3.6).
+	HandleUplink(m msg.Message)
+
+	// Result access.
+	Result(qid model.QueryID) []model.ObjectID
+	ResultContains(qid model.QueryID, oid model.ObjectID) bool
+	ResultSize(qid model.QueryID) int
+	SetResultListener(fn func(ResultEvent))
+
+	// Introspection.
+	NumQueries() int
+	QueryIDs() []model.QueryID
+	Query(qid model.QueryID) (model.Query, bool)
+	MonRegion(qid model.QueryID) (grid.CellRange, bool)
+	NearbyQueries(cell grid.CellID) []model.QueryID
+	Ops() int64
+
+	// Durability and diagnostics.
+	Snapshot(w io.Writer) error
+	CheckInvariants() error
+}
+
+var (
+	_ ServerAPI = (*Server)(nil)
+	_ ServerAPI = (*ShardedServer)(nil)
+)

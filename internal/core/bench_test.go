@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"mobieyes/internal/geo"
@@ -82,6 +83,80 @@ func BenchmarkServerContainmentReport(b *testing.B) {
 		})
 	}
 }
+
+// benchBackend builds a serial or sharded server with nQueries queries over
+// distinct focal objects on a 200×200-cell grid.
+func benchBackend(b *testing.B, sharded bool, nQueries int) (ServerAPI, *grid.Grid) {
+	b.Helper()
+	g := grid.New(geo.NewRect(0, 0, 1000, 1000), 5)
+	var srv ServerAPI
+	if sharded {
+		srv = NewShardedServer(g, Options{}, nullDown{}, 8)
+	} else {
+		srv = NewServer(g, Options{}, nullDown{})
+	}
+	for i := 0; i < nQueries; i++ {
+		oid := model.ObjectID(i + 1)
+		srv.HandleUplink(msg.FocalInfoResponse{OID: oid, Pos: benchPos(i)})
+		srv.InstallQuery(oid, model.CircleRegion{R: 3}, model.Filter{Seed: uint64(i), Permille: 750}, 250)
+	}
+	return srv, g
+}
+
+func benchPos(i int) geo.Point {
+	return geo.Pt(float64((i*13)%990)+5, float64((i*31)%990)+5)
+}
+
+// benchUplink returns the i-th message of a synthetic uplink mix over
+// nObjects objects and nQueries queries: half cell changes (focal objects
+// migrate, non-focals probe the RQI), a quarter containment reports, a
+// quarter velocity reports.
+func benchUplink(g *grid.Grid, i, nObjects, nQueries int) msg.Message {
+	oid := model.ObjectID(i%nObjects + 1)
+	switch i % 4 {
+	case 0:
+		return msg.ContainmentReport{
+			OID: oid, QID: model.QueryID(i%nQueries + 1), IsTarget: i%8 < 4,
+		}
+	case 1:
+		return msg.VelocityReport{OID: oid, Pos: benchPos(i), Vel: geo.Vec(30, 10)}
+	default:
+		x := float64((i*7)%985) + 5
+		y := float64((i*17)%985) + 5
+		return msg.CellChangeReport{
+			OID: oid, PrevCell: g.CellOf(geo.Pt(x, y)), NewCell: g.CellOf(geo.Pt(x+5, y)),
+			Pos: geo.Pt(x+5, y),
+		}
+	}
+}
+
+// benchUplinkThroughput measures HandleUplink throughput over the mixed
+// workload. The sharded backend is driven from concurrent goroutines
+// (RunParallel), the serial server from one — exactly how each is used.
+func benchUplinkThroughput(b *testing.B, sharded bool, nObjects int) {
+	const nQueries = 1000
+	srv, g := benchBackend(b, sharded, nQueries)
+	b.ResetTimer()
+	if sharded {
+		var next atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(next.Add(1)) - 1
+				srv.HandleUplink(benchUplink(g, i, nObjects, nQueries))
+			}
+		})
+	} else {
+		for i := 0; i < b.N; i++ {
+			srv.HandleUplink(benchUplink(g, i, nObjects, nQueries))
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "uplinks/sec")
+}
+
+func BenchmarkUplinkSerial10k(b *testing.B)   { benchUplinkThroughput(b, false, 10000) }
+func BenchmarkUplinkSharded10k(b *testing.B)  { benchUplinkThroughput(b, true, 10000) }
+func BenchmarkUplinkSerial100k(b *testing.B)  { benchUplinkThroughput(b, false, 100000) }
+func BenchmarkUplinkSharded100k(b *testing.B) { benchUplinkThroughput(b, true, 100000) }
 
 // benchClient builds a client with n LQT entries bound to k focal objects.
 func benchClient(b *testing.B, opts Options, n, k int) *Client {

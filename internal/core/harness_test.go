@@ -17,7 +17,7 @@ import (
 // protocol behavior under test.
 type harness struct {
 	g       *grid.Grid
-	server  *Server
+	server  ServerAPI
 	objs    []*model.MovingObject
 	clients []*Client
 	byOID   map[model.ObjectID]int
@@ -43,6 +43,21 @@ func newHarness(g *grid.Grid, opts Options) *harness {
 		downCount: make(map[msg.Kind]int),
 	}
 	h.server = NewServer(g, opts, harnessDown{h})
+	h.optsVal = opts
+	return h
+}
+
+// newShardedHarness is newHarness with a ShardedServer backend; everything
+// else (clients, queued delivery) is identical, which is what makes the
+// serial-vs-sharded equivalence tests direct comparisons.
+func newShardedHarness(g *grid.Grid, opts Options, shards int) *harness {
+	h := &harness{
+		g:         g,
+		byOID:     make(map[model.ObjectID]int),
+		upCount:   make(map[msg.Kind]int),
+		downCount: make(map[msg.Kind]int),
+	}
+	h.server = NewShardedServer(g, opts, harnessDown{h}, shards)
 	h.optsVal = opts
 	return h
 }

@@ -563,7 +563,7 @@ func TestStaleVelocityReportIgnored(t *testing.T) {
 	h.addObject(1, geo.Pt(50, 50), geo.Vec(0, 0), 100, 11)
 	// No queries installed: a velocity report from a non-focal object is
 	// dropped without effect.
-	h.server.OnVelocityReport(msg.VelocityReport{OID: 1, Pos: geo.Pt(1, 1)})
+	h.server.HandleUplink(msg.VelocityReport{OID: 1, Pos: geo.Pt(1, 1)})
 	if h.server.NumQueries() != 0 {
 		t.Error("spurious state change")
 	}
@@ -928,17 +928,18 @@ func TestCheckInvariantsCatchesCorruption(t *testing.T) {
 		t.Fatalf("healthy server flagged: %v", err)
 	}
 	// Corrupt the RQI: drop the query from one monitoring-region cell.
-	mr, _ := h.server.MonRegion(qid)
-	h.server.rqiRemove(qid, grid.CellRange{Min: mr.Min, Max: mr.Min})
-	if err := h.server.CheckInvariants(); err == nil {
+	srv := h.server.(*Server)
+	mr, _ := srv.MonRegion(qid)
+	srv.rqiRemove(qid, grid.CellRange{Min: mr.Min, Max: mr.Min})
+	if err := srv.CheckInvariants(); err == nil {
 		t.Fatal("RQI corruption not detected")
 	}
-	h.server.rqiAdd(qid, grid.CellRange{Min: mr.Min, Max: mr.Min})
-	if err := h.server.CheckInvariants(); err != nil {
+	srv.rqiAdd(qid, grid.CellRange{Min: mr.Min, Max: mr.Min})
+	if err := srv.CheckInvariants(); err != nil {
 		t.Fatalf("repair not recognized: %v", err)
 	}
 	// Corrupt the expiries table.
-	h.server.expiries[9999] = 1
+	srv.expiries[9999] = 1
 	if err := h.server.CheckInvariants(); err == nil {
 		t.Fatal("stray expiry not detected")
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
@@ -63,7 +64,9 @@ type Server struct {
 	// ops counts elementary server-side operations (table updates, RQI
 	// touches, broadcasts); a deterministic proxy for server load used by
 	// tests, complementing the wall-clock measurement of the experiments.
-	ops int64
+	// Accessed atomically so Ops() stays meaningful when Servers run as
+	// shards of a concurrent ShardedServer.
+	ops atomic.Int64
 }
 
 // NewServer returns a MobiEyes server over grid g, sending through down.
@@ -90,7 +93,7 @@ func makeRQI(n int) []map[model.QueryID]struct{} {
 }
 
 // Ops returns the cumulative deterministic operation count.
-func (s *Server) Ops() int64 { return s.ops }
+func (s *Server) Ops() int64 { return s.ops.Load() }
 
 // NumQueries returns the number of installed queries.
 func (s *Server) NumQueries() int { return len(s.sqt) }
@@ -114,7 +117,7 @@ func (s *Server) InstallQuery(focal model.ObjectID, region model.Region, filter 
 	if len(s.pending[focal]) == 1 {
 		s.down.Unicast(focal, msg.FocalInfoRequest{OID: focal})
 	}
-	s.ops++
+	s.ops.Add(1)
 	return qid
 }
 
@@ -151,18 +154,26 @@ func (s *Server) ExpireQueries(now model.Time) []model.QueryID {
 // OnFocalInfoResponse receives a prospective focal object's motion state
 // and completes any pending installations for it.
 func (s *Server) OnFocalInfoResponse(m msg.FocalInfoResponse) {
-	st := model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}
-	if e, ok := s.fot[m.OID]; ok {
-		e.state = st
-		e.currCell = s.g.CellOf(st.Pos)
-	} else {
-		s.fot[m.OID] = &fotEntry{state: st, currCell: s.g.CellOf(st.Pos)}
-	}
-	s.ops++
+	s.upsertFocal(m.OID, model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm})
 	for _, p := range s.pending[m.OID] {
 		s.completeInstall(p.qid, p.query, p.maxVel)
 	}
 	delete(s.pending, m.OID)
+}
+
+// upsertFocal creates or refreshes the FOT entry for oid from a reported
+// motion state, recomputing curr_cell from the position.
+func (s *Server) upsertFocal(oid model.ObjectID, st model.MotionState) *fotEntry {
+	fe, ok := s.fot[oid]
+	if ok {
+		fe.state = st
+		fe.currCell = s.g.CellOf(st.Pos)
+	} else {
+		fe = &fotEntry{state: st, currCell: s.g.CellOf(st.Pos)}
+		s.fot[oid] = fe
+	}
+	s.ops.Add(1)
+	return fe
 }
 
 // completeInstall performs §3.3 steps 2 and 4: create the SQT entry, index
@@ -192,7 +203,7 @@ func (s *Server) completeInstall(qid model.QueryID, q model.Query, focalMaxVel f
 	s.down.Broadcast(monRegion, msg.QueryInstall{
 		Queries: []msg.QueryState{s.queryState(qid)},
 	})
-	s.ops += 3
+	s.ops.Add(3)
 }
 
 // RemoveQuery uninstalls a query: it is dropped from SQT and RQI, the
@@ -216,7 +227,7 @@ func (s *Server) RemoveQuery(qid model.QueryID) bool {
 		s.down.Unicast(e.query.Focal, msg.FocalNotify{OID: e.query.Focal, QID: qid, Install: false})
 		delete(s.fot, e.query.Focal)
 	}
-	s.ops += 3
+	s.ops.Add(3)
 	return true
 }
 
@@ -231,7 +242,7 @@ func (s *Server) OnVelocityReport(m msg.VelocityReport) {
 		return // not a focal object (stale report after query removal)
 	}
 	fe.state = model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}
-	s.ops++
+	s.ops.Add(1)
 	s.relayFocalState(fe)
 }
 
@@ -268,7 +279,7 @@ func (s *Server) broadcastVelocityChange(focal model.ObjectID, fe *fotEntry, qid
 		}
 	}
 	s.down.Broadcast(region, vc)
-	s.ops++
+	s.ops.Add(1)
 }
 
 // groupsByMonRegion partitions fe's queries into groups with identical
@@ -302,17 +313,25 @@ func (s *Server) OnCellChangeReport(m msg.CellChangeReport) {
 	}
 	fe, isFocal := s.fot[m.OID]
 	if isFocal {
-		fe.state = model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}
-		fe.currCell = m.NewCell
-		for _, qid := range fe.queries {
-			s.relocateQuery(qid, m.NewCell)
-		}
+		s.focalCellChange(fe, model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}, m.NewCell)
 	}
 	// Ship the newly nearby queries. Under eager propagation every object
 	// reports cell changes and receives this; under lazy propagation only
 	// focal objects report, and they get the same treatment for free.
 	s.sendNewNearbyQueries(m.OID, m.PrevCell, m.NewCell)
-	s.ops++
+	s.ops.Add(1)
+}
+
+// focalCellChange applies a focal object's move to newCell: the FOT row is
+// refreshed and every bound query relocated. Extracted so the sharded
+// engine can run the same logic after migrating the focal's rows between
+// shards.
+func (s *Server) focalCellChange(fe *fotEntry, st model.MotionState, newCell grid.CellID) {
+	fe.state = st
+	fe.currCell = newCell
+	for _, qid := range fe.queries {
+		s.relocateQuery(qid, newCell)
+	}
 }
 
 // relocateQuery updates one query after its focal object moved to newCell:
@@ -331,18 +350,30 @@ func (s *Server) relocateQuery(qid model.QueryID, newCell grid.CellID) {
 	s.down.Broadcast(oldRegion.Union(newRegion), msg.QueryInstall{
 		Queries: []msg.QueryState{s.queryState(qid)},
 	})
-	s.ops += 2
+	s.ops.Add(2)
 }
 
 // sendNewNearbyQueries computes RQI(newCell) \ RQI(prevCell) and sends those
 // queries to the object one-to-one.
 func (s *Server) sendNewNearbyQueries(oid model.ObjectID, prevCell, newCell grid.CellID) {
-	if !s.g.Valid(newCell) {
+	fresh := s.freshQueryStates(prevCell, newCell)
+	if len(fresh) == 0 {
 		return
+	}
+	s.down.Unicast(oid, msg.QueryInstall{Queries: fresh})
+	s.ops.Add(1)
+}
+
+// freshQueryStates returns the wire states of RQI(newCell) \ RQI(prevCell),
+// ascending by query ID — the queries an object entering newCell from
+// prevCell has not seen yet. The sharded server unions this across shards.
+func (s *Server) freshQueryStates(prevCell, newCell grid.CellID) []msg.QueryState {
+	if !s.g.Valid(newCell) {
+		return nil
 	}
 	newSet := s.rqi[s.g.CellIndex(newCell)]
 	if len(newSet) == 0 {
-		return
+		return nil
 	}
 	var oldSet map[model.QueryID]struct{}
 	if s.g.Valid(prevCell) {
@@ -355,15 +386,14 @@ func (s *Server) sendNewNearbyQueries(oid model.ObjectID, prevCell, newCell grid
 		}
 	}
 	if len(fresh) == 0 {
-		return
+		return nil
 	}
 	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
-	qi := msg.QueryInstall{Queries: make([]msg.QueryState, 0, len(fresh))}
+	states := make([]msg.QueryState, 0, len(fresh))
 	for _, qid := range fresh {
-		qi.Queries = append(qi.Queries, s.queryState(qid))
+		states = append(states, s.queryState(qid))
 	}
-	s.down.Unicast(oid, qi)
-	s.ops++
+	return states
 }
 
 // OnContainmentReport applies a differential result update (§3.6).
@@ -381,7 +411,7 @@ func (s *Server) OnContainmentReport(m msg.ContainmentReport) {
 		delete(e.result, m.OID)
 		s.notifyResult(m.QID, m.OID, false)
 	}
-	s.ops++
+	s.ops.Add(1)
 }
 
 // OnGroupContainmentReport applies a grouped result update: one bitmap bit
@@ -402,7 +432,7 @@ func (s *Server) OnGroupContainmentReport(m msg.GroupContainmentReport) {
 			s.notifyResult(qid, m.OID, false)
 		}
 	}
-	s.ops += int64(len(m.QIDs))
+	s.ops.Add(int64(len(m.QIDs)))
 }
 
 // OnDepartureReport handles an object leaving the system: it is dropped
@@ -423,7 +453,7 @@ func (s *Server) OnDepartureReport(m msg.DepartureReport) {
 		delete(s.fot, m.OID)
 	}
 	delete(s.pending, m.OID)
-	s.ops++
+	s.ops.Add(1)
 }
 
 // HandleUplink dispatches any uplink message to its handler. It panics on
@@ -544,7 +574,7 @@ func (s *Server) rqiAdd(qid model.QueryID, region grid.CellRange) {
 	region.ForEach(func(c grid.CellID) {
 		if s.g.Valid(c) {
 			s.rqi[s.g.CellIndex(c)][qid] = struct{}{}
-			s.ops++
+			s.ops.Add(1)
 		}
 	})
 }
@@ -553,7 +583,7 @@ func (s *Server) rqiRemove(qid model.QueryID, region grid.CellRange) {
 	region.ForEach(func(c grid.CellID) {
 		if s.g.Valid(c) {
 			delete(s.rqi[s.g.CellIndex(c)], qid)
-			s.ops++
+			s.ops.Add(1)
 		}
 	})
 }

@@ -21,15 +21,32 @@ const (
 	snapshotVersion = uint16(1)
 )
 
-// Snapshot serializes the server's durable state: every installed query
-// (identity, focal motion state, region, filter, monitoring region, expiry)
-// and its current result set, plus the query-ID counter. The reverse query
-// index and FOT are reconstructed on restore.
-//
-// A restored server resumes mediating exactly where the old one stopped —
-// moving objects keep their LQTs and notice nothing. Pending installations
-// (waiting on a FocalInfoRequest) are re-issued on restore.
-func (s *Server) Snapshot(w io.Writer) error {
+// snapQuery is one installed query in a snapshot: the wire QueryState
+// carries everything describing the query (identity, focal motion state,
+// region, filter, monitoring region).
+type snapQuery struct {
+	state  msg.QueryState
+	expiry model.Time
+	result []model.ObjectID // sorted
+}
+
+// snapPending is one installation still waiting on a FocalInfoRequest.
+type snapPending struct {
+	qid    model.QueryID
+	query  model.Query
+	maxVel float64
+	expiry model.Time
+}
+
+// snapData is the durable state shared by both server implementations.
+type snapData struct {
+	nextQID model.QueryID
+	queries []snapQuery // ascending by QID
+	pending []snapPending
+}
+
+// writeSnapshot serializes d in the stable MOBS format.
+func writeSnapshot(w io.Writer, d snapData) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
@@ -45,61 +62,44 @@ func (s *Server) Snapshot(w io.Writer) error {
 	}
 
 	writeU16(snapshotVersion)
-	writeU32(uint32(s.nextQID))
+	writeU32(uint32(d.nextQID))
 
-	qids := s.QueryIDs()
-	writeU32(uint32(len(qids)))
-	for _, qid := range qids {
-		e := s.sqt[qid]
-		// The wire QueryState carries everything describing the query.
-		writeBytes(wire.Encode(msg.QueryInstall{Queries: []msg.QueryState{s.queryState(qid)}}))
-		writeF(float64(e.expiry))
-		result := s.Result(qid)
-		writeU32(uint32(len(result)))
-		for _, oid := range result {
+	writeU32(uint32(len(d.queries)))
+	for _, q := range d.queries {
+		writeBytes(wire.Encode(msg.QueryInstall{Queries: []msg.QueryState{q.state}}))
+		writeF(float64(q.expiry))
+		writeU32(uint32(len(q.result)))
+		for _, oid := range q.result {
 			writeU32(uint32(oid))
 		}
 	}
 
-	// Pending installations: re-issued on restore.
-	var pendingFocals []model.ObjectID
-	for focal := range s.pending {
-		pendingFocals = append(pendingFocals, focal)
-	}
-	sort.Slice(pendingFocals, func(i, j int) bool { return pendingFocals[i] < pendingFocals[j] })
-	total := 0
-	for _, f := range pendingFocals {
-		total += len(s.pending[f])
-	}
-	writeU32(uint32(total))
-	for _, focal := range pendingFocals {
-		for _, p := range s.pending[focal] {
-			writeU32(uint32(p.qid))
-			writeU32(uint32(p.query.Focal))
-			writeBytes(wire.Encode(msg.QueryInstall{Queries: []msg.QueryState{{
-				QID:    p.qid,
-				Focal:  p.query.Focal,
-				Region: p.query.Region,
-				Filter: p.query.Filter,
-			}}}))
-			writeF(p.maxVel)
-			writeF(float64(s.expiries[p.qid]))
-		}
+	writeU32(uint32(len(d.pending)))
+	for _, p := range d.pending {
+		writeU32(uint32(p.qid))
+		writeU32(uint32(p.query.Focal))
+		writeBytes(wire.Encode(msg.QueryInstall{Queries: []msg.QueryState{{
+			QID:    p.qid,
+			Focal:  p.query.Focal,
+			Region: p.query.Region,
+			Filter: p.query.Filter,
+		}}}))
+		writeF(p.maxVel)
+		writeF(float64(p.expiry))
 	}
 	return bw.Flush()
 }
 
-// RestoreServer rebuilds a server from a snapshot. The grid and options
-// must match the snapshotting server's deployment. Pending installations
-// re-issue their FocalInfoRequests through down.
-func RestoreServer(g *grid.Grid, opts Options, down Downlink, r io.Reader) (*Server, error) {
+// readSnapshot parses the MOBS format back into records.
+func readSnapshot(r io.Reader) (snapData, error) {
+	var d snapData
 	br := bufio.NewReader(r)
 	head := make([]byte, 4)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("core: reading snapshot magic: %w", err)
+		return d, fmt.Errorf("core: reading snapshot magic: %w", err)
 	}
 	if string(head) != snapshotMagic {
-		return nil, errors.New("core: not a server snapshot")
+		return d, errors.New("core: not a server snapshot")
 	}
 	le := binary.LittleEndian
 	readU16 := func() (uint16, error) {
@@ -147,109 +147,246 @@ func RestoreServer(g *grid.Grid, opts Options, down Downlink, r io.Reader) (*Ser
 
 	ver, err := readU16()
 	if err != nil {
-		return nil, err
+		return d, err
 	}
 	if ver != snapshotVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", ver)
+		return d, fmt.Errorf("core: unsupported snapshot version %d", ver)
 	}
-
-	s := NewServer(g, opts, down)
 	nextQID, err := readU32()
 	if err != nil {
-		return nil, err
+		return d, err
 	}
-	s.nextQID = model.QueryID(nextQID)
+	d.nextQID = model.QueryID(nextQID)
 
 	nQueries, err := readU32()
 	if err != nil {
-		return nil, err
+		return d, err
 	}
 	for i := uint32(0); i < nQueries; i++ {
-		qs, err := readQueryState()
+		var q snapQuery
+		q.state, err = readQueryState()
 		if err != nil {
-			return nil, fmt.Errorf("core: snapshot query %d: %w", i, err)
+			return d, fmt.Errorf("core: snapshot query %d: %w", i, err)
 		}
 		expiry, err := readF()
 		if err != nil {
-			return nil, err
+			return d, err
 		}
+		q.expiry = model.Time(expiry)
 		nRes, err := readU32()
 		if err != nil {
-			return nil, err
+			return d, err
 		}
-		result := make(map[model.ObjectID]struct{}, nRes)
+		q.result = make([]model.ObjectID, 0, nRes)
 		for j := uint32(0); j < nRes; j++ {
 			oid, err := readU32()
 			if err != nil {
-				return nil, err
+				return d, err
 			}
-			result[model.ObjectID(oid)] = struct{}{}
+			q.result = append(q.result, model.ObjectID(oid))
 		}
-
-		// Rebuild FOT, SQT and RQI without any messaging: the moving
-		// objects still hold their LQTs.
-		fe, ok := s.fot[qs.Focal]
-		if !ok {
-			fe = &fotEntry{state: qs.State, currCell: g.CellOf(qs.State.Pos)}
-			s.fot[qs.Focal] = fe
-		}
-		if qs.FocalMaxVel > fe.maxVel {
-			fe.maxVel = qs.FocalMaxVel
-		}
-		fe.queries = insertSortedQID(fe.queries, qs.QID)
-		s.sqt[qs.QID] = &sqtEntry{
-			query:     model.Query{ID: qs.QID, Focal: qs.Focal, Region: qs.Region, Filter: qs.Filter},
-			currCell:  fe.currCell,
-			monRegion: qs.MonRegion,
-			result:    result,
-			expiry:    model.Time(expiry),
-		}
-		s.rqiAdd(qs.QID, qs.MonRegion)
-		if expiry != 0 {
-			s.expiries[qs.QID] = model.Time(expiry)
-		}
+		d.queries = append(d.queries, q)
 	}
 
 	nPending, err := readU32()
 	if err != nil {
-		return nil, err
+		return d, err
 	}
 	for i := uint32(0); i < nPending; i++ {
+		var p snapPending
 		qidRaw, err := readU32()
 		if err != nil {
-			return nil, err
+			return d, err
 		}
 		focalRaw, err := readU32()
 		if err != nil {
-			return nil, err
+			return d, err
 		}
 		qs, err := readQueryState()
 		if err != nil {
-			return nil, err
+			return d, err
 		}
-		maxVel, err := readF()
+		p.maxVel, err = readF()
 		if err != nil {
-			return nil, err
+			return d, err
 		}
 		expiry, err := readF()
 		if err != nil {
-			return nil, err
+			return d, err
 		}
-		qid := model.QueryID(qidRaw)
+		p.qid = model.QueryID(qidRaw)
+		p.expiry = model.Time(expiry)
 		focal := model.ObjectID(focalRaw)
-		s.pending[focal] = append(s.pending[focal], pendingInstall{
-			qid: qid,
-			query: model.Query{
-				ID: qid, Focal: focal, Region: qs.Region, Filter: qs.Filter,
-			},
-			maxVel: maxVel,
+		p.query = model.Query{ID: p.qid, Focal: focal, Region: qs.Region, Filter: qs.Filter}
+		d.pending = append(d.pending, p)
+	}
+	return d, nil
+}
+
+// snapshotData collects the server's durable state as records. Queries are
+// ascending by QID, pending installs ascending by focal then arrival order.
+func (s *Server) snapshotData() snapData {
+	d := snapData{nextQID: s.nextQID}
+	for _, qid := range s.QueryIDs() {
+		e := s.sqt[qid]
+		d.queries = append(d.queries, snapQuery{
+			state:  s.queryState(qid),
+			expiry: e.expiry,
+			result: s.Result(qid),
 		})
-		if expiry != 0 {
-			s.expiries[qid] = model.Time(expiry)
+	}
+	var pendingFocals []model.ObjectID
+	for focal := range s.pending {
+		pendingFocals = append(pendingFocals, focal)
+	}
+	sort.Slice(pendingFocals, func(i, j int) bool { return pendingFocals[i] < pendingFocals[j] })
+	for _, focal := range pendingFocals {
+		for _, p := range s.pending[focal] {
+			d.pending = append(d.pending, snapPending{
+				qid:    p.qid,
+				query:  p.query,
+				maxVel: p.maxVel,
+				expiry: s.expiries[p.qid],
+			})
+		}
+	}
+	return d
+}
+
+// Snapshot serializes the server's durable state: every installed query
+// (identity, focal motion state, region, filter, monitoring region, expiry)
+// and its current result set, plus the query-ID counter. The reverse query
+// index and FOT are reconstructed on restore.
+//
+// A restored server resumes mediating exactly where the old one stopped —
+// moving objects keep their LQTs and notice nothing. Pending installations
+// (waiting on a FocalInfoRequest) are re-issued on restore.
+func (s *Server) Snapshot(w io.Writer) error {
+	return writeSnapshot(w, s.snapshotData())
+}
+
+// restoreQuery rebuilds one installed query's rows in s's FOT, SQT and RQI
+// without any messaging: the moving objects still hold their LQTs.
+func (s *Server) restoreQuery(q snapQuery) {
+	qs := q.state
+	fe, ok := s.fot[qs.Focal]
+	if !ok {
+		fe = &fotEntry{state: qs.State, currCell: s.g.CellOf(qs.State.Pos)}
+		s.fot[qs.Focal] = fe
+	}
+	if qs.FocalMaxVel > fe.maxVel {
+		fe.maxVel = qs.FocalMaxVel
+	}
+	fe.queries = insertSortedQID(fe.queries, qs.QID)
+	result := make(map[model.ObjectID]struct{}, len(q.result))
+	for _, oid := range q.result {
+		result[oid] = struct{}{}
+	}
+	s.sqt[qs.QID] = &sqtEntry{
+		query:     model.Query{ID: qs.QID, Focal: qs.Focal, Region: qs.Region, Filter: qs.Filter},
+		currCell:  fe.currCell,
+		monRegion: qs.MonRegion,
+		result:    result,
+		expiry:    q.expiry,
+	}
+	s.rqiAdd(qs.QID, qs.MonRegion)
+	if q.expiry != 0 {
+		s.expiries[qs.QID] = q.expiry
+	}
+}
+
+// RestoreServer rebuilds a server from a snapshot. The grid and options
+// must match the snapshotting server's deployment. Pending installations
+// re-issue their FocalInfoRequests through down.
+func RestoreServer(g *grid.Grid, opts Options, down Downlink, r io.Reader) (*Server, error) {
+	d, err := readSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	s := NewServer(g, opts, down)
+	s.nextQID = d.nextQID
+	for _, q := range d.queries {
+		s.restoreQuery(q)
+	}
+	for _, p := range d.pending {
+		focal := p.query.Focal
+		s.pending[focal] = append(s.pending[focal], pendingInstall{
+			qid:    p.qid,
+			query:  p.query,
+			maxVel: p.maxVel,
+		})
+		if p.expiry != 0 {
+			s.expiries[p.qid] = p.expiry
 		}
 		if len(s.pending[focal]) == 1 {
 			s.down.Unicast(focal, msg.FocalInfoRequest{OID: focal})
 		}
 	}
 	return s, nil
+}
+
+// Snapshot serializes the sharded server's durable state in the same MOBS
+// format as the serial server — snapshots move freely between the two
+// implementations and across shard counts. The whole server is frozen while
+// records are collected.
+func (ss *ShardedServer) Snapshot(w io.Writer) error {
+	ss.lockAll()
+	d := snapData{nextQID: model.QueryID(ss.qidCounter.Load()) + 1}
+	for _, sh := range ss.shards {
+		sd := sh.srv.snapshotData()
+		d.queries = append(d.queries, sd.queries...)
+	}
+	sort.Slice(d.queries, func(i, j int) bool { return d.queries[i].state.QID < d.queries[j].state.QID })
+	var pendingFocals []model.ObjectID
+	for focal := range ss.pending {
+		pendingFocals = append(pendingFocals, focal)
+	}
+	sort.Slice(pendingFocals, func(i, j int) bool { return pendingFocals[i] < pendingFocals[j] })
+	for _, focal := range pendingFocals {
+		for _, p := range ss.pending[focal] {
+			d.pending = append(d.pending, snapPending{
+				qid:    p.qid,
+				query:  p.query,
+				maxVel: p.maxVel,
+				expiry: ss.pendingExp[p.qid],
+			})
+		}
+	}
+	ss.unlockAll()
+	return writeSnapshot(w, d)
+}
+
+// RestoreShardedServer rebuilds a sharded server from a snapshot written by
+// either implementation. Each restored query lands on the shard its focal
+// object's current cell hashes to; pending installations re-issue their
+// FocalInfoRequests through down.
+func RestoreShardedServer(g *grid.Grid, opts Options, down Downlink, shards int, r io.Reader) (*ShardedServer, error) {
+	d, err := readSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	ss := NewShardedServer(g, opts, down, shards)
+	ss.qidCounter.Store(int64(d.nextQID) - 1)
+	for _, q := range d.queries {
+		cell := g.CellOf(q.state.State.Pos)
+		si := ss.shardOf(cell)
+		ss.shards[si].srv.restoreQuery(q)
+		ss.focalShard[q.state.Focal] = si
+		ss.queryShard[q.state.QID] = si
+	}
+	for _, p := range d.pending {
+		focal := p.query.Focal
+		ss.pending[focal] = append(ss.pending[focal], pendingInstall{
+			qid:    p.qid,
+			query:  p.query,
+			maxVel: p.maxVel,
+		})
+		if p.expiry != 0 {
+			ss.pendingExp[p.qid] = p.expiry
+		}
+		if len(ss.pending[focal]) == 1 {
+			ss.down.Unicast(focal, msg.FocalInfoRequest{OID: focal})
+		}
+	}
+	return ss, nil
 }

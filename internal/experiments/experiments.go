@@ -39,6 +39,12 @@ type RunOpts struct {
 	// smoke-test setting.
 	ScaleDiv int
 	Seed     int64
+	// Shards selects the server implementation for the MobiEyes runs:
+	// 0 or 1 = the serial deterministic server, >1 = the grid-partitioned
+	// ShardedServer with a concurrent uplink drain (see sim.Config
+	// .ServerShards). Results are equivalent; wall-clock server load
+	// benefits from extra cores.
+	Shards int
 }
 
 func (o RunOpts) normalize() RunOpts {
@@ -68,6 +74,7 @@ func (o RunOpts) base() sim.Config {
 	cfg.NumQueries /= d
 	cfg.VelocityChangesPerStep /= d
 	cfg.AreaSqMiles /= float64(d)
+	cfg.ServerShards = o.Shards
 	return cfg
 }
 

@@ -25,6 +25,11 @@ type ServerConfig struct {
 	Alpha float64
 	// Options selects the protocol variant.
 	Options core.Options
+	// Shards is the number of grid partitions in the sharded backend;
+	// 0 defaults to GOMAXPROCS. Each connection goroutine dispatches its
+	// uplinks straight into the partitioned engine, so independent
+	// objects are processed concurrently instead of through one funnel.
+	Shards int
 }
 
 // Server is a MobiEyes server listening for moving-object connections.
@@ -35,11 +40,10 @@ type Server struct {
 	g   *grid.Grid
 	ln  net.Listener
 
-	uplink   chan msg.Message
-	requests chan func(*core.Server)
-	done     chan struct{}
-	closing  sync.Once
-	wg       sync.WaitGroup
+	backend *core.ShardedServer
+	done    chan struct{}
+	closing sync.Once
+	wg      sync.WaitGroup
 
 	meterMu sync.Mutex
 	meter   network.Meter
@@ -68,21 +72,27 @@ func ListenAndServe(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
+	s := newServer(cfg, ln)
+	s.backend = core.NewShardedServer(s.g, cfg.Options, serverDownlink{s}, cfg.Shards)
+	s.start()
+	return s, nil
+}
+
+func newServer(cfg ServerConfig, ln net.Listener) *Server {
+	return &Server{
 		cfg:        cfg,
 		g:          grid.New(cfg.UoD, cfg.Alpha),
 		ln:         ln,
-		uplink:     make(chan msg.Message, 1024),
-		requests:   make(chan func(*core.Server), 64),
 		done:       make(chan struct{}),
 		conns:      make(map[model.ObjectID]*serverConn),
 		pendingUni: make(map[model.ObjectID][][]byte),
 	}
-	srv := core.NewServer(s.g, cfg.Options, serverDownlink{s})
+}
+
+func (s *Server) start() {
 	s.wg.Add(2)
-	go s.coreLoop(srv)
+	go s.expiryLoop()
 	go s.acceptLoop()
-	return s, nil
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -102,8 +112,10 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// coreLoop owns the core.Server state machine.
-func (s *Server) coreLoop(srv *core.Server) {
+// expiryLoop sweeps duration-bound queries once a second. The sharded
+// backend is safe for concurrent use, so the sweep runs alongside the
+// connection goroutines' uplink dispatch.
+func (s *Server) expiryLoop() {
 	defer s.wg.Done()
 	expiry := time.NewTicker(time.Second)
 	defer expiry.Stop()
@@ -111,66 +123,38 @@ func (s *Server) coreLoop(srv *core.Server) {
 		select {
 		case <-s.done:
 			return
-		case m := <-s.uplink:
-			srv.HandleUplink(m)
-		case req := <-s.requests:
-			req(srv)
 		case <-expiry.C:
-			srv.ExpireQueries(nowHours())
+			s.backend.ExpireQueries(nowHours())
 		}
-	}
-}
-
-// request runs fn on the core loop and waits.
-func (s *Server) request(fn func(*core.Server)) {
-	doneCh := make(chan struct{})
-	select {
-	case s.requests <- func(srv *core.Server) {
-		fn(srv)
-		close(doneCh)
-	}:
-	case <-s.done:
-		return
-	}
-	select {
-	case <-doneCh:
-	case <-s.done:
 	}
 }
 
 // InstallQuery installs a moving query.
 func (s *Server) InstallQuery(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64) model.QueryID {
-	var qid model.QueryID
-	s.request(func(srv *core.Server) {
-		qid = srv.InstallQuery(focal, region, filter, focalMaxVel)
-	})
-	return qid
+	return s.backend.InstallQuery(focal, region, filter, focalMaxVel)
 }
 
 // RemoveQuery uninstalls a query.
 func (s *Server) RemoveQuery(qid model.QueryID) {
-	s.request(func(srv *core.Server) { srv.RemoveQuery(qid) })
+	s.backend.RemoveQuery(qid)
 }
 
 // Result returns a query's current result set.
 func (s *Server) Result(qid model.QueryID) []model.ObjectID {
-	var out []model.ObjectID
-	s.request(func(srv *core.Server) { out = srv.Result(qid) })
-	return out
+	return s.backend.Result(qid)
 }
 
-// SetResultListener streams differential result events (delivered on the
-// server's core loop; keep the callback fast).
+// SetResultListener streams differential result events. The callback may
+// fire concurrently from multiple connection goroutines; keep it fast and
+// make it safe for concurrent use.
 func (s *Server) SetResultListener(fn func(core.ResultEvent)) {
-	s.request(func(srv *core.Server) { srv.SetResultListener(fn) })
+	s.backend.SetResultListener(fn)
 }
 
 // Snapshot serializes the server's durable query state (see
 // core.Server.Snapshot) for restart without reinstalling queries.
 func (s *Server) Snapshot(w io.Writer) error {
-	var err error
-	s.request(func(srv *core.Server) { err = srv.Snapshot(w) })
-	return err
+	return s.backend.Snapshot(w)
 }
 
 // ListenAndRestore starts a server whose query state is restored from a
@@ -181,32 +165,20 @@ func ListenAndRestore(cfg ServerConfig, snapshot io.Reader) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		cfg:        cfg,
-		g:          grid.New(cfg.UoD, cfg.Alpha),
-		ln:         ln,
-		uplink:     make(chan msg.Message, 1024),
-		requests:   make(chan func(*core.Server), 64),
-		done:       make(chan struct{}),
-		conns:      make(map[model.ObjectID]*serverConn),
-		pendingUni: make(map[model.ObjectID][][]byte),
-	}
-	srv, err := core.RestoreServer(s.g, cfg.Options, serverDownlink{s}, snapshot)
+	s := newServer(cfg, ln)
+	backend, err := core.RestoreShardedServer(s.g, cfg.Options, serverDownlink{s}, cfg.Shards, snapshot)
 	if err != nil {
 		ln.Close()
 		return nil, err
 	}
-	s.wg.Add(2)
-	go s.coreLoop(srv)
-	go s.acceptLoop()
+	s.backend = backend
+	s.start()
 	return s, nil
 }
 
 // ExpireQueries removes duration-bound queries past the given time.
 func (s *Server) ExpireQueries(now model.Time) []model.QueryID {
-	var out []model.QueryID
-	s.request(func(srv *core.Server) { out = srv.ExpireQueries(now) })
-	return out
+	return s.backend.ExpireQueries(now)
 }
 
 // Stats returns a snapshot of the traffic counters: message and byte totals
@@ -257,9 +229,12 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serveConn handles one object connection: handshake, register, then pump
-// uplink frames into the core loop. A vanished connection is treated as a
-// departure so the population stays consistent.
+// serveConn handles one object connection: handshake, register, then
+// dispatch uplink frames straight into the sharded backend — each
+// connection goroutine drives the partitioned engine directly, so
+// objects on different shards are processed in parallel. A vanished
+// connection is treated as a departure so the population stays
+// consistent.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	br := bufio.NewReader(conn)
@@ -292,7 +267,6 @@ func (s *Server) serveConn(conn net.Conn) {
 		sc.out.send(frame)
 	}
 
-readLoop:
 	for {
 		payload, err := readFrame(br)
 		if err != nil {
@@ -303,11 +277,7 @@ readLoop:
 			break // protocol violation: drop the connection
 		}
 		s.recordUplink(m)
-		select {
-		case s.uplink <- m:
-		case <-s.done:
-			break readLoop
-		}
+		s.backend.HandleUplink(m)
 		if _, bye := m.(msg.DepartureReport); bye {
 			break
 		}
@@ -321,10 +291,12 @@ readLoop:
 	sc.out.close()
 	conn.Close()
 	// Synthesize a departure if the object vanished without one, so its
-	// results do not go stale forever.
+	// results do not go stale forever. (Idempotent if the object already
+	// sent its own DepartureReport.)
 	select {
-	case s.uplink <- msg.DepartureReport{OID: oid}:
 	case <-s.done:
+	default:
+		s.backend.HandleUplink(msg.DepartureReport{OID: oid})
 	}
 }
 

@@ -92,6 +92,15 @@ type Config struct {
 	// Wall-clock server-load and client-load measurements remain
 	// meaningful only in serial mode.
 	Parallelism int
+
+	// ServerShards selects the server implementation. 0 or 1 runs the
+	// serial core.Server with the deterministic one-message-at-a-time
+	// drain. >1 runs a core.ShardedServer with that many grid partitions
+	// and handles each step's uplink batch across that many worker
+	// goroutines; query results are equivalent to the serial engine's,
+	// but message ordering (and therefore exact message/byte counts under
+	// races) is unspecified. Ignored by the centralized baselines.
+	ServerShards int
 }
 
 // DefaultConfig returns the Table 1 defaults: 100,000 mi² area, α = 5 mi,
@@ -143,6 +152,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: Steps and Warmup must be non-negative, got %d/%d", c.Steps, c.Warmup)
 	case c.Core.DeadReckoningThreshold < 0:
 		return fmt.Errorf("sim: DeadReckoningThreshold must be non-negative, got %v", c.Core.DeadReckoningThreshold)
+	case c.ServerShards < 0:
+		return fmt.Errorf("sim: ServerShards must be non-negative, got %d", c.ServerShards)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobieyes/internal/core"
@@ -28,7 +29,7 @@ type Engine struct {
 	g     *grid.Grid
 	dep   *network.Deployment
 	w     *workload.Workload
-	srv   *core.Server
+	srv   core.ServerAPI
 	cls   []*core.Client
 	bkt   *buckets
 	meter network.Meter
@@ -36,7 +37,11 @@ type Engine struct {
 
 	qids []model.QueryID // installed queries, parallel to w.Queries
 
-	// transport queues (drained between phases).
+	// transport queues (drained between phases). downMu guards downQueue
+	// and the meter's downlink counters: with a sharded server the drain
+	// processes uplink batches across goroutines, so the downlink sink must
+	// accept concurrent senders. (Serial runs pay one uncontended lock.)
+	downMu    sync.Mutex
 	upQueue   []msg.Message
 	downQueue []engineDown
 	// clientUp buffers each client's uplinks during a parallel phase; the
@@ -90,7 +95,11 @@ func NewEngine(cfg Config) *Engine {
 		bkt:       newBuckets(g),
 		gtScratch: make(map[model.ObjectID]struct{}),
 	}
-	e.srv = core.NewServer(g, cfg.Core, engineDownlink{e})
+	if cfg.ServerShards > 1 {
+		e.srv = core.NewShardedServer(g, cfg.Core, engineDownlink{e}, cfg.ServerShards)
+	} else {
+		e.srv = core.NewServer(g, cfg.Core, engineDownlink{e})
+	}
 	for i, o := range e.w.Objects {
 		up := engineUplink{e, i}
 		e.cls = append(e.cls, core.NewClient(g, cfg.Core, up, o.ID, o.Props, o.MaxVel, o.Pos))
@@ -124,8 +133,10 @@ func (e *Engine) timedInstall(spec workload.QuerySpec, focalMaxVel float64) mode
 // Grid returns the engine's grid (for inspection and tests).
 func (e *Engine) Grid() *grid.Grid { return e.g }
 
-// Server returns the MobiEyes server under simulation.
-func (e *Engine) Server() *core.Server { return e.srv }
+// Server returns the MobiEyes server under simulation — the serial
+// core.Server by default, a core.ShardedServer when Config.ServerShards
+// selects one. Both satisfy core.ServerAPI.
+func (e *Engine) Server() core.ServerAPI { return e.srv }
 
 // Clients returns the per-object protocol clients.
 func (e *Engine) Clients() []*core.Client { return e.cls }
@@ -143,7 +154,6 @@ type engineDownlink struct{ e *Engine }
 func (d engineDownlink) Broadcast(region grid.CellRange, m msg.Message) {
 	e := d.e
 	stations := e.dep.Cover(region)
-	e.meter.RecordDownlink(m, len(stations))
 	// Union of target cells across chosen stations, deduplicated.
 	var cells []int32
 	seen := map[int32]struct{}{}
@@ -155,13 +165,18 @@ func (d engineDownlink) Broadcast(region grid.CellRange, m msg.Message) {
 			}
 		}
 	}
+	e.downMu.Lock()
+	e.meter.RecordDownlink(m, len(stations))
 	e.downQueue = append(e.downQueue, engineDown{target: -1, cells: cells, m: m})
+	e.downMu.Unlock()
 }
 
 func (d engineDownlink) Unicast(oid model.ObjectID, m msg.Message) {
 	e := d.e
+	e.downMu.Lock()
 	e.meter.RecordDownlink(m, 1)
 	e.downQueue = append(e.downQueue, engineDown{target: oid, m: m})
+	e.downMu.Unlock()
 }
 
 // engineUplink implements core.Uplink for one object.
@@ -185,13 +200,23 @@ func (u engineUplink) Send(m msg.Message) {
 
 // drain processes queued uplinks (timed as server work) and delivers queued
 // downlinks (which may enqueue more uplinks) until both queues are empty.
+// With a sharded server the queued uplinks are handled as concurrent
+// batches (see handleUplinkBatch); delivery to clients stays serial either
+// way, so client state is only ever touched from one goroutine here.
 func (e *Engine) drain() {
+	concurrent := e.cfg.ServerShards > 1
 	for len(e.upQueue) > 0 || len(e.downQueue) > 0 {
 		if len(e.upQueue) > 0 {
-			m := e.upQueue[0]
-			e.upQueue = e.upQueue[1:]
 			start := time.Now()
-			e.srv.HandleUplink(m)
+			if concurrent {
+				batch := e.upQueue
+				e.upQueue = nil
+				e.handleUplinkBatch(batch)
+			} else {
+				m := e.upQueue[0]
+				e.upQueue = e.upQueue[1:]
+				e.srv.HandleUplink(m)
+			}
 			if e.measuring {
 				e.serverNanos += time.Since(start).Nanoseconds()
 			}
@@ -201,6 +226,35 @@ func (e *Engine) drain() {
 		e.downQueue = e.downQueue[1:]
 		e.deliver(q)
 	}
+}
+
+// handleUplinkBatch feeds a batch of uplink messages to the (sharded,
+// concurrency-safe) server across ServerShards worker goroutines. Tiny
+// batches are handled inline — goroutine startup would dominate.
+func (e *Engine) handleUplinkBatch(batch []msg.Message) {
+	workers := e.cfg.ServerShards
+	if len(batch) < 2*workers {
+		for _, m := range batch {
+			e.srv.HandleUplink(m)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(batch) {
+					return
+				}
+				e.srv.HandleUplink(batch[i])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func (e *Engine) deliver(q engineDown) {
