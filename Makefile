@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-sharded
+.PHONY: build vet test race check bench bench-smoke bench-sharded bench-json
 
 build:
 	$(GO) build ./...
@@ -15,17 +15,29 @@ vet:
 test:
 	$(GO) test ./...
 
-# The sharded server, the concurrent engine drain and the remote transport
-# are the packages with real concurrency; run them under -race.
+# The sharded server, the concurrent engine drain, the remote transport and
+# the metrics registry are the packages with real concurrency; run them
+# under -race.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/remote/...
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/remote/... ./internal/obs/...
 
 check: build vet test race
 
 bench:
 	$(GO) test -bench . -benchtime 1s ./internal/core/
 
+# One iteration of every benchmark in the repo: catches benchmarks that
+# no longer compile or panic, without the cost of real measurement (CI runs
+# this).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
 # Serial vs sharded uplink throughput (see EXPERIMENTS.md).
 bench-sharded:
 	$(GO) test -run xxx -bench 'BenchmarkUplink' -benchtime 2s ./internal/core/
 	$(GO) test -run xxx -bench 'BenchmarkEngineStep' -benchtime 20x .
+
+# Machine-readable results of the instrumentation-overhead and uplink
+# throughput benchmarks (see scripts/bench_json.sh).
+bench-json:
+	sh scripts/bench_json.sh BENCH_PR2.json

@@ -5,6 +5,7 @@
 //
 //	experiments [-exp all|table1|fig1..fig13] [-steps N] [-warmup N]
 //	            [-scalediv D] [-seed S] [-csv DIR] [-shards N]
+//	            [-metrics-addr :7072]
 //
 // With -exp all (the default) every experiment runs in paper order. The
 // -scalediv flag divides the population sizes and area by D for quick
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"mobieyes/internal/experiments"
+	"mobieyes/internal/obs"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload random seed")
 		csvDir   = flag.String("csv", "", "also write each figure as CSV into this directory")
 		shards   = flag.Int("shards", 0, "server shards for MobiEyes runs (0/1 = serial server, >1 = concurrent sharded server)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz and pprof on this address while experiments run (empty = off)")
 	)
 	flag.Parse()
 
@@ -40,6 +43,17 @@ func main() {
 		ScaleDiv: *scalediv,
 		Seed:     *seed,
 		Shards:   *shards,
+	}
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		ms, err := obs.ListenAndServe(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		opts.Metrics = reg
+		fmt.Printf("metrics on http://%v/metrics\n", ms.Addr())
 	}
 
 	runners := map[string]func(experiments.RunOpts) experiments.Figure{

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	mobieyes-server [-addr :7070] [-admin :7071] [-area SQMILES]
-//	                [-alpha MILES] [-lazy] [-grouping]
+//	mobieyes-server [-addr :7070] [-admin :7071] [-metrics-addr :7072]
+//	                [-area SQMILES] [-alpha MILES] [-lazy] [-grouping]
 //
 // Admin protocol (one command per line, e.g. via netcat):
 //
@@ -26,6 +26,7 @@ import (
 
 	"mobieyes/internal/core"
 	"mobieyes/internal/geo"
+	"mobieyes/internal/obs"
 	"mobieyes/internal/remote"
 )
 
@@ -39,8 +40,19 @@ func main() {
 		grouping = flag.Bool("grouping", false, "query grouping")
 		restore  = flag.String("restore", "", "restore query state from a snapshot file")
 		shards   = flag.Int("shards", 0, "server grid partitions (0 = GOMAXPROCS)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz and pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *metrics != "" {
+		ms, err := obs.ListenAndServe(*metrics, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer ms.Close()
+		fmt.Printf("mobieyes-server: metrics on http://%v/metrics\n", ms.Addr())
+	}
 
 	opts := core.Options{DeadReckoningThreshold: 0.01, Grouping: *grouping}
 	if *lazy {
@@ -53,6 +65,7 @@ func main() {
 		Alpha:   *alpha,
 		Options: opts,
 		Shards:  *shards,
+		Metrics: reg,
 	}
 	var srv *remote.Server
 	var err error

@@ -6,6 +6,7 @@ import (
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
+	"mobieyes/internal/obs"
 )
 
 // ServerAPI is the server-side surface of the MobiEyes protocol, implemented
@@ -36,6 +37,7 @@ type ServerAPI interface {
 	MonRegion(qid model.QueryID) (grid.CellRange, bool)
 	NearbyQueries(cell grid.CellID) []model.QueryID
 	Ops() int64
+	Instrument(reg *obs.Registry)
 
 	// Durability and diagnostics.
 	Snapshot(w io.Writer) error

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"mobieyes/internal/grid"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/obs"
+)
+
+// Metric names of the server layer (scheme mobieyes_<layer>_<name>; see
+// DESIGN.md §9). Per-shard series carry shard="N" (shard="router" for work
+// the ShardedServer does outside any partition); latency histograms carry
+// kind="VelocityReport" etc.
+const (
+	metricOps            = "mobieyes_server_ops_total"
+	metricUplinks        = "mobieyes_server_uplinks_total"
+	metricUplinkSeconds  = "mobieyes_server_uplink_seconds"
+	metricBroadcasts     = "mobieyes_server_broadcasts_total"
+	metricBroadcastCells = "mobieyes_server_broadcast_cells"
+	metricMigrations     = "mobieyes_server_migrations_total"
+	metricFOTSize        = "mobieyes_server_fot_size"
+	metricSQTSize        = "mobieyes_server_sqt_size"
+	metricRQIEntries     = "mobieyes_server_rqi_entries"
+	metricPending        = "mobieyes_server_pending_installs"
+
+	helpOps            = "Elementary server-side operations (table updates, RQI touches, sends)."
+	helpUplinks        = "Uplink messages dispatched."
+	helpUplinkSeconds  = "Uplink message handling latency in seconds."
+	helpBroadcasts     = "Downlink broadcasts issued."
+	helpBroadcastCells = "Grid cells addressed per downlink broadcast."
+	helpMigrations     = "Focal-object migrations between shards."
+	helpFOTSize        = "Focal object table rows."
+	helpSQTSize        = "Server query table rows."
+	helpRQIEntries     = "Total (cell, query) entries in the reverse query index."
+	helpPending        = "Query installations awaiting the focal object's motion state."
+)
+
+// kindLatency is a per-message-kind set of latency histograms covering the
+// uplink kinds. A nil *kindLatency is a no-op.
+type kindLatency struct {
+	hists [msg.NumKinds]*obs.Histogram
+}
+
+// newKindLatency creates one labeled histogram per uplink kind under name.
+func newKindLatency(reg *obs.Registry, name, help string) *kindLatency {
+	kl := &kindLatency{}
+	for k := msg.Kind(0); int(k) < msg.NumKinds; k++ {
+		if !k.Uplink() {
+			continue
+		}
+		kl.hists[k] = reg.Histogram(name, help, obs.LatencyBuckets, "kind", k.String())
+	}
+	return kl
+}
+
+// observe records the elapsed time since start against the kind's histogram.
+func (kl *kindLatency) observe(k msg.Kind, start time.Time) {
+	if kl == nil {
+		return
+	}
+	kl.hists[k].Observe(time.Since(start).Seconds())
+}
+
+// serverObs is the optional instrumentation of one serial Server (standalone
+// or as a shard). When nil — the default — the server is completely
+// uninstrumented beyond its always-on ops and uplink counters, and the
+// deterministic behavior is untouched either way: instrumentation only
+// counts and times, it never alters protocol decisions or message contents.
+type serverObs struct {
+	// uplinkLat times HandleUplink by message kind; nil for shard servers
+	// (the ShardedServer router times dispatch instead, since shard
+	// handlers are invoked directly).
+	uplinkLat      *kindLatency
+	broadcasts     *obs.Counter
+	broadcastCells *obs.Histogram
+}
+
+// Instrument attaches the server's metrics to reg: the ops and uplink
+// counters, per-kind uplink handling latency, broadcast fan-out, and
+// FOT/SQT/RQI table-size gauges. Safe to call with a nil registry (no-op)
+// and idempotent per registry.
+//
+// The table gauges are computed at scrape time without locking — the serial
+// Server is single-goroutine by contract, so only scrape it (or serve
+// /metrics) while the owning goroutine is idle; concurrent deployments use
+// ShardedServer, whose gauges take the shard locks.
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(metricOps, helpOps, s.ops)
+	reg.RegisterCounter(metricUplinks, helpUplinks, s.upl)
+	s.obsm = &serverObs{
+		uplinkLat:      newKindLatency(reg, metricUplinkSeconds, helpUplinkSeconds),
+		broadcasts:     reg.Counter(metricBroadcasts, helpBroadcasts),
+		broadcastCells: reg.Histogram(metricBroadcastCells, helpBroadcastCells, obs.SizeBuckets),
+	}
+	reg.GaugeFunc(metricFOTSize, helpFOTSize, func() float64 { return float64(len(s.fot)) })
+	reg.GaugeFunc(metricSQTSize, helpSQTSize, func() float64 { return float64(len(s.sqt)) })
+	reg.GaugeFunc(metricRQIEntries, helpRQIEntries, func() float64 { return float64(s.rqiEntries()) })
+	reg.GaugeFunc(metricPending, helpPending, func() float64 { return float64(len(s.pending)) })
+}
+
+// rqiEntries counts every (cell, query) pair in the reverse query index.
+func (s *Server) rqiEntries() int {
+	n := 0
+	for _, set := range s.rqi {
+		n += len(set)
+	}
+	return n
+}
+
+// broadcast sends m to region through the downlink, recording broadcast
+// count and cell fan-out when instrumented. All server-side broadcasts go
+// through here.
+func (s *Server) broadcast(region grid.CellRange, m msg.Message) {
+	if o := s.obsm; o != nil {
+		o.broadcasts.Add(1)
+		o.broadcastCells.Observe(float64(region.NumCells()))
+	}
+	s.down.Broadcast(region, m)
+}
+
+// Instrument attaches the sharded server's metrics to reg: per-shard ops and
+// uplink counters (shard="0"… plus shard="router" for work outside any
+// partition), per-shard broadcast metrics and lock-protected table-size
+// gauges, the cross-shard migration counter, and per-kind uplink latency
+// measured at the router. Safe with a nil registry; idempotent per registry.
+func (ss *ShardedServer) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(metricOps, helpOps, ss.ops, "shard", "router")
+	reg.RegisterCounter(metricUplinks, helpUplinks, ss.upl, "shard", "router")
+	reg.RegisterCounter(metricMigrations, helpMigrations, ss.migrations)
+	ss.obsm = &serverObs{uplinkLat: newKindLatency(reg, metricUplinkSeconds, helpUplinkSeconds)}
+	reg.GaugeFunc(metricPending, helpPending, func() float64 {
+		ss.mu.RLock()
+		defer ss.mu.RUnlock()
+		return float64(len(ss.pending))
+	})
+	for i, sh := range ss.shards {
+		sh := sh
+		label := strconv.Itoa(i)
+		reg.RegisterCounter(metricOps, helpOps, sh.srv.ops, "shard", label)
+		reg.RegisterCounter(metricUplinks, helpUplinks, sh.upl, "shard", label)
+		sh.srv.obsm = &serverObs{
+			broadcasts:     reg.Counter(metricBroadcasts, helpBroadcasts, "shard", label),
+			broadcastCells: reg.Histogram(metricBroadcastCells, helpBroadcastCells, obs.SizeBuckets, "shard", label),
+		}
+		locked := func(fn func(*Server) int) func() float64 {
+			return func() float64 {
+				sh.mu.Lock()
+				defer sh.mu.Unlock()
+				return float64(fn(sh.srv))
+			}
+		}
+		reg.GaugeFunc(metricFOTSize, helpFOTSize, locked(func(s *Server) int { return len(s.fot) }), "shard", label)
+		reg.GaugeFunc(metricSQTSize, helpSQTSize, locked(func(s *Server) int { return len(s.sqt) }), "shard", label)
+		reg.GaugeFunc(metricRQIEntries, helpRQIEntries, locked((*Server).rqiEntries), "shard", label)
+	}
+}
+
+// OpsByShard returns each shard's cumulative operation count, indexed by
+// shard — the deterministic per-partition load breakdown (the router's own
+// count is excluded; see Ops for the total).
+func (ss *ShardedServer) OpsByShard() []int64 {
+	out := make([]int64, len(ss.shards))
+	for i, sh := range ss.shards {
+		out[i] = sh.srv.Ops()
+	}
+	return out
+}
+
+// UplinksByShard returns the number of uplink messages dispatched to each
+// shard, indexed by shard.
+func (ss *ShardedServer) UplinksByShard() []int64 {
+	out := make([]int64, len(ss.shards))
+	for i, sh := range ss.shards {
+		out[i] = sh.upl.Value()
+	}
+	return out
+}
+
+// Migrations returns the cumulative number of cross-shard focal-object
+// migrations (cell crossings or motion-state refreshes whose new cell hashed
+// into a different partition).
+func (ss *ShardedServer) Migrations() int64 { return ss.migrations.Value() }

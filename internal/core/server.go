@@ -3,11 +3,12 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
+	"time"
 
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
+	"mobieyes/internal/obs"
 )
 
 // fotEntry is one row of the focal object table FOT = (oid, pos, vel, tm),
@@ -64,9 +65,16 @@ type Server struct {
 	// ops counts elementary server-side operations (table updates, RQI
 	// touches, broadcasts); a deterministic proxy for server load used by
 	// tests, complementing the wall-clock measurement of the experiments.
-	// Accessed atomically so Ops() stays meaningful when Servers run as
-	// shards of a concurrent ShardedServer.
-	ops atomic.Int64
+	// It is an obs counter (atomic underneath) so Ops() stays meaningful
+	// when Servers run as shards of a concurrent ShardedServer, and so
+	// Instrument can expose the same counter over /metrics. upl counts
+	// uplink messages dispatched through HandleUplink.
+	ops *obs.Counter
+	upl *obs.Counter
+
+	// obsm is the optional extended instrumentation (latency histograms,
+	// broadcast metrics), attached by Instrument; nil means uninstrumented.
+	obsm *serverObs
 }
 
 // NewServer returns a MobiEyes server over grid g, sending through down.
@@ -81,6 +89,8 @@ func NewServer(g *grid.Grid, opts Options, down Downlink) *Server {
 		pending:  make(map[model.ObjectID][]pendingInstall),
 		expiries: make(map[model.QueryID]model.Time),
 		nextQID:  1,
+		ops:      obs.NewCounter(),
+		upl:      obs.NewCounter(),
 	}
 }
 
@@ -93,7 +103,7 @@ func makeRQI(n int) []map[model.QueryID]struct{} {
 }
 
 // Ops returns the cumulative deterministic operation count.
-func (s *Server) Ops() int64 { return s.ops.Load() }
+func (s *Server) Ops() int64 { return s.ops.Value() }
 
 // NumQueries returns the number of installed queries.
 func (s *Server) NumQueries() int { return len(s.sqt) }
@@ -200,7 +210,7 @@ func (s *Server) completeInstall(qid model.QueryID, q model.Query, focalMaxVel f
 	// Tell the object it is now focal (sets hasMQ)…
 	s.down.Unicast(q.Focal, msg.FocalNotify{OID: q.Focal, QID: qid, Install: true})
 	// …and ship the query to every object in the monitoring region.
-	s.down.Broadcast(monRegion, msg.QueryInstall{
+	s.broadcast(monRegion, msg.QueryInstall{
 		Queries: []msg.QueryState{s.queryState(qid)},
 	})
 	s.ops.Add(3)
@@ -222,7 +232,7 @@ func (s *Server) RemoveQuery(qid model.QueryID) bool {
 	delete(s.sqt, qid)
 	fe := s.fot[e.query.Focal]
 	fe.queries = removeSortedQID(fe.queries, qid)
-	s.down.Broadcast(e.monRegion, msg.QueryRemove{QIDs: []model.QueryID{qid}})
+	s.broadcast(e.monRegion, msg.QueryRemove{QIDs: []model.QueryID{qid}})
 	if len(fe.queries) == 0 {
 		s.down.Unicast(e.query.Focal, msg.FocalNotify{OID: e.query.Focal, QID: qid, Install: false})
 		delete(s.fot, e.query.Focal)
@@ -278,7 +288,7 @@ func (s *Server) broadcastVelocityChange(focal model.ObjectID, fe *fotEntry, qid
 			vc.Queries = append(vc.Queries, s.queryState(qid))
 		}
 	}
-	s.down.Broadcast(region, vc)
+	s.broadcast(region, vc)
 	s.ops.Add(1)
 }
 
@@ -347,7 +357,7 @@ func (s *Server) relocateQuery(qid model.QueryID, newCell grid.CellID) {
 		s.rqiAdd(qid, newRegion)
 		e.monRegion = newRegion
 	}
-	s.down.Broadcast(oldRegion.Union(newRegion), msg.QueryInstall{
+	s.broadcast(oldRegion.Union(newRegion), msg.QueryInstall{
 		Queries: []msg.QueryState{s.queryState(qid)},
 	})
 	s.ops.Add(2)
@@ -459,7 +469,19 @@ func (s *Server) OnDepartureReport(m msg.DepartureReport) {
 // HandleUplink dispatches any uplink message to its handler. It panics on
 // message kinds the MobiEyes server does not consume (such as the naïve
 // baseline's position reports), which would indicate miswired transports.
+// When instrumented, dispatch is counted and timed per message kind.
 func (s *Server) HandleUplink(m msg.Message) {
+	s.upl.Add(1)
+	if o := s.obsm; o != nil && o.uplinkLat != nil {
+		start := time.Now()
+		s.dispatchUplink(m)
+		o.uplinkLat.observe(m.Kind(), start)
+		return
+	}
+	s.dispatchUplink(m)
+}
+
+func (s *Server) dispatchUplink(m msg.Message) {
 	switch mm := m.(type) {
 	case msg.VelocityReport:
 		s.OnVelocityReport(mm)

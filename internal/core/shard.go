@@ -6,16 +6,20 @@ import (
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
+	"mobieyes/internal/obs"
 )
 
 // shard is one partition of a ShardedServer: a full serial Server restricted
 // to the focal objects whose current cell hashes into this partition, plus
 // the mutex serializing access to it. The shard's Server sees the whole
 // grid (monitoring regions freely cross partition boundaries); only row
-// ownership is partitioned.
+// ownership is partitioned. upl counts the uplink messages the router
+// dispatched to this partition (the shard's own Server.upl is unused here —
+// the router calls the handlers directly, bypassing HandleUplink).
 type shard struct {
 	mu  sync.Mutex
 	srv *Server
+	upl *obs.Counter
 }
 
 // focalRecord is a focal object's complete server-side state — its FOT row
@@ -69,7 +73,7 @@ func (s *Server) injectFocal(rec focalRecord, st model.MotionState, cell grid.Ce
 		}
 		s.rqiAdd(qid, e.monRegion)
 		if relocate {
-			s.down.Broadcast(oldRegion.Union(e.monRegion), msg.QueryInstall{
+			s.broadcast(oldRegion.Union(e.monRegion), msg.QueryInstall{
 				Queries: []msg.QueryState{s.queryState(qid)},
 			})
 			s.ops.Add(2)

@@ -6,10 +6,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
+	"mobieyes/internal/obs"
 )
 
 // ShardedServer is a concurrent, grid-partitioned MobiEyes server. It owns
@@ -48,7 +50,16 @@ type ShardedServer struct {
 	qidCounter atomic.Int64
 
 	// ops counts router-level operations; Ops() adds the per-shard counts.
-	ops atomic.Int64
+	// upl counts uplink messages the router handles outside any partition
+	// (departures); migrations counts cross-shard focal relocations. All
+	// three are always-on obs counters that Instrument can expose.
+	ops        *obs.Counter
+	upl        *obs.Counter
+	migrations *obs.Counter
+
+	// obsm, when attached by Instrument, times HandleUplink per message
+	// kind at the router.
+	obsm *serverObs
 
 	// mu guards the routing tables and pending installations (see the lock
 	// ordering above: mu before any shard.mu, shard locks in ascending
@@ -78,9 +89,12 @@ func NewShardedServer(g *grid.Grid, opts Options, down Downlink, shards int) *Sh
 		queryShard: make(map[model.QueryID]int),
 		pending:    make(map[model.ObjectID][]pendingInstall),
 		pendingExp: make(map[model.QueryID]model.Time),
+		ops:        obs.NewCounter(),
+		upl:        obs.NewCounter(),
+		migrations: obs.NewCounter(),
 	}
 	for i := range ss.shards {
-		ss.shards[i] = &shard{srv: NewServer(g, opts, down)}
+		ss.shards[i] = &shard{srv: NewServer(g, opts, down), upl: obs.NewCounter()}
 	}
 	return ss
 }
@@ -179,6 +193,7 @@ func (ss *ShardedServer) install(focal model.ObjectID, region model.Region, filt
 // OnFocalInfoResponse receives a prospective focal object's motion state
 // and completes any pending installations for it.
 func (ss *ShardedServer) OnFocalInfoResponse(m msg.FocalInfoResponse) {
+	ss.shards[ss.shardOf(ss.g.CellOf(m.Pos))].upl.Add(1)
 	ss.mu.Lock()
 	ss.applyFocalInfoLocked(m.OID, model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm})
 	ss.mu.Unlock()
@@ -197,6 +212,7 @@ func (ss *ShardedServer) applyFocalInfoLocked(oid model.ObjectID, st model.Motio
 		dst.srv.injectFocal(rec, st, cell, false)
 		src.mu.Unlock()
 		dst.mu.Unlock()
+		ss.migrations.Add(1)
 		for _, qid := range rec.fe.queries {
 			ss.queryShard[qid] = di
 		}
@@ -241,6 +257,7 @@ func (ss *ShardedServer) OnVelocityReport(m msg.VelocityReport) {
 	if sh == nil {
 		return // not a focal object (stale report after query removal)
 	}
+	sh.upl.Add(1)
 	sh.srv.OnVelocityReport(m)
 	sh.mu.Unlock()
 }
@@ -263,6 +280,7 @@ func (ss *ShardedServer) OnCellChangeReport(m msg.CellChangeReport) {
 		}
 		ss.mu.Unlock()
 	}
+	ss.shards[ss.shardOf(m.NewCell)].upl.Add(1)
 	ss.focalCellChange(m.OID, st, m.NewCell)
 	ss.sendNewNearbyQueries(m.OID, m.PrevCell, m.NewCell)
 	ss.ops.Add(1)
@@ -315,6 +333,7 @@ func (ss *ShardedServer) focalCellChange(oid model.ObjectID, st model.MotionStat
 	dst.srv.injectFocal(rec, st, newCell, true)
 	src.mu.Unlock()
 	dst.mu.Unlock()
+	ss.migrations.Add(1)
 	ss.focalShard[oid] = di
 	for _, qid := range rec.fe.queries {
 		ss.queryShard[qid] = di
@@ -346,6 +365,7 @@ func (ss *ShardedServer) OnContainmentReport(m msg.ContainmentReport) {
 	if sh == nil {
 		return
 	}
+	sh.upl.Add(1)
 	sh.srv.OnContainmentReport(m)
 	sh.mu.Unlock()
 }
@@ -356,6 +376,7 @@ func (ss *ShardedServer) OnContainmentReport(m msg.ContainmentReport) {
 func (ss *ShardedServer) OnGroupContainmentReport(m msg.GroupContainmentReport) {
 	for _, qid := range m.QIDs {
 		if sh := ss.lockQueryShard(qid); sh != nil {
+			sh.upl.Add(1)
 			sh.srv.OnGroupContainmentReport(m)
 			sh.mu.Unlock()
 			return
@@ -367,6 +388,7 @@ func (ss *ShardedServer) OnGroupContainmentReport(m msg.GroupContainmentReport) 
 // from every query result across all shards, and every query it was focal
 // of is removed.
 func (ss *ShardedServer) OnDepartureReport(m msg.DepartureReport) {
+	ss.upl.Add(1)
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	for _, sh := range ss.shards {
@@ -460,8 +482,19 @@ func (ss *ShardedServer) ExpireQueries(now model.Time) []model.QueryID {
 
 // HandleUplink dispatches any uplink message to its handler. Safe for
 // concurrent use; it panics on message kinds the MobiEyes server does not
-// consume, exactly like the serial server.
+// consume, exactly like the serial server. When instrumented, dispatch is
+// timed per message kind at the router.
 func (ss *ShardedServer) HandleUplink(m msg.Message) {
+	if o := ss.obsm; o != nil && o.uplinkLat != nil {
+		start := time.Now()
+		ss.dispatchUplink(m)
+		o.uplinkLat.observe(m.Kind(), start)
+		return
+	}
+	ss.dispatchUplink(m)
+}
+
+func (ss *ShardedServer) dispatchUplink(m msg.Message) {
 	switch mm := m.(type) {
 	case msg.VelocityReport:
 		ss.OnVelocityReport(mm)
@@ -581,7 +614,7 @@ func (ss *ShardedServer) NearbyQueries(cell grid.CellID) []model.QueryID {
 // Ops returns the cumulative operation count: router dispatches plus every
 // shard's table work.
 func (ss *ShardedServer) Ops() int64 {
-	n := ss.ops.Load()
+	n := ss.ops.Value()
 	for _, sh := range ss.shards {
 		n += sh.srv.Ops()
 	}

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"mobieyes/internal/core"
+	"mobieyes/internal/obs"
 	"mobieyes/internal/sim"
 )
 
@@ -45,6 +46,10 @@ type RunOpts struct {
 	// .ServerShards). Results are equivalent; wall-clock server load
 	// benefits from extra cores.
 	Shards int
+	// Metrics, when non-nil, instruments every engine the experiments
+	// build against this registry (see sim.Config.Metrics) — useful with
+	// obs.ListenAndServe to watch a long sweep live over /metrics.
+	Metrics *obs.Registry
 }
 
 func (o RunOpts) normalize() RunOpts {
@@ -75,6 +80,7 @@ func (o RunOpts) base() sim.Config {
 	cfg.VelocityChangesPerStep /= d
 	cfg.AreaSqMiles /= float64(d)
 	cfg.ServerShards = o.Shards
+	cfg.Metrics = o.Metrics
 	return cfg
 }
 

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition output for a small
+// registry: family ordering, HELP/TYPE comments, label rendering, and the
+// cumulative histogram encoding.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mobieyes_server_ops_total", "Elementary server operations.", "shard", "0").Add(3)
+	r.Counter("mobieyes_server_ops_total", "Elementary server operations.", "shard", "1").Add(4)
+	r.Gauge("mobieyes_remote_connections", "Live object connections.").Set(2)
+	h := r.Histogram("mobieyes_server_uplink_seconds", "Uplink handling latency.", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP mobieyes_remote_connections Live object connections.
+# TYPE mobieyes_remote_connections gauge
+mobieyes_remote_connections 2
+# HELP mobieyes_server_ops_total Elementary server operations.
+# TYPE mobieyes_server_ops_total counter
+mobieyes_server_ops_total{shard="0"} 3
+mobieyes_server_ops_total{shard="1"} 4
+# HELP mobieyes_server_uplink_seconds Uplink handling latency.
+# TYPE mobieyes_server_uplink_seconds histogram
+mobieyes_server_uplink_seconds_bucket{le="0.001"} 2
+mobieyes_server_uplink_seconds_bucket{le="0.01"} 3
+mobieyes_server_uplink_seconds_bucket{le="+Inf"} 4
+mobieyes_server_uplink_seconds_sum 5.006
+mobieyes_server_uplink_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHTTPEndpoints drives the mux end to end: /metrics parses as
+// exposition text, /debug/vars as JSON, /healthz answers, and the pprof
+// index responds.
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mobieyes_server_ops_total", "", "shard", "0").Add(9)
+	r.Histogram("mobieyes_sim_step_seconds", "", nil).Observe(0.01)
+	ts := httptest.NewServer(NewMux(r))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 ||
+		!strings.Contains(body, `mobieyes_server_ops_total{shard="0"} 9`) ||
+		!strings.Contains(body, `mobieyes_sim_step_seconds_count 1`) {
+		t.Errorf("/metrics: code %d body:\n%s", code, body)
+	}
+	code, body := get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars: code %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
+	}
+	if vars[`mobieyes_server_ops_total{shard="0"}`] != 9.0 {
+		t.Errorf("/debug/vars counter = %v", vars[`mobieyes_server_ops_total{shard="0"}`])
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz: code %d body %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/: code %d", code)
+	}
+}
+
+// TestListenAndServe: the standalone endpoint binds, serves, and closes.
+func TestListenAndServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mobieyes_x_total", "").Inc()
+	h, err := ListenAndServe("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	resp, err := http.Get("http://" + h.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "mobieyes_x_total 1") {
+		t.Errorf("metrics body:\n%s", body)
+	}
+	// Runtime gauges are registered by ListenAndServe.
+	if !strings.Contains(string(body), "mobieyes_go_goroutines") {
+		t.Error("runtime gauges missing")
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// NewMux returns an http.ServeMux exposing the registry and the stdlib
+// profiling endpoints:
+//
+//	/metrics       Prometheus text exposition format
+//	/debug/vars    flat JSON snapshot (expvar-style), histograms with p50/p90/p99
+//	/healthz       "ok" (liveness)
+//	/debug/pprof/  the full net/http/pprof suite (profile, heap, trace, …)
+//
+// Mount it on a dedicated listener (see ListenAndServe) so profiling and
+// scraping never contend with the protocol's own ports.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// RegisterRuntime adds Go runtime gauges (goroutines, heap bytes, completed
+// GC cycles) to the registry, computed at scrape time. No-op on nil.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("mobieyes_go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("mobieyes_go_heap_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.GaugeFunc("mobieyes_go_gc_total", "Completed GC cycles.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+}
+
+// HTTPServer is a metrics/pprof endpoint bound to its own listener.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe starts serving the registry (plus runtime gauges and
+// pprof) on addr — ":0" picks a free port, see Addr. The server runs until
+// Close.
+func ListenAndServe(addr string, r *Registry) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	RegisterRuntime(r)
+	h := &HTTPServer{ln: ln, srv: &http.Server{
+		Handler:           NewMux(r),
+		ReadHeaderTimeout: 10 * time.Second,
+	}}
+	go h.srv.Serve(ln)
+	return h, nil
+}
+
+// Addr returns the bound address.
+func (h *HTTPServer) Addr() net.Addr { return h.ln.Addr() }
+
+// Close stops the endpoint.
+func (h *HTTPServer) Close() error { return h.srv.Close() }

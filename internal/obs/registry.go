@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricType discriminates the exposition families.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// series is one labeled time series inside a family. Exactly one of the
+// value fields is set, matching the family's type.
+type series struct {
+	labels  string // canonical `k="v",k2="v2"` signature, "" when unlabeled
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	series map[string]*series
+}
+
+// A Registry is a concurrent collection of named metrics. Metric
+// constructors are get-or-create: asking twice for the same name and labels
+// returns the same metric, so instrumented components can be rebuilt (e.g.
+// one engine per experiment run) against a long-lived registry. Asking for
+// an existing name with a different metric type panics — that is a
+// programming error, not a runtime condition.
+//
+// All methods are safe for concurrent use, and every method is a no-op (or
+// returns a nil, no-op metric) on a nil *Registry, so instrumentation can be
+// threaded unconditionally through code that may run without observability.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelSignature canonicalizes alternating key/value pairs into a
+// deterministic `k="v"` list sorted by key. Panics on an odd count.
+func labelSignature(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be alternating key, value pairs")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`=`)
+		b.WriteString(strconv.Quote(p.v))
+	}
+	return b.String()
+}
+
+// seriesFor returns (creating as needed) the series for name+labels,
+// checking the family's type. Returns nil on a nil registry.
+func (r *Registry) seriesFor(name, help string, typ metricType, labels []string) *series {
+	if r == nil {
+		return nil
+	}
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	s, ok := f.series[sig]
+	if !ok {
+		s = &series{labels: sig}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// Counter returns the counter registered under name+labels, creating it if
+// needed. Returns nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	s := r.seriesFor(name, help, typeCounter, labels)
+	if s == nil {
+		return nil
+	}
+	if s.counter == nil {
+		s.counter = NewCounter()
+	}
+	return s.counter
+}
+
+// RegisterCounter exposes an existing standalone counter under name+labels,
+// replacing any counter previously registered there. This is how components
+// that always count (e.g. the server's ops counter) attach to a registry
+// after the fact. No-op when r or c is nil.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...string) {
+	if c == nil {
+		return
+	}
+	if s := r.seriesFor(name, help, typeCounter, labels); s != nil {
+		s.counter = c
+	}
+}
+
+// Gauge returns the gauge registered under name+labels, creating it if
+// needed. Returns nil (a no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	s := r.seriesFor(name, help, typeGauge, labels)
+	if s == nil {
+		return nil
+	}
+	if s.gauge == nil {
+		s.gauge = NewGauge()
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge computed by fn at scrape time, replacing any
+// function previously registered under name+labels. fn must be safe to call
+// from the scrape goroutine (take the locks it needs). No-op on nil r or fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if fn == nil {
+		return
+	}
+	if s := r.seriesFor(name, help, typeGauge, labels); s != nil {
+		s.gaugeFn = fn
+	}
+}
+
+// Histogram returns the histogram registered under name+labels, creating it
+// with the given bounds (LatencyBuckets when empty) if needed. Returns nil
+// (a no-op histogram) on a nil registry.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	s := r.seriesFor(name, help, typeHistogram, labels)
+	if s == nil {
+		return nil
+	}
+	if s.hist == nil {
+		s.hist = NewHistogram(bounds)
+	}
+	return s.hist
+}
+
+// sortedFamilies snapshots the family list ordered by name, and each
+// family's series ordered by label signature — the deterministic exposition
+// order both writers rely on.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedSeries() []*series {
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}
+
+// fmtFloat renders a float the way the Prometheus text format expects.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// seriesName renders `name{labels}` or bare `name`, with extra label pairs
+// (e.g. le) appended after the series labels.
+func seriesName(name, labels string, extra ...string) string {
+	var b strings.Builder
+	b.WriteString(name)
+	if labels == "" && len(extra) == 0 {
+		return b.String()
+	}
+	b.WriteByte('{')
+	b.WriteString(labels)
+	for i := 0; i < len(extra); i += 2 {
+		if b.Len() > len(name)+1 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra[i])
+		b.WriteString(`=`)
+		b.WriteString(strconv.Quote(extra[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus writes the whole registry in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE comments per family,
+// one line per series, histograms as cumulative _bucket/_sum/_count. Output
+// order is deterministic. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.sortedSeries() {
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(&b, "%s %d\n", seriesName(f.name, s.labels), s.counter.Value())
+			case typeGauge:
+				v := s.gauge.Value()
+				if s.gaugeFn != nil {
+					v = s.gaugeFn()
+				}
+				fmt.Fprintf(&b, "%s %s\n", seriesName(f.name, s.labels), fmtFloat(v))
+			case typeHistogram:
+				h := s.hist
+				counts := h.snapshot()
+				var cum int64
+				for i, bound := range h.bounds {
+					cum += counts[i]
+					fmt.Fprintf(&b, "%s %d\n",
+						seriesName(f.name+"_bucket", s.labels, "le", fmtFloat(bound)), cum)
+				}
+				cum += counts[len(counts)-1]
+				fmt.Fprintf(&b, "%s %d\n", seriesName(f.name+"_bucket", s.labels, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s %s\n", seriesName(f.name+"_sum", s.labels), fmtFloat(h.Sum()))
+				fmt.Fprintf(&b, "%s %d\n", seriesName(f.name+"_count", s.labels), cum)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot returns the registry as a flat map from `name{labels}` to value:
+// counters as int64, gauges as float64, histograms as a nested map with
+// count, sum, and estimated p50/p90/p99 — the /debug/vars-style JSON view.
+// A nil registry returns an empty map.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			key := seriesName(f.name, s.labels)
+			switch f.typ {
+			case typeCounter:
+				out[key] = s.counter.Value()
+			case typeGauge:
+				if s.gaugeFn != nil {
+					out[key] = s.gaugeFn()
+				} else {
+					out[key] = s.gauge.Value()
+				}
+			case typeHistogram:
+				h := s.hist
+				out[key] = map[string]any{
+					"count": h.Count(),
+					"sum":   h.Sum(),
+					"p50":   h.Quantile(0.50),
+					"p90":   h.Quantile(0.90),
+					"p99":   h.Quantile(0.99),
+				}
+			}
+		}
+	}
+	return out
+}

@@ -20,6 +20,8 @@ import (
 //	result <qid>                             → "result <id> <oid…>"
 //	conns                                    → "conns <n>"
 //	stats                                    → "stats <up> <down> <upB> <downB>"
+//	STATS                                    → full metric registry in Prometheus
+//	                                           text format, terminated by a "." line
 //	snapshot <path>                          → "ok" (writes a state snapshot)
 //	quit                                     → closes the session
 type AdminServer struct {
@@ -152,6 +154,9 @@ func (a *AdminServer) handleCommand(conn net.Conn, fields []string) bool {
 	case "stats":
 		up, down, upB, downB, _ := a.srv.Stats()
 		fmt.Fprintf(conn, "stats %d %d %d %d\n", up, down, upB, downB)
+	case "STATS":
+		a.srv.Metrics().WritePrometheus(conn)
+		fmt.Fprintln(conn, ".")
 	case "snapshot":
 		if len(fields) != 2 {
 			fmt.Fprintln(conn, "err usage: snapshot <path>")

@@ -1,0 +1,97 @@
+package remote
+
+import (
+	"time"
+
+	"mobieyes/internal/msg"
+	"mobieyes/internal/obs"
+)
+
+// Metric names of the transport layer (scheme mobieyes_<layer>_<name>; see
+// DESIGN.md §9). Frame and byte counters include the 4-byte length prefix of
+// every frame; latency histograms carry kind="VelocityReport" etc.
+const (
+	metricConnections     = "mobieyes_remote_connections"
+	metricConnects        = "mobieyes_remote_connects_total"
+	metricFramesIn        = "mobieyes_remote_frames_in_total"
+	metricFramesOut       = "mobieyes_remote_frames_out_total"
+	metricBytesIn         = "mobieyes_remote_bytes_in_total"
+	metricBytesOut        = "mobieyes_remote_bytes_out_total"
+	metricDecodeErrors    = "mobieyes_remote_decode_errors_total"
+	metricUplinkSecondsRm = "mobieyes_remote_uplink_seconds"
+	metricBroadcastConns  = "mobieyes_remote_broadcast_fanout"
+	metricPendingUni      = "mobieyes_remote_pending_unicasts"
+
+	helpConnections     = "Currently connected moving objects."
+	helpConnects        = "Completed object handshakes (including reconnects)."
+	helpFramesIn        = "Frames received from objects (handshakes included)."
+	helpFramesOut       = "Frames written to objects."
+	helpBytesIn         = "Bytes received from objects, length prefixes included."
+	helpBytesOut        = "Bytes written to objects, length prefixes included."
+	helpDecodeErrors    = "Received frames that failed protocol decoding."
+	helpUplinkSecondsRm = "Uplink dispatch latency into the backend, in seconds."
+	helpBroadcastConns  = "Connections addressed per downlink broadcast."
+	helpPendingUni      = "Unicast frames queued for not-yet-connected objects."
+)
+
+// remoteObs holds the transport-layer metrics of one Server. The remote
+// server always carries a registry (its own if the config supplies none), so
+// unlike core's serverObs this is never nil on a running server.
+type remoteObs struct {
+	connects     *obs.Counter
+	framesIn     *obs.Counter
+	framesOut    *obs.Counter
+	bytesIn      *obs.Counter
+	bytesOut     *obs.Counter
+	decodeErrors *obs.Counter
+	// uplinkLat is indexed by message kind; only uplink kinds are populated
+	// (downlink kinds never arrive on the uplink path).
+	uplinkLat       [msg.NumKinds]*obs.Histogram
+	broadcastFanout *obs.Histogram
+}
+
+func newRemoteObs(reg *obs.Registry) *remoteObs {
+	o := &remoteObs{
+		connects:        reg.Counter(metricConnects, helpConnects),
+		framesIn:        reg.Counter(metricFramesIn, helpFramesIn),
+		framesOut:       reg.Counter(metricFramesOut, helpFramesOut),
+		bytesIn:         reg.Counter(metricBytesIn, helpBytesIn),
+		bytesOut:        reg.Counter(metricBytesOut, helpBytesOut),
+		decodeErrors:    reg.Counter(metricDecodeErrors, helpDecodeErrors),
+		broadcastFanout: reg.Histogram(metricBroadcastConns, helpBroadcastConns, obs.SizeBuckets),
+	}
+	for k := msg.Kind(0); int(k) < msg.NumKinds; k++ {
+		if k.Uplink() {
+			o.uplinkLat[k] = reg.Histogram(metricUplinkSecondsRm, helpUplinkSecondsRm, obs.LatencyBuckets, "kind", k.String())
+		}
+	}
+	return o
+}
+
+// observeUplink records backend dispatch latency for one received message.
+func (o *remoteObs) observeUplink(k msg.Kind, start time.Time) {
+	o.uplinkLat[k].Observe(time.Since(start).Seconds())
+}
+
+// instrument wires the server's transport metrics and gauges into its
+// registry and instruments the backend. Called once from start().
+func (s *Server) instrument() {
+	s.om = newRemoteObs(s.reg)
+	s.reg.GaugeFunc(metricConnections, helpConnections, func() float64 {
+		return float64(s.NumConnected())
+	})
+	s.reg.GaugeFunc(metricPendingUni, helpPendingUni, func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		n := 0
+		for _, q := range s.pendingUni {
+			n += len(q)
+		}
+		return float64(n)
+	})
+	s.backend.Instrument(s.reg)
+}
+
+// Metrics returns the server's metric registry — the one given in
+// ServerConfig.Metrics, or the server's own if none was supplied. Never nil.
+func (s *Server) Metrics() *obs.Registry { return s.reg }

@@ -13,6 +13,7 @@ import (
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
 	"mobieyes/internal/network"
+	"mobieyes/internal/obs"
 	"mobieyes/internal/wire"
 )
 
@@ -30,6 +31,11 @@ type ServerConfig struct {
 	// uplinks straight into the partitioned engine, so independent
 	// objects are processed concurrently instead of through one funnel.
 	Shards int
+	// Metrics is the registry transport and backend metrics attach to,
+	// typically shared with an obs.HTTPServer. Nil means the server keeps
+	// a private registry, still reachable via Metrics() and the admin
+	// STATS command.
+	Metrics *obs.Registry
 }
 
 // Server is a MobiEyes server listening for moving-object connections.
@@ -44,6 +50,9 @@ type Server struct {
 	done    chan struct{}
 	closing sync.Once
 	wg      sync.WaitGroup
+
+	reg *obs.Registry
+	om  *remoteObs
 
 	meterMu sync.Mutex
 	meter   network.Meter
@@ -79,17 +88,23 @@ func ListenAndServe(cfg ServerConfig) (*Server, error) {
 }
 
 func newServer(cfg ServerConfig, ln net.Listener) *Server {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Server{
 		cfg:        cfg,
 		g:          grid.New(cfg.UoD, cfg.Alpha),
 		ln:         ln,
 		done:       make(chan struct{}),
+		reg:        reg,
 		conns:      make(map[model.ObjectID]*serverConn),
 		pendingUni: make(map[model.ObjectID][][]byte),
 	}
 }
 
 func (s *Server) start() {
+	s.instrument()
 	s.wg.Add(2)
 	go s.expiryLoop()
 	go s.acceptLoop()
@@ -244,13 +259,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	s.om.framesIn.Add(1)
+	s.om.bytesIn.Add(int64(4 + len(hello)))
 	oid, err := decodeHello(hello)
 	if err != nil {
+		s.om.decodeErrors.Add(1)
 		conn.Close()
 		return
 	}
+	s.om.connects.Add(1)
 
-	sc := &serverConn{oid: oid, conn: conn, out: newOutbox(conn)}
+	sc := &serverConn{oid: oid, conn: conn, out: newOutbox(conn, s.om)}
 	s.mu.Lock()
 	if old, ok := s.conns[oid]; ok {
 		old.conn.Close() // a reconnect replaces the stale session
@@ -272,12 +291,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			break
 		}
+		s.om.framesIn.Add(1)
+		s.om.bytesIn.Add(int64(4 + len(payload)))
 		m, err := wire.Decode(payload)
 		if err != nil {
+			s.om.decodeErrors.Add(1)
 			break // protocol violation: drop the connection
 		}
 		s.recordUplink(m)
+		start := time.Now()
 		s.backend.HandleUplink(m)
+		s.om.observeUplink(m.Kind(), start)
 		if _, bye := m.(msg.DepartureReport); bye {
 			break
 		}
@@ -310,6 +334,7 @@ func (d serverDownlink) Broadcast(region grid.CellRange, m msg.Message) {
 	frame := messageFrame(m)
 	d.s.mu.RLock()
 	defer d.s.mu.RUnlock()
+	d.s.om.broadcastFanout.Observe(float64(len(d.s.conns)))
 	for _, c := range d.s.conns {
 		c.out.send(frame)
 	}
@@ -337,14 +362,15 @@ func (d serverDownlink) Unicast(oid model.ObjectID, m msg.Message) {
 // them.
 type outbox struct {
 	conn   net.Conn
+	om     *remoteObs
 	mu     sync.Mutex
 	queue  [][]byte
 	signal chan struct{}
 	closed bool
 }
 
-func newOutbox(conn net.Conn) *outbox {
-	return &outbox{conn: conn, signal: make(chan struct{}, 1)}
+func newOutbox(conn net.Conn, om *remoteObs) *outbox {
+	return &outbox{conn: conn, om: om, signal: make(chan struct{}, 1)}
 }
 
 func (o *outbox) send(frame []byte) {
@@ -394,6 +420,8 @@ func (o *outbox) run(wg *sync.WaitGroup) {
 				o.mu.Unlock()
 				return
 			}
+			o.om.framesOut.Add(1)
+			o.om.bytesOut.Add(int64(4 + len(frame)))
 		}
 	}
 }

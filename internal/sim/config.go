@@ -13,6 +13,7 @@ import (
 
 	"mobieyes/internal/core"
 	"mobieyes/internal/geo"
+	"mobieyes/internal/obs"
 	"mobieyes/internal/power"
 	"mobieyes/internal/workload"
 )
@@ -101,6 +102,13 @@ type Config struct {
 	// but message ordering (and therefore exact message/byte counts under
 	// races) is unspecified. Ignored by the centralized baselines.
 	ServerShards int
+
+	// Metrics, when non-nil, instruments the engine and its server against
+	// this registry: per-step engine latency, drain batch sizes, and all
+	// server-layer metrics (see internal/obs and DESIGN.md §9). Metrics are
+	// measurement only — the simulation's behavior and determinism are
+	// unchanged. Nil (the default) disables instrumentation entirely.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the Table 1 defaults: 100,000 mi² area, α = 5 mi,

@@ -34,6 +34,7 @@ type Engine struct {
 	bkt   *buckets
 	meter network.Meter
 	now   model.Time
+	obsm  *engineObs // nil unless Config.Metrics set
 
 	qids []model.QueryID // installed queries, parallel to w.Queries
 
@@ -99,6 +100,10 @@ func NewEngine(cfg Config) *Engine {
 		e.srv = core.NewShardedServer(g, cfg.Core, engineDownlink{e}, cfg.ServerShards)
 	} else {
 		e.srv = core.NewServer(g, cfg.Core, engineDownlink{e})
+	}
+	if cfg.Metrics != nil {
+		e.obsm = newEngineObs(cfg.Metrics)
+		e.srv.Instrument(cfg.Metrics)
 	}
 	for i, o := range e.w.Objects {
 		up := engineUplink{e, i}
@@ -205,16 +210,19 @@ func (u engineUplink) Send(m msg.Message) {
 // way, so client state is only ever touched from one goroutine here.
 func (e *Engine) drain() {
 	concurrent := e.cfg.ServerShards > 1
+	uplinks := 0
 	for len(e.upQueue) > 0 || len(e.downQueue) > 0 {
 		if len(e.upQueue) > 0 {
 			start := time.Now()
 			if concurrent {
 				batch := e.upQueue
 				e.upQueue = nil
+				uplinks += len(batch)
 				e.handleUplinkBatch(batch)
 			} else {
 				m := e.upQueue[0]
 				e.upQueue = e.upQueue[1:]
+				uplinks++
 				e.srv.HandleUplink(m)
 			}
 			if e.measuring {
@@ -225,6 +233,9 @@ func (e *Engine) drain() {
 		q := e.downQueue[0]
 		e.downQueue = e.downQueue[1:]
 		e.deliver(q)
+	}
+	if o := e.obsm; o != nil {
+		o.drainBatch.Observe(float64(uplinks))
 	}
 }
 
@@ -279,6 +290,10 @@ func (e *Engine) deliver(q engineDown) {
 // pipeline: perturb velocities, move, handle cell changes, dead reckoning,
 // local query evaluation, and differential result updates.
 func (e *Engine) Step() {
+	var stepStart time.Time
+	if e.obsm != nil {
+		stepStart = time.Now()
+	}
 	dt := model.FromSeconds(e.cfg.StepSeconds)
 	e.now += dt
 
@@ -357,6 +372,11 @@ func (e *Engine) Step() {
 			e.lastDownBytes = e.meter.DownlinkBytes()
 			e.lastServerNs = e.serverNanos
 		}
+	}
+
+	if o := e.obsm; o != nil {
+		o.steps.Add(1)
+		o.stepLat.Observe(time.Since(stepStart).Seconds())
 	}
 }
 

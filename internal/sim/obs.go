@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"mobieyes/internal/obs"
+)
+
+// Metric names of the simulation layer (scheme mobieyes_<layer>_<name>; see
+// DESIGN.md §9).
+const (
+	metricSteps      = "mobieyes_sim_steps_total"
+	metricStepSecs   = "mobieyes_sim_step_seconds"
+	metricDrainBatch = "mobieyes_sim_drain_batch"
+
+	helpSteps      = "Simulation steps executed."
+	helpStepSecs   = "Wall-clock duration of one full simulation step."
+	helpDrainBatch = "Uplink messages processed per transport drain."
+)
+
+// engineObs is the optional instrumentation of one Engine; nil (the default)
+// means the engine runs uninstrumented.
+type engineObs struct {
+	steps      *obs.Counter
+	stepLat    *obs.Histogram
+	drainBatch *obs.Histogram
+}
+
+func newEngineObs(reg *obs.Registry) *engineObs {
+	return &engineObs{
+		steps:      reg.Counter(metricSteps, helpSteps),
+		stepLat:    reg.Histogram(metricStepSecs, helpStepSecs, obs.LatencyBuckets),
+		drainBatch: reg.Histogram(metricDrainBatch, helpDrainBatch, obs.SizeBuckets),
+	}
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Emits the PR 2 benchmark set as JSON (BENCH_PR2.json by default): the
+# instrumentation overhead benchmarks of internal/obs and the serial/sharded
+# uplink throughput benchmarks of internal/core. Usage:
+#
+#   scripts/bench_json.sh [output.json]
+#
+# Tune BENCHTIME for fidelity vs speed (default 1s; CI smoke uses 1x).
+set -eu
+
+OUT="${1:-BENCH_PR2.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+
+{
+	go test -run '^$' -bench . -benchtime "$BENCHTIME" ./internal/obs/
+	go test -run '^$' -bench 'BenchmarkUplink(Serial|Sharded)10k' -benchtime "$BENCHTIME" ./internal/core/
+} | awk '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		ns[name] = $3
+		order[n++] = name
+	}
+	END {
+		printf "{\n"
+		for (i = 0; i < n; i++) {
+			name = order[i]
+			printf "  \"%s\": %s%s\n", name, ns[name], (i < n-1 ? "," : "")
+		}
+		printf "}\n"
+	}
+' > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"
