@@ -75,6 +75,13 @@ type serverObs struct {
 	uplinkLat      *kindLatency
 	broadcasts     *obs.Counter
 	broadcastCells *obs.Histogram
+	// Table-size gauges of a standalone serial Server, published by
+	// syncTableGauges from the owning goroutine; nil for shard servers,
+	// whose table gauges are scrape-time closures under the shard locks.
+	fotSize    *obs.Gauge
+	sqtSize    *obs.Gauge
+	rqiEntries *obs.Gauge
+	pending    *obs.Gauge
 }
 
 // Instrument attaches the server's metrics to reg: the ops and uplink
@@ -82,10 +89,10 @@ type serverObs struct {
 // FOT/SQT/RQI table-size gauges. Safe to call with a nil registry (no-op)
 // and idempotent per registry.
 //
-// The table gauges are computed at scrape time without locking — the serial
-// Server is single-goroutine by contract, so only scrape it (or serve
-// /metrics) while the owning goroutine is idle; concurrent deployments use
-// ShardedServer, whose gauges take the shard locks.
+// The table gauges are atomics the owning goroutine refreshes after every
+// handled operation (install, remove, uplink dispatch), never scrape-time
+// closures over the tables themselves — so a live /metrics endpoint can
+// scrape at any moment without racing the single-goroutine server.
 func (s *Server) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -96,20 +103,27 @@ func (s *Server) Instrument(reg *obs.Registry) {
 		uplinkLat:      newKindLatency(reg, metricUplinkSeconds, helpUplinkSeconds),
 		broadcasts:     reg.Counter(metricBroadcasts, helpBroadcasts),
 		broadcastCells: reg.Histogram(metricBroadcastCells, helpBroadcastCells, obs.SizeBuckets),
+		fotSize:        reg.Gauge(metricFOTSize, helpFOTSize),
+		sqtSize:        reg.Gauge(metricSQTSize, helpSQTSize),
+		rqiEntries:     reg.Gauge(metricRQIEntries, helpRQIEntries),
+		pending:        reg.Gauge(metricPending, helpPending),
 	}
-	reg.GaugeFunc(metricFOTSize, helpFOTSize, func() float64 { return float64(len(s.fot)) })
-	reg.GaugeFunc(metricSQTSize, helpSQTSize, func() float64 { return float64(len(s.sqt)) })
-	reg.GaugeFunc(metricRQIEntries, helpRQIEntries, func() float64 { return float64(s.rqiEntries()) })
-	reg.GaugeFunc(metricPending, helpPending, func() float64 { return float64(len(s.pending)) })
+	s.syncTableGauges()
 }
 
-// rqiEntries counts every (cell, query) pair in the reverse query index.
-func (s *Server) rqiEntries() int {
-	n := 0
-	for _, set := range s.rqi {
-		n += len(set)
+// syncTableGauges publishes the current table sizes into the atomic gauges.
+// The owning goroutine calls it after every mutation entry point; all sizes
+// are O(1) reads (RQI entries are tracked incrementally). No-op when the
+// server is uninstrumented or runs as a shard.
+func (s *Server) syncTableGauges() {
+	o := s.obsm
+	if o == nil || o.fotSize == nil {
+		return
 	}
-	return n
+	o.fotSize.Set(float64(len(s.fot)))
+	o.sqtSize.Set(float64(len(s.sqt)))
+	o.rqiEntries.Set(float64(s.rqiCount))
+	o.pending.Set(float64(len(s.pending)))
 }
 
 // broadcast sends m to region through the downlink, recording broadcast
@@ -159,7 +173,7 @@ func (ss *ShardedServer) Instrument(reg *obs.Registry) {
 		}
 		reg.GaugeFunc(metricFOTSize, helpFOTSize, locked(func(s *Server) int { return len(s.fot) }), "shard", label)
 		reg.GaugeFunc(metricSQTSize, helpSQTSize, locked(func(s *Server) int { return len(s.sqt) }), "shard", label)
-		reg.GaugeFunc(metricRQIEntries, helpRQIEntries, locked((*Server).rqiEntries), "shard", label)
+		reg.GaugeFunc(metricRQIEntries, helpRQIEntries, locked(func(s *Server) int { return s.rqiCount }), "shard", label)
 	}
 }
 

@@ -53,7 +53,10 @@ type Server struct {
 	fot     map[model.ObjectID]*fotEntry
 	sqt     map[model.QueryID]*sqtEntry
 	rqi     []map[model.QueryID]struct{} // indexed by grid cell index
-	pending map[model.ObjectID][]pendingInstall
+	// rqiCount tracks the total number of (cell, query) entries across rqi,
+	// maintained incrementally by rqiAdd/rqiRemove so reporting it is O(1).
+	rqiCount int
+	pending  map[model.ObjectID][]pendingInstall
 	// expiries holds the deadline of duration-bound queries (pending ones
 	// included; completion copies it into the SQT entry).
 	expiries map[model.QueryID]model.Time
@@ -120,6 +123,7 @@ func (s *Server) InstallQuery(focal model.ObjectID, region model.Region, filter 
 	q := model.Query{ID: qid, Focal: focal, Region: region, Filter: filter}
 	if _, ok := s.fot[focal]; ok {
 		s.completeInstall(qid, q, focalMaxVel)
+		s.syncTableGauges()
 		return qid
 	}
 	// §3.3 step 3: the focal object is unknown — request its motion state.
@@ -128,6 +132,7 @@ func (s *Server) InstallQuery(focal model.ObjectID, region model.Region, filter 
 		s.down.Unicast(focal, msg.FocalInfoRequest{OID: focal})
 	}
 	s.ops.Add(1)
+	s.syncTableGauges()
 	return qid
 }
 
@@ -238,6 +243,7 @@ func (s *Server) RemoveQuery(qid model.QueryID) bool {
 		delete(s.fot, e.query.Focal)
 	}
 	s.ops.Add(3)
+	s.syncTableGauges()
 	return true
 }
 
@@ -469,16 +475,18 @@ func (s *Server) OnDepartureReport(m msg.DepartureReport) {
 // HandleUplink dispatches any uplink message to its handler. It panics on
 // message kinds the MobiEyes server does not consume (such as the naïve
 // baseline's position reports), which would indicate miswired transports.
-// When instrumented, dispatch is counted and timed per message kind.
+// When instrumented, dispatch is counted and timed per message kind, and the
+// table-size gauges are refreshed afterwards.
 func (s *Server) HandleUplink(m msg.Message) {
 	s.upl.Add(1)
 	if o := s.obsm; o != nil && o.uplinkLat != nil {
 		start := time.Now()
 		s.dispatchUplink(m)
 		o.uplinkLat.observe(m.Kind(), start)
-		return
+	} else {
+		s.dispatchUplink(m)
 	}
-	s.dispatchUplink(m)
+	s.syncTableGauges()
 }
 
 func (s *Server) dispatchUplink(m msg.Message) {
@@ -595,7 +603,11 @@ func (s *Server) queryState(qid model.QueryID) msg.QueryState {
 func (s *Server) rqiAdd(qid model.QueryID, region grid.CellRange) {
 	region.ForEach(func(c grid.CellID) {
 		if s.g.Valid(c) {
-			s.rqi[s.g.CellIndex(c)][qid] = struct{}{}
+			set := s.rqi[s.g.CellIndex(c)]
+			if _, ok := set[qid]; !ok {
+				set[qid] = struct{}{}
+				s.rqiCount++
+			}
 			s.ops.Add(1)
 		}
 	})
@@ -604,7 +616,11 @@ func (s *Server) rqiAdd(qid model.QueryID, region grid.CellRange) {
 func (s *Server) rqiRemove(qid model.QueryID, region grid.CellRange) {
 	region.ForEach(func(c grid.CellID) {
 		if s.g.Valid(c) {
-			delete(s.rqi[s.g.CellIndex(c)], qid)
+			set := s.rqi[s.g.CellIndex(c)]
+			if _, ok := set[qid]; ok {
+				delete(set, qid)
+				s.rqiCount--
+			}
 			s.ops.Add(1)
 		}
 	})
@@ -649,7 +665,9 @@ func (s *Server) CheckInvariants() error {
 			return fmt.Errorf("core: query %d missing from RQI cells of its monitoring region", qid)
 		}
 	}
+	entries := 0
 	for idx, set := range s.rqi {
+		entries += len(set)
 		for qid := range set {
 			e, ok := s.sqt[qid]
 			if !ok {
@@ -659,6 +677,9 @@ func (s *Server) CheckInvariants() error {
 				return fmt.Errorf("core: RQI cell %d lists query %d outside its monitoring region", idx, qid)
 			}
 		}
+	}
+	if entries != s.rqiCount {
+		return fmt.Errorf("core: incremental RQI entry count %d, actual %d", s.rqiCount, entries)
 	}
 	// FOT ↔ SQT agreement.
 	for oid, fe := range s.fot {

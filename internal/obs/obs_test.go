@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"strconv"
 	"sync"
 	"testing"
 )
@@ -123,6 +124,80 @@ func TestConcurrentMutation(t *testing.T) {
 	}
 	if h := r.Histogram("lat_seconds", "", nil); h.Count() != workers*perWorker {
 		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+// TestScrapeDuringRegistration scrapes while another goroutine keeps
+// creating brand-new series in the same families — the case where the scrape
+// walks a family's series map as a registration inserts into it. Under -race
+// this pins that snapshotting holds the registry lock.
+func TestScrapeDuringRegistration(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			sh := strconv.Itoa(i)
+			r.Counter("churn_total", "", "shard", sh).Inc()
+			r.Gauge("churn_load", "", "shard", sh).Set(float64(i))
+			r.Histogram("churn_seconds", "", nil, "shard", sh).Observe(1e-6)
+			r.RegisterCounter("churn_attached_total", "", NewCounter(), "shard", sh)
+			r.GaugeFunc("churn_fn", "", func() float64 { return float64(i) }, "shard", sh)
+		}
+	}()
+	for i := 0; i < 300; i++ {
+		if err := r.WritePrometheus(discard{}); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		r.Snapshot()
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestFirstUseConcurrent races many goroutines on the FIRST constructor call
+// for one series: all must receive the same instance (creation happens under
+// the registry lock), so no increment is lost to an orphaned duplicate.
+func TestFirstUseConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const n = 32
+	counters := make([]*Counter, n)
+	hists := make([]*Histogram, n)
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			counters[i] = r.Counter("first_total", "")
+			counters[i].Inc()
+			hists[i] = r.Histogram("first_seconds", "", nil)
+			hists[i].Observe(1)
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if counters[i] != counters[0] {
+			t.Fatal("concurrent first use created distinct counters")
+		}
+		if hists[i] != hists[0] {
+			t.Fatal("concurrent first use created distinct histograms")
+		}
+	}
+	if v := r.Counter("first_total", "").Value(); v != n {
+		t.Errorf("counter = %d, want %d (increments lost to an orphan)", v, n)
+	}
+	if c := r.Histogram("first_seconds", "", nil).Count(); c != n {
+		t.Errorf("histogram count = %d, want %d", c, n)
 	}
 }
 

@@ -83,11 +83,14 @@ func labelSignature(labels []string) string {
 	return b.String()
 }
 
-// seriesFor returns (creating as needed) the series for name+labels,
-// checking the family's type. Returns nil on a nil registry.
-func (r *Registry) seriesFor(name, help string, typ metricType, labels []string) *series {
+// withSeries locates (creating as needed) the series for name+labels,
+// checks the family's type, and invokes fn on it while the registry write
+// lock is held. Every mutation of series fields goes through here, so a
+// series' metric pointers are only ever written under r.mu — the invariant
+// the scrape-side snapshot relies on. No-op on a nil registry.
+func (r *Registry) withSeries(name, help string, typ metricType, labels []string, fn func(*series)) {
 	if r == nil {
-		return nil
+		return
 	}
 	sig := labelSignature(labels)
 	r.mu.Lock()
@@ -104,20 +107,20 @@ func (r *Registry) seriesFor(name, help string, typ metricType, labels []string)
 		s = &series{labels: sig}
 		f.series[sig] = s
 	}
-	return s
+	fn(s)
 }
 
 // Counter returns the counter registered under name+labels, creating it if
 // needed. Returns nil (a no-op counter) on a nil registry.
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
-	s := r.seriesFor(name, help, typeCounter, labels)
-	if s == nil {
-		return nil
-	}
-	if s.counter == nil {
-		s.counter = NewCounter()
-	}
-	return s.counter
+	var c *Counter
+	r.withSeries(name, help, typeCounter, labels, func(s *series) {
+		if s.counter == nil {
+			s.counter = NewCounter()
+		}
+		c = s.counter
+	})
+	return c
 }
 
 // RegisterCounter exposes an existing standalone counter under name+labels,
@@ -128,22 +131,20 @@ func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...stri
 	if c == nil {
 		return
 	}
-	if s := r.seriesFor(name, help, typeCounter, labels); s != nil {
-		s.counter = c
-	}
+	r.withSeries(name, help, typeCounter, labels, func(s *series) { s.counter = c })
 }
 
 // Gauge returns the gauge registered under name+labels, creating it if
 // needed. Returns nil (a no-op gauge) on a nil registry.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
-	s := r.seriesFor(name, help, typeGauge, labels)
-	if s == nil {
-		return nil
-	}
-	if s.gauge == nil {
-		s.gauge = NewGauge()
-	}
-	return s.gauge
+	var g *Gauge
+	r.withSeries(name, help, typeGauge, labels, func(s *series) {
+		if s.gauge == nil {
+			s.gauge = NewGauge()
+		}
+		g = s.gauge
+	})
+	return g
 }
 
 // GaugeFunc registers a gauge computed by fn at scrape time, replacing any
@@ -153,46 +154,54 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...str
 	if fn == nil {
 		return
 	}
-	if s := r.seriesFor(name, help, typeGauge, labels); s != nil {
-		s.gaugeFn = fn
-	}
+	r.withSeries(name, help, typeGauge, labels, func(s *series) { s.gaugeFn = fn })
 }
 
 // Histogram returns the histogram registered under name+labels, creating it
 // with the given bounds (LatencyBuckets when empty) if needed. Returns nil
 // (a no-op histogram) on a nil registry.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
-	s := r.seriesFor(name, help, typeHistogram, labels)
-	if s == nil {
-		return nil
-	}
-	if s.hist == nil {
-		s.hist = NewHistogram(bounds)
-	}
-	return s.hist
+	var h *Histogram
+	r.withSeries(name, help, typeHistogram, labels, func(s *series) {
+		if s.hist == nil {
+			s.hist = NewHistogram(bounds)
+		}
+		h = s.hist
+	})
+	return h
 }
 
-// sortedFamilies snapshots the family list ordered by name, and each
-// family's series ordered by label signature — the deterministic exposition
-// order both writers rely on.
-func (r *Registry) sortedFamilies() []*family {
+// famSnap is a point-in-time copy of one family, taken under the registry
+// lock so scrapes never touch the live series maps while withSeries inserts
+// into them. The series are value copies (label signature plus metric
+// pointers); the metrics themselves are internally atomic, and gaugeFn
+// closures are evaluated after the lock is released so they are free to take
+// their own locks.
+type famSnap struct {
+	name   string
+	help   string
+	typ    metricType
+	series []series
+}
+
+// snapshotFamilies copies every family and its series under r.mu, ordered by
+// family name and label signature — the deterministic exposition order both
+// scrape paths rely on.
+func (r *Registry) snapshotFamilies() []famSnap {
 	r.mu.RLock()
-	fams := make([]*family, 0, len(r.families))
+	fams := make([]famSnap, 0, len(r.families))
 	for _, f := range r.families {
-		fams = append(fams, f)
+		fs := famSnap{name: f.name, help: f.help, typ: f.typ,
+			series: make([]series, 0, len(f.series))}
+		for _, s := range f.series {
+			fs.series = append(fs.series, *s)
+		}
+		sort.Slice(fs.series, func(i, j int) bool { return fs.series[i].labels < fs.series[j].labels })
+		fams = append(fams, fs)
 	}
 	r.mu.RUnlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	return fams
-}
-
-func (f *family) sortedSeries() []*series {
-	out := make([]*series, 0, len(f.series))
-	for _, s := range f.series {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
-	return out
 }
 
 // fmtFloat renders a float the way the Prometheus text format expects.
@@ -229,12 +238,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	var b strings.Builder
-	for _, f := range r.sortedFamilies() {
+	for _, f := range r.snapshotFamilies() {
 		if f.help != "" {
 			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
-		for _, s := range f.sortedSeries() {
+		for _, s := range f.series {
 			switch f.typ {
 			case typeCounter:
 				fmt.Fprintf(&b, "%s %d\n", seriesName(f.name, s.labels), s.counter.Value())
@@ -273,8 +282,8 @@ func (r *Registry) Snapshot() map[string]any {
 	if r == nil {
 		return out
 	}
-	for _, f := range r.sortedFamilies() {
-		for _, s := range f.sortedSeries() {
+	for _, f := range r.snapshotFamilies() {
+		for _, s := range f.series {
 			key := seriesName(f.name, s.labels)
 			switch f.typ {
 			case typeCounter:

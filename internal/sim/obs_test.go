@@ -2,6 +2,7 @@ package sim
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"mobieyes/internal/core"
@@ -49,6 +50,56 @@ func TestInstrumentedSerialDeterminism(t *testing.T) {
 	}
 	if got := snap["mobieyes_server_ops_total"]; got != plain.Server().Ops() {
 		t.Errorf("registry ops = %v, server ops = %d", got, plain.Server().Ops())
+	}
+}
+
+// TestScrapeWhileSerialEngineRuns keeps a live /metrics-style scrape loop
+// running while the serial (unsharded) engine steps — the cmd/experiments
+// -metrics-addr wiring with -shards 0. Under -race this pins that serial
+// instrumentation is scrape-safe: the table gauges are atomics the engine
+// goroutine refreshes, never scrape-time reads of the server's own tables.
+func TestScrapeWhileSerialEngineRuns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Metrics = obs.NewRegistry()
+	e := NewEngine(cfg)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var b strings.Builder
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			b.Reset()
+			if err := cfg.Metrics.WritePrometheus(&b); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			cfg.Metrics.Snapshot()
+		}
+	}()
+	for step := 0; step < 10; step++ {
+		e.Step()
+	}
+	close(done)
+	wg.Wait()
+
+	// With the engine idle, the gauges reflect the server's real table sizes.
+	snap := cfg.Metrics.Snapshot()
+	if got := snap["mobieyes_server_sqt_size"]; got != float64(e.Server().NumQueries()) {
+		t.Errorf("sqt_size gauge = %v, server has %d queries", got, e.Server().NumQueries())
+	}
+	for _, key := range []string{
+		"mobieyes_server_fot_size", "mobieyes_server_rqi_entries", "mobieyes_server_pending_installs",
+	} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("snapshot missing serial table gauge %s", key)
+		}
 	}
 }
 
