@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-smoke bench-sharded bench-json
+.PHONY: build vet test race check simtest bench bench-smoke bench-sharded bench-json
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,15 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/remote/... ./internal/obs/...
 
-check: build vet test race
+# Differential simulation sweep under the race detector, plus a short fuzz
+# smoke of the wire codec and the remote frame reader (the two trust
+# boundaries for peer-supplied bytes). CI runs this next to the race gate.
+simtest:
+	$(GO) test -race -count=1 ./internal/simtest/
+	$(GO) test -run '^$$' -fuzz '^FuzzWire$$' -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 10s ./internal/remote/
+
+check: build vet test race simtest
 
 bench:
 	$(GO) test -bench . -benchtime 1s ./internal/core/

@@ -226,6 +226,32 @@ func (c *Client) Join(pos geo.Point, vel geo.Vector, now model.Time) {
 	})
 }
 
+// Resync re-announces the client's full state to the server after a
+// transport reconnect. It sends, in order: a rejoin cell-change report
+// (invalid previous cell) that re-registers the object and makes the server
+// drop any stale result entries; a velocity report refreshing the FOT row
+// when the object is focal; and a containment report for every query the
+// object currently believes it is a target of. On an ordered transport the
+// server's clear-then-re-report sequence reconstructs the exact
+// pre-disconnect state regardless of what was lost in transit.
+func (c *Client) Resync(pos geo.Point, vel geo.Vector, now model.Time) {
+	c.up.Send(msg.CellChangeReport{
+		OID:      c.oid,
+		PrevCell: grid.CellID{Col: -1, Row: -1}, // invalid: rejoin
+		NewCell:  c.currCell,
+		Pos:      pos, Vel: vel, Tm: now,
+	})
+	if c.hasMQ {
+		c.lastRelayed = model.MotionState{Pos: pos, Vel: vel, Tm: now}
+		c.up.Send(msg.VelocityReport{OID: c.oid, Pos: pos, Vel: vel, Tm: now})
+	}
+	for _, qid := range c.sortedQIDs() {
+		if c.lqt[qid].isTarget {
+			c.up.Send(msg.ContainmentReport{OID: c.oid, QID: qid, IsTarget: true})
+		}
+	}
+}
+
 // Depart announces that the object is leaving the system and clears the
 // local query table. The server removes the object from all results and
 // tears down its queries.

@@ -321,6 +321,13 @@ func (s *Server) groupsByMonRegion(fe *fotEntry) [][]model.QueryID {
 // recomputed and re-broadcast; for non-focal objects (eager propagation)
 // the server ships the newly relevant queries one-to-one.
 func (s *Server) OnCellChangeReport(m msg.CellChangeReport) {
+	// An invalid previous cell marks a (re)join: the object is about to
+	// re-report its containment status from scratch, so any result entry it
+	// still occupies is stale and must be dropped first (a report lost while
+	// the object was disconnected would otherwise survive forever).
+	if !s.g.Valid(m.PrevCell) {
+		s.clearObjectFromResults(m.OID)
+	}
 	// The report carries the object's motion state; if installs are pending
 	// on this object (its FocalInfoRequest may have been lost in transit),
 	// complete them from the piggybacked state.
@@ -335,6 +342,18 @@ func (s *Server) OnCellChangeReport(m msg.CellChangeReport) {
 	// reports cell changes and receives this; under lazy propagation only
 	// focal objects report, and they get the same treatment for free.
 	s.sendNewNearbyQueries(m.OID, m.PrevCell, m.NewCell)
+	s.ops.Add(1)
+}
+
+// clearObjectFromResults drops oid from every query result, with leave
+// notifications — the server side of the rejoin handshake.
+func (s *Server) clearObjectFromResults(oid model.ObjectID) {
+	for qid, e := range s.sqt {
+		if _, in := e.result[oid]; in {
+			delete(e.result, oid)
+			s.notifyResult(qid, oid, false)
+		}
+	}
 	s.ops.Add(1)
 }
 

@@ -268,6 +268,18 @@ func (ss *ShardedServer) OnVelocityReport(m msg.VelocityReport) {
 // write lock — before the usual relocation broadcasts.
 func (ss *ShardedServer) OnCellChangeReport(m msg.CellChangeReport) {
 	st := model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}
+	if !ss.g.Valid(m.PrevCell) {
+		// (Re)join: drop stale result entries across every shard before the
+		// object re-reports, exactly like the serial server. The router lock
+		// keeps the sweep atomic with respect to cross-shard migrations.
+		ss.mu.Lock()
+		for _, sh := range ss.shards {
+			sh.mu.Lock()
+			sh.srv.clearObjectFromResults(m.OID)
+			sh.mu.Unlock()
+		}
+		ss.mu.Unlock()
+	}
 	ss.mu.RLock()
 	hasPending := len(ss.pending[m.OID]) > 0
 	ss.mu.RUnlock()

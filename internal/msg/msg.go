@@ -46,12 +46,14 @@ const (
 	KindGroupContainmentReport
 	KindFocalInfoResponse
 	KindDepartureReport
+	KindPing
 	// Downlink.
 	KindQueryInstall
 	KindQueryRemove
 	KindVelocityChange
 	KindFocalNotify
 	KindFocalInfoRequest
+	KindPong
 
 	numKinds
 )
@@ -62,9 +64,9 @@ const NumKinds = int(numKinds)
 var kindNames = [...]string{
 	"PositionReport", "VelocityReport", "CellChangeReport",
 	"ContainmentReport", "GroupContainmentReport", "FocalInfoResponse",
-	"DepartureReport",
+	"DepartureReport", "Ping",
 	"QueryInstall", "QueryRemove", "VelocityChange",
-	"FocalNotify", "FocalInfoRequest",
+	"FocalNotify", "FocalInfoRequest", "Pong",
 }
 
 // String implements fmt.Stringer.
@@ -76,7 +78,7 @@ func (k Kind) String() string {
 }
 
 // Uplink reports whether messages of this kind travel object → server.
-func (k Kind) Uplink() bool { return k <= KindDepartureReport }
+func (k Kind) Uplink() bool { return k <= KindPing }
 
 // Message is implemented by every protocol message.
 type Message interface {
@@ -171,6 +173,17 @@ type DepartureReport struct {
 
 func (DepartureReport) Kind() Kind { return KindDepartureReport }
 func (DepartureReport) Size() int  { return HeaderSize + IDSize }
+
+// Ping is a transport-level liveness and ordering probe: the remote server
+// echoes the token back as a Pong on the same connection, after every
+// frame received before it. It is consumed by the transport layer and never
+// dispatched into the query engine (the core servers do not handle it).
+type Ping struct {
+	Token uint64
+}
+
+func (Ping) Kind() Kind { return KindPing }
+func (Ping) Size() int  { return HeaderSize + ScalarSize }
 
 // FocalInfoResponse answers a FocalInfoRequest during query installation
 // (§3.3 step 3): the focal object's current motion state.
@@ -296,6 +309,16 @@ type FocalInfoRequest struct {
 
 func (FocalInfoRequest) Kind() Kind { return KindFocalInfoRequest }
 func (FocalInfoRequest) Size() int  { return HeaderSize + IDSize }
+
+// Pong answers a Ping with the same token, after every downlink frame the
+// server enqueued for the connection before processing the Ping. Like Ping
+// it lives entirely in the transport layer.
+type Pong struct {
+	Token uint64
+}
+
+func (Pong) Kind() Kind { return KindPong }
+func (Pong) Size() int  { return HeaderSize + ScalarSize }
 
 // ---------------------------------------------------------------------------
 

@@ -182,9 +182,9 @@ func TestAllMessagesImplementInterface(t *testing.T) {
 	msgs := []Message{
 		PositionReport{}, VelocityReport{}, CellChangeReport{},
 		ContainmentReport{}, GroupContainmentReport{}, FocalInfoResponse{},
-		DepartureReport{},
+		DepartureReport{}, Ping{},
 		QueryInstall{}, QueryRemove{}, VelocityChange{},
-		FocalNotify{}, FocalInfoRequest{},
+		FocalNotify{}, FocalInfoRequest{}, Pong{},
 	}
 	seen := map[Kind]bool{}
 	for _, m := range msgs {

@@ -1,0 +1,132 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
+)
+
+// TestCoverProperties checks the two defining properties of the
+// minimal-broadcast set cover on randomized deployments and regions:
+//
+//  1. Soundness — every valid cell of the requested region intersects the
+//     coverage of at least one returned station.
+//  2. Irredundance — no returned station can be removed without breaking
+//     soundness; "minimal set of base stations" (§3.3) at least means no
+//     member is redundant.
+//
+// Deployments vary in universe size, grid resolution alpha and station
+// spacing alen; regions range from a single cell to the whole grid and may
+// hang off the grid's edge (out-of-range rows/columns must be ignored, not
+// covered).
+func TestCoverProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		w := 20 + rng.Float64()*80
+		h := 20 + rng.Float64()*80
+		alpha := 3 + rng.Float64()*7
+		alen := 3 + rng.Float64()*11
+		g := grid.New(geo.NewRect(0, 0, w, h), alpha)
+		d := NewDeployment(g, alen)
+
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			for i := 0; i < 8; i++ {
+				region := randomRegion(rng, g)
+				checkCover(t, d, g, region)
+			}
+			// The whole grid, and a region entirely off the edge.
+			checkCover(t, d, g, grid.CellRange{
+				Min: grid.CellID{Col: 0, Row: 0},
+				Max: grid.CellID{Col: g.Cols() - 1, Row: g.Rows() - 1},
+			})
+			off := grid.CellRange{
+				Min: grid.CellID{Col: g.Cols(), Row: g.Rows()},
+				Max: grid.CellID{Col: g.Cols() + 2, Row: g.Rows() + 2},
+			}
+			if c := d.Cover(off); len(c) != 0 {
+				t.Errorf("region outside the grid got a non-empty cover %v", c)
+			}
+		})
+	}
+}
+
+// randomRegion draws a cell range that may extend up to two cells past the
+// grid edge on either side.
+func randomRegion(rng *rand.Rand, g *grid.Grid) grid.CellRange {
+	c0 := rng.Intn(g.Cols()+4) - 2
+	r0 := rng.Intn(g.Rows()+4) - 2
+	return grid.CellRange{
+		Min: grid.CellID{Col: c0, Row: r0},
+		Max: grid.CellID{Col: c0 + rng.Intn(8), Row: r0 + rng.Intn(8)},
+	}
+}
+
+func checkCover(t *testing.T, d *Deployment, g *grid.Grid, region grid.CellRange) {
+	t.Helper()
+	cover := d.Cover(region)
+
+	var cells []grid.CellID
+	region.ForEach(func(c grid.CellID) {
+		if g.Valid(c) {
+			cells = append(cells, c)
+		}
+	})
+	if len(cells) == 0 {
+		if len(cover) != 0 {
+			t.Errorf("region %v has no valid cells but cover is %v", region, cover)
+		}
+		return
+	}
+
+	// Soundness.
+	for _, c := range cells {
+		rect := g.CellRect(c)
+		covered := false
+		for _, sid := range cover {
+			if d.Station(sid).IntersectsRect(rect) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("region %v: cell %v not covered by %v", region, c, cover)
+		}
+	}
+
+	// Irredundance: removing any one station must leave some cell uncovered.
+	for i := range cover {
+		allCovered := true
+		for _, c := range cells {
+			rect := g.CellRect(c)
+			covered := false
+			for j, sid := range cover {
+				if j == i {
+					continue
+				}
+				if d.Station(sid).IntersectsRect(rect) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				allCovered = false
+				break
+			}
+		}
+		if allCovered {
+			t.Fatalf("region %v: station %v is redundant in cover %v", region, cover[i], cover)
+		}
+	}
+
+	// The cover never uses more stations than cells.
+	if len(cover) > len(cells) {
+		t.Errorf("region %v: cover %v larger than cell count %d", region, cover, len(cells))
+	}
+}

@@ -164,7 +164,55 @@ func (d *Deployment) Cover(region grid.CellRange) []StationID {
 			}
 		}
 	}
-	return cover
+	return d.pruneCover(cover, region)
+}
+
+// pruneCover drops stations the rest of the cover makes redundant: greedy
+// picks can be subsumed by the union of later picks (the classic greedy
+// set-cover artifact), and "minimal set of base stations" should at least
+// mean no member is removable. Each station is tested against the cover
+// with it removed; survivors form an irredundant cover of region.
+func (d *Deployment) pruneCover(cover []StationID, region grid.CellRange) []StationID {
+	if len(cover) <= 1 {
+		return cover
+	}
+	var cells []grid.CellID
+	region.ForEach(func(c grid.CellID) {
+		if d.g.Valid(c) {
+			cells = append(cells, c)
+		}
+	})
+	removed := make([]bool, len(cover))
+	for i := range cover {
+		redundant := true
+		for _, c := range cells {
+			rect := d.g.CellRect(c)
+			coveredByOther := false
+			for j, sid := range cover {
+				if j == i || removed[j] {
+					continue
+				}
+				if d.stations[sid].IntersectsRect(rect) {
+					coveredByOther = true
+					break
+				}
+			}
+			if !coveredByOther && d.stations[cover[i]].IntersectsRect(rect) {
+				redundant = false
+				break
+			}
+		}
+		if redundant {
+			removed[i] = true
+		}
+	}
+	out := cover[:0]
+	for i, sid := range cover {
+		if !removed[i] {
+			out = append(out, sid)
+		}
+	}
+	return out
 }
 
 // Covers reports whether station id's coverage contains point p.

@@ -34,8 +34,8 @@ const maxFrame = 1 << 20
 // wire messages always start with the wire magic's low byte, which differs.
 const helloTag = 0x48 // 'H'
 
-// writeFrame writes a length-prefixed payload.
-func writeFrame(w io.Writer, payload []byte) error {
+// WriteFrame writes a length-prefixed payload.
+func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("remote: frame of %d bytes exceeds limit", len(payload))
 	}
@@ -48,8 +48,8 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// readFrame reads one length-prefixed payload.
-func readFrame(r *bufio.Reader) ([]byte, error) {
+// ReadFrame reads one length-prefixed payload.
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -65,8 +65,8 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// encodeHello builds the handshake frame payload announcing an object ID.
-func encodeHello(oid model.ObjectID) []byte {
+// EncodeHello builds the handshake frame payload announcing an object ID.
+func EncodeHello(oid model.ObjectID) []byte {
 	b := make([]byte, 5)
 	b[0] = helloTag
 	binary.LittleEndian.PutUint32(b[1:], uint32(oid))
@@ -83,6 +83,22 @@ func decodeHello(b []byte) (model.ObjectID, error) {
 
 // messageFrame encodes a protocol message as a frame payload.
 func messageFrame(m msg.Message) []byte { return wire.Encode(m) }
+
+// ControlFrame reports whether a frame payload is transport-control traffic
+// — the handshake hello or a Ping/Pong probe. Fault injectors must pass
+// these through undisturbed: dropping a hello kills the session instead of
+// degrading it, and the simulation harness's quiescence barrier relies on
+// Ping/Pong surviving.
+func ControlFrame(payload []byte) bool {
+	if len(payload) == 5 && payload[0] == helloTag {
+		return true
+	}
+	if len(payload) >= 4 && binary.LittleEndian.Uint16(payload) == wire.Magic {
+		k := msg.Kind(payload[3])
+		return k == msg.KindPing || k == msg.KindPong
+	}
+	return false
+}
 
 // nowHours returns the absolute protocol time: hours since the Unix epoch.
 func nowHours() model.Time {

@@ -1,0 +1,60 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/wire"
+)
+
+// fuzzStream builds a well-formed frame stream for the seed corpus.
+func fuzzStream(frames ...[]byte) []byte {
+	var buf bytes.Buffer
+	for _, p := range frames {
+		_ = WriteFrame(&buf, p)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFrame treats arbitrary bytes as an incoming connection: frames
+// are read until the stream errors, and each payload goes through the full
+// server-side classification (control-frame check, hello decode for the
+// first frame, wire decode). Nothing here may panic or allocate beyond the
+// frame-size cap, no matter the input — this is the path a hostile or
+// corrupted peer reaches before any protocol state exists.
+func FuzzDecodeFrame(f *testing.F) {
+	rng := rand.New(rand.NewSource(7))
+	hello := EncodeHello(42)
+	report := wire.Encode(msg.VelocityReport{OID: 9, Pos: geo.Pt(1, 2), Vel: geo.Vec(3, 4), Tm: 5})
+	ping := wire.Encode(msg.Ping{Token: rng.Uint64()})
+	f.Add(fuzzStream(hello, report, ping))
+	f.Add(fuzzStream(hello))
+	f.Add(fuzzStream(nil))
+	// Length prefix pointing past the data, oversized prefix, raw garbage.
+	f.Add([]byte{0x10, 0x00, 0x00, 0x00, 0x48})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x48, 0x01, 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		first := true
+		for {
+			payload, err := ReadFrame(br)
+			if err != nil {
+				return
+			}
+			ControlFrame(payload)
+			if first {
+				_, _ = decodeHello(payload)
+				first = false
+			}
+			if m, err := wire.Decode(payload); err == nil && m == nil {
+				t.Fatal("wire.Decode returned nil message without error")
+			}
+		}
+	})
+}

@@ -33,6 +33,14 @@ type ObjectConfig struct {
 	// TickInterval is the device's local processing period (cell-change
 	// detection, dead reckoning, query evaluation). Default 100 ms.
 	TickInterval time.Duration
+
+	// Reconnect makes the object redial after losing its connection and
+	// resync its state with the server (core.Client.Resync) instead of
+	// going silent. RedialInterval is the wait between failed attempts
+	// (default 50 ms). Pair with the server's DisconnectGrace so the
+	// transient drop does not tear down the object's focal queries.
+	Reconnect      bool
+	RedialInterval time.Duration
 }
 
 // Object is a moving object participating in a remote MobiEyes deployment:
@@ -88,11 +96,14 @@ func Dial(cfg ObjectConfig) (*Object, error) {
 	if cfg.TickInterval == 0 {
 		cfg.TickInterval = 100 * time.Millisecond
 	}
+	if cfg.RedialInterval == 0 {
+		cfg.RedialInterval = 50 * time.Millisecond
+	}
 	conn, err := net.Dial("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFrame(conn, encodeHello(cfg.OID)); err != nil {
+	if err := WriteFrame(conn, EncodeHello(cfg.OID)); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -107,7 +118,7 @@ func Dial(cfg ObjectConfig) (*Object, error) {
 	o.client = core.NewClient(g, cfg.Options, objUplink{o}, cfg.OID, cfg.Props, cfg.MaxVel, cfg.Pos)
 
 	o.wg.Add(2)
-	go o.readLoop()
+	go o.readLoop(conn)
 	go o.deviceLoop()
 	return o, nil
 }
@@ -118,23 +129,36 @@ type objUplink struct{ o *Object }
 func (u objUplink) Send(m msg.Message) {
 	// Write errors surface on the read side as a disconnect; the device
 	// keeps functioning locally.
-	_ = writeFrame(u.o.conn, messageFrame(m))
+	_ = WriteFrame(u.o.conn, messageFrame(m))
 }
 
-// readLoop decodes downlink frames into the mailbox.
-func (o *Object) readLoop() {
+// connLost is the mailbox sentinel a dying read loop leaves behind so the
+// device loop knows to redial.
+type connLost struct{}
+
+// readLoop decodes downlink frames into the mailbox. On a read or decode
+// error the loop exits; with Reconnect enabled it first posts a connLost
+// sentinel so the device loop redials.
+func (o *Object) readLoop(conn net.Conn) {
 	defer o.wg.Done()
-	br := bufio.NewReader(o.conn)
+	br := bufio.NewReader(conn)
 	for {
-		payload, err := readFrame(br)
+		payload, err := ReadFrame(br)
 		if err != nil {
-			return // disconnected; deviceLoop keeps running until Close
+			break // disconnected
 		}
 		m, err := wire.Decode(payload)
 		if err != nil {
-			return
+			break
 		}
 		o.mail.put(m)
+	}
+	if o.cfg.Reconnect {
+		select {
+		case <-o.done:
+		default:
+			o.mail.put(connLost{})
+		}
 	}
 }
 
@@ -165,6 +189,10 @@ func (o *Object) deviceLoop() {
 			return
 		case <-o.mail.signal:
 			for _, v := range o.mail.drain() {
+				if _, lost := v.(connLost); lost {
+					o.redial(st)
+					continue
+				}
 				advance()
 				o.client.OnDownlink(v.(msg.Message), st.pos, st.vel, st.lastT)
 			}
@@ -175,6 +203,40 @@ func (o *Object) deviceLoop() {
 			o.client.TickCellChange(st.pos, st.vel, st.lastT)
 			o.client.TickDeadReckoning(st.pos, st.vel, st.lastT)
 			o.client.TickEvaluate(st.pos, st.vel, st.lastT)
+		}
+	}
+}
+
+// redial re-establishes the connection after a drop and resyncs the
+// client's state with the server. Runs on the device goroutine (the only
+// writer of o.conn), so uplinks never race the swap; the device is simply
+// offline until the redial succeeds or Close aborts it.
+func (o *Object) redial(st *objState) {
+	o.conn.Close()
+	for {
+		select {
+		case <-o.done:
+			return
+		default:
+		}
+		conn, err := net.Dial("tcp", o.cfg.Addr)
+		if err == nil {
+			if err = WriteFrame(conn, EncodeHello(o.cfg.OID)); err == nil {
+				o.conn = conn
+				o.wg.Add(1)
+				go o.readLoop(conn)
+				now := nowHours()
+				st.pos = st.pos.Add(st.vel, float64(now-st.lastT))
+				st.lastT = now
+				o.client.Resync(st.pos, st.vel, st.lastT)
+				return
+			}
+			conn.Close()
+		}
+		select {
+		case <-o.done:
+			return
+		case <-time.After(o.cfg.RedialInterval):
 		}
 	}
 }

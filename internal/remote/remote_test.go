@@ -13,6 +13,7 @@ import (
 	"mobieyes/internal/geo"
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
+	"mobieyes/internal/wire"
 )
 
 var acceptAll = model.Filter{Seed: 1, Permille: 1000}
@@ -156,10 +157,10 @@ func TestRemoteAbruptDisconnectSynthesizesDeparture(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFrame(conn, encodeHello(42)); err != nil {
+	if err := WriteFrame(conn, EncodeHello(42)); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFrame(conn, messageFrame(msg.ContainmentReport{OID: 42, QID: qid, IsTarget: true})); err != nil {
+	if err := WriteFrame(conn, messageFrame(msg.ContainmentReport{OID: 42, QID: qid, IsTarget: true})); err != nil {
 		t.Fatal(err)
 	}
 	if !waitFor(t, 2*time.Second, func() bool {
@@ -200,8 +201,8 @@ func TestRemoteRejectsGarbage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	writeFrame(conn2, encodeHello(7))
-	writeFrame(conn2, []byte{0xde, 0xad, 0xbe, 0xef})
+	WriteFrame(conn2, EncodeHello(7))
+	WriteFrame(conn2, []byte{0xde, 0xad, 0xbe, 0xef})
 	defer conn2.Close()
 
 	// The server survives and still serves real clients.
@@ -415,6 +416,91 @@ func TestAdminServer(t *testing.T) {
 		if got := a.cmd(t, bad); len(got) < 3 || got[:3] != "err" {
 			t.Errorf("%q reply = %q, want err", bad, got)
 		}
+	}
+}
+
+// TestRemotePingPong: the transport answers a Ping with a matching Pong
+// without dispatching it into the query engine.
+func TestRemotePingPong(t *testing.T) {
+	s := testServer(t)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, EncodeHello(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn, messageFrame(msg.Ping{Token: 0xfeed})); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for {
+		payload, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("no pong before deadline: %v", err)
+		}
+		m, err := wire.Decode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pong, ok := m.(msg.Pong); ok {
+			if pong.Token != 0xfeed {
+				t.Fatalf("pong token = %#x", pong.Token)
+			}
+			return
+		}
+	}
+}
+
+// TestRemoteObjectReconnectsAndResyncs: with DisconnectGrace on the server
+// and Reconnect on the object, killing the server-side connection does not
+// tear down the object's focal query; the object redials, resyncs, and the
+// result converges back.
+func TestRemoteObjectReconnectsAndResyncs(t *testing.T) {
+	s, err := ListenAndServe(ServerConfig{
+		Addr:            "127.0.0.1:0",
+		UoD:             geo.NewRect(0, 0, 100, 100),
+		Alpha:           5,
+		DisconnectGrace: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	o1, err := Dial(ObjectConfig{
+		Addr: s.Addr().String(), UoD: geo.NewRect(0, 0, 100, 100), Alpha: 5,
+		OID: 1, Pos: geo.Pt(50, 50),
+		MaxVel: 100000, Props: model.Props{Key: 1},
+		TickInterval: 2 * time.Millisecond,
+		Reconnect:    true, RedialInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o1.Close)
+	dialObject(t, s, 2, geo.Pt(51, 50), geo.Vec(0, 0))
+
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100000)
+	if !waitFor(t, 3*time.Second, func() bool { return len(s.Result(qid)) == 2 }) {
+		t.Fatalf("precondition: result = %v", s.Result(qid))
+	}
+
+	// Kill the focal object's server-side connection out from under it.
+	s.mu.Lock()
+	sc := s.conns[1]
+	s.mu.Unlock()
+	sc.conn.Close()
+
+	// The object redials within the grace period: the query survives and
+	// the result converges back to both objects.
+	if !waitFor(t, 4*time.Second, func() bool {
+		r := s.Result(qid)
+		return s.NumQueries() == 1 && len(r) == 2 && r[0] == 1 && r[1] == 2
+	}) {
+		t.Fatalf("after reconnect: queries = %d, result = %v", s.NumQueries(), s.Result(qid))
 	}
 }
 

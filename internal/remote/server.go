@@ -36,6 +36,13 @@ type ServerConfig struct {
 	// a private registry, still reachable via Metrics() and the admin
 	// STATS command.
 	Metrics *obs.Registry
+	// DisconnectGrace defers the synthesized DepartureReport after an
+	// abrupt disconnect (one without a DepartureReport frame) by this long,
+	// canceled if the object reconnects in time. Zero keeps the original
+	// behavior: an abrupt disconnect departs immediately. Set it when
+	// clients reconnect and resync, so a transient connection loss does not
+	// tear down the object's focal queries.
+	DisconnectGrace time.Duration
 }
 
 // Server is a MobiEyes server listening for moving-object connections.
@@ -63,6 +70,9 @@ type Server struct {
 	// yet (or are between reconnects); flushed at handshake. Bounded per
 	// object so a never-connecting ID cannot grow memory.
 	pendingUni map[model.ObjectID][][]byte
+	// graceTimers holds the pending deferred-departure timer of each
+	// abruptly disconnected object (only with DisconnectGrace > 0).
+	graceTimers map[model.ObjectID]*time.Timer
 }
 
 // maxPendingUnicasts bounds the per-object queue of undeliverable frames.
@@ -81,10 +91,17 @@ func ListenAndServe(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return Serve(cfg, ln), nil
+}
+
+// Serve starts a server on an existing listener. Any net.Listener works,
+// including in-memory ones — the deterministic simulation harness serves
+// over net.Pipe connections this way. cfg.Addr is ignored.
+func Serve(cfg ServerConfig, ln net.Listener) *Server {
 	s := newServer(cfg, ln)
 	s.backend = core.NewShardedServer(s.g, cfg.Options, serverDownlink{s}, cfg.Shards)
 	s.start()
-	return s, nil
+	return s
 }
 
 func newServer(cfg ServerConfig, ln net.Listener) *Server {
@@ -93,13 +110,14 @@ func newServer(cfg ServerConfig, ln net.Listener) *Server {
 		reg = obs.NewRegistry()
 	}
 	return &Server{
-		cfg:        cfg,
-		g:          grid.New(cfg.UoD, cfg.Alpha),
-		ln:         ln,
-		done:       make(chan struct{}),
-		reg:        reg,
-		conns:      make(map[model.ObjectID]*serverConn),
-		pendingUni: make(map[model.ObjectID][][]byte),
+		cfg:         cfg,
+		g:           grid.New(cfg.UoD, cfg.Alpha),
+		ln:          ln,
+		done:        make(chan struct{}),
+		reg:         reg,
+		conns:       make(map[model.ObjectID]*serverConn),
+		pendingUni:  make(map[model.ObjectID][][]byte),
+		graceTimers: make(map[model.ObjectID]*time.Timer),
 	}
 }
 
@@ -121,6 +139,10 @@ func (s *Server) Close() {
 		s.mu.Lock()
 		for _, c := range s.conns {
 			c.conn.Close()
+		}
+		for oid, t := range s.graceTimers {
+			t.Stop()
+			delete(s.graceTimers, oid)
 		}
 		s.mu.Unlock()
 	})
@@ -149,10 +171,25 @@ func (s *Server) InstallQuery(focal model.ObjectID, region model.Region, filter 
 	return s.backend.InstallQuery(focal, region, filter, focalMaxVel)
 }
 
+// InstallQueryUntil installs a moving query with an expiry time.
+func (s *Server) InstallQueryUntil(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64, expiry model.Time) model.QueryID {
+	return s.backend.InstallQueryUntil(focal, region, filter, focalMaxVel, expiry)
+}
+
 // RemoveQuery uninstalls a query.
 func (s *Server) RemoveQuery(qid model.QueryID) {
 	s.backend.RemoveQuery(qid)
 }
+
+// NumQueries returns the number of installed queries.
+func (s *Server) NumQueries() int { return s.backend.NumQueries() }
+
+// QueryIDs returns the sorted identifiers of installed queries.
+func (s *Server) QueryIDs() []model.QueryID { return s.backend.QueryIDs() }
+
+// CheckInvariants validates the backend's internal consistency (see
+// core.Server.CheckInvariants).
+func (s *Server) CheckInvariants() error { return s.backend.CheckInvariants() }
 
 // Result returns a query's current result set.
 func (s *Server) Result(qid model.QueryID) []model.ObjectID {
@@ -254,7 +291,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	br := bufio.NewReader(conn)
 
-	hello, err := readFrame(br)
+	hello, err := ReadFrame(br)
 	if err != nil {
 		conn.Close()
 		return
@@ -274,6 +311,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	if old, ok := s.conns[oid]; ok {
 		old.conn.Close() // a reconnect replaces the stale session
 	}
+	if t, ok := s.graceTimers[oid]; ok {
+		t.Stop() // the object came back: cancel its deferred departure
+		delete(s.graceTimers, oid)
+	}
 	s.conns[oid] = sc
 	queued := s.pendingUni[oid]
 	delete(s.pendingUni, oid)
@@ -286,8 +327,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		sc.out.send(frame)
 	}
 
+	sawBye := false
 	for {
-		payload, err := readFrame(br)
+		payload, err := ReadFrame(br)
 		if err != nil {
 			break
 		}
@@ -298,28 +340,81 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.om.decodeErrors.Add(1)
 			break // protocol violation: drop the connection
 		}
+		if p, isPing := m.(msg.Ping); isPing {
+			// Transport-level probe: echo the token after every frame
+			// received before it, and after every downlink already queued.
+			// Never dispatched into the query engine.
+			sc.out.send(messageFrame(msg.Pong{Token: p.Token}))
+			continue
+		}
 		s.recordUplink(m)
 		start := time.Now()
 		s.backend.HandleUplink(m)
 		s.om.observeUplink(m.Kind(), start)
 		if _, bye := m.(msg.DepartureReport); bye {
+			sawBye = true
 			break
 		}
 	}
 
 	s.mu.Lock()
+	if sawBye {
+		// A departed object's queued unicasts are void; a later rejoin is a
+		// fresh arrival and must not receive them.
+		delete(s.pendingUni, oid)
+	}
+	replaced := false
 	if s.conns[oid] == sc {
 		delete(s.conns, oid)
+	} else {
+		// A newer session for the same object took over; this one must not
+		// tear its state down on the way out.
+		_, replaced = s.conns[oid]
 	}
 	s.mu.Unlock()
 	sc.out.close()
 	conn.Close()
-	// Synthesize a departure if the object vanished without one, so its
-	// results do not go stale forever. (Idempotent if the object already
-	// sent its own DepartureReport.)
+	if sawBye || replaced {
+		return
+	}
+	// The object vanished without a departure. Synthesize one — immediately
+	// by default, or after DisconnectGrace so a reconnecting object keeps
+	// its focal queries and result entries across a transient drop.
 	select {
 	case <-s.done:
+		return
 	default:
+	}
+	if grace := s.cfg.DisconnectGrace; grace > 0 {
+		s.mu.Lock()
+		if _, back := s.conns[oid]; !back {
+			if t, ok := s.graceTimers[oid]; ok {
+				t.Stop()
+			}
+			s.graceTimers[oid] = time.AfterFunc(grace, func() { s.graceDeparture(oid) })
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.backend.HandleUplink(msg.DepartureReport{OID: oid})
+}
+
+// graceDeparture fires when an abruptly disconnected object's grace period
+// lapses without a reconnect: the object is finally declared departed.
+func (s *Server) graceDeparture(oid model.ObjectID) {
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	s.mu.Lock()
+	delete(s.graceTimers, oid)
+	_, back := s.conns[oid]
+	if !back {
+		delete(s.pendingUni, oid)
+	}
+	s.mu.Unlock()
+	if !back {
 		s.backend.HandleUplink(msg.DepartureReport{OID: oid})
 	}
 }
@@ -413,7 +508,7 @@ func (o *outbox) run(wg *sync.WaitGroup) {
 			frame := o.queue[0]
 			o.queue = o.queue[1:]
 			o.mu.Unlock()
-			if err := writeFrame(o.conn, frame); err != nil {
+			if err := WriteFrame(o.conn, frame); err != nil {
 				o.conn.Close()
 				o.mu.Lock()
 				o.closed = true

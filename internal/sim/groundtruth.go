@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"sort"
+
 	"mobieyes/internal/geo"
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
@@ -66,6 +68,22 @@ func groundTruth(b *buckets, objs []*model.MovingObject, q workload.QuerySpec, d
 		}
 	})
 	return dst
+}
+
+// GroundTruth evaluates the exact result of one query spec against the
+// current population: every object within spec.Radius of the focal object's
+// position whose properties pass the filter, ascending by object ID. It is
+// the reference oracle of the simulation-test harness (DESIGN.md §10).
+func GroundTruth(g *grid.Grid, objs []*model.MovingObject, spec workload.QuerySpec) []model.ObjectID {
+	b := newBuckets(g)
+	b.rebuild(objs)
+	set := groundTruth(b, objs, spec, nil)
+	out := make([]model.ObjectID, 0, len(set))
+	for oid := range set {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // resultError computes the paper's Fig. 2 error measure for one query: the

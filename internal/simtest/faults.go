@@ -1,0 +1,146 @@
+package simtest
+
+import (
+	"bufio"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"mobieyes/internal/remote"
+)
+
+// FaultPlan describes a protocol fault-injection scenario for the remote
+// transport: a window of schedule ops during which every non-control frame
+// crossing a connection may be dropped, duplicated, or held back and
+// reordered, plus explicit connection kills. Outside the window the relay
+// is transparent. Schedules must keep [Start, End+ConvergeSteps) to OpStep
+// ops only (GenConfig.StepOnly*): losing a control-plane frame like a
+// FocalNotify is not something the resync protocol claims to heal.
+type FaultPlan struct {
+	// Start and End bound the faulty window as op indices: faults are
+	// enabled before executing op Start and disabled (with a heal pass)
+	// before executing op End.
+	Start, End int
+	// Drop, Dup and Hold are per-frame probabilities. Hold puts a frame
+	// aside while later frames pass it (reorder + delay); held frames are
+	// flushed before any control frame, after 3 accumulate, or when the
+	// window closes.
+	Drop, Dup, Hold float64
+	// Kills closes the named objects' connections (both directions, mid
+	// window); the harness reconnects and resyncs them on the next op.
+	Kills []Kill
+	// ConvergeSteps is how many ops after End the oracle stays weakened
+	// (invariants only) while the healed system re-converges; 0 means the
+	// default of 2.
+	ConvergeSteps int
+	// Seed drives the relay's fault decisions, independently of the
+	// scenario seed.
+	Seed int64
+}
+
+// Kill schedules one connection kill: before executing op AtOp, the
+// connection of object Obj (a 1-based object ID) is severed.
+type Kill struct {
+	AtOp int
+	Obj  int
+}
+
+func (f *FaultPlan) convergeSteps() int {
+	if f.ConvergeSteps > 0 {
+		return f.ConvergeSteps
+	}
+	return 2
+}
+
+// faultInjector builds net.Pipe connections bridged by fault-injecting
+// relay pumps. While inactive the relay forwards transparently, so the
+// same wiring serves the whole scenario and faults switch on and off at
+// the window edges.
+type faultInjector struct {
+	plan   FaultPlan
+	active atomic.Bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newFaultInjector(plan FaultPlan) *faultInjector {
+	return &faultInjector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// pipe returns a (client end, server end) pair bridged by two relay pumps,
+// one per direction.
+func (fi *faultInjector) pipe() (net.Conn, net.Conn) {
+	cli, relayCli := net.Pipe()
+	relaySrv, srv := net.Pipe()
+	go fi.pump(relayCli, relaySrv)
+	go fi.pump(relaySrv, relayCli)
+	return cli, srv
+}
+
+// maxHeld bounds the reorder window: a held frame passes at most this many
+// later frames before it is flushed.
+const maxHeld = 3
+
+// pump forwards frames src → dst, applying the fault plan to non-control
+// frames while the injector is active. Hello and Ping/Pong frames always
+// pass undisturbed (remote.ControlFrame): dropping a hello would kill the
+// session rather than degrade it, and the harness's quiescence barrier
+// depends on probes surviving. On any error both ends close, which is how
+// an explicit kill cascades through the relay.
+func (fi *faultInjector) pump(src, dst net.Conn) {
+	die := func() {
+		src.Close()
+		dst.Close()
+	}
+	br := bufio.NewReader(src)
+	var held [][]byte
+	flush := func() bool {
+		for _, f := range held {
+			if remote.WriteFrame(dst, f) != nil {
+				return false
+			}
+		}
+		held = nil
+		return true
+	}
+	for {
+		payload, err := remote.ReadFrame(br)
+		if err != nil {
+			die()
+			return
+		}
+		if !fi.active.Load() || remote.ControlFrame(payload) {
+			if !flush() || remote.WriteFrame(dst, payload) != nil {
+				die()
+				return
+			}
+			continue
+		}
+		fi.mu.Lock()
+		r := fi.rng.Float64()
+		fi.mu.Unlock()
+		p := fi.plan
+		switch {
+		case r < p.Drop:
+			// Dropped on the floor.
+		case r < p.Drop+p.Dup:
+			if remote.WriteFrame(dst, payload) != nil || remote.WriteFrame(dst, payload) != nil {
+				die()
+				return
+			}
+		case r < p.Drop+p.Dup+p.Hold:
+			held = append(held, payload)
+			if len(held) > maxHeld && !flush() {
+				die()
+				return
+			}
+		default:
+			if remote.WriteFrame(dst, payload) != nil {
+				die()
+				return
+			}
+		}
+	}
+}

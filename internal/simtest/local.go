@@ -1,0 +1,219 @@
+package simtest
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/workload"
+)
+
+// system is one engine under test. All three implementations (serial,
+// sharded, remote) are driven through this interface by the runner, with
+// the shared workload objects as the single source of positional truth.
+// Local implementations cannot fail mid-operation; the remote one can
+// (settle timeout = suspected deadlock), hence the error returns.
+type system interface {
+	name() string
+	join(o *model.MovingObject, now model.Time) error
+	depart(oid model.ObjectID, now model.Time) error
+	install(spec workload.QuerySpec, maxVel float64, now model.Time) (model.QueryID, error)
+	installUntil(spec workload.QuerySpec, maxVel float64, expiry, now model.Time) (model.QueryID, error)
+	remove(qid model.QueryID, now model.Time) error
+	expire(now model.Time) error
+	step(now model.Time) error
+	queryIDs() []model.QueryID
+	result(qid model.QueryID) []model.ObjectID
+	invariants() error
+	snapshot() ([]byte, error)
+	close()
+}
+
+// localSystem drives a core.Server or core.ShardedServer with in-process
+// clients and queued FIFO message delivery — the internal/core test-harness
+// idiom. Broadcasts reach every active object (one giant base station);
+// clients self-filter by monitoring region, which is the protocol behavior
+// under test.
+type localSystem struct {
+	label   string
+	g       *grid.Grid
+	opts    core.Options
+	srv     core.ServerAPI
+	objs    []*model.MovingObject // shared world; index = oid-1
+	clients []*core.Client        // parallel to objs
+	active  map[model.ObjectID]bool
+	queue   []queuedDown
+	now     model.Time
+
+	// dropNthBroadcast is the deliberate-bug hook the acceptance test uses:
+	// every Nth broadcast vanishes, so the engine silently skips part of a
+	// monitoring-region update. The differential oracle must catch this.
+	dropNthBroadcast int
+	broadcasts       int
+}
+
+type queuedDown struct {
+	target model.ObjectID // -1 for broadcast
+	m      msg.Message
+}
+
+// newLocalSystem builds a local engine over the shared object population.
+// shards == 0 selects the serial core.Server, otherwise a ShardedServer
+// with that many partitions.
+func newLocalSystem(label string, g *grid.Grid, opts core.Options, objs []*model.MovingObject, shards, dropNth int) *localSystem {
+	ls := &localSystem{
+		label:            label,
+		g:                g,
+		opts:             opts,
+		objs:             objs,
+		clients:          make([]*core.Client, len(objs)),
+		active:           make(map[model.ObjectID]bool),
+		dropNthBroadcast: dropNth,
+	}
+	if shards > 0 {
+		ls.srv = core.NewShardedServer(g, opts, localDown{ls}, shards)
+	} else {
+		ls.srv = core.NewServer(g, opts, localDown{ls})
+	}
+	return ls
+}
+
+func (ls *localSystem) name() string { return ls.label }
+
+type localDown struct{ ls *localSystem }
+
+func (d localDown) Broadcast(region grid.CellRange, m msg.Message) {
+	d.ls.broadcasts++
+	if n := d.ls.dropNthBroadcast; n > 0 && d.ls.broadcasts%n == 0 {
+		return // injected bug: this monitoring-region update is never sent
+	}
+	d.ls.queue = append(d.ls.queue, queuedDown{target: -1, m: m})
+}
+
+func (d localDown) Unicast(oid model.ObjectID, m msg.Message) {
+	d.ls.queue = append(d.ls.queue, queuedDown{target: oid, m: m})
+}
+
+// flush delivers queued downlinks in FIFO order until quiescent;
+// deliveries may enqueue more (e.g. a FocalInfoResponse completing an
+// install, which broadcasts the query). Messages to departed objects are
+// dropped: their device is gone.
+func (ls *localSystem) flush() {
+	for len(ls.queue) > 0 {
+		q := ls.queue[0]
+		ls.queue = ls.queue[1:]
+		if q.target >= 0 {
+			if !ls.active[q.target] {
+				continue
+			}
+			i := int(q.target) - 1
+			ls.clients[i].OnDownlink(q.m, ls.objs[i].Pos, ls.objs[i].Vel, ls.now)
+			continue
+		}
+		for i, c := range ls.clients {
+			if c == nil || !ls.active[model.ObjectID(i+1)] {
+				continue
+			}
+			c.OnDownlink(q.m, ls.objs[i].Pos, ls.objs[i].Vel, ls.now)
+		}
+	}
+}
+
+func (ls *localSystem) join(o *model.MovingObject, now model.Time) error {
+	ls.now = now
+	i := int(o.ID) - 1
+	// A fresh Client on every (re)join: the device that left is gone and a
+	// new one arrives, exactly as in the remote deployment.
+	ls.clients[i] = core.NewClient(ls.g, ls.opts, localUp{ls}, o.ID, o.Props, o.MaxVel, o.Pos)
+	ls.active[o.ID] = true
+	ls.clients[i].Join(o.Pos, o.Vel, now)
+	ls.flush()
+	return nil
+}
+
+func (ls *localSystem) depart(oid model.ObjectID, now model.Time) error {
+	ls.now = now
+	ls.clients[int(oid)-1].Depart()
+	ls.active[oid] = false
+	ls.flush()
+	return nil
+}
+
+type localUp struct{ ls *localSystem }
+
+func (u localUp) Send(m msg.Message) { u.ls.srv.HandleUplink(m) }
+
+func (ls *localSystem) install(spec workload.QuerySpec, maxVel float64, now model.Time) (model.QueryID, error) {
+	ls.now = now
+	qid := ls.srv.InstallQuery(spec.Focal, model.CircleRegion{R: spec.Radius}, spec.Filter, maxVel)
+	ls.flush()
+	return qid, nil
+}
+
+func (ls *localSystem) installUntil(spec workload.QuerySpec, maxVel float64, expiry, now model.Time) (model.QueryID, error) {
+	ls.now = now
+	qid := ls.srv.InstallQueryUntil(spec.Focal, model.CircleRegion{R: spec.Radius}, spec.Filter, maxVel, expiry)
+	ls.flush()
+	return qid, nil
+}
+
+func (ls *localSystem) remove(qid model.QueryID, now model.Time) error {
+	ls.now = now
+	ls.srv.RemoveQuery(qid)
+	ls.flush()
+	return nil
+}
+
+func (ls *localSystem) expire(now model.Time) error {
+	ls.now = now
+	ls.srv.ExpireQueries(now)
+	ls.flush()
+	return nil
+}
+
+// step runs the three client protocol phases with full message delivery
+// between them. The world itself (object positions) has already been
+// advanced by the runner.
+func (ls *localSystem) step(now model.Time) error {
+	ls.now = now
+	ls.eachActive(func(i int, c *core.Client) { c.TickCellChange(ls.objs[i].Pos, ls.objs[i].Vel, now) })
+	ls.flush()
+	ls.eachActive(func(i int, c *core.Client) { c.TickDeadReckoning(ls.objs[i].Pos, ls.objs[i].Vel, now) })
+	ls.flush()
+	ls.eachActive(func(i int, c *core.Client) { c.TickEvaluate(ls.objs[i].Pos, ls.objs[i].Vel, now) })
+	ls.flush()
+	return nil
+}
+
+func (ls *localSystem) eachActive(fn func(i int, c *core.Client)) {
+	for i, c := range ls.clients {
+		if c == nil || !ls.active[model.ObjectID(i+1)] {
+			continue
+		}
+		fn(i, c)
+	}
+}
+
+func (ls *localSystem) queryIDs() []model.QueryID {
+	ids := ls.srv.QueryIDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (ls *localSystem) result(qid model.QueryID) []model.ObjectID { return ls.srv.Result(qid) }
+
+func (ls *localSystem) invariants() error { return ls.srv.CheckInvariants() }
+
+func (ls *localSystem) snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := ls.srv.Snapshot(&buf); err != nil {
+		return nil, fmt.Errorf("%s: snapshot: %w", ls.label, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (ls *localSystem) close() {}

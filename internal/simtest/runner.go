@@ -1,0 +1,390 @@
+package simtest
+
+import (
+	"bytes"
+	"fmt"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/sim"
+	"mobieyes/internal/workload"
+)
+
+// alphaMiles is the grid cell side used by every scenario; with the
+// 100×100-mile universe below it yields a 20×20 grid.
+const alphaMiles = 5.0
+
+// Scenario is one complete, self-describing differential test run: a
+// seeded workload, a protocol variant, a set of engines, and an operation
+// schedule. Everything is derived deterministically from the seeds, so a
+// Scenario value IS the repro case.
+type Scenario struct {
+	Name       string
+	Seed       int64
+	NumObjects int
+	NumSpecs   int
+	Opts       core.Options
+	Mobility   workload.MobilityModel
+	// Shards is the sharded engine's partition count (0 = 4).
+	Shards int
+	// Remote adds the internal/remote server over in-memory pipes as a
+	// third engine.
+	Remote bool
+	// Faults injects transport faults into the remote engine (requires
+	// Remote).
+	Faults *FaultPlan
+	// DropNthBroadcast plants a deliberate equivalence bug into the
+	// sharded engine — every Nth broadcast is skipped — to prove the
+	// oracle catches real protocol divergence.
+	DropNthBroadcast int
+	Ops              []Op
+}
+
+func (sc *Scenario) workloadConfig() workload.Config {
+	return workload.Config{
+		UoD:                    geo.NewRect(0, 0, 100, 100),
+		NumObjects:             sc.NumObjects,
+		NumQueries:             sc.NumSpecs,
+		VelocityChangesPerStep: sc.NumObjects/5 + 1,
+		Mobility:               sc.Mobility,
+		StepSeconds:            30,
+		WaypointPauseSteps:     [2]int{0, 2},
+		GaussMarkovMemory:      0.85,
+		GaussMarkovSigma:       0.15,
+		MaxSpeeds:              []float64{100, 50, 150, 200, 250},
+		RadiusMeans:            []float64{5, 3, 8},
+		RadiusStdDevFrac:       0.2,
+		ZipfTheta:              0.8,
+		SelectivityPermille:    850,
+		RadiusFactor:           1,
+		Seed:                   sc.Seed,
+	}
+}
+
+// gtEligible reports whether the ground-truth oracle applies: with eager
+// propagation, Δ = 0 and no evaluation skipping, the protocol guarantees
+// exact results, so the engines must match the brute-force evaluator.
+func (sc *Scenario) gtEligible() bool {
+	return sc.Opts.Mode == core.EagerPropagation &&
+		sc.Opts.DeadReckoningThreshold == 0 &&
+		!sc.Opts.SafePeriod && !sc.Opts.Predictive
+}
+
+// RunScenario executes the schedule against every engine in lockstep and
+// returns the first oracle violation, annotated with the seed and the op
+// index so the failure replays. A nil error means all oracles held after
+// every operation.
+func RunScenario(sc Scenario) error {
+	wl := workload.New(sc.workloadConfig())
+	g := grid.New(wl.Config().UoD, alphaMiles)
+	shards := sc.Shards
+	if shards <= 0 {
+		shards = 4
+	}
+
+	systems := []system{
+		newLocalSystem("serial", g, sc.Opts, wl.Objects, 0, 0),
+		newLocalSystem("sharded", g, sc.Opts, wl.Objects, shards, sc.DropNthBroadcast),
+	}
+	var rsys *remoteSystem
+	if sc.Remote {
+		rsys = newRemoteSystem("remote", wl.Config().UoD, alphaMiles, sc.Opts, wl.Objects, shards, sc.Faults)
+		defer rsys.close()
+		systems = append(systems, rsys)
+	}
+
+	r := &runner{
+		sc:        &sc,
+		wl:        wl,
+		g:         g,
+		systems:   systems,
+		rsys:      rsys,
+		active:    make(map[model.ObjectID]bool),
+		specByQID: make(map[model.QueryID]workload.QuerySpec),
+	}
+	for _, o := range wl.Objects {
+		for _, sys := range systems {
+			if err := sys.join(o, r.now); err != nil {
+				return fmt.Errorf("seed %d: initial join of object %d: %w", sc.Seed, o.ID, err)
+			}
+		}
+		r.active[o.ID] = true
+	}
+	for i, op := range sc.Ops {
+		if err := r.apply(i, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type runner struct {
+	sc      *Scenario
+	wl      *workload.Workload
+	g       *grid.Grid
+	systems []system
+	rsys    *remoteSystem
+	now     model.Time
+
+	active    map[model.ObjectID]bool
+	specByQID map[model.QueryID]workload.QuerySpec
+	// gtValid: the ground-truth oracle only applies once an evaluate phase
+	// has run since the last mutation that introduced unevaluated state (a
+	// new query or a new object); containment is reported by clients during
+	// TickEvaluate, not at install time.
+	gtValid bool
+}
+
+// faultPhase applies the fault plan's op-index triggers before op i runs.
+func (r *runner) faultPhase(i int) error {
+	f := r.sc.Faults
+	if f == nil || r.rsys == nil || r.rsys.faults == nil {
+		return nil
+	}
+	if i == f.Start {
+		r.rsys.faults.active.Store(true)
+	}
+	for _, k := range f.Kills {
+		if k.AtOp == i {
+			r.rsys.kill(model.ObjectID(k.Obj))
+		}
+		// A killed object reconnects at the next op boundary, so the
+		// resync path itself runs under active faults.
+		if k.AtOp == i-1 {
+			if err := r.rsys.reconnect(model.ObjectID(k.Obj), r.now); err != nil {
+				return err
+			}
+		}
+	}
+	if i == f.End {
+		r.rsys.faults.active.Store(false)
+		if err := r.rsys.heal(r.now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// strictAt reports whether the full oracle hierarchy applies after op i.
+// During a fault window and for ConvergeSteps ops past it only the
+// invariant and liveness oracles hold; strictness resuming afterwards IS
+// the convergence assertion.
+func (r *runner) strictAt(i int) bool {
+	f := r.sc.Faults
+	if f == nil {
+		return true
+	}
+	return i < f.Start || i >= f.End+f.convergeSteps()
+}
+
+func (r *runner) apply(i int, op Op) error {
+	fail := func(err error) error {
+		return fmt.Errorf("seed %d, op %d (%s): %w", r.sc.Seed, i, op, err)
+	}
+	if err := r.faultPhase(i); err != nil {
+		return fail(err)
+	}
+	switch op.Kind {
+	case OpStep:
+		r.now += model.FromSeconds(r.wl.Config().StepSeconds)
+		r.wl.Step()
+		for _, sys := range r.systems {
+			if err := sys.expire(r.now); err != nil {
+				return fail(err)
+			}
+			if err := sys.step(r.now); err != nil {
+				return fail(err)
+			}
+		}
+		r.gtValid = true
+	case OpInstall, OpInstallUntil:
+		spec := r.wl.Queries[op.A%len(r.wl.Queries)]
+		maxVel := r.wl.Objects[int(spec.Focal)-1].MaxVel
+		expiry := r.now + model.Time(float64(model.FromSeconds(r.wl.Config().StepSeconds))*float64(op.B))
+		var qids []model.QueryID
+		for _, sys := range r.systems {
+			var qid model.QueryID
+			var err error
+			if op.Kind == OpInstall {
+				qid, err = sys.install(spec, maxVel, r.now)
+			} else {
+				qid, err = sys.installUntil(spec, maxVel, expiry, r.now)
+			}
+			if err != nil {
+				return fail(err)
+			}
+			qids = append(qids, qid)
+		}
+		for _, qid := range qids[1:] {
+			if qid != qids[0] {
+				return fail(fmt.Errorf("engines assigned different query IDs: %v", qids))
+			}
+		}
+		r.specByQID[qids[0]] = spec
+		r.gtValid = false
+	case OpRemove:
+		ids := r.systems[0].queryIDs()
+		if len(ids) == 0 {
+			return nil
+		}
+		qid := ids[op.A%len(ids)]
+		for _, sys := range r.systems {
+			if err := sys.remove(qid, r.now); err != nil {
+				return fail(err)
+			}
+		}
+	case OpDepart:
+		oids := r.sortedActive()
+		if len(oids) <= 2 {
+			return nil // keep a population to compare
+		}
+		oid := oids[op.A%len(oids)]
+		for _, sys := range r.systems {
+			if err := sys.depart(oid, r.now); err != nil {
+				return fail(err)
+			}
+		}
+		r.active[oid] = false
+	case OpJoin:
+		oids := r.sortedDeparted()
+		if len(oids) == 0 {
+			return nil
+		}
+		oid := oids[op.A%len(oids)]
+		for _, sys := range r.systems {
+			if err := sys.join(r.wl.Objects[int(oid)-1], r.now); err != nil {
+				return fail(err)
+			}
+		}
+		r.active[oid] = true
+		r.gtValid = false
+	}
+	if err := r.checkOracle(r.strictAt(i)); err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+func (r *runner) sortedActive() []model.ObjectID {
+	var out []model.ObjectID
+	for _, o := range r.wl.Objects {
+		if r.active[o.ID] {
+			out = append(out, o.ID)
+		}
+	}
+	return out
+}
+
+func (r *runner) sortedDeparted() []model.ObjectID {
+	var out []model.ObjectID
+	for _, o := range r.wl.Objects {
+		if !r.active[o.ID] {
+			out = append(out, o.ID)
+		}
+	}
+	return out
+}
+
+// checkOracle applies the oracle hierarchy of DESIGN.md §10. The invariant
+// oracle always runs; under strict mode the differential oracle (query
+// sets, per-query results, byte-identical snapshots across engines) and —
+// for exact protocol variants — the ground-truth oracle run too.
+func (r *runner) checkOracle(strict bool) error {
+	for _, sys := range r.systems {
+		if err := sys.invariants(); err != nil {
+			return fmt.Errorf("%s: invariant violated: %w", sys.name(), err)
+		}
+	}
+	if !strict {
+		return nil
+	}
+
+	base := r.systems[0]
+	baseIDs := base.queryIDs()
+	for _, sys := range r.systems[1:] {
+		if err := diffIDs(baseIDs, sys.queryIDs()); err != nil {
+			return fmt.Errorf("%s vs %s: query sets differ: %w", base.name(), sys.name(), err)
+		}
+	}
+	for _, qid := range baseIDs {
+		want := base.result(qid)
+		for _, sys := range r.systems[1:] {
+			got := sys.result(qid)
+			if !oidsEqual(want, got) {
+				return fmt.Errorf("query %d: %s result %v, %s result %v", qid, base.name(), want, sys.name(), got)
+			}
+		}
+		if r.sc.gtEligible() && r.gtValid {
+			spec, ok := r.specByQID[qid]
+			if ok && r.active[spec.Focal] {
+				gt := r.filterActive(sim.GroundTruth(r.g, r.wl.Objects, spec))
+				if !oidsEqual(want, gt) {
+					return fmt.Errorf("query %d: engines report %v, ground truth %v", qid, want, gt)
+				}
+			}
+		}
+	}
+
+	baseSnap, err := base.snapshot()
+	if err != nil {
+		return err
+	}
+	for _, sys := range r.systems[1:] {
+		if r.sc.Faults != nil && sys == system(r.rsys) {
+			// A resync legitimately re-bases motion-state timestamps (same
+			// trajectory, newer base point), so after a fault window the
+			// remote snapshot is equivalent but not byte-identical. The
+			// query-set, result, invariant and ground-truth oracles above
+			// still hold for it.
+			continue
+		}
+		snap, err := sys.snapshot()
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(baseSnap, snap) {
+			return fmt.Errorf("%s snapshot (%d bytes) differs from %s snapshot (%d bytes)",
+				sys.name(), len(snap), base.name(), len(baseSnap))
+		}
+	}
+	return nil
+}
+
+// filterActive drops departed objects from a ground-truth result: the
+// brute-force evaluator sees the whole population, the engines only the
+// objects currently in the system.
+func (r *runner) filterActive(ids []model.ObjectID) []model.ObjectID {
+	out := ids[:0]
+	for _, id := range ids {
+		if r.active[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func diffIDs(a, b []model.QueryID) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("%v vs %v", a, b)
+		}
+	}
+	return nil
+}
+
+func oidsEqual(a, b []model.ObjectID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

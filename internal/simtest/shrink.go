@@ -1,0 +1,57 @@
+package simtest
+
+import "fmt"
+
+// Shrink minimizes a failing scenario's schedule with delta debugging:
+// ever-smaller chunks of ops are removed while the scenario keeps failing,
+// until no single remaining op can be dropped (1-minimality) or maxRuns
+// replays are spent. The result replays deterministically because replay
+// state depends only on the seeds and the surviving ops — the workload's
+// random process is consumed exclusively by OpStep.
+//
+// Shrink applies to fault-free scenarios; fault windows address schedule
+// positions by index, which removal would shift.
+func Shrink(sc Scenario, maxRuns int) (Scenario, error) {
+	if sc.Faults != nil {
+		return sc, fmt.Errorf("simtest: cannot shrink a scenario with a fault plan")
+	}
+	fails := func(ops []Op) bool {
+		t := sc
+		t.Ops = ops
+		return RunScenario(t) != nil
+	}
+	runs := 1
+	if !fails(sc.Ops) {
+		return sc, fmt.Errorf("simtest: scenario does not fail; nothing to shrink")
+	}
+	ops := sc.Ops
+	for chunk := len(ops) / 2; chunk > 0; chunk /= 2 {
+		for start := 0; start < len(ops) && runs < maxRuns; {
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			candidate := make([]Op, 0, len(ops)-(end-start))
+			candidate = append(candidate, ops[:start]...)
+			candidate = append(candidate, ops[end:]...)
+			runs++
+			if len(candidate) > 0 && fails(candidate) {
+				ops = candidate // keep shrinking from the same position
+			} else {
+				start += chunk
+			}
+		}
+	}
+	sc.Ops = ops
+	return sc, nil
+}
+
+// ReproCase renders a shrunk failing scenario as the replayable text a
+// test prints on failure: the scenario parameters as comments and the
+// schedule in FormatSchedule form, ready for ParseSchedule + RunScenario.
+func ReproCase(sc Scenario) string {
+	return fmt.Sprintf(
+		"# simtest repro: seed=%d objects=%d specs=%d opts=%+v mobility=%v remote=%v dropNth=%d\n%s",
+		sc.Seed, sc.NumObjects, sc.NumSpecs, sc.Opts, sc.Mobility, sc.Remote, sc.DropNthBroadcast,
+		FormatSchedule(sc.Ops))
+}

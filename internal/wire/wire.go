@@ -161,7 +161,15 @@ func (d *decoder) u64() uint64 {
 }
 
 func (d *decoder) f64() float64     { return math.Float64frombits(d.u64()) }
-func (d *decoder) boolByte() bool   { return d.u8() != 0 }
+func (d *decoder) boolByte() bool {
+	// Strict: only 0 and 1 are valid, so every accepted payload has
+	// exactly one encoding (found by FuzzWire's canonicity property).
+	b := d.u8()
+	if b > 1 && d.err == nil {
+		d.err = fmt.Errorf("wire: invalid bool byte %#02x", b)
+	}
+	return b == 1
+}
 func (d *decoder) point() geo.Point { return geo.Pt(d.f64(), d.f64()) }
 func (d *decoder) vector() geo.Vector {
 	return geo.Vec(d.f64(), d.f64())
@@ -186,7 +194,11 @@ func (d *decoder) regionVar() model.Region {
 	switch tag {
 	case regionCircle:
 		a := d.f64()
-		d.f64()
+		// The second word is padding (circles use one parameter, rects two);
+		// it must be zero so the encoding stays canonical.
+		if pad := d.u64(); pad != 0 && d.err == nil {
+			d.err = fmt.Errorf("wire: nonzero circle padding %#x", pad)
+		}
 		return model.CircleRegion{R: a}
 	case regionRect:
 		return model.RectRegion{W: d.f64(), H: d.f64()}
@@ -274,6 +286,10 @@ func Encode(m msg.Message) []byte {
 		e.time(mm.Tm)
 	case msg.DepartureReport:
 		e.oid(mm.OID)
+	case msg.Ping:
+		e.u64(mm.Token)
+	case msg.Pong:
+		e.u64(mm.Token)
 	case msg.QueryInstall:
 		e.u16(uint16(len(mm.Queries)))
 		for _, qs := range mm.Queries {
@@ -358,6 +374,10 @@ func Decode(b []byte) (msg.Message, error) {
 		m = msg.FocalInfoResponse{OID: d.oid(), Pos: d.point(), Vel: d.vector(), Tm: d.time()}
 	case msg.KindDepartureReport:
 		m = msg.DepartureReport{OID: d.oid()}
+	case msg.KindPing:
+		m = msg.Ping{Token: d.u64()}
+	case msg.KindPong:
+		m = msg.Pong{Token: d.u64()}
 	case msg.KindQueryInstall:
 		n := int(d.u16())
 		if n > (len(b)-d.off)/4 {

@@ -47,12 +47,14 @@ func sampleMessages(rng *rand.Rand) []msg.Message {
 		msg.GroupContainmentReport{OID: 5, Focal: 9, QIDs: []model.QueryID{7, 8, 9}, Bitmap: bm},
 		msg.FocalInfoResponse{OID: 6, Pos: geo.Pt(0, 0), Vel: geo.Vec(1, 1), Tm: 3},
 		msg.DepartureReport{OID: 7},
+		msg.Ping{Token: rng.Uint64()},
 		msg.QueryInstall{Queries: []msg.QueryState{qs, qsRect}},
 		msg.QueryRemove{QIDs: []model.QueryID{1, 2, 3}},
 		msg.VelocityChange{Focal: 9, State: st},
 		msg.VelocityChange{Focal: 9, State: st, Queries: []msg.QueryState{qs}},
 		msg.FocalNotify{OID: 10, QID: 11, Install: true},
 		msg.FocalInfoRequest{OID: 12},
+		msg.Pong{Token: rng.Uint64()},
 	}
 }
 

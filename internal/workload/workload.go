@@ -211,6 +211,22 @@ func (w *Workload) generateQueries() {
 	}
 }
 
+// Step advances the workload by one full mobility step: border bounces,
+// the velocity perturbation process, then motion over StepSeconds. It
+// returns the indices whose velocity the perturbation changed (border
+// bounces excluded, exactly like PerturbStep). Engines that interleave
+// protocol phases with these stages call the underlying methods directly;
+// Step is for drivers that treat a step as one atomic world transition.
+func (w *Workload) Step() []int {
+	w.BounceAtBorders()
+	changed := w.PerturbStep()
+	dt := model.FromSeconds(w.cfg.StepSeconds)
+	for _, o := range w.Objects {
+		o.Move(dt)
+	}
+	return changed
+}
+
 // RandomizeVelocity points o in a uniformly random direction at a speed
 // uniform in [0, o.MaxVel].
 func (w *Workload) RandomizeVelocity(o *model.MovingObject) {
