@@ -21,9 +21,12 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/remote/... ./internal/obs/...
 
-# Differential simulation sweep under the race detector, plus a short fuzz
-# smoke of the wire codec and the remote frame reader (the two trust
-# boundaries for peer-supplied bytes). CI runs this next to the race gate.
+# Differential simulation sweep under the race detector — including one
+# fault-injection seed with causal tracing enabled (TestTracedFaultInjection),
+# so trace propagation stays race-clean on the faulty transport — plus a
+# short fuzz smoke of the wire codec and the remote frame reader (the two
+# trust boundaries for peer-supplied bytes). CI runs this next to the race
+# gate.
 simtest:
 	$(GO) test -race -count=1 ./internal/simtest/
 	$(GO) test -run '^$$' -fuzz '^FuzzWire$$' -fuzztime 10s ./internal/wire/
@@ -45,7 +48,7 @@ bench-sharded:
 	$(GO) test -run xxx -bench 'BenchmarkUplink' -benchtime 2s ./internal/core/
 	$(GO) test -run xxx -bench 'BenchmarkEngineStep' -benchtime 20x .
 
-# Machine-readable results of the instrumentation-overhead and uplink
-# throughput benchmarks (see scripts/bench_json.sh).
+# Machine-readable results of the instrumentation-overhead, flight-recorder
+# and uplink throughput benchmarks (see scripts/bench_json.sh).
 bench-json:
-	sh scripts/bench_json.sh BENCH_PR2.json
+	sh scripts/bench_json.sh BENCH_PR4.json

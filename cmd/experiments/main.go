@@ -22,6 +22,7 @@ import (
 
 	"mobieyes/internal/experiments"
 	"mobieyes/internal/obs"
+	evtrace "mobieyes/internal/obs/trace"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each figure as CSV into this directory")
 		shards   = flag.Int("shards", 0, "server shards for MobiEyes runs (0/1 = serial server, >1 = concurrent sharded server)")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz and pprof on this address while experiments run (empty = off)")
+		traceSz  = flag.Int("trace-events", 0, "causal-tracing flight recorder size in events (0 = off); requires -metrics-addr, exposed on /debug/events")
 	)
 	flag.Parse()
 
@@ -44,9 +46,12 @@ func main() {
 		Seed:     *seed,
 		Shards:   *shards,
 	}
+	if *traceSz > 0 {
+		opts.Trace = evtrace.NewRecorder(*traceSz)
+	}
 	if *metrics != "" {
 		reg := obs.NewRegistry()
-		ms, err := obs.ListenAndServe(*metrics, reg)
+		ms, err := obs.ListenAndServeTraced(*metrics, reg, opts.Trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)

@@ -6,6 +6,7 @@
 //
 //	mobieyes-server [-addr :7070] [-admin :7071] [-metrics-addr :7072]
 //	                [-area SQMILES] [-alpha MILES] [-lazy] [-grouping]
+//	                [-trace-events N]
 //
 // Admin protocol (one command per line, e.g. via netcat):
 //
@@ -13,6 +14,7 @@
 //	remove <qid>                             → "ok"
 //	result <qid>                             → "result <id> <oid…>"
 //	conns                                    → "conns <n>"
+//	TRACE [n | oid N | qid N | trace N]      → event journal (needs -trace-events)
 //	quit                                     → closes the admin session
 package main
 
@@ -27,6 +29,7 @@ import (
 	"mobieyes/internal/core"
 	"mobieyes/internal/geo"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/remote"
 )
 
@@ -41,12 +44,17 @@ func main() {
 		restore  = flag.String("restore", "", "restore query state from a snapshot file")
 		shards   = flag.Int("shards", 0, "server grid partitions (0 = GOMAXPROCS)")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz and pprof on this address (empty = off)")
+		traceSz  = flag.Int("trace-events", 0, "causal-tracing flight recorder size in events (0 = off); exposed on /debug/events and the admin TRACE command")
 	)
 	flag.Parse()
 
+	var rec *trace.Recorder
+	if *traceSz > 0 {
+		rec = trace.NewRecorder(*traceSz)
+	}
 	reg := obs.NewRegistry()
 	if *metrics != "" {
-		ms, err := obs.ListenAndServe(*metrics, reg)
+		ms, err := obs.ListenAndServeTraced(*metrics, reg, rec)
 		if err != nil {
 			fatal(err)
 		}
@@ -66,6 +74,7 @@ func main() {
 		Options: opts,
 		Shards:  *shards,
 		Metrics: reg,
+		Trace:   rec,
 	}
 	var srv *remote.Server
 	var err error

@@ -7,6 +7,7 @@ import (
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/trace"
 )
 
 // ServerAPI is the server-side surface of the MobiEyes protocol, implemented
@@ -21,8 +22,15 @@ type ServerAPI interface {
 	RemoveQuery(qid model.QueryID) bool
 	ExpireQueries(now model.Time) []model.QueryID
 
-	// Uplink dispatch (§3.4–3.6).
+	// Uplink dispatch (§3.4–3.6). HandleUplinkTraced is HandleUplink with
+	// an inbound causal-trace ID (0 = start a fresh trace when tracing is
+	// on); HandleUplink(m) is HandleUplinkTraced(m, 0).
 	HandleUplink(m msg.Message)
+	HandleUplinkTraced(m msg.Message, tid trace.ID)
+
+	// SetTracer attaches a flight recorder for causal tracing (nil = off;
+	// the default). See internal/obs/trace and DESIGN.md §11.
+	SetTracer(rec *trace.Recorder)
 
 	// Result access.
 	Result(qid model.QueryID) []model.ObjectID

@@ -1,6 +1,9 @@
 package core
 
-import "mobieyes/internal/model"
+import (
+	"mobieyes/internal/model"
+	"mobieyes/internal/obs/trace"
+)
 
 // ResultEvent is a differential change to a query's result set: an object
 // entered (Entered=true) or left the result. This is the continuous-query
@@ -21,8 +24,17 @@ func (s *Server) SetResultListener(fn func(ResultEvent)) {
 	s.onResult = fn
 }
 
-// notifyResult emits a result event if a listener is installed.
+// notifyResult emits a result event if a listener is installed, and records
+// the flip on the flight recorder when tracing: result changes are the tail
+// of every causal chain the oracle cares about.
 func (s *Server) notifyResult(qid model.QueryID, oid model.ObjectID, entered bool) {
+	if s.rec != nil {
+		note := "leave"
+		if entered {
+			note = "enter"
+		}
+		s.ev(trace.KindResult, oid, qid, note)
+	}
 	if s.onResult != nil {
 		s.onResult(ResultEvent{QID: qid, OID: oid, Entered: entered})
 	}

@@ -7,6 +7,7 @@ import (
 	"mobieyes/internal/grid"
 	"mobieyes/internal/msg"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/trace"
 )
 
 // Metric names of the server layer (scheme mobieyes_<layer>_<name>; see
@@ -133,6 +134,14 @@ func (s *Server) broadcast(region grid.CellRange, m msg.Message) {
 	if o := s.obsm; o != nil {
 		o.broadcasts.Add(1)
 		o.broadcastCells.Observe(float64(region.NumCells()))
+	}
+	if s.rec != nil {
+		oid, qid := TraceRef(m)
+		s.rec.Event(s.curTrace, trace.KindBroadcast, s.actor, oid, qid, m.Kind().String())
+		if s.tdown != nil {
+			s.tdown.BroadcastTraced(region, m, s.curTrace)
+			return
+		}
 	}
 	s.down.Broadcast(region, m)
 }

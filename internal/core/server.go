@@ -9,6 +9,7 @@ import (
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/trace"
 )
 
 // fotEntry is one row of the focal object table FOT = (oid, pos, vel, tm),
@@ -78,6 +79,17 @@ type Server struct {
 	// obsm is the optional extended instrumentation (latency histograms,
 	// broadcast metrics), attached by Instrument; nil means uninstrumented.
 	obsm *serverObs
+
+	// Causal tracing (see internal/obs/trace and DESIGN.md §11). rec is the
+	// flight recorder attached by SetTracer (nil = off); actor names this
+	// server in events ("server", or "shardN" under a ShardedServer); tdown
+	// caches the downlink's TracedDownlink extension, if any. curTrace is
+	// the trace ID of the dispatch in flight; owned by the single dispatch
+	// goroutine (or the shard lock when running as a shard).
+	rec      *trace.Recorder
+	actor    string
+	tdown    TracedDownlink
+	curTrace trace.ID
 }
 
 // NewServer returns a MobiEyes server over grid g, sending through down.
@@ -120,6 +132,8 @@ func (s *Server) NumQueries() int { return len(s.sqt) }
 func (s *Server) InstallQuery(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64) model.QueryID {
 	qid := s.nextQID
 	s.nextQID++
+	root := s.beginRoot(focal, qid, "InstallQuery")
+	defer s.endRoot(root)
 	q := model.Query{ID: qid, Focal: focal, Region: region, Filter: filter}
 	if _, ok := s.fot[focal]; ok {
 		s.completeInstall(qid, q, focalMaxVel)
@@ -129,7 +143,7 @@ func (s *Server) InstallQuery(focal model.ObjectID, region model.Region, filter 
 	// §3.3 step 3: the focal object is unknown — request its motion state.
 	s.pending[focal] = append(s.pending[focal], pendingInstall{qid, q, focalMaxVel})
 	if len(s.pending[focal]) == 1 {
-		s.down.Unicast(focal, msg.FocalInfoRequest{OID: focal})
+		s.unicast(focal, msg.FocalInfoRequest{OID: focal})
 	}
 	s.ops.Add(1)
 	s.syncTableGauges()
@@ -152,6 +166,8 @@ func (s *Server) InstallQueryUntil(focal model.ObjectID, region model.Region, fi
 // removed identifiers (sorted). Call it with the current time whenever the
 // clock advances; the engines do so once per step.
 func (s *Server) ExpireQueries(now model.Time) []model.QueryID {
+	root := s.beginRoot(0, 0, "ExpireQueries")
+	defer s.endRoot(root)
 	var expired []model.QueryID
 	for qid, exp := range s.expiries {
 		if exp <= now {
@@ -187,6 +203,7 @@ func (s *Server) upsertFocal(oid model.ObjectID, st model.MotionState) *fotEntry
 		fe = &fotEntry{state: st, currCell: s.g.CellOf(st.Pos)}
 		s.fot[oid] = fe
 	}
+	s.ev(trace.KindTable, oid, 0, "FOT upsert")
 	s.ops.Add(1)
 	return fe
 }
@@ -211,9 +228,10 @@ func (s *Server) completeInstall(qid model.QueryID, q model.Query, focalMaxVel f
 		expiry:    s.expiries[qid],
 	}
 	s.rqiAdd(qid, monRegion)
+	s.ev(trace.KindTable, q.Focal, qid, "SQT insert")
 
 	// Tell the object it is now focal (sets hasMQ)…
-	s.down.Unicast(q.Focal, msg.FocalNotify{OID: q.Focal, QID: qid, Install: true})
+	s.unicast(q.Focal, msg.FocalNotify{OID: q.Focal, QID: qid, Install: true})
 	// …and ship the query to every object in the monitoring region.
 	s.broadcast(monRegion, msg.QueryInstall{
 		Queries: []msg.QueryState{s.queryState(qid)},
@@ -229,6 +247,8 @@ func (s *Server) RemoveQuery(qid model.QueryID) bool {
 	if !ok {
 		return false
 	}
+	root := s.beginRoot(e.query.Focal, qid, "RemoveQuery")
+	defer s.endRoot(root)
 	for _, oid := range s.Result(qid) {
 		s.notifyResult(qid, oid, false)
 	}
@@ -237,9 +257,10 @@ func (s *Server) RemoveQuery(qid model.QueryID) bool {
 	delete(s.sqt, qid)
 	fe := s.fot[e.query.Focal]
 	fe.queries = removeSortedQID(fe.queries, qid)
+	s.ev(trace.KindTable, e.query.Focal, qid, "SQT delete")
 	s.broadcast(e.monRegion, msg.QueryRemove{QIDs: []model.QueryID{qid}})
 	if len(fe.queries) == 0 {
-		s.down.Unicast(e.query.Focal, msg.FocalNotify{OID: e.query.Focal, QID: qid, Install: false})
+		s.unicast(e.query.Focal, msg.FocalNotify{OID: e.query.Focal, QID: qid, Install: false})
 		delete(s.fot, e.query.Focal)
 	}
 	s.ops.Add(3)
@@ -258,6 +279,7 @@ func (s *Server) OnVelocityReport(m msg.VelocityReport) {
 		return // not a focal object (stale report after query removal)
 	}
 	fe.state = model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}
+	s.ev(trace.KindTable, m.OID, 0, "FOT refresh")
 	s.ops.Add(1)
 	s.relayFocalState(fe)
 }
@@ -381,6 +403,7 @@ func (s *Server) relocateQuery(qid model.QueryID, newCell grid.CellID) {
 		s.rqiRemove(qid, oldRegion)
 		s.rqiAdd(qid, newRegion)
 		e.monRegion = newRegion
+		s.ev(trace.KindTable, e.query.Focal, qid, "RQI relocate")
 	}
 	s.broadcast(oldRegion.Union(newRegion), msg.QueryInstall{
 		Queries: []msg.QueryState{s.queryState(qid)},
@@ -395,7 +418,7 @@ func (s *Server) sendNewNearbyQueries(oid model.ObjectID, prevCell, newCell grid
 	if len(fresh) == 0 {
 		return
 	}
-	s.down.Unicast(oid, msg.QueryInstall{Queries: fresh})
+	s.unicast(oid, msg.QueryInstall{Queries: fresh})
 	s.ops.Add(1)
 }
 
@@ -496,8 +519,24 @@ func (s *Server) OnDepartureReport(m msg.DepartureReport) {
 // baseline's position reports), which would indicate miswired transports.
 // When instrumented, dispatch is counted and timed per message kind, and the
 // table-size gauges are refreshed afterwards.
-func (s *Server) HandleUplink(m msg.Message) {
+func (s *Server) HandleUplink(m msg.Message) { s.HandleUplinkTraced(m, 0) }
+
+// HandleUplinkTraced is HandleUplink with an inbound trace ID: this is the
+// uplink ingress point of the tracing layer. A zero tid starts a fresh
+// trace when a recorder is attached (and stays zero — fully untraced —
+// when not); everything the dispatch causes (table mutations, broadcasts,
+// result flips) is tagged with the resulting ID.
+func (s *Server) HandleUplinkTraced(m msg.Message, tid trace.ID) {
 	s.upl.Add(1)
+	if s.rec != nil {
+		if tid == 0 {
+			tid = s.rec.NextID()
+		}
+		oid, qid := TraceRef(m)
+		s.rec.Event(tid, trace.KindIngress, s.actor, oid, qid, m.Kind().String())
+	}
+	prev := s.curTrace
+	s.curTrace = tid
 	if o := s.obsm; o != nil && o.uplinkLat != nil {
 		start := time.Now()
 		s.dispatchUplink(m)
@@ -505,6 +544,7 @@ func (s *Server) HandleUplink(m msg.Message) {
 	} else {
 		s.dispatchUplink(m)
 	}
+	s.curTrace = prev
 	s.syncTableGauges()
 }
 

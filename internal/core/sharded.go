@@ -12,6 +12,7 @@ import (
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/trace"
 )
 
 // ShardedServer is a concurrent, grid-partitioned MobiEyes server. It owns
@@ -60,6 +61,12 @@ type ShardedServer struct {
 	// obsm, when attached by Instrument, times HandleUplink per message
 	// kind at the router.
 	obsm *serverObs
+
+	// rec/tdown: causal tracing, attached by SetTracer (see DESIGN.md §11).
+	// Shard-level tagging rides on each shard Server's curTrace, set by the
+	// router while holding that shard's lock.
+	rec   *trace.Recorder
+	tdown TracedDownlink
 
 	// mu guards the routing tables and pending installations (see the lock
 	// ordering above: mu before any shard.mu, shard locks in ascending
@@ -162,6 +169,7 @@ func (ss *ShardedServer) InstallQueryUntil(focal model.ObjectID, region model.Re
 
 func (ss *ShardedServer) install(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64, expiry model.Time) model.QueryID {
 	qid := model.QueryID(ss.qidCounter.Add(1))
+	tid := ss.mintRoot(focal, qid, "InstallQuery")
 	q := model.Query{ID: qid, Focal: focal, Region: region, Filter: filter}
 	ss.mu.Lock()
 	if si, ok := ss.focalShard[focal]; ok {
@@ -170,7 +178,9 @@ func (ss *ShardedServer) install(focal model.ObjectID, region model.Region, filt
 		if expiry != 0 {
 			sh.srv.expiries[qid] = expiry
 		}
+		sh.srv.curTrace = tid
 		sh.srv.completeInstall(qid, q, focalMaxVel)
+		sh.srv.curTrace = 0
 		sh.mu.Unlock()
 		ss.queryShard[qid] = si
 		ss.mu.Unlock()
@@ -185,7 +195,7 @@ func (ss *ShardedServer) install(focal model.ObjectID, region model.Region, filt
 	ss.mu.Unlock()
 	ss.ops.Add(1)
 	if first {
-		ss.down.Unicast(focal, msg.FocalInfoRequest{OID: focal})
+		ss.unicast(focal, msg.FocalInfoRequest{OID: focal}, tid)
 	}
 	return qid
 }
@@ -193,23 +203,33 @@ func (ss *ShardedServer) install(focal model.ObjectID, region model.Region, filt
 // OnFocalInfoResponse receives a prospective focal object's motion state
 // and completes any pending installations for it.
 func (ss *ShardedServer) OnFocalInfoResponse(m msg.FocalInfoResponse) {
+	ss.onFocalInfoResponse(m, 0)
+}
+
+func (ss *ShardedServer) onFocalInfoResponse(m msg.FocalInfoResponse, tid trace.ID) {
 	ss.shards[ss.shardOf(ss.g.CellOf(m.Pos))].upl.Add(1)
 	ss.mu.Lock()
-	ss.applyFocalInfoLocked(m.OID, model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm})
+	ss.applyFocalInfoLocked(m.OID, model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}, tid)
 	ss.mu.Unlock()
 }
 
 // applyFocalInfoLocked refreshes oid's FOT row from a reported motion state
 // — migrating it when the reported cell belongs to another partition — and
-// completes pending installations. Requires ss.mu held for writing.
-func (ss *ShardedServer) applyFocalInfoLocked(oid model.ObjectID, st model.MotionState) {
+// completes pending installations, all tagged with tid. Requires ss.mu held
+// for writing.
+func (ss *ShardedServer) applyFocalInfoLocked(oid model.ObjectID, st model.MotionState, tid trace.ID) {
 	cell := ss.g.CellOf(st.Pos)
 	di := ss.shardOf(cell)
 	if si, known := ss.focalShard[oid]; known && si != di {
 		src, dst := ss.shards[si], ss.shards[di]
+		if ss.rec != nil {
+			ss.rec.Event(tid, trace.KindMigrate, "router", int64(oid), 0, fmt.Sprintf("shard%d -> shard%d", si, di))
+		}
 		ss.lockPair(si, di)
+		src.srv.curTrace, dst.srv.curTrace = tid, tid
 		rec := src.srv.extractFocal(oid)
 		dst.srv.injectFocal(rec, st, cell, false)
+		src.srv.curTrace, dst.srv.curTrace = 0, 0
 		src.mu.Unlock()
 		dst.mu.Unlock()
 		ss.migrations.Add(1)
@@ -219,7 +239,9 @@ func (ss *ShardedServer) applyFocalInfoLocked(oid model.ObjectID, st model.Motio
 	} else {
 		dst := ss.shards[di]
 		dst.mu.Lock()
+		dst.srv.curTrace = tid
 		dst.srv.upsertFocal(oid, st)
+		dst.srv.curTrace = 0
 		dst.mu.Unlock()
 	}
 	ss.focalShard[oid] = di
@@ -229,6 +251,7 @@ func (ss *ShardedServer) applyFocalInfoLocked(oid model.ObjectID, st model.Motio
 	}
 	dst := ss.shards[di]
 	dst.mu.Lock()
+	dst.srv.curTrace = tid
 	for _, p := range ss.pending[oid] {
 		if exp, ok := ss.pendingExp[p.qid]; ok {
 			dst.srv.expiries[p.qid] = exp
@@ -237,6 +260,7 @@ func (ss *ShardedServer) applyFocalInfoLocked(oid model.ObjectID, st model.Motio
 		dst.srv.completeInstall(p.qid, p.query, p.maxVel)
 		ss.queryShard[p.qid] = di
 	}
+	dst.srv.curTrace = 0
 	dst.mu.Unlock()
 	delete(ss.pending, oid)
 }
@@ -253,12 +277,18 @@ func (ss *ShardedServer) lockPair(a, b int) {
 // OnVelocityReport relays a focal object's significant velocity-vector
 // change (§3.4) inside its owning shard.
 func (ss *ShardedServer) OnVelocityReport(m msg.VelocityReport) {
+	ss.onVelocityReport(m, 0)
+}
+
+func (ss *ShardedServer) onVelocityReport(m msg.VelocityReport, tid trace.ID) {
 	sh := ss.lockFocalShard(m.OID)
 	if sh == nil {
 		return // not a focal object (stale report after query removal)
 	}
 	sh.upl.Add(1)
+	sh.srv.curTrace = tid
 	sh.srv.OnVelocityReport(m)
+	sh.srv.curTrace = 0
 	sh.mu.Unlock()
 }
 
@@ -267,6 +297,10 @@ func (ss *ShardedServer) OnVelocityReport(m msg.VelocityReport) {
 // migrated — its FOT and SQT rows move between shards under the router's
 // write lock — before the usual relocation broadcasts.
 func (ss *ShardedServer) OnCellChangeReport(m msg.CellChangeReport) {
+	ss.onCellChangeReport(m, 0)
+}
+
+func (ss *ShardedServer) onCellChangeReport(m msg.CellChangeReport, tid trace.ID) {
 	st := model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}
 	if !ss.g.Valid(m.PrevCell) {
 		// (Re)join: drop stale result entries across every shard before the
@@ -275,7 +309,9 @@ func (ss *ShardedServer) OnCellChangeReport(m msg.CellChangeReport) {
 		ss.mu.Lock()
 		for _, sh := range ss.shards {
 			sh.mu.Lock()
+			sh.srv.curTrace = tid
 			sh.srv.clearObjectFromResults(m.OID)
+			sh.srv.curTrace = 0
 			sh.mu.Unlock()
 		}
 		ss.mu.Unlock()
@@ -288,20 +324,20 @@ func (ss *ShardedServer) OnCellChangeReport(m msg.CellChangeReport) {
 		// installs from it (the FocalInfoRequest may have been lost).
 		ss.mu.Lock()
 		if len(ss.pending[m.OID]) > 0 {
-			ss.applyFocalInfoLocked(m.OID, st)
+			ss.applyFocalInfoLocked(m.OID, st, tid)
 		}
 		ss.mu.Unlock()
 	}
 	ss.shards[ss.shardOf(m.NewCell)].upl.Add(1)
-	ss.focalCellChange(m.OID, st, m.NewCell)
-	ss.sendNewNearbyQueries(m.OID, m.PrevCell, m.NewCell)
+	ss.focalCellChange(m.OID, st, m.NewCell, tid)
+	ss.sendNewNearbyQueries(m.OID, m.PrevCell, m.NewCell, tid)
 	ss.ops.Add(1)
 }
 
 // focalCellChange routes a focal object's cell crossing: shard-local when
 // the new cell stays in the same partition (the common case, taken without
 // the router write lock), otherwise a cross-shard migration.
-func (ss *ShardedServer) focalCellChange(oid model.ObjectID, st model.MotionState, newCell grid.CellID) {
+func (ss *ShardedServer) focalCellChange(oid model.ObjectID, st model.MotionState, newCell grid.CellID, tid trace.ID) {
 	di := ss.shardOf(newCell)
 	for {
 		ss.mu.RLock()
@@ -316,7 +352,9 @@ func (ss *ShardedServer) focalCellChange(oid model.ObjectID, st model.MotionStat
 		sh := ss.shards[si]
 		sh.mu.Lock()
 		if fe, owns := sh.srv.fot[oid]; owns {
+			sh.srv.curTrace = tid
 			sh.srv.focalCellChange(fe, st, newCell)
+			sh.srv.curTrace = 0
 			sh.mu.Unlock()
 			return
 		}
@@ -334,15 +372,22 @@ func (ss *ShardedServer) focalCellChange(oid model.ObjectID, st model.MotionStat
 		sh := ss.shards[si]
 		sh.mu.Lock()
 		if fe, owns := sh.srv.fot[oid]; owns {
+			sh.srv.curTrace = tid
 			sh.srv.focalCellChange(fe, st, newCell)
+			sh.srv.curTrace = 0
 		}
 		sh.mu.Unlock()
 		return
 	}
 	src, dst := ss.shards[si], ss.shards[di]
+	if ss.rec != nil {
+		ss.rec.Event(tid, trace.KindMigrate, "router", int64(oid), 0, fmt.Sprintf("shard%d -> shard%d", si, di))
+	}
 	ss.lockPair(si, di)
+	src.srv.curTrace, dst.srv.curTrace = tid, tid
 	rec := src.srv.extractFocal(oid)
 	dst.srv.injectFocal(rec, st, newCell, true)
+	src.srv.curTrace, dst.srv.curTrace = 0, 0
 	src.mu.Unlock()
 	dst.mu.Unlock()
 	ss.migrations.Add(1)
@@ -355,7 +400,7 @@ func (ss *ShardedServer) focalCellChange(oid model.ObjectID, st model.MotionStat
 // sendNewNearbyQueries unions RQI(newCell) \ RQI(prevCell) across shards
 // and ships the result to the object, ascending by query ID exactly like
 // the serial server.
-func (ss *ShardedServer) sendNewNearbyQueries(oid model.ObjectID, prevCell, newCell grid.CellID) {
+func (ss *ShardedServer) sendNewNearbyQueries(oid model.ObjectID, prevCell, newCell grid.CellID, tid trace.ID) {
 	var fresh []msg.QueryState
 	for _, sh := range ss.shards {
 		sh.mu.Lock()
@@ -366,19 +411,25 @@ func (ss *ShardedServer) sendNewNearbyQueries(oid model.ObjectID, prevCell, newC
 		return
 	}
 	sort.Slice(fresh, func(i, j int) bool { return fresh[i].QID < fresh[j].QID })
-	ss.down.Unicast(oid, msg.QueryInstall{Queries: fresh})
+	ss.unicast(oid, msg.QueryInstall{Queries: fresh}, tid)
 	ss.ops.Add(1)
 }
 
 // OnContainmentReport applies a differential result update (§3.6) inside
 // the owning shard.
 func (ss *ShardedServer) OnContainmentReport(m msg.ContainmentReport) {
+	ss.onContainmentReport(m, 0)
+}
+
+func (ss *ShardedServer) onContainmentReport(m msg.ContainmentReport, tid trace.ID) {
 	sh := ss.lockQueryShard(m.QID)
 	if sh == nil {
 		return
 	}
 	sh.upl.Add(1)
+	sh.srv.curTrace = tid
 	sh.srv.OnContainmentReport(m)
+	sh.srv.curTrace = 0
 	sh.mu.Unlock()
 }
 
@@ -386,10 +437,16 @@ func (ss *ShardedServer) OnContainmentReport(m msg.ContainmentReport) {
 // queries of a group share a focal object and therefore a shard, so the
 // whole bitmap resolves in one place.
 func (ss *ShardedServer) OnGroupContainmentReport(m msg.GroupContainmentReport) {
+	ss.onGroupContainmentReport(m, 0)
+}
+
+func (ss *ShardedServer) onGroupContainmentReport(m msg.GroupContainmentReport, tid trace.ID) {
 	for _, qid := range m.QIDs {
 		if sh := ss.lockQueryShard(qid); sh != nil {
 			sh.upl.Add(1)
+			sh.srv.curTrace = tid
 			sh.srv.OnGroupContainmentReport(m)
+			sh.srv.curTrace = 0
 			sh.mu.Unlock()
 			return
 		}
@@ -400,27 +457,35 @@ func (ss *ShardedServer) OnGroupContainmentReport(m msg.GroupContainmentReport) 
 // from every query result across all shards, and every query it was focal
 // of is removed.
 func (ss *ShardedServer) OnDepartureReport(m msg.DepartureReport) {
+	ss.onDepartureReport(m, 0)
+}
+
+func (ss *ShardedServer) onDepartureReport(m msg.DepartureReport, tid trace.ID) {
 	ss.upl.Add(1)
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	for _, sh := range ss.shards {
 		sh.mu.Lock()
+		sh.srv.curTrace = tid
 		for qid, e := range sh.srv.sqt {
 			if _, in := e.result[m.OID]; in {
 				delete(e.result, m.OID)
 				sh.srv.notifyResult(qid, m.OID, false)
 			}
 		}
+		sh.srv.curTrace = 0
 		sh.mu.Unlock()
 	}
 	if si, ok := ss.focalShard[m.OID]; ok {
 		sh := ss.shards[si]
 		sh.mu.Lock()
 		if fe, owns := sh.srv.fot[m.OID]; owns {
+			sh.srv.curTrace = tid
 			for _, qid := range append([]model.QueryID(nil), fe.queries...) {
 				sh.srv.RemoveQuery(qid)
 				delete(ss.queryShard, qid)
 			}
+			sh.srv.curTrace = 0
 			delete(sh.srv.fot, m.OID)
 		}
 		sh.mu.Unlock()
@@ -435,12 +500,13 @@ func (ss *ShardedServer) OnDepartureReport(m msg.DepartureReport) {
 
 // RemoveQuery uninstalls a query from its owning shard.
 func (ss *ShardedServer) RemoveQuery(qid model.QueryID) bool {
+	tid := ss.mintRoot(0, qid, "RemoveQuery")
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	return ss.removeQueryLocked(qid)
+	return ss.removeQueryLocked(qid, tid)
 }
 
-func (ss *ShardedServer) removeQueryLocked(qid model.QueryID) bool {
+func (ss *ShardedServer) removeQueryLocked(qid model.QueryID, tid trace.ID) bool {
 	si, ok := ss.queryShard[qid]
 	if !ok {
 		return false
@@ -451,7 +517,9 @@ func (ss *ShardedServer) removeQueryLocked(qid model.QueryID) bool {
 	if e, installed := sh.srv.sqt[qid]; installed {
 		focal = e.query.Focal
 	}
+	sh.srv.curTrace = tid
 	removed := sh.srv.RemoveQuery(qid)
+	sh.srv.curTrace = 0
 	_, stillFocal := sh.srv.fot[focal]
 	sh.mu.Unlock()
 	delete(ss.queryShard, qid)
@@ -464,6 +532,7 @@ func (ss *ShardedServer) removeQueryLocked(qid model.QueryID) bool {
 // ExpireQueries removes every query whose expiry has passed and returns the
 // removed identifiers (sorted), like the serial server.
 func (ss *ShardedServer) ExpireQueries(now model.Time) []model.QueryID {
+	tid := ss.mintRoot(0, 0, "ExpireQueries")
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	var expired []model.QueryID
@@ -487,7 +556,7 @@ func (ss *ShardedServer) ExpireQueries(now model.Time) []model.QueryID {
 	}
 	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
 	for _, qid := range expired {
-		ss.removeQueryLocked(qid)
+		ss.removeQueryLocked(qid, tid)
 	}
 	return expired
 }
@@ -496,30 +565,42 @@ func (ss *ShardedServer) ExpireQueries(now model.Time) []model.QueryID {
 // concurrent use; it panics on message kinds the MobiEyes server does not
 // consume, exactly like the serial server. When instrumented, dispatch is
 // timed per message kind at the router.
-func (ss *ShardedServer) HandleUplink(m msg.Message) {
+func (ss *ShardedServer) HandleUplink(m msg.Message) { ss.HandleUplinkTraced(m, 0) }
+
+// HandleUplinkTraced is HandleUplink with an inbound trace ID — the uplink
+// ingress point when running behind a tracing transport. A zero tid starts
+// a fresh trace when a recorder is attached.
+func (ss *ShardedServer) HandleUplinkTraced(m msg.Message, tid trace.ID) {
+	if ss.rec != nil {
+		if tid == 0 {
+			tid = ss.rec.NextID()
+		}
+		oid, qid := TraceRef(m)
+		ss.rec.Event(tid, trace.KindIngress, "router", oid, qid, m.Kind().String())
+	}
 	if o := ss.obsm; o != nil && o.uplinkLat != nil {
 		start := time.Now()
-		ss.dispatchUplink(m)
+		ss.dispatchUplink(m, tid)
 		o.uplinkLat.observe(m.Kind(), start)
 		return
 	}
-	ss.dispatchUplink(m)
+	ss.dispatchUplink(m, tid)
 }
 
-func (ss *ShardedServer) dispatchUplink(m msg.Message) {
+func (ss *ShardedServer) dispatchUplink(m msg.Message, tid trace.ID) {
 	switch mm := m.(type) {
 	case msg.VelocityReport:
-		ss.OnVelocityReport(mm)
+		ss.onVelocityReport(mm, tid)
 	case msg.CellChangeReport:
-		ss.OnCellChangeReport(mm)
+		ss.onCellChangeReport(mm, tid)
 	case msg.ContainmentReport:
-		ss.OnContainmentReport(mm)
+		ss.onContainmentReport(mm, tid)
 	case msg.GroupContainmentReport:
-		ss.OnGroupContainmentReport(mm)
+		ss.onGroupContainmentReport(mm, tid)
 	case msg.FocalInfoResponse:
-		ss.OnFocalInfoResponse(mm)
+		ss.onFocalInfoResponse(mm, tid)
 	case msg.DepartureReport:
-		ss.OnDepartureReport(mm)
+		ss.onDepartureReport(mm, tid)
 	default:
 		panic(fmt.Sprintf("core: sharded server cannot handle %v", m.Kind()))
 	}

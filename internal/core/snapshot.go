@@ -319,7 +319,7 @@ func RestoreServer(g *grid.Grid, opts Options, down Downlink, r io.Reader) (*Ser
 			s.expiries[p.qid] = p.expiry
 		}
 		if len(s.pending[focal]) == 1 {
-			s.down.Unicast(focal, msg.FocalInfoRequest{OID: focal})
+			s.unicast(focal, msg.FocalInfoRequest{OID: focal})
 		}
 	}
 	return s, nil
@@ -385,7 +385,7 @@ func RestoreShardedServer(g *grid.Grid, opts Options, down Downlink, shards int,
 			ss.pendingExp[p.qid] = p.expiry
 		}
 		if len(ss.pending[focal]) == 1 {
-			ss.down.Unicast(focal, msg.FocalInfoRequest{OID: focal})
+			ss.unicast(focal, msg.FocalInfoRequest{OID: focal}, 0)
 		}
 	}
 	return ss, nil

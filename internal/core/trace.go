@@ -1,0 +1,157 @@
+package core
+
+import (
+	"strconv"
+
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/obs/trace"
+)
+
+// TracedDownlink is an optional extension of Downlink. A transport that
+// implements it receives the trace ID of the uplink (or API call) that
+// caused each downlink message, so it can carry the ID onward — over the
+// wire as a TracedVersion frame, or in-process to the receiving client.
+// Transports that don't implement it simply get untagged sends; tracing
+// degrades, behavior doesn't.
+type TracedDownlink interface {
+	Downlink
+	BroadcastTraced(region grid.CellRange, m msg.Message, tid trace.ID)
+	UnicastTraced(oid model.ObjectID, m msg.Message, tid trace.ID)
+}
+
+// TraceRef extracts the object and query a message is principally about,
+// for tagging trace events. Zero means "none"; for multi-query messages the
+// first query is used.
+func TraceRef(m msg.Message) (oid, qid int64) {
+	switch mm := m.(type) {
+	case msg.PositionReport:
+		return int64(mm.OID), 0
+	case msg.VelocityReport:
+		return int64(mm.OID), 0
+	case msg.CellChangeReport:
+		return int64(mm.OID), 0
+	case msg.ContainmentReport:
+		return int64(mm.OID), int64(mm.QID)
+	case msg.GroupContainmentReport:
+		if len(mm.QIDs) > 0 {
+			return int64(mm.OID), int64(mm.QIDs[0])
+		}
+		return int64(mm.OID), 0
+	case msg.FocalInfoResponse:
+		return int64(mm.OID), 0
+	case msg.DepartureReport:
+		return int64(mm.OID), 0
+	case msg.FocalInfoRequest:
+		return int64(mm.OID), 0
+	case msg.FocalNotify:
+		return int64(mm.OID), int64(mm.QID)
+	case msg.QueryInstall:
+		if len(mm.Queries) > 0 {
+			return int64(mm.Queries[0].Focal), int64(mm.Queries[0].QID)
+		}
+	case msg.QueryRemove:
+		if len(mm.QIDs) > 0 {
+			return 0, int64(mm.QIDs[0])
+		}
+	case msg.VelocityChange:
+		if len(mm.Queries) > 0 {
+			return int64(mm.Focal), int64(mm.Queries[0].QID)
+		}
+		return int64(mm.Focal), 0
+	}
+	return 0, 0
+}
+
+// SetTracer attaches a flight recorder; every table mutation, broadcast,
+// unicast and result change is recorded, tagged with the trace ID of the
+// uplink being dispatched. Nil disables tracing (the default). Not safe to
+// call concurrently with HandleUplink.
+func (s *Server) SetTracer(rec *trace.Recorder) { s.setTracer(rec, "server") }
+
+func (s *Server) setTracer(rec *trace.Recorder, actor string) {
+	s.rec = rec
+	s.actor = actor
+	s.tdown, _ = s.down.(TracedDownlink)
+}
+
+// ev records one event tagged with the trace ID of the dispatch in
+// progress. Free when no recorder is attached.
+func (s *Server) ev(k trace.Kind, oid model.ObjectID, qid model.QueryID, note string) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Event(s.curTrace, k, s.actor, int64(oid), int64(qid), note)
+}
+
+// beginRoot starts a fresh trace for an API-level ingress (install, remove,
+// expire) unless a trace is already in flight; endRoot closes it. Uplink
+// ingress uses HandleUplinkTraced instead.
+func (s *Server) beginRoot(oid model.ObjectID, qid model.QueryID, note string) bool {
+	if s.rec == nil || s.curTrace != 0 {
+		return false
+	}
+	s.curTrace = s.rec.NextID()
+	s.rec.Event(s.curTrace, trace.KindIngress, s.actor, int64(oid), int64(qid), note)
+	return true
+}
+
+func (s *Server) endRoot(root bool) {
+	if root {
+		s.curTrace = 0
+	}
+}
+
+// unicast funnels every server unicast so it can be recorded and, when the
+// transport supports it, tagged with the causing trace ID.
+func (s *Server) unicast(oid model.ObjectID, m msg.Message) {
+	if s.rec != nil {
+		_, qid := TraceRef(m)
+		s.rec.Event(s.curTrace, trace.KindUnicast, s.actor, int64(oid), qid, m.Kind().String())
+		if s.tdown != nil {
+			s.tdown.UnicastTraced(oid, m, s.curTrace)
+			return
+		}
+	}
+	s.down.Unicast(oid, m)
+}
+
+// SetTracer attaches a flight recorder to the router and every shard.
+// Shards record as "shard0", "shard1", …; router-level work (migrations,
+// cross-shard unicasts, uplink ingress) records as "router". Not safe to
+// call concurrently with message dispatch.
+func (ss *ShardedServer) SetTracer(rec *trace.Recorder) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.rec = rec
+	ss.tdown, _ = ss.down.(TracedDownlink)
+	for i, sh := range ss.shards {
+		sh.mu.Lock()
+		sh.srv.setTracer(rec, "shard"+strconv.Itoa(i))
+		sh.mu.Unlock()
+	}
+}
+
+// mintRoot starts a fresh trace for a router-level API ingress.
+func (ss *ShardedServer) mintRoot(oid model.ObjectID, qid model.QueryID, note string) trace.ID {
+	if ss.rec == nil {
+		return 0
+	}
+	tid := ss.rec.NextID()
+	ss.rec.Event(tid, trace.KindIngress, "router", int64(oid), int64(qid), note)
+	return tid
+}
+
+// unicast is the router-level unicast funnel (sends outside any shard).
+func (ss *ShardedServer) unicast(oid model.ObjectID, m msg.Message, tid trace.ID) {
+	if ss.rec != nil {
+		_, qid := TraceRef(m)
+		ss.rec.Event(tid, trace.KindUnicast, "router", int64(oid), qid, m.Kind().String())
+		if ss.tdown != nil {
+			ss.tdown.UnicastTraced(oid, m, tid)
+			return
+		}
+	}
+	ss.down.Unicast(oid, m)
+}

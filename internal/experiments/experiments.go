@@ -27,6 +27,7 @@ import (
 
 	"mobieyes/internal/core"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/sim"
 )
 
@@ -50,6 +51,10 @@ type RunOpts struct {
 	// build against this registry (see sim.Config.Metrics) — useful with
 	// obs.ListenAndServe to watch a long sweep live over /metrics.
 	Metrics *obs.Registry
+	// Trace, when non-nil, attaches this causal flight recorder to every
+	// engine (see sim.Config.Trace) — useful with obs.ListenAndServeTraced
+	// to inspect /debug/events while a sweep runs.
+	Trace *trace.Recorder
 }
 
 func (o RunOpts) normalize() RunOpts {
@@ -81,6 +86,7 @@ func (o RunOpts) base() sim.Config {
 	cfg.AreaSqMiles /= float64(d)
 	cfg.ServerShards = o.Shards
 	cfg.Metrics = o.Metrics
+	cfg.Trace = o.Trace
 	return cfg
 }
 

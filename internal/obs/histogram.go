@@ -121,7 +121,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if total == 0 {
 		return 0
 	}
-	if q < 0 {
+	if math.IsNaN(q) || q < 0 {
+		// NaN fails every comparison, so without this guard it would slip
+		// past both clamps and poison rank (and the returned estimate).
 		q = 0
 	}
 	if q > 1 {

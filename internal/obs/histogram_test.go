@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression tests for Quantile's edge behavior (PR 4 satellite): the
+// estimator must stay finite and sensible at the boundaries where naive
+// bucket interpolation goes wrong.
+
+// TestQuantileEmpty: an empty histogram estimates 0 for every q, including
+// the boundaries.
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 1, -1, 2, math.NaN()} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil.Quantile(0.5) = %v, want 0", got)
+	}
+}
+
+// TestQuantileSingleObservation: with one observation every quantile lands
+// inside that observation's bucket — never outside it, never NaN.
+func TestQuantileSingleObservation(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(1.5) // bucket (1, 2]
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		got := h.Quantile(q)
+		if got < 1 || got > 2 {
+			t.Errorf("Quantile(%v) = %v, want within (1, 2]", q, got)
+		}
+	}
+	// q=0 pins the bucket's lower bound, q=1 its upper bound.
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) = %v, want 2", got)
+	}
+}
+
+// TestQuantileAllOverflow: observations above every finite bound clamp to
+// the highest finite bound, as Prometheus's histogram_quantile does.
+func TestQuantileAllOverflow(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 4 {
+			t.Errorf("Quantile(%v) = %v, want 4 (highest finite bound)", q, got)
+		}
+	}
+}
+
+// TestQuantileNaN: a NaN q must not poison the estimate — it clamps like an
+// out-of-range q instead of failing every comparison in the scan.
+func TestQuantileNaN(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	got := h.Quantile(math.NaN())
+	if math.IsNaN(got) {
+		t.Fatal("Quantile(NaN) returned NaN")
+	}
+	if want := h.Quantile(0); got != want {
+		t.Errorf("Quantile(NaN) = %v, want Quantile(0) = %v", got, want)
+	}
+}
+
+// TestQuantileOutOfRange: q below 0 and above 1 clamp to the boundary
+// estimates.
+func TestQuantileOutOfRange(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(3)
+	if got, want := h.Quantile(-0.5), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-0.5) = %v, want %v", got, want)
+	}
+	if got, want := h.Quantile(1.5), h.Quantile(1); got != want {
+		t.Errorf("Quantile(1.5) = %v, want %v", got, want)
+	}
+}
+
+// TestQuantileSkipsEmptyLeadingBuckets: q=0 reports the lower bound of the
+// first non-empty bucket, not of the first bucket overall.
+func TestQuantileSkipsEmptyLeadingBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	h.Observe(3) // bucket (2, 4]
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("Quantile(0) = %v, want 2 (lower bound of first non-empty bucket)", got)
+	}
+}

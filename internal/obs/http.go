@@ -5,8 +5,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"runtime"
 	"time"
+
+	"mobieyes/internal/obs/trace"
 )
 
 // NewMux returns an http.ServeMux exposing the registry and the stdlib
@@ -42,27 +43,6 @@ func NewMux(r *Registry) *http.ServeMux {
 	return mux
 }
 
-// RegisterRuntime adds Go runtime gauges (goroutines, heap bytes, completed
-// GC cycles) to the registry, computed at scrape time. No-op on nil.
-func RegisterRuntime(r *Registry) {
-	if r == nil {
-		return
-	}
-	r.GaugeFunc("mobieyes_go_goroutines", "Number of live goroutines.", func() float64 {
-		return float64(runtime.NumGoroutine())
-	})
-	r.GaugeFunc("mobieyes_go_heap_bytes", "Bytes of allocated heap objects.", func() float64 {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		return float64(ms.HeapAlloc)
-	})
-	r.GaugeFunc("mobieyes_go_gc_total", "Completed GC cycles.", func() float64 {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		return float64(ms.NumGC)
-	})
-}
-
 // HTTPServer is a metrics/pprof endpoint bound to its own listener.
 type HTTPServer struct {
 	ln  net.Listener
@@ -73,13 +53,22 @@ type HTTPServer struct {
 // pprof) on addr — ":0" picks a free port, see Addr. The server runs until
 // Close.
 func ListenAndServe(addr string, r *Registry) (*HTTPServer, error) {
+	return ListenAndServeTraced(addr, r, nil)
+}
+
+// ListenAndServeTraced is ListenAndServe plus the /debug/events flight-
+// recorder endpoint backed by rec (see AttachEvents). A nil rec serves 404
+// on /debug/events, so callers can pass their recorder unconditionally.
+func ListenAndServeTraced(addr string, r *Registry, rec *trace.Recorder) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	RegisterRuntime(r)
+	mux := NewMux(r)
+	AttachEvents(mux, rec)
 	h := &HTTPServer{ln: ln, srv: &http.Server{
-		Handler:           NewMux(r),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}}
 	go h.srv.Serve(ln)

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches runtime.ReadMemStats results. The read stops the world,
+// so a scrape that evaluates several memory gauges — or several concurrent
+// scrapers — must share one sample rather than pay the pause per gauge.
+type memSampler struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+// memSampleTTL bounds the staleness of a shared MemStats sample. Well below
+// any sane scrape interval, well above the burst width of one scrape.
+const memSampleTTL = 100 * time.Millisecond
+
+func (s *memSampler) stats() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.at) > memSampleTTL {
+		runtime.ReadMemStats(&s.ms)
+		s.at = now
+	}
+	return s.ms
+}
+
+// RegisterRuntime adds Go runtime gauges to the registry, computed at scrape
+// time: goroutine count, heap size and object count, the next GC target, and
+// GC cycle/pause statistics. All memory gauges read one cached MemStats
+// sample (see memSampler). Safe to call repeatedly on the same registry —
+// re-registration replaces the gauge functions. No-op on nil.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	s := &memSampler{}
+	r.GaugeFunc("mobieyes_go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("mobieyes_go_heap_bytes", "Bytes of allocated heap objects.", func() float64 {
+		return float64(s.stats().HeapAlloc)
+	})
+	r.GaugeFunc("mobieyes_go_heap_objects", "Number of allocated heap objects.", func() float64 {
+		return float64(s.stats().HeapObjects)
+	})
+	r.GaugeFunc("mobieyes_go_next_gc_bytes", "Heap size target of the next GC cycle.", func() float64 {
+		return float64(s.stats().NextGC)
+	})
+	r.GaugeFunc("mobieyes_go_gc_total", "Completed GC cycles.", func() float64 {
+		return float64(s.stats().NumGC)
+	})
+	r.GaugeFunc("mobieyes_go_gc_pause_total_seconds", "Cumulative stop-the-world GC pause time.", func() float64 {
+		return float64(s.stats().PauseTotalNs) / 1e9
+	})
+	r.GaugeFunc("mobieyes_go_gc_last_pause_seconds", "Duration of the most recent stop-the-world GC pause.", func() float64 {
+		ms := s.stats()
+		if ms.NumGC == 0 {
+			return 0
+		}
+		// PauseNs is a circular buffer indexed by GC cycle number.
+		return float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+	})
+}

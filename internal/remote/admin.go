@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"mobieyes/internal/model"
+	"mobieyes/internal/obs/trace"
 )
 
 // AdminServer exposes a line-based text interface for managing a running
@@ -22,6 +23,11 @@ import (
 //	stats                                    → "stats <up> <down> <upB> <downB>"
 //	STATS                                    → full metric registry in Prometheus
 //	                                           text format, terminated by a "." line
+//	TRACE [n | oid <id> | qid <id> | trace <id>]
+//	                                         → flight-recorder event dump (most
+//	                                           recent n, default 40; or the causal
+//	                                           timeline of an object / query; or
+//	                                           one trace chain), "." terminated
 //	snapshot <path>                          → "ok" (writes a state snapshot)
 //	quit                                     → closes the session
 type AdminServer struct {
@@ -157,6 +163,8 @@ func (a *AdminServer) handleCommand(conn net.Conn, fields []string) bool {
 	case "STATS":
 		a.srv.Metrics().WritePrometheus(conn)
 		fmt.Fprintln(conn, ".")
+	case "TRACE":
+		a.handleTrace(conn, fields[1:])
 	case "snapshot":
 		if len(fields) != 2 {
 			fmt.Fprintln(conn, "err usage: snapshot <path>")
@@ -186,6 +194,50 @@ func parseQID(conn net.Conn, fields []string) (model.QueryID, bool) {
 		return 0, false
 	}
 	return model.QueryID(qid), true
+}
+
+// handleTrace serves the TRACE command: a human-readable dump of the flight
+// recorder, terminated by a "." line so scripted clients know where it ends.
+func (a *AdminServer) handleTrace(conn net.Conn, args []string) {
+	rec := a.srv.Tracer()
+	if rec == nil {
+		fmt.Fprintln(conn, "err tracing disabled")
+		return
+	}
+	var evs []trace.Event
+	switch {
+	case len(args) == 0:
+		evs = rec.Events(trace.Filter{Limit: 40})
+	case len(args) == 1:
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 {
+			fmt.Fprintln(conn, "err usage: TRACE [n | oid <id> | qid <id> | trace <id>]")
+			return
+		}
+		evs = rec.Events(trace.Filter{Limit: n})
+	case len(args) == 2:
+		n, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(conn, "err bad id")
+			return
+		}
+		switch args[0] {
+		case "oid":
+			evs = rec.Causal(int64(n), 0)
+		case "qid":
+			evs = rec.Causal(0, int64(n))
+		case "trace":
+			evs = rec.Events(trace.Filter{Trace: trace.ID(n)})
+		default:
+			fmt.Fprintln(conn, "err usage: TRACE [n | oid <id> | qid <id> | trace <id>]")
+			return
+		}
+	default:
+		fmt.Fprintln(conn, "err usage: TRACE [n | oid <id> | qid <id> | trace <id>]")
+		return
+	}
+	trace.Format(conn, evs)
+	fmt.Fprintln(conn, ".")
 }
 
 func (a *AdminServer) writeSnapshot(path string) error {

@@ -57,6 +57,11 @@ type Object struct {
 	wg   sync.WaitGroup
 
 	mail *objMailbox
+
+	// curTID is the trace ID of the downlink being processed, stamped onto
+	// any uplinks the client sends in response so the server can chain the
+	// causality across the round trip. Owned by the device goroutine.
+	curTID uint64
 }
 
 // objState is the goroutine-owned mutable state.
@@ -123,18 +128,26 @@ func Dial(cfg ObjectConfig) (*Object, error) {
 	return o, nil
 }
 
-// objUplink sends client messages as wire frames.
+// objUplink sends client messages as wire frames, carrying the trace ID of
+// the downlink that provoked them (zero for tick-driven uplinks, which start
+// fresh traces at the server).
 type objUplink struct{ o *Object }
 
 func (u objUplink) Send(m msg.Message) {
 	// Write errors surface on the read side as a disconnect; the device
 	// keeps functioning locally.
-	_ = WriteFrame(u.o.conn, messageFrame(m))
+	_ = WriteFrame(u.o.conn, wire.EncodeTraced(m, u.o.curTID))
 }
 
 // connLost is the mailbox sentinel a dying read loop leaves behind so the
 // device loop knows to redial.
 type connLost struct{}
+
+// inbound is one decoded downlink message plus its frame's trace ID.
+type inbound struct {
+	m   msg.Message
+	tid uint64
+}
 
 // readLoop decodes downlink frames into the mailbox. On a read or decode
 // error the loop exits; with Reconnect enabled it first posts a connLost
@@ -147,11 +160,11 @@ func (o *Object) readLoop(conn net.Conn) {
 		if err != nil {
 			break // disconnected
 		}
-		m, err := wire.Decode(payload)
+		m, tid, err := wire.DecodeTraced(payload)
 		if err != nil {
 			break
 		}
-		o.mail.put(m)
+		o.mail.put(inbound{m: m, tid: tid})
 	}
 	if o.cfg.Reconnect {
 		select {
@@ -194,7 +207,10 @@ func (o *Object) deviceLoop() {
 					continue
 				}
 				advance()
-				o.client.OnDownlink(v.(msg.Message), st.pos, st.vel, st.lastT)
+				in := v.(inbound)
+				o.curTID = in.tid
+				o.client.OnDownlink(in.m, st.pos, st.vel, st.lastT)
+				o.curTID = 0
 			}
 		case fn := <-o.ctrl:
 			fn(st)

@@ -14,6 +14,7 @@ import (
 	"mobieyes/internal/msg"
 	"mobieyes/internal/network"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/wire"
 )
 
@@ -36,6 +37,12 @@ type ServerConfig struct {
 	// a private registry, still reachable via Metrics() and the admin
 	// STATS command.
 	Metrics *obs.Registry
+	// Trace is the flight recorder the backend records causal events into
+	// (see internal/obs/trace and DESIGN.md §11). Uplink frames carrying a
+	// trace ID continue that trace; downlink frames carry the causing trace
+	// ID back to the object. Nil disables tracing (the default) — the
+	// disabled path costs a single nil check per event site.
+	Trace *trace.Recorder
 	// DisconnectGrace defers the synthesized DepartureReport after an
 	// abrupt disconnect (one without a DepartureReport frame) by this long,
 	// canceled if the object reconnects in time. Zero keeps the original
@@ -54,6 +61,7 @@ type Server struct {
 	ln  net.Listener
 
 	backend *core.ShardedServer
+	rec     *trace.Recorder
 	done    chan struct{}
 	closing sync.Once
 	wg      sync.WaitGroup
@@ -100,6 +108,9 @@ func ListenAndServe(cfg ServerConfig) (*Server, error) {
 func Serve(cfg ServerConfig, ln net.Listener) *Server {
 	s := newServer(cfg, ln)
 	s.backend = core.NewShardedServer(s.g, cfg.Options, serverDownlink{s}, cfg.Shards)
+	if s.rec != nil {
+		s.backend.SetTracer(s.rec)
+	}
 	s.start()
 	return s
 }
@@ -113,6 +124,7 @@ func newServer(cfg ServerConfig, ln net.Listener) *Server {
 		cfg:         cfg,
 		g:           grid.New(cfg.UoD, cfg.Alpha),
 		ln:          ln,
+		rec:         cfg.Trace,
 		done:        make(chan struct{}),
 		reg:         reg,
 		conns:       make(map[model.ObjectID]*serverConn),
@@ -191,6 +203,9 @@ func (s *Server) QueryIDs() []model.QueryID { return s.backend.QueryIDs() }
 // core.Server.CheckInvariants).
 func (s *Server) CheckInvariants() error { return s.backend.CheckInvariants() }
 
+// Tracer returns the attached flight recorder, or nil when tracing is off.
+func (s *Server) Tracer() *trace.Recorder { return s.rec }
+
 // Result returns a query's current result set.
 func (s *Server) Result(qid model.QueryID) []model.ObjectID {
 	return s.backend.Result(qid)
@@ -224,6 +239,9 @@ func ListenAndRestore(cfg ServerConfig, snapshot io.Reader) (*Server, error) {
 		return nil, err
 	}
 	s.backend = backend
+	if s.rec != nil {
+		s.backend.SetTracer(s.rec)
+	}
 	s.start()
 	return s, nil
 }
@@ -335,7 +353,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.om.framesIn.Add(1)
 		s.om.bytesIn.Add(int64(4 + len(payload)))
-		m, err := wire.Decode(payload)
+		m, tid, err := wire.DecodeTraced(payload)
 		if err != nil {
 			s.om.decodeErrors.Add(1)
 			break // protocol violation: drop the connection
@@ -349,7 +367,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.recordUplink(m)
 		start := time.Now()
-		s.backend.HandleUplink(m)
+		s.backend.HandleUplinkTraced(m, trace.ID(tid))
 		s.om.observeUplink(m.Kind(), start)
 		if _, bye := m.(msg.DepartureReport); bye {
 			sawBye = true
@@ -421,12 +439,20 @@ func (s *Server) graceDeparture(oid model.ObjectID) {
 
 // serverDownlink fans server messages out to connections. Broadcasts go to
 // every connected object (clients self-filter by monitoring region, exactly
-// as under ubiquitous base-station coverage); unicasts to one.
+// as under ubiquitous base-station coverage); unicasts to one. It implements
+// core.TracedDownlink so the backend can hand it the causing trace ID, which
+// rides in the frame (wire.TracedVersion) down to the object.
 type serverDownlink struct{ s *Server }
 
+var _ core.TracedDownlink = serverDownlink{}
+
 func (d serverDownlink) Broadcast(region grid.CellRange, m msg.Message) {
+	d.BroadcastTraced(region, m, 0)
+}
+
+func (d serverDownlink) BroadcastTraced(region grid.CellRange, m msg.Message, tid trace.ID) {
 	d.s.recordDownlink(m, 1)
-	frame := messageFrame(m)
+	frame := wire.EncodeTraced(m, uint64(tid))
 	d.s.mu.RLock()
 	defer d.s.mu.RUnlock()
 	d.s.om.broadcastFanout.Observe(float64(len(d.s.conns)))
@@ -436,8 +462,12 @@ func (d serverDownlink) Broadcast(region grid.CellRange, m msg.Message) {
 }
 
 func (d serverDownlink) Unicast(oid model.ObjectID, m msg.Message) {
+	d.UnicastTraced(oid, m, 0)
+}
+
+func (d serverDownlink) UnicastTraced(oid model.ObjectID, m msg.Message, tid trace.ID) {
 	d.s.recordDownlink(m, 1)
-	frame := messageFrame(m)
+	frame := wire.EncodeTraced(m, uint64(tid))
 	d.s.mu.Lock()
 	c := d.s.conns[oid]
 	if c == nil {

@@ -14,6 +14,7 @@ import (
 	"mobieyes/internal/core"
 	"mobieyes/internal/geo"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/power"
 	"mobieyes/internal/workload"
 )
@@ -109,6 +110,13 @@ type Config struct {
 	// measurement only — the simulation's behavior and determinism are
 	// unchanged. Nil (the default) disables instrumentation entirely.
 	Metrics *obs.Registry
+
+	// Trace, when non-nil, attaches a causal flight recorder to the server
+	// and threads trace IDs through the simulated transport: a client's
+	// response to a downlink continues the trace of the uplink that caused
+	// it (see internal/obs/trace and DESIGN.md §11). Like Metrics, tracing
+	// is measurement only — behavior and determinism are unchanged.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns the Table 1 defaults: 100,000 mi² area, α = 5 mi,

@@ -11,6 +11,7 @@ import (
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
 	"mobieyes/internal/network"
+	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/power"
 	"mobieyes/internal/workload"
 )
@@ -43,13 +44,20 @@ type Engine struct {
 	// processes uplink batches across goroutines, so the downlink sink must
 	// accept concurrent senders. (Serial runs pay one uncontended lock.)
 	downMu    sync.Mutex
-	upQueue   []msg.Message
+	upQueue   []upEntry
 	downQueue []engineDown
 	// clientUp buffers each client's uplinks during a parallel phase; the
 	// buffers merge into upQueue in object order afterwards, keeping
 	// parallel runs bit-for-bit identical to serial ones.
 	clientUp [][]msg.Message
 	parallel bool
+
+	// deliverTID is the trace ID of the downlink being delivered (see
+	// Config.Trace); uplinks a client sends in response inherit it, chaining
+	// causality across the simulated round trip. Written only by deliver(),
+	// which runs serially in drain — parallel tick phases never deliver, so
+	// they observe the zero it was reset to.
+	deliverTID trace.ID
 
 	// per-object radio accounts.
 	accounts []*power.Account
@@ -82,6 +90,13 @@ type engineDown struct {
 	target model.ObjectID // -1 = broadcast
 	cells  []int32        // target cell indices for broadcasts
 	m      msg.Message
+	tid    trace.ID // causing trace (zero when tracing is off)
+}
+
+// upEntry is a queued uplink plus the trace it continues.
+type upEntry struct {
+	m   msg.Message
+	tid trace.ID
 }
 
 // NewEngine builds a MobiEyes simulation from cfg and installs all queries.
@@ -104,6 +119,9 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.Metrics != nil {
 		e.obsm = newEngineObs(cfg.Metrics)
 		e.srv.Instrument(cfg.Metrics)
+	}
+	if cfg.Trace != nil {
+		e.srv.SetTracer(cfg.Trace)
 	}
 	for i, o := range e.w.Objects {
 		up := engineUplink{e, i}
@@ -152,11 +170,18 @@ func (e *Engine) Workload() *workload.Workload { return e.w }
 // Now returns the current simulation time.
 func (e *Engine) Now() model.Time { return e.now }
 
-// engineDownlink implements core.Downlink with metered, cell-granular
-// delivery.
+// engineDownlink implements core.Downlink (and core.TracedDownlink, so a
+// traced server can hand over the causing trace ID) with metered,
+// cell-granular delivery.
 type engineDownlink struct{ e *Engine }
 
+var _ core.TracedDownlink = engineDownlink{}
+
 func (d engineDownlink) Broadcast(region grid.CellRange, m msg.Message) {
+	d.BroadcastTraced(region, m, 0)
+}
+
+func (d engineDownlink) BroadcastTraced(region grid.CellRange, m msg.Message, tid trace.ID) {
 	e := d.e
 	stations := e.dep.Cover(region)
 	// Union of target cells across chosen stations, deduplicated.
@@ -172,15 +197,19 @@ func (d engineDownlink) Broadcast(region grid.CellRange, m msg.Message) {
 	}
 	e.downMu.Lock()
 	e.meter.RecordDownlink(m, len(stations))
-	e.downQueue = append(e.downQueue, engineDown{target: -1, cells: cells, m: m})
+	e.downQueue = append(e.downQueue, engineDown{target: -1, cells: cells, m: m, tid: tid})
 	e.downMu.Unlock()
 }
 
 func (d engineDownlink) Unicast(oid model.ObjectID, m msg.Message) {
+	d.UnicastTraced(oid, m, 0)
+}
+
+func (d engineDownlink) UnicastTraced(oid model.ObjectID, m msg.Message, tid trace.ID) {
 	e := d.e
 	e.downMu.Lock()
 	e.meter.RecordDownlink(m, 1)
-	e.downQueue = append(e.downQueue, engineDown{target: oid, m: m})
+	e.downQueue = append(e.downQueue, engineDown{target: oid, m: m, tid: tid})
 	e.downMu.Unlock()
 }
 
@@ -200,7 +229,7 @@ func (u engineUplink) Send(m msg.Message) {
 	}
 	e.meter.RecordUplink(m)
 	e.accounts[u.i].Sent(m.Size())
-	e.upQueue = append(e.upQueue, m)
+	e.upQueue = append(e.upQueue, upEntry{m: m, tid: e.deliverTID})
 }
 
 // drain processes queued uplinks (timed as server work) and delivers queued
@@ -220,10 +249,10 @@ func (e *Engine) drain() {
 				uplinks += len(batch)
 				e.handleUplinkBatch(batch)
 			} else {
-				m := e.upQueue[0]
+				ent := e.upQueue[0]
 				e.upQueue = e.upQueue[1:]
 				uplinks++
-				e.srv.HandleUplink(m)
+				e.srv.HandleUplinkTraced(ent.m, ent.tid)
 			}
 			if e.measuring {
 				e.serverNanos += time.Since(start).Nanoseconds()
@@ -242,11 +271,11 @@ func (e *Engine) drain() {
 // handleUplinkBatch feeds a batch of uplink messages to the (sharded,
 // concurrency-safe) server across ServerShards worker goroutines. Tiny
 // batches are handled inline — goroutine startup would dominate.
-func (e *Engine) handleUplinkBatch(batch []msg.Message) {
+func (e *Engine) handleUplinkBatch(batch []upEntry) {
 	workers := e.cfg.ServerShards
 	if len(batch) < 2*workers {
-		for _, m := range batch {
-			e.srv.HandleUplink(m)
+		for _, ent := range batch {
+			e.srv.HandleUplinkTraced(ent.m, ent.tid)
 		}
 		return
 	}
@@ -261,7 +290,7 @@ func (e *Engine) handleUplinkBatch(batch []msg.Message) {
 				if i >= len(batch) {
 					return
 				}
-				e.srv.HandleUplink(batch[i])
+				e.srv.HandleUplinkTraced(batch[i].m, batch[i].tid)
 			}
 		}()
 	}
@@ -269,6 +298,8 @@ func (e *Engine) handleUplinkBatch(batch []msg.Message) {
 }
 
 func (e *Engine) deliver(q engineDown) {
+	e.deliverTID = q.tid
+	defer func() { e.deliverTID = 0 }()
 	if q.target >= 0 {
 		i := int(q.target) - 1
 		e.accounts[i].Received(q.m.Size())
@@ -421,11 +452,12 @@ func (e *Engine) forEachClient(fn func(i int, c *core.Client)) {
 	wg.Wait()
 	e.parallel = false
 	// Ordered merge: meter and queue exactly as the serial engine would.
+	// Tick-driven uplinks start fresh traces, so their tid is zero.
 	for i := range e.clientUp {
 		for _, m := range e.clientUp[i] {
 			e.meter.RecordUplink(m)
 			e.accounts[i].Sent(m.Size())
-			e.upQueue = append(e.upQueue, m)
+			e.upQueue = append(e.upQueue, upEntry{m: m})
 		}
 		e.clientUp[i] = e.clientUp[i][:0]
 	}

@@ -9,6 +9,7 @@ import (
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
+	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/workload"
 )
 
@@ -54,17 +55,25 @@ type localSystem struct {
 	// monitoring-region update. The differential oracle must catch this.
 	dropNthBroadcast int
 	broadcasts       int
+
+	// rec is the flight recorder of a traced run (Scenario.Trace); nil
+	// otherwise. deliverTID is the trace ID of the downlink currently being
+	// delivered, so client responses continue the causing trace.
+	rec        *trace.Recorder
+	deliverTID trace.ID
 }
 
 type queuedDown struct {
 	target model.ObjectID // -1 for broadcast
 	m      msg.Message
+	tid    trace.ID
 }
 
 // newLocalSystem builds a local engine over the shared object population.
 // shards == 0 selects the serial core.Server, otherwise a ShardedServer
-// with that many partitions.
-func newLocalSystem(label string, g *grid.Grid, opts core.Options, objs []*model.MovingObject, shards, dropNth int) *localSystem {
+// with that many partitions. traced attaches a per-system flight recorder
+// so oracle failures can print the causal timeline of the divergence.
+func newLocalSystem(label string, g *grid.Grid, opts core.Options, objs []*model.MovingObject, shards, dropNth int, traced bool) *localSystem {
 	ls := &localSystem{
 		label:            label,
 		g:                g,
@@ -79,23 +88,46 @@ func newLocalSystem(label string, g *grid.Grid, opts core.Options, objs []*model
 	} else {
 		ls.srv = core.NewServer(g, opts, localDown{ls})
 	}
+	if traced {
+		ls.rec = trace.NewRecorder(trace.DefaultSize)
+		ls.srv.SetTracer(ls.rec)
+	}
 	return ls
 }
+
+func (ls *localSystem) tracer() *trace.Recorder { return ls.rec }
 
 func (ls *localSystem) name() string { return ls.label }
 
 type localDown struct{ ls *localSystem }
 
+var _ core.TracedDownlink = localDown{}
+
 func (d localDown) Broadcast(region grid.CellRange, m msg.Message) {
+	d.BroadcastTraced(region, m, 0)
+}
+
+func (d localDown) BroadcastTraced(region grid.CellRange, m msg.Message, tid trace.ID) {
 	d.ls.broadcasts++
 	if n := d.ls.dropNthBroadcast; n > 0 && d.ls.broadcasts%n == 0 {
-		return // injected bug: this monitoring-region update is never sent
+		// Injected bug: this monitoring-region update is never sent. A traced
+		// run records the loss, so the dumped timeline of the divergent query
+		// shows exactly which message vanished.
+		if d.ls.rec != nil {
+			oid, qid := core.TraceRef(m)
+			d.ls.rec.Event(tid, trace.KindDrop, d.ls.label, oid, qid, m.Kind().String()+" (injected fault)")
+		}
+		return
 	}
-	d.ls.queue = append(d.ls.queue, queuedDown{target: -1, m: m})
+	d.ls.queue = append(d.ls.queue, queuedDown{target: -1, m: m, tid: tid})
 }
 
 func (d localDown) Unicast(oid model.ObjectID, m msg.Message) {
-	d.ls.queue = append(d.ls.queue, queuedDown{target: oid, m: m})
+	d.UnicastTraced(oid, m, 0)
+}
+
+func (d localDown) UnicastTraced(oid model.ObjectID, m msg.Message, tid trace.ID) {
+	d.ls.queue = append(d.ls.queue, queuedDown{target: oid, m: m, tid: tid})
 }
 
 // flush delivers queued downlinks in FIFO order until quiescent;
@@ -106,6 +138,7 @@ func (ls *localSystem) flush() {
 	for len(ls.queue) > 0 {
 		q := ls.queue[0]
 		ls.queue = ls.queue[1:]
+		ls.deliverTID = q.tid
 		if q.target >= 0 {
 			if !ls.active[q.target] {
 				continue
@@ -121,6 +154,7 @@ func (ls *localSystem) flush() {
 			c.OnDownlink(q.m, ls.objs[i].Pos, ls.objs[i].Vel, ls.now)
 		}
 	}
+	ls.deliverTID = 0
 }
 
 func (ls *localSystem) join(o *model.MovingObject, now model.Time) error {
@@ -145,7 +179,7 @@ func (ls *localSystem) depart(oid model.ObjectID, now model.Time) error {
 
 type localUp struct{ ls *localSystem }
 
-func (u localUp) Send(m msg.Message) { u.ls.srv.HandleUplink(m) }
+func (u localUp) Send(m msg.Message) { u.ls.srv.HandleUplinkTraced(m, u.ls.deliverTID) }
 
 func (ls *localSystem) install(spec workload.QuerySpec, maxVel float64, now model.Time) (model.QueryID, error) {
 	ls.now = now

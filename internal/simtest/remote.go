@@ -15,6 +15,7 @@ import (
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
+	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/remote"
 	"mobieyes/internal/wire"
 	"mobieyes/internal/workload"
@@ -65,13 +66,24 @@ type remoteClient struct {
 	readerDone chan struct{}
 
 	mu   sync.Mutex
-	mail []msg.Message
+	mail []remoteMail
 
 	pongs chan uint64
 	dead  bool // connection killed or object departed
+
+	// curTID is the trace ID of the downlink being delivered (set by the
+	// settle loop, which is the only goroutine calling OnDownlink), stamped
+	// onto response uplinks so traces chain across the pipe.
+	curTID uint64
 }
 
-func (rc *remoteClient) takeMail() []msg.Message {
+// remoteMail is one decoded downlink plus its frame's trace ID.
+type remoteMail struct {
+	m   msg.Message
+	tid uint64
+}
+
+func (rc *remoteClient) takeMail() []remoteMail {
 	rc.mu.Lock()
 	m := rc.mail
 	rc.mail = nil
@@ -85,7 +97,7 @@ func (rc *remoteClient) takeMail() []msg.Message {
 type remoteClientUp struct{ rc *remoteClient }
 
 func (u remoteClientUp) Send(m msg.Message) {
-	_ = remote.WriteFrame(u.rc.conn, wire.Encode(m))
+	_ = remote.WriteFrame(u.rc.conn, wire.EncodeTraced(m, u.rc.curTID))
 }
 
 // remoteSystem drives the internal/remote server over in-memory pipes.
@@ -107,13 +119,14 @@ type remoteSystem struct {
 	now    model.Time
 	tokens atomic.Uint64
 	faults *faultInjector // nil when the scenario is fault-free
+	rec    *trace.Recorder
 }
 
 // settleTimeout bounds every pong wait; exceeding it is reported as a
 // suspected deadlock.
 const settleTimeout = 10 * time.Second
 
-func newRemoteSystem(label string, uod geo.Rect, alpha float64, opts core.Options, objs []*model.MovingObject, shards int, plan *FaultPlan) *remoteSystem {
+func newRemoteSystem(label string, uod geo.Rect, alpha float64, opts core.Options, objs []*model.MovingObject, shards int, plan *FaultPlan, traced bool) *remoteSystem {
 	rs := &remoteSystem{
 		label:  label,
 		g:      grid.New(uod, alpha),
@@ -126,11 +139,15 @@ func newRemoteSystem(label string, uod geo.Rect, alpha float64, opts core.Option
 	if plan != nil {
 		rs.faults = newFaultInjector(*plan)
 	}
+	if traced {
+		rs.rec = trace.NewRecorder(trace.DefaultSize)
+	}
 	rs.srv = remote.Serve(remote.ServerConfig{
 		UoD:     uod,
 		Alpha:   alpha,
 		Options: opts,
 		Shards:  shards,
+		Trace:   rs.rec,
 		// Killed connections must not depart their objects: the harness
 		// reconnects them within the scenario, never after a minute.
 		DisconnectGrace: time.Minute,
@@ -139,6 +156,8 @@ func newRemoteSystem(label string, uod geo.Rect, alpha float64, opts core.Option
 }
 
 func (rs *remoteSystem) name() string { return rs.label }
+
+func (rs *remoteSystem) tracer() *trace.Recorder { return rs.rec }
 
 // dial opens one connection (through the fault relay when configured) and
 // performs the hello handshake.
@@ -171,7 +190,7 @@ func (rs *remoteSystem) readLoop(rc *remoteClient, conn net.Conn, done chan stru
 		if err != nil {
 			return
 		}
-		m, err := wire.Decode(payload)
+		m, tid, err := wire.DecodeTraced(payload)
 		if err != nil {
 			return
 		}
@@ -183,7 +202,7 @@ func (rs *remoteSystem) readLoop(rc *remoteClient, conn net.Conn, done chan stru
 			continue
 		}
 		rc.mu.Lock()
-		rc.mail = append(rc.mail, m)
+		rc.mail = append(rc.mail, remoteMail{m: m, tid: tid})
 		rc.mu.Unlock()
 	}
 }
@@ -289,9 +308,11 @@ func (rs *remoteSystem) settle() error {
 			if rc == nil || rc.dead || !rs.active[model.ObjectID(i+1)] {
 				continue
 			}
-			for _, m := range rc.takeMail() {
+			for _, in := range rc.takeMail() {
 				o := rs.objs[i]
-				rc.client.OnDownlink(m, o.Pos, o.Vel, rs.now)
+				rc.curTID = in.tid
+				rc.client.OnDownlink(in.m, o.Pos, o.Vel, rs.now)
+				rc.curTID = 0
 				delivered = true
 			}
 		}

@@ -2,12 +2,15 @@ package simtest
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"strings"
 
 	"mobieyes/internal/core"
 	"mobieyes/internal/geo"
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
+	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/sim"
 	"mobieyes/internal/workload"
 )
@@ -39,7 +42,11 @@ type Scenario struct {
 	// sharded engine — every Nth broadcast is skipped — to prove the
 	// oracle catches real protocol divergence.
 	DropNthBroadcast int
-	Ops              []Op
+	// Trace attaches a causal flight recorder to every engine; when an
+	// oracle fails, the returned error carries the causal event timeline of
+	// the divergent query or object from each engine (DESIGN.md §11).
+	Trace bool
+	Ops   []Op
 }
 
 func (sc *Scenario) workloadConfig() workload.Config {
@@ -85,12 +92,12 @@ func RunScenario(sc Scenario) error {
 	}
 
 	systems := []system{
-		newLocalSystem("serial", g, sc.Opts, wl.Objects, 0, 0),
-		newLocalSystem("sharded", g, sc.Opts, wl.Objects, shards, sc.DropNthBroadcast),
+		newLocalSystem("serial", g, sc.Opts, wl.Objects, 0, 0, sc.Trace),
+		newLocalSystem("sharded", g, sc.Opts, wl.Objects, shards, sc.DropNthBroadcast, sc.Trace),
 	}
 	var rsys *remoteSystem
 	if sc.Remote {
-		rsys = newRemoteSystem("remote", wl.Config().UoD, alphaMiles, sc.Opts, wl.Objects, shards, sc.Faults)
+		rsys = newRemoteSystem("remote", wl.Config().UoD, alphaMiles, sc.Opts, wl.Objects, shards, sc.Faults, sc.Trace)
 		defer rsys.close()
 		systems = append(systems, rsys)
 	}
@@ -114,10 +121,58 @@ func RunScenario(sc Scenario) error {
 	}
 	for i, op := range sc.Ops {
 		if err := r.apply(i, op); err != nil {
+			if sc.Trace {
+				return fmt.Errorf("%w\n%s", err, traceDump(systems, err))
+			}
 			return err
 		}
 	}
 	return nil
+}
+
+// divergence is an oracle failure attributable to a specific query and/or
+// object; a traced run uses the attribution to dump the exact causal
+// timeline instead of the whole ring.
+type divergence struct {
+	err error
+	qid model.QueryID
+	oid model.ObjectID
+}
+
+func (d *divergence) Error() string { return d.err.Error() }
+func (d *divergence) Unwrap() error { return d.err }
+
+// tracedSystem is implemented by engines that can hand out their flight
+// recorder (all of them when Scenario.Trace is set).
+type tracedSystem interface {
+	tracer() *trace.Recorder
+}
+
+// traceDump renders each engine's causal timeline of the failure: the
+// closure of the divergent query/object when the error pinpoints one, the
+// most recent events otherwise.
+func traceDump(systems []system, err error) string {
+	var div *divergence
+	pinned := errors.As(err, &div)
+	var b strings.Builder
+	for _, sys := range systems {
+		ts, ok := sys.(tracedSystem)
+		if !ok || ts.tracer() == nil {
+			continue
+		}
+		rec := ts.tracer()
+		var evs []trace.Event
+		if pinned {
+			evs = rec.Causal(int64(div.oid), int64(div.qid))
+			fmt.Fprintf(&b, "--- %s: causal timeline of oid=%d qid=%d (%d events) ---\n",
+				sys.name(), div.oid, div.qid, len(evs))
+		} else {
+			evs = rec.Events(trace.Filter{Limit: 40})
+			fmt.Fprintf(&b, "--- %s: most recent %d events ---\n", sys.name(), len(evs))
+		}
+		trace.Format(&b, evs)
+	}
+	return b.String()
 }
 
 type runner struct {
@@ -313,7 +368,11 @@ func (r *runner) checkOracle(strict bool) error {
 		for _, sys := range r.systems[1:] {
 			got := sys.result(qid)
 			if !oidsEqual(want, got) {
-				return fmt.Errorf("query %d: %s result %v, %s result %v", qid, base.name(), want, sys.name(), got)
+				return &divergence{
+					err: fmt.Errorf("query %d: %s result %v, %s result %v", qid, base.name(), want, sys.name(), got),
+					qid: qid,
+					oid: firstResultDiff(want, got),
+				}
 			}
 		}
 		if r.sc.gtEligible() && r.gtValid {
@@ -321,7 +380,11 @@ func (r *runner) checkOracle(strict bool) error {
 			if ok && r.active[spec.Focal] {
 				gt := r.filterActive(sim.GroundTruth(r.g, r.wl.Objects, spec))
 				if !oidsEqual(want, gt) {
-					return fmt.Errorf("query %d: engines report %v, ground truth %v", qid, want, gt)
+					return &divergence{
+						err: fmt.Errorf("query %d: engines report %v, ground truth %v", qid, want, gt),
+						qid: qid,
+						oid: firstResultDiff(want, gt),
+					}
 				}
 			}
 		}
@@ -375,6 +438,31 @@ func diffIDs(a, b []model.QueryID) error {
 		}
 	}
 	return nil
+}
+
+// firstResultDiff returns the first object ID present in one result set but
+// not the other — the most suspicious entity of a result divergence. Both
+// slices are sorted. Zero when the sets only differ by ordering.
+func firstResultDiff(a, b []model.ObjectID) model.ObjectID {
+	inA := make(map[model.ObjectID]bool, len(a))
+	for _, id := range a {
+		inA[id] = true
+	}
+	for _, id := range b {
+		if !inA[id] {
+			return id
+		}
+	}
+	inB := make(map[model.ObjectID]bool, len(b))
+	for _, id := range b {
+		inB[id] = true
+	}
+	for _, id := range a {
+		if !inB[id] {
+			return id
+		}
+	}
+	return 0
 }
 
 func oidsEqual(a, b []model.ObjectID) bool {

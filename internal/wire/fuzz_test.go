@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+
+	"mobieyes/internal/msg"
 )
 
 // FuzzWire feeds arbitrary bytes to Decode. Two properties must hold:
@@ -14,32 +16,44 @@ import (
 // (network.Meter) and the simulation harness's frame relays trustworthy.
 func FuzzWire(f *testing.F) {
 	rng := rand.New(rand.NewSource(99))
-	for _, m := range sampleMessages(rng) {
+	for i, m := range sampleMessages(rng) {
 		f.Add(Encode(m))
+		f.Add(EncodeTraced(m, uint64(i+1)))
 	}
-	// Hostile shapes: truncations, bad magic, bad version, bad kind.
+	// Hostile shapes: truncations, bad magic, bad version, bad kind, and a
+	// traced frame declaring a zero trace ID (must be rejected — zero only
+	// encodes as a plain Version frame).
 	f.Add([]byte{})
 	f.Add([]byte{0xE5})
 	f.Add([]byte{0xE5, 0xE7, 0x01, 0x00})
 	f.Add([]byte{0xE5, 0xE7, 0xFF, 0x07})
 	f.Add([]byte{0x00, 0x00, 0x01, 0x02, 0x03})
+	zeroTID := EncodeTraced(msg.DepartureReport{OID: 1}, 7)
+	for i := 16; i < 24; i++ {
+		zeroTID[i] = 0
+	}
+	f.Add(zeroTID)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, err := Decode(data)
+		m, tid, err := DecodeTraced(data)
 		if err != nil {
 			return
 		}
-		if got := m.Size(); got != len(data) {
-			t.Fatalf("decoded %T reports Size %d, wire payload is %d bytes", m, got, len(data))
+		wantSize := m.Size()
+		if tid != 0 {
+			wantSize += TraceOverhead
+		}
+		if wantSize != len(data) {
+			t.Fatalf("decoded %T (tid %d) accounts for %d bytes, wire payload is %d bytes", m, tid, wantSize, len(data))
 		}
 		// The src/dst header words (bytes 8–16) are routing fields owned by
 		// the transport layer; Decode ignores them and Encode zeroes them.
-		// Canonicity applies to everything else.
+		// Canonicity applies to everything else, including the trace ID.
 		want := append([]byte{}, data...)
 		for i := 8; i < 16; i++ {
 			want[i] = 0
 		}
-		out := Encode(m)
+		out := EncodeTraced(m, tid)
 		if !bytes.Equal(out, want) {
 			t.Fatalf("decode/encode of %T not canonical:\n in: %x\nout: %x", m, want, out)
 		}

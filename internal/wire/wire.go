@@ -26,6 +26,15 @@ import (
 const (
 	Magic   = uint16(0xE7E5) // "mobieyes"
 	Version = uint8(1)
+	// TracedVersion marks a frame carrying a nonzero 8-byte trace ID
+	// (little-endian) between the 16-byte header and the payload. A zero
+	// trace ID always encodes as a plain Version frame — so every accepted
+	// byte string still has exactly one encoding, preserving the FuzzWire
+	// canonicity property — and a TracedVersion frame declaring a zero
+	// trace ID is rejected.
+	TracedVersion = uint8(2)
+	// TraceOverhead is the extra length of a TracedVersion frame.
+	TraceOverhead = 8
 )
 
 // Region shape tags.
@@ -240,16 +249,36 @@ func (d *decoder) queryState() msg.QueryState {
 }
 
 // Encode serializes m. The result is exactly m.Size() bytes.
-func Encode(m msg.Message) []byte {
-	e := &encoder{b: make([]byte, 0, m.Size())}
+func Encode(m msg.Message) []byte { return EncodeTraced(m, 0) }
+
+// EncodeTraced serializes m, carrying tid when it is nonzero: the frame is
+// emitted as TracedVersion with the trace ID after the header, and the
+// declared length grows by TraceOverhead. tid == 0 produces the plain
+// Version encoding, byte-identical to Encode — untraced peers are
+// unaffected, and Decode (which skips the trace ID) accepts both.
+func EncodeTraced(m msg.Message, tid uint64) []byte {
+	size := m.Size()
+	ver := Version
+	if tid != 0 {
+		ver = TracedVersion
+		size += TraceOverhead
+	}
+	e := &encoder{b: make([]byte, 0, size)}
 	// Header: magic(2) version(1) kind(1) length(4) src(4) dst(4) = 16.
 	e.u16(Magic)
-	e.u8(Version)
+	e.u8(ver)
 	e.u8(uint8(m.Kind()))
-	e.u32(uint32(m.Size()))
+	e.u32(uint32(size))
 	e.u32(0) // src, assigned by the transport layer when needed
 	e.u32(0) // dst
+	if tid != 0 {
+		e.u64(tid)
+	}
+	encodeBody(e, m)
+	return e.b
+}
 
+func encodeBody(e *encoder, m msg.Message) {
 	switch mm := m.(type) {
 	case msg.PositionReport:
 		e.oid(mm.OID)
@@ -316,30 +345,53 @@ func Encode(m msg.Message) []byte {
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", m))
 	}
-	return e.b
 }
 
-// Decode parses one message. The buffer must contain the whole message (use
-// the framing in internal/remote for streams).
+// Decode parses one message, discarding any trace ID. The buffer must
+// contain the whole message (use the framing in internal/remote for
+// streams).
 func Decode(b []byte) (msg.Message, error) {
+	m, _, err := DecodeTraced(b)
+	return m, err
+}
+
+// DecodeTraced parses one message plus its trace ID: 0 for a plain Version
+// frame, the carried nonzero ID for a TracedVersion frame.
+func DecodeTraced(b []byte) (msg.Message, uint64, error) {
 	d := &decoder{b: b}
 	if magic := d.u16(); magic != Magic && d.err == nil {
-		return nil, fmt.Errorf("wire: bad magic %#04x", magic)
+		return nil, 0, fmt.Errorf("wire: bad magic %#04x", magic)
 	}
-	if ver := d.u8(); ver != Version && d.err == nil {
-		return nil, fmt.Errorf("wire: unsupported version %d", ver)
+	ver := d.u8()
+	if ver != Version && ver != TracedVersion && d.err == nil {
+		return nil, 0, fmt.Errorf("wire: unsupported version %d", ver)
 	}
 	kind := msg.Kind(d.u8())
 	length := d.u32()
 	d.u32() // src
 	d.u32() // dst
+	var tid uint64
+	if ver == TracedVersion {
+		tid = d.u64()
+		if tid == 0 && d.err == nil {
+			return nil, 0, errors.New("wire: traced frame with zero trace ID")
+		}
+	}
 	if d.err != nil {
-		return nil, d.err
+		return nil, 0, d.err
 	}
 	if int(length) != len(b) {
-		return nil, fmt.Errorf("wire: declared length %d, buffer %d", length, len(b))
+		return nil, 0, fmt.Errorf("wire: declared length %d, buffer %d", length, len(b))
 	}
+	m, err := decodeBody(d, kind)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, tid, nil
+}
 
+func decodeBody(d *decoder, kind msg.Kind) (msg.Message, error) {
+	b := d.b
 	var m msg.Message
 	switch kind {
 	case msg.KindPositionReport:

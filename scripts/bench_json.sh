@@ -1,6 +1,7 @@
 #!/bin/sh
-# Emits the PR 2 benchmark set as JSON (BENCH_PR2.json by default): the
-# instrumentation overhead benchmarks of internal/obs and the serial/sharded
+# Emits the PR benchmark set as JSON (BENCH_PR4.json by default): the
+# instrumentation overhead benchmarks of internal/obs, the causal-tracing
+# flight-recorder benchmarks of internal/obs/trace, and the serial/sharded
 # uplink throughput benchmarks of internal/core. Usage:
 #
 #   scripts/bench_json.sh [output.json]
@@ -8,11 +9,12 @@
 # Tune BENCHTIME for fidelity vs speed (default 1s; CI smoke uses 1x).
 set -eu
 
-OUT="${1:-BENCH_PR2.json}"
+OUT="${1:-BENCH_PR4.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 
 {
 	go test -run '^$' -bench . -benchtime "$BENCHTIME" ./internal/obs/
+	go test -run '^$' -bench . -benchtime "$BENCHTIME" ./internal/obs/trace/
 	go test -run '^$' -bench 'BenchmarkUplink(Serial|Sharded)10k' -benchtime "$BENCHTIME" ./internal/core/
 } | awk '
 	/^Benchmark/ {
