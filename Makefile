@@ -4,7 +4,13 @@
 
 GO ?= go
 
-.PHONY: build vet test race check simtest bench bench-smoke bench-sharded bench-json
+.PHONY: build vet test race check simtest bench bench-smoke bench-sharded bench-json report staticcheck
+
+# Optional deeper linting: runs only when staticcheck is installed, so the
+# gate works on minimal toolchains (CI installs it; see scripts/check.sh).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
 
 build:
 	$(GO) build ./...
@@ -32,7 +38,7 @@ simtest:
 	$(GO) test -run '^$$' -fuzz '^FuzzWire$$' -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 10s ./internal/remote/
 
-check: build vet test race simtest
+check: build vet staticcheck test race simtest
 
 bench:
 	$(GO) test -bench . -benchtime 1s ./internal/core/
@@ -48,7 +54,13 @@ bench-sharded:
 	$(GO) test -run xxx -bench 'BenchmarkUplink' -benchtime 2s ./internal/core/
 	$(GO) test -run xxx -bench 'BenchmarkEngineStep' -benchtime 20x .
 
-# Machine-readable results of the instrumentation-overhead, flight-recorder
-# and uplink throughput benchmarks (see scripts/bench_json.sh).
+# Machine-readable results of the cost-accounting, instrumentation-overhead,
+# flight-recorder and uplink throughput benchmarks (see scripts/bench_json.sh).
 bench-json:
-	sh scripts/bench_json.sh BENCH_PR4.json
+	sh scripts/bench_json.sh BENCH_PR5.json
+
+# The structured §5 cost & accuracy report (ledger sweeps, EQP-vs-LQP
+# quality, baselines, qualitative checks) → results/runreport.{json,txt}.
+# Exits non-zero if a qualitative check fails.
+report:
+	$(GO) run ./cmd/experiments -exp report -steps 10 -warmup 3 -report-dir results

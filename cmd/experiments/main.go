@@ -3,14 +3,20 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|fig1..fig13] [-steps N] [-warmup N]
+//	experiments [-exp all|table1|fig1..fig13|report] [-steps N] [-warmup N]
 //	            [-scalediv D] [-seed S] [-csv DIR] [-shards N]
-//	            [-metrics-addr :7072]
+//	            [-metrics-addr :7072] [-report-dir DIR]
 //
 // With -exp all (the default) every experiment runs in paper order. The
 // -scalediv flag divides the population sizes and area by D for quick
 // shape checks (1 = full paper scale). With -csv, each figure is also
 // written as DIR/<fig>.csv.
+//
+// -exp report builds the structured cost & accuracy report instead (§5
+// messaging-cost sweeps from protocol ledgers, EQP-vs-LQP answer quality,
+// centralized baselines, qualitative checks) and writes it to
+// DIR/runreport.{json,txt} given by -report-dir, plus the text form to
+// stdout. The command exits non-zero if any qualitative check fails.
 package main
 
 import (
@@ -27,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, table1, fig1..fig13, breakdown, alphamodel")
+		exp      = flag.String("exp", "all", "experiment to run: all, table1, fig1..fig13, breakdown, alphamodel, report")
 		steps    = flag.Int("steps", 10, "measured simulation steps per run")
 		warmup   = flag.Int("warmup", 3, "warmup steps per run (excluded from metrics)")
 		scalediv = flag.Int("scalediv", 1, "divide population sizes and area by this factor")
@@ -36,6 +42,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "server shards for MobiEyes runs (0/1 = serial server, >1 = concurrent sharded server)")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz and pprof on this address while experiments run (empty = off)")
 		traceSz  = flag.Int("trace-events", 0, "causal-tracing flight recorder size in events (0 = off); requires -metrics-addr, exposed on /debug/events")
+		repDir   = flag.String("report-dir", "results", "directory for -exp report artifacts (empty = stdout only)")
 	)
 	flag.Parse()
 
@@ -95,6 +102,20 @@ func main() {
 		experiments.Table1(os.Stdout)
 	case "breakdown":
 		experiments.WriteBreakdown(os.Stdout, experiments.Breakdown(opts))
+	case "report":
+		r := experiments.BuildRunReport(opts)
+		r.WriteText(os.Stdout)
+		if *repDir != "" {
+			if err := r.WriteFiles(*repDir); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("report written to %s/runreport.{json,txt}\n", *repDir)
+		}
+		if !r.AllChecksPass() {
+			fmt.Fprintln(os.Stderr, "experiments: qualitative checks failed")
+			os.Exit(1)
+		}
 	default:
 		run, ok := runners[*exp]
 		if !ok {

@@ -6,7 +6,7 @@
 //
 //	mobieyes-server [-addr :7070] [-admin :7071] [-metrics-addr :7072]
 //	                [-area SQMILES] [-alpha MILES] [-lazy] [-grouping]
-//	                [-trace-events N]
+//	                [-trace-events N] [-costs]
 //
 // Admin protocol (one command per line, e.g. via netcat):
 //
@@ -15,13 +15,20 @@
 //	result <qid>                             → "result <id> <oid…>"
 //	conns                                    → "conns <n>"
 //	TRACE [n | oid N | qid N | trace N]      → event journal (needs -trace-events)
+//	COSTS [qid N | oid N]                    → cost ledgers (needs -costs)
 //	quit                                     → closes the admin session
+//
+// With -costs, a cost accountant attributes every protocol action (see
+// internal/obs/cost): the admin COSTS command prints the ledgers, and the
+// metrics endpoint additionally serves /debug/costs with ?cell=, ?station=,
+// ?qid= and ?oid= scope filters.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,6 +36,7 @@ import (
 	"mobieyes/internal/core"
 	"mobieyes/internal/geo"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/cost"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/remote"
 )
@@ -45,6 +53,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "server grid partitions (0 = GOMAXPROCS)")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz and pprof on this address (empty = off)")
 		traceSz  = flag.Int("trace-events", 0, "causal-tracing flight recorder size in events (0 = off); exposed on /debug/events and the admin TRACE command")
+		costs    = flag.Bool("costs", false, "attribute protocol costs per message kind, shard, cell, query and object; exposed on /debug/costs and the admin COSTS command")
 	)
 	flag.Parse()
 
@@ -52,9 +61,15 @@ func main() {
 	if *traceSz > 0 {
 		rec = trace.NewRecorder(*traceSz)
 	}
+	var acct *cost.Accountant
+	if *costs {
+		acct = cost.New()
+	}
 	reg := obs.NewRegistry()
 	if *metrics != "" {
-		ms, err := obs.ListenAndServeTraced(*metrics, reg, rec)
+		ms, err := obs.ListenAndServeWith(*metrics, reg, rec, func(mux *http.ServeMux) {
+			cost.Attach(mux, acct)
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -75,6 +90,7 @@ func main() {
 		Shards:  *shards,
 		Metrics: reg,
 		Trace:   rec,
+		Costs:   acct,
 	}
 	var srv *remote.Server
 	var err error

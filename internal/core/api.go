@@ -7,6 +7,7 @@ import (
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/cost"
 	"mobieyes/internal/obs/trace"
 )
 
@@ -31,6 +32,12 @@ type ServerAPI interface {
 	// SetTracer attaches a flight recorder for causal tracing (nil = off;
 	// the default). See internal/obs/trace and DESIGN.md §11.
 	SetTracer(rec *trace.Recorder)
+
+	// SetAccountant attaches a cost accountant (nil = off; the default):
+	// uplinks are attributed per shard and per query/object, downlinks per
+	// query/object at the broadcast/unicast funnels, and server work is
+	// charged as computation units. See internal/obs/cost and DESIGN.md §12.
+	SetAccountant(a *cost.Accountant)
 
 	// Result access.
 	Result(qid model.QueryID) []model.ObjectID

@@ -9,6 +9,7 @@ import (
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
+	"mobieyes/internal/obs/cost"
 )
 
 // lqtEntry is one row of the local query table
@@ -55,6 +56,13 @@ type Client struct {
 	qidCache   []model.QueryID
 	groupDirty bool
 
+	// acct is the cost accountant attached by SetAccountant (nil = off):
+	// dead-reckoning checks, containment evaluations and LQT scans are
+	// charged as object-side computation units (the paper's Figs. 10–13
+	// axes). Charges go through atomic counters, so clients ticked in
+	// parallel may share one accountant.
+	acct *cost.Accountant
+
 	// lastEvalVel is the own velocity observed at the previous evaluation;
 	// predictive skip times assume constant velocities, so a change voids
 	// every ptm.
@@ -91,6 +99,9 @@ func NewClient(g *grid.Grid, opts Options, up Uplink, oid model.ObjectID, props 
 
 // OID returns the object identifier this client runs on.
 func (c *Client) OID() model.ObjectID { return c.oid }
+
+// SetAccountant attaches a cost accountant (nil = off; the default).
+func (c *Client) SetAccountant(a *cost.Accountant) { c.acct = a }
 
 // LQTSize returns the number of queries currently installed in the LQT —
 // the per-object computation measure of Figs. 10–12.
@@ -300,6 +311,7 @@ func (c *Client) TickDeadReckoning(pos geo.Point, vel geo.Vector, now model.Time
 	if !c.hasMQ {
 		return
 	}
+	c.acct.Compute(cost.UnitDeadReckoning, 1)
 	if c.lastRelayed.NeedsRelay(pos, now, c.opts.DeadReckoningThreshold) {
 		st := model.MotionState{Pos: pos, Vel: vel, Tm: now}
 		c.lastRelayed = st
@@ -317,6 +329,7 @@ func (c *Client) TickEvaluate(pos geo.Point, vel geo.Vector, now model.Time) {
 	if len(c.lqt) == 0 {
 		return
 	}
+	c.acct.Compute(cost.UnitLQTScan, int64(len(c.lqt)))
 	if c.opts.Predictive {
 		if !c.lastEvalVelSet || vel != c.lastEvalVel {
 			// Our own trajectory changed: every predicted entry time is
@@ -361,6 +374,7 @@ func (c *Client) evaluateEntry(e *lqtEntry, pos geo.Point, now model.Time) (insi
 	}
 	focalPos := e.qs.State.PredictAt(now)
 	c.evals++
+	c.acct.Compute(cost.UnitContainment, 1)
 	inside = e.qs.Region.Contains(focalPos, pos)
 	if !inside {
 		c.schedule(e, pos, focalPos, now)
@@ -454,6 +468,7 @@ func (c *Client) evaluateFocalGroup(g *focalGroup, pos geo.Point, now model.Time
 	}
 	focalPos := freshest.qs.State.PredictAt(now)
 	c.evals++
+	c.acct.Compute(cost.UnitContainment, 1)
 	dist := pos.Dist(focalPos)
 
 	var changed map[model.QueryID]bool

@@ -135,6 +135,18 @@ func (s *Server) broadcast(region grid.CellRange, m msg.Message) {
 		o.broadcasts.Add(1)
 		o.broadcastCells.Observe(float64(region.NumCells()))
 	}
+	if s.acct != nil {
+		// Per-entity downlink attribution at protocol level: one logical
+		// send per broadcast (station fan-out is the transport's ledger).
+		oid, qid := TraceRef(m)
+		sz := m.Size()
+		if qid != 0 {
+			s.acct.QueryDown(qid, sz, 1)
+		}
+		if oid != 0 {
+			s.acct.ObjectDown(oid, sz, 1)
+		}
+	}
 	if s.rec != nil {
 		oid, qid := TraceRef(m)
 		s.rec.Event(s.curTrace, trace.KindBroadcast, s.actor, oid, qid, m.Kind().String())

@@ -9,6 +9,7 @@ import (
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/cost"
 	"mobieyes/internal/obs/trace"
 )
 
@@ -90,6 +91,12 @@ type Server struct {
 	actor    string
 	tdown    TracedDownlink
 	curTrace trace.ID
+
+	// acct is the cost accountant attached by SetAccountant (nil = off):
+	// table work and RQI touches are charged as computation units, and the
+	// broadcast/unicast funnels attribute traffic per query/object. See
+	// internal/obs/cost and DESIGN.md §12.
+	acct *cost.Accountant
 }
 
 // NewServer returns a MobiEyes server over grid g, sending through down.
@@ -119,6 +126,13 @@ func makeRQI(n int) []map[model.QueryID]struct{} {
 
 // Ops returns the cumulative deterministic operation count.
 func (s *Server) Ops() int64 { return s.ops.Value() }
+
+// SetAccountant attaches a cost accountant (nil = off; the default). See the
+// acct field and internal/obs/cost for what is attributed where.
+func (s *Server) SetAccountant(a *cost.Accountant) {
+	s.acct = a
+	a.SetMode(s.opts.Mode.String())
+}
 
 // NumQueries returns the number of installed queries.
 func (s *Server) NumQueries() int { return len(s.sqt) }
@@ -205,6 +219,7 @@ func (s *Server) upsertFocal(oid model.ObjectID, st model.MotionState) *fotEntry
 	}
 	s.ev(trace.KindTable, oid, 0, "FOT upsert")
 	s.ops.Add(1)
+	s.acct.Compute(cost.UnitTableOp, 1)
 	return fe
 }
 
@@ -237,6 +252,7 @@ func (s *Server) completeInstall(qid model.QueryID, q model.Query, focalMaxVel f
 		Queries: []msg.QueryState{s.queryState(qid)},
 	})
 	s.ops.Add(3)
+	s.acct.Compute(cost.UnitTableOp, 1)
 }
 
 // RemoveQuery uninstalls a query: it is dropped from SQT and RQI, the
@@ -264,6 +280,7 @@ func (s *Server) RemoveQuery(qid model.QueryID) bool {
 		delete(s.fot, e.query.Focal)
 	}
 	s.ops.Add(3)
+	s.acct.Compute(cost.UnitTableOp, 1)
 	s.syncTableGauges()
 	return true
 }
@@ -281,6 +298,7 @@ func (s *Server) OnVelocityReport(m msg.VelocityReport) {
 	fe.state = model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}
 	s.ev(trace.KindTable, m.OID, 0, "FOT refresh")
 	s.ops.Add(1)
+	s.acct.Compute(cost.UnitTableOp, 1)
 	s.relayFocalState(fe)
 }
 
@@ -409,6 +427,7 @@ func (s *Server) relocateQuery(qid model.QueryID, newCell grid.CellID) {
 		Queries: []msg.QueryState{s.queryState(qid)},
 	})
 	s.ops.Add(2)
+	s.acct.Compute(cost.UnitTableOp, 1)
 }
 
 // sendNewNearbyQueries computes RQI(newCell) \ RQI(prevCell) and sends those
@@ -470,6 +489,7 @@ func (s *Server) OnContainmentReport(m msg.ContainmentReport) {
 		s.notifyResult(m.QID, m.OID, false)
 	}
 	s.ops.Add(1)
+	s.acct.Compute(cost.UnitTableOp, 1)
 }
 
 // OnGroupContainmentReport applies a grouped result update: one bitmap bit
@@ -491,6 +511,7 @@ func (s *Server) OnGroupContainmentReport(m msg.GroupContainmentReport) {
 		}
 	}
 	s.ops.Add(int64(len(m.QIDs)))
+	s.acct.Compute(cost.UnitTableOp, int64(len(m.QIDs)))
 }
 
 // OnDepartureReport handles an object leaving the system: it is dropped
@@ -528,6 +549,18 @@ func (s *Server) HandleUplink(m msg.Message) { s.HandleUplinkTraced(m, 0) }
 // result flips) is tagged with the resulting ID.
 func (s *Server) HandleUplinkTraced(m msg.Message, tid trace.ID) {
 	s.upl.Add(1)
+	if s.acct != nil {
+		// Per-entity uplink attribution (protocol-level model bytes): charge
+		// the object the message is about and the query it targets, if any.
+		oid, qid := TraceRef(m)
+		sz := m.Size()
+		if oid != 0 {
+			s.acct.ObjectUp(int64(oid), sz)
+		}
+		if qid != 0 {
+			s.acct.QueryUp(int64(qid), sz)
+		}
+	}
 	if s.rec != nil {
 		if tid == 0 {
 			tid = s.rec.NextID()
@@ -668,6 +701,7 @@ func (s *Server) rqiAdd(qid model.QueryID, region grid.CellRange) {
 				s.rqiCount++
 			}
 			s.ops.Add(1)
+			s.acct.Compute(cost.UnitRQITouch, 1)
 		}
 	})
 }
@@ -681,6 +715,7 @@ func (s *Server) rqiRemove(qid model.QueryID, region grid.CellRange) {
 				s.rqiCount--
 			}
 			s.ops.Add(1)
+			s.acct.Compute(cost.UnitRQITouch, 1)
 		}
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/cost"
 )
 
 // shard is one partition of a ShardedServer: a full serial Server restricted
@@ -20,6 +21,9 @@ type shard struct {
 	mu  sync.Mutex
 	srv *Server
 	upl *obs.Counter
+	// idx is this shard's partition index, used by the router to attribute
+	// uplink traffic to the shard's cost ledger.
+	idx int
 }
 
 // focalRecord is a focal object's complete server-side state — its FOT row
@@ -77,6 +81,11 @@ func (s *Server) injectFocal(rec focalRecord, st model.MotionState, cell grid.Ce
 				Queries: []msg.QueryState{s.queryState(qid)},
 			})
 			s.ops.Add(2)
+			// Same table update the serial relocateQuery charges; the RQI
+			// touches above already match (a cell change always moves the
+			// monitoring region), so migrated and serial relocations cost
+			// the same.
+			s.acct.Compute(cost.UnitTableOp, 1)
 		}
 	}
 }

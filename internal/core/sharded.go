@@ -12,6 +12,7 @@ import (
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/cost"
 	"mobieyes/internal/obs/trace"
 )
 
@@ -68,6 +69,14 @@ type ShardedServer struct {
 	rec   *trace.Recorder
 	tdown TracedDownlink
 
+	// acct is the cost accountant attached by SetAccountant (nil = off).
+	// The router attributes each dispatched uplink to the owning shard's
+	// ledger (stale drops and departures to the router ledger, so the shard
+	// sum plus router equals the transport's global uplink count) and
+	// charges per-query/object uplink tallies at ingress; shard Servers
+	// charge compute units and downlink tallies through their own acct.
+	acct *cost.Accountant
+
 	// mu guards the routing tables and pending installations (see the lock
 	// ordering above: mu before any shard.mu, shard locks in ascending
 	// index order).
@@ -101,9 +110,32 @@ func NewShardedServer(g *grid.Grid, opts Options, down Downlink, shards int) *Sh
 		migrations: obs.NewCounter(),
 	}
 	for i := range ss.shards {
-		ss.shards[i] = &shard{srv: NewServer(g, opts, down), upl: obs.NewCounter()}
+		ss.shards[i] = &shard{srv: NewServer(g, opts, down), upl: obs.NewCounter(), idx: i}
 	}
 	return ss
+}
+
+// SetAccountant attaches a cost accountant to the router and every shard
+// (nil = off; the default). Not safe to call concurrently with dispatch.
+func (ss *ShardedServer) SetAccountant(a *cost.Accountant) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.acct = a
+	for _, sh := range ss.shards {
+		sh.mu.Lock()
+		sh.srv.acct = a
+		sh.mu.Unlock()
+	}
+	a.SetMode(ss.opts.Mode.String())
+}
+
+// acctShardUplink charges one dispatched uplink message to shard si's ledger
+// (si -1 = the router ledger, for stale drops and router-level work).
+func (ss *ShardedServer) acctShardUplink(si int, m msg.Message) {
+	if ss.acct == nil {
+		return
+	}
+	ss.acct.ShardUplink(si, m.Kind(), m.Size())
 }
 
 // NumShards returns the number of partitions.
@@ -207,7 +239,9 @@ func (ss *ShardedServer) OnFocalInfoResponse(m msg.FocalInfoResponse) {
 }
 
 func (ss *ShardedServer) onFocalInfoResponse(m msg.FocalInfoResponse, tid trace.ID) {
-	ss.shards[ss.shardOf(ss.g.CellOf(m.Pos))].upl.Add(1)
+	si := ss.shardOf(ss.g.CellOf(m.Pos))
+	ss.shards[si].upl.Add(1)
+	ss.acctShardUplink(si, m)
 	ss.mu.Lock()
 	ss.applyFocalInfoLocked(m.OID, model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}, tid)
 	ss.mu.Unlock()
@@ -283,9 +317,11 @@ func (ss *ShardedServer) OnVelocityReport(m msg.VelocityReport) {
 func (ss *ShardedServer) onVelocityReport(m msg.VelocityReport, tid trace.ID) {
 	sh := ss.lockFocalShard(m.OID)
 	if sh == nil {
-		return // not a focal object (stale report after query removal)
+		ss.acctShardUplink(-1, m) // stale drop: charge the router ledger
+		return                    // not a focal object (stale report after query removal)
 	}
 	sh.upl.Add(1)
+	ss.acctShardUplink(sh.idx, m)
 	sh.srv.curTrace = tid
 	sh.srv.OnVelocityReport(m)
 	sh.srv.curTrace = 0
@@ -328,7 +364,9 @@ func (ss *ShardedServer) onCellChangeReport(m msg.CellChangeReport, tid trace.ID
 		}
 		ss.mu.Unlock()
 	}
-	ss.shards[ss.shardOf(m.NewCell)].upl.Add(1)
+	si := ss.shardOf(m.NewCell)
+	ss.shards[si].upl.Add(1)
+	ss.acctShardUplink(si, m)
 	ss.focalCellChange(m.OID, st, m.NewCell, tid)
 	ss.sendNewNearbyQueries(m.OID, m.PrevCell, m.NewCell, tid)
 	ss.ops.Add(1)
@@ -424,9 +462,11 @@ func (ss *ShardedServer) OnContainmentReport(m msg.ContainmentReport) {
 func (ss *ShardedServer) onContainmentReport(m msg.ContainmentReport, tid trace.ID) {
 	sh := ss.lockQueryShard(m.QID)
 	if sh == nil {
+		ss.acctShardUplink(-1, m) // stale drop: charge the router ledger
 		return
 	}
 	sh.upl.Add(1)
+	ss.acctShardUplink(sh.idx, m)
 	sh.srv.curTrace = tid
 	sh.srv.OnContainmentReport(m)
 	sh.srv.curTrace = 0
@@ -444,6 +484,7 @@ func (ss *ShardedServer) onGroupContainmentReport(m msg.GroupContainmentReport, 
 	for _, qid := range m.QIDs {
 		if sh := ss.lockQueryShard(qid); sh != nil {
 			sh.upl.Add(1)
+			ss.acctShardUplink(sh.idx, m)
 			sh.srv.curTrace = tid
 			sh.srv.OnGroupContainmentReport(m)
 			sh.srv.curTrace = 0
@@ -451,6 +492,7 @@ func (ss *ShardedServer) onGroupContainmentReport(m msg.GroupContainmentReport, 
 			return
 		}
 	}
+	ss.acctShardUplink(-1, m) // no query resolvable: charge the router ledger
 }
 
 // OnDepartureReport handles an object leaving the system: it is dropped
@@ -462,6 +504,7 @@ func (ss *ShardedServer) OnDepartureReport(m msg.DepartureReport) {
 
 func (ss *ShardedServer) onDepartureReport(m msg.DepartureReport, tid trace.ID) {
 	ss.upl.Add(1)
+	ss.acctShardUplink(-1, m) // handled across shards: charge the router ledger
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	for _, sh := range ss.shards {
@@ -571,6 +614,18 @@ func (ss *ShardedServer) HandleUplink(m msg.Message) { ss.HandleUplinkTraced(m, 
 // ingress point when running behind a tracing transport. A zero tid starts
 // a fresh trace when a recorder is attached.
 func (ss *ShardedServer) HandleUplinkTraced(m msg.Message, tid trace.ID) {
+	if ss.acct != nil {
+		// Per-entity uplink attribution at router ingress (the shard Servers'
+		// HandleUplink is bypassed — handlers are invoked directly).
+		oid, qid := TraceRef(m)
+		sz := m.Size()
+		if oid != 0 {
+			ss.acct.ObjectUp(oid, sz)
+		}
+		if qid != 0 {
+			ss.acct.QueryUp(qid, sz)
+		}
+	}
 	if ss.rec != nil {
 		if tid == 0 {
 			tid = ss.rec.NextID()

@@ -106,6 +106,16 @@ func (s *Server) endRoot(root bool) {
 // unicast funnels every server unicast so it can be recorded and, when the
 // transport supports it, tagged with the causing trace ID.
 func (s *Server) unicast(oid model.ObjectID, m msg.Message) {
+	if s.acct != nil {
+		// Unicasts are charged to the receiving object; query-scoped kinds
+		// (FocalNotify, QueryInstall) also charge the query.
+		_, qid := TraceRef(m)
+		sz := m.Size()
+		s.acct.ObjectDown(int64(oid), sz, 1)
+		if qid != 0 {
+			s.acct.QueryDown(qid, sz, 1)
+		}
+	}
 	if s.rec != nil {
 		_, qid := TraceRef(m)
 		s.rec.Event(s.curTrace, trace.KindUnicast, s.actor, int64(oid), qid, m.Kind().String())
@@ -145,6 +155,14 @@ func (ss *ShardedServer) mintRoot(oid model.ObjectID, qid model.QueryID, note st
 
 // unicast is the router-level unicast funnel (sends outside any shard).
 func (ss *ShardedServer) unicast(oid model.ObjectID, m msg.Message, tid trace.ID) {
+	if ss.acct != nil {
+		_, qid := TraceRef(m)
+		sz := m.Size()
+		ss.acct.ObjectDown(int64(oid), sz, 1)
+		if qid != 0 {
+			ss.acct.QueryDown(qid, sz, 1)
+		}
+	}
 	if ss.rec != nil {
 		_, qid := TraceRef(m)
 		ss.rec.Event(tid, trace.KindUnicast, "router", int64(oid), qid, m.Kind().String())

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// reportOpts is the report tests' scale: like quick, but with enough
+// measured steps for the Δ sweep's dead-reckoning savings to dominate the
+// per-run noise floor. The build is deterministic, so every test sees the
+// same document.
+var reportOpts = RunOpts{Steps: 6, Warmup: 2, ScaleDiv: 20, Seed: 1}
+
+func reportQuick(t *testing.T) RunReport {
+	t.Helper()
+	return BuildRunReport(reportOpts)
+}
+
+// TestRunReportShapes pins the report's structure and the paper's
+// qualitative claims at quick scale: LQP must save downlink messages over
+// EQP, uplink cost must shrink as the dead-reckoning threshold grows, and
+// MobiEyes must undercut naive per-step reporting.
+func TestRunReportShapes(t *testing.T) {
+	r := reportQuick(t)
+	if len(r.Modes) != 2 || r.Modes[0].Mode != "EQP" || r.Modes[1].Mode != "LQP" {
+		t.Fatalf("modes = %+v, want [EQP LQP]", r.Modes)
+	}
+	for _, m := range r.Modes {
+		if m.Ledger.UpMsgs == 0 || m.Ledger.DownMsgs == 0 {
+			t.Errorf("%s: empty ledger %+v", m.Mode, m.Ledger)
+		}
+		if m.Quality == nil {
+			t.Errorf("%s: no quality gauges", m.Mode)
+		}
+	}
+	if len(r.DeltaSweep) != 2 {
+		t.Fatalf("delta sweep has %d curves, want 2", len(r.DeltaSweep))
+	}
+	for _, c := range append(r.DeltaSweep, r.AlphaSweep, r.QueriesSweep) {
+		if len(c.Points) < 2 {
+			t.Errorf("curve %q: only %d points", c.Name, len(c.Points))
+		}
+		for _, p := range c.Points {
+			if p.UplinkMsgs <= 0 {
+				t.Errorf("curve %q x=%v: no uplink traffic", c.Name, p.X)
+			}
+		}
+	}
+	if len(r.Baselines) != 3 {
+		t.Fatalf("baselines = %+v, want 3", r.Baselines)
+	}
+	for _, c := range r.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Detail)
+		}
+	}
+	if !r.AllChecksPass() {
+		t.Error("AllChecksPass = false")
+	}
+}
+
+// TestRunReportLQPSavesDownlink pins the §5 headline directly rather than
+// through the check list: lazy propagation must broadcast less.
+func TestRunReportLQPSavesDownlink(t *testing.T) {
+	r := reportQuick(t)
+	eqp, lqp := r.Modes[0].Ledger, r.Modes[1].Ledger
+	if lqp.DownMsgs >= eqp.DownMsgs {
+		t.Errorf("LQP downlink %d not below EQP %d", lqp.DownMsgs, eqp.DownMsgs)
+	}
+	if lqp.DownBytes >= eqp.DownBytes {
+		t.Errorf("LQP downlink bytes %d not below EQP %d", lqp.DownBytes, eqp.DownBytes)
+	}
+}
+
+// TestRunReportRenderers checks that both renderers produce the full
+// document and that the JSON round-trips.
+func TestRunReportRenderers(t *testing.T) {
+	r := reportQuick(t)
+	var txt bytes.Buffer
+	r.WriteText(&txt)
+	for _, want := range []string{"EQP vs LQP", "cost vs delta", "cost vs alpha",
+		"cost vs queries", "Distributed vs centralized", "Checks", "PASS"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, txt.String())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON does not round-trip: %v", err)
+	}
+	if len(back.Modes) != len(r.Modes) || len(back.Checks) != len(r.Checks) {
+		t.Errorf("round-trip lost sections: %+v", back)
+	}
+
+	dir := t.TempDir()
+	if err := r.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"runreport.json", "runreport.txt"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+// TestRunReportDeterministic proves that two builds at the same options are
+// byte-identical — the property the ledger oracle depends on and the reason
+// results/ artifacts are reviewable diffs.
+func TestRunReportDeterministic(t *testing.T) {
+	a, b := BuildRunReport(reportOpts), BuildRunReport(reportOpts)
+	var ja, jb bytes.Buffer
+	if err := a.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Error("two report builds at identical options differ")
+	}
+}

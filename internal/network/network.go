@@ -18,6 +18,7 @@ import (
 	"mobieyes/internal/geo"
 	"mobieyes/internal/grid"
 	"mobieyes/internal/msg"
+	"mobieyes/internal/obs/cost"
 )
 
 // StationID identifies a base station within a deployment.
@@ -33,6 +34,10 @@ type Deployment struct {
 	stations []geo.Circle
 	byCell   [][]StationID // Bmap, indexed by grid.CellIndex
 	cellsOf  [][]int32     // inverse Bmap: station → intersecting cell indices
+
+	// acct, when attached by SetAccountant, charges every greedy set-cover
+	// computation as a server-side computation unit (nil = off).
+	acct *cost.Accountant
 }
 
 // NewDeployment lays out base stations with lattice spacing alen over g's
@@ -67,6 +72,11 @@ func NewDeployment(g *grid.Grid, alen float64) *Deployment {
 	}
 	return d
 }
+
+// SetAccountant attaches a cost accountant (nil = off; the default): each
+// Cover call charges one set-cover computation unit. Attach before use; the
+// charge goes through an atomic counter, so concurrent Cover calls are fine.
+func (d *Deployment) SetAccountant(a *cost.Accountant) { d.acct = a }
 
 // CellsForStation returns the dense indices of the grid cells a station's
 // coverage intersects — the inverse of the Bmap, used to deliver broadcasts
@@ -115,6 +125,7 @@ func (d *Deployment) StationOf(p geo.Point) StationID {
 // determine the minimal set of base stations that covers the monitoring
 // region").
 func (d *Deployment) Cover(region grid.CellRange) []StationID {
+	d.acct.Compute(cost.UnitSetCover, 1)
 	// Collect the cells to cover and the candidate stations.
 	type cellKey = grid.CellID
 	uncovered := make(map[cellKey]struct{}, region.NumCells())
@@ -244,6 +255,22 @@ func (m *Meter) RecordDownlink(mm msg.Message, copies int) {
 	k := mm.Kind()
 	m.downCount[k] += int64(copies)
 	m.downBytes[k] += int64(copies * mm.Size())
+}
+
+// RecordUplinkWire counts one uplink message of kind k with its observed
+// on-the-wire size — header and framing included — for transports that know
+// the exact encoded length, where the protocol-level Size model would
+// undercount.
+func (m *Meter) RecordUplinkWire(k msg.Kind, wireBytes int) {
+	m.upCount[k]++
+	m.upBytes[k] += int64(wireBytes)
+}
+
+// RecordDownlinkWire counts a downlink message of kind k sent as copies
+// transmissions of wireBytes each, as observed at the wire.
+func (m *Meter) RecordDownlinkWire(k msg.Kind, wireBytes, copies int) {
+	m.downCount[k] += int64(copies)
+	m.downBytes[k] += int64(copies * wireBytes)
 }
 
 // UplinkMessages returns the total uplink message count.

@@ -1,0 +1,106 @@
+package cost
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Attach mounts the cost-accounting endpoint on mux:
+//
+//	/debug/costs    the full ledger hierarchy snapshot
+//
+// Query parameters (all optional):
+//
+//	cell=N       only the tally of grid cell N
+//	station=N    only the tally of base station N
+//	qid=N        only the tally of query N
+//	oid=N        only the tally of object N
+//	format=json  JSON instead of the human-readable text report
+//
+// Scope filters are exclusive; when several are given the first of
+// cell/station/qid/oid wins. An unknown scope answers 404. When a is nil
+// (accounting disabled) the endpoint answers 404 so probes can distinguish
+// "no accountant" from "no traffic".
+func Attach(mux *http.ServeMux, a *Accountant) {
+	mux.HandleFunc("/debug/costs", func(w http.ResponseWriter, req *http.Request) {
+		if a == nil {
+			http.Error(w, "cost accounting disabled", http.StatusNotFound)
+			return
+		}
+		q := req.URL.Query()
+		intParam := func(key string) (int64, bool, bool) {
+			v := q.Get(key)
+			if v == "" {
+				return 0, false, true
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				http.Error(w, "bad "+key+" parameter", http.StatusBadRequest)
+				return 0, false, false
+			}
+			return n, true, true
+		}
+		asJSON := q.Get("format") == "json"
+		writeTally := func(t TallySnap, scope string, found bool) {
+			if !found {
+				http.Error(w, "no such "+scope, http.StatusNotFound)
+				return
+			}
+			if asJSON {
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				enc.Encode(map[string]TallySnap{scope: t})
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeTallyText(w, scope, t)
+		}
+
+		for _, scope := range []struct {
+			key  string
+			snap func(int64) (TallySnap, bool)
+		}{
+			{"cell", func(n int64) (TallySnap, bool) { return a.CellTally(int32(n)) }},
+			{"station", func(n int64) (TallySnap, bool) { return a.StationTally(int32(n)) }},
+			{"qid", a.QuerySnap},
+			{"oid", a.ObjectSnap},
+		} {
+			n, set, ok := intParam(scope.key)
+			if !ok {
+				return
+			}
+			if set {
+				t, found := scope.snap(n)
+				writeTally(t, scope.key, found)
+				return
+			}
+		}
+
+		s := a.Snapshot()
+		if asJSON {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(s)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.WriteText(w)
+	})
+}
+
+func writeTallyText(w http.ResponseWriter, scope string, t TallySnap) {
+	b := strconv.AppendInt([]byte(scope+" "), t.ID, 10)
+	b = append(b, " up "...)
+	b = strconv.AppendInt(b, t.UpMsgs, 10)
+	b = append(b, " msgs / "...)
+	b = strconv.AppendInt(b, t.UpBytes, 10)
+	b = append(b, " B, down "...)
+	b = strconv.AppendInt(b, t.DownMsgs, 10)
+	b = append(b, " msgs / "...)
+	b = strconv.AppendInt(b, t.DownBytes, 10)
+	b = append(b, " B\n"...)
+	w.Write(b)
+}

@@ -60,6 +60,14 @@ func ListenAndServe(addr string, r *Registry) (*HTTPServer, error) {
 // recorder endpoint backed by rec (see AttachEvents). A nil rec serves 404
 // on /debug/events, so callers can pass their recorder unconditionally.
 func ListenAndServeTraced(addr string, r *Registry, rec *trace.Recorder) (*HTTPServer, error) {
+	return ListenAndServeWith(addr, r, rec, nil)
+}
+
+// ListenAndServeWith is ListenAndServeTraced with a hook: attach (if
+// non-nil) runs against the mux before the listener starts serving, so
+// callers can mount extra debug endpoints — e.g. cost.Attach for
+// /debug/costs — without this package importing theirs.
+func ListenAndServeWith(addr string, r *Registry, rec *trace.Recorder, attach func(*http.ServeMux)) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -67,6 +75,9 @@ func ListenAndServeTraced(addr string, r *Registry, rec *trace.Recorder) (*HTTPS
 	RegisterRuntime(r)
 	mux := NewMux(r)
 	AttachEvents(mux, rec)
+	if attach != nil {
+		attach(mux)
+	}
 	h := &HTTPServer{ln: ln, srv: &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,

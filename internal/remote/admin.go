@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"mobieyes/internal/model"
+	"mobieyes/internal/obs/cost"
 	"mobieyes/internal/obs/trace"
 )
 
@@ -28,6 +29,10 @@ import (
 //	                                           recent n, default 40; or the causal
 //	                                           timeline of an object / query; or
 //	                                           one trace chain), "." terminated
+//	COSTS [qid <id> | oid <id>]              → cost-ledger report (global traffic
+//	                                           by kind, compute units, shard
+//	                                           attribution, quality) or one
+//	                                           entity's tally, "." terminated
 //	snapshot <path>                          → "ok" (writes a state snapshot)
 //	quit                                     → closes the session
 type AdminServer struct {
@@ -165,6 +170,8 @@ func (a *AdminServer) handleCommand(conn net.Conn, fields []string) bool {
 		fmt.Fprintln(conn, ".")
 	case "TRACE":
 		a.handleTrace(conn, fields[1:])
+	case "COSTS":
+		a.handleCosts(conn, fields[1:])
 	case "snapshot":
 		if len(fields) != 2 {
 			fmt.Fprintln(conn, "err usage: snapshot <path>")
@@ -237,6 +244,49 @@ func (a *AdminServer) handleTrace(conn net.Conn, args []string) {
 		return
 	}
 	trace.Format(conn, evs)
+	fmt.Fprintln(conn, ".")
+}
+
+// handleCosts serves the COSTS command: the full cost-ledger report, or one
+// query's/object's tally, "." terminated like STATS and TRACE.
+func (a *AdminServer) handleCosts(conn net.Conn, args []string) {
+	acct := a.srv.Costs()
+	if acct == nil {
+		fmt.Fprintln(conn, "err accounting disabled")
+		return
+	}
+	switch {
+	case len(args) == 0:
+		acct.Snapshot().WriteText(conn)
+	case len(args) == 2:
+		id, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(conn, "err bad id")
+			return
+		}
+		var (
+			t  cost.TallySnap
+			ok bool
+		)
+		switch args[0] {
+		case "qid":
+			t, ok = acct.QuerySnap(id)
+		case "oid":
+			t, ok = acct.ObjectSnap(id)
+		default:
+			fmt.Fprintln(conn, "err usage: COSTS [qid <id> | oid <id>]")
+			return
+		}
+		if !ok {
+			fmt.Fprintln(conn, "err no traffic recorded")
+			return
+		}
+		fmt.Fprintf(conn, "%s %d up %d msgs / %d B down %d msgs / %d B\n",
+			args[0], t.ID, t.UpMsgs, t.UpBytes, t.DownMsgs, t.DownBytes)
+	default:
+		fmt.Fprintln(conn, "err usage: COSTS [qid <id> | oid <id>]")
+		return
+	}
 	fmt.Fprintln(conn, ".")
 }
 

@@ -14,6 +14,7 @@ import (
 	"mobieyes/internal/msg"
 	"mobieyes/internal/network"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/cost"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/wire"
 )
@@ -43,6 +44,15 @@ type ServerConfig struct {
 	// ID back to the object. Nil disables tracing (the default) — the
 	// disabled path costs a single nil check per event site.
 	Trace *trace.Recorder
+	// Costs is the cost accountant the server attributes protocol traffic
+	// and backend work to (see internal/obs/cost and DESIGN.md §12): the
+	// transport charges every protocol frame at the codec boundary with its
+	// true on-the-wire size (length prefix included), and the backend
+	// charges per-shard dispatch, per-entity traffic, and compute units.
+	// The server Configures it at startup (no base stations — the TCP
+	// fabric has no lattice) and exposes it via Costs() and the admin COSTS
+	// command. Nil disables accounting (the default).
+	Costs *cost.Accountant
 	// DisconnectGrace defers the synthesized DepartureReport after an
 	// abrupt disconnect (one without a DepartureReport frame) by this long,
 	// canceled if the object reconnects in time. Zero keeps the original
@@ -62,6 +72,7 @@ type Server struct {
 
 	backend *core.ShardedServer
 	rec     *trace.Recorder
+	acct    *cost.Accountant // nil-safe; charged at the frame codec boundary
 	done    chan struct{}
 	closing sync.Once
 	wg      sync.WaitGroup
@@ -111,8 +122,23 @@ func Serve(cfg ServerConfig, ln net.Listener) *Server {
 	if s.rec != nil {
 		s.backend.SetTracer(s.rec)
 	}
+	s.wireCosts()
 	s.start()
 	return s
+}
+
+// wireCosts connects the configured accountant: sized to the grid and the
+// backend's partition count (no base stations over TCP), instrumented into
+// the server's registry, and attached to the backend for per-shard and
+// per-entity attribution.
+func (s *Server) wireCosts() {
+	if s.cfg.Costs == nil {
+		return
+	}
+	s.acct = s.cfg.Costs
+	s.acct.Configure(s.g.NumCells(), 0, s.backend.NumShards())
+	s.acct.Instrument(s.reg)
+	s.backend.SetAccountant(s.acct)
 }
 
 func newServer(cfg ServerConfig, ln net.Listener) *Server {
@@ -242,9 +268,13 @@ func ListenAndRestore(cfg ServerConfig, snapshot io.Reader) (*Server, error) {
 	if s.rec != nil {
 		s.backend.SetTracer(s.rec)
 	}
+	s.wireCosts()
 	s.start()
 	return s, nil
 }
+
+// Costs returns the attached cost accountant, or nil when accounting is off.
+func (s *Server) Costs() *cost.Accountant { return s.acct }
 
 // ExpireQueries removes duration-bound queries past the given time.
 func (s *Server) ExpireQueries(now model.Time) []model.QueryID {
@@ -252,9 +282,10 @@ func (s *Server) ExpireQueries(now model.Time) []model.QueryID {
 }
 
 // Stats returns a snapshot of the traffic counters: message and byte totals
-// per direction plus the per-kind breakdown. A broadcast counts once (the
-// TCP fabric has one logical downlink per object; per-connection fan-out is
-// visible in the byte totals of the per-kind rows).
+// per direction plus the per-kind breakdown. Bytes are on-the-wire sizes
+// (encoded frame plus length prefix), matching the frames_in/out byte
+// metrics. A broadcast counts once (the TCP fabric has one logical downlink
+// per object; per-connection fan-out is visible in the frame metrics).
 func (s *Server) Stats() (uplinkMsgs, downlinkMsgs, uplinkBytes, downlinkBytes int64, byKind []network.KindStats) {
 	s.meterMu.Lock()
 	defer s.meterMu.Unlock()
@@ -262,16 +293,21 @@ func (s *Server) Stats() (uplinkMsgs, downlinkMsgs, uplinkBytes, downlinkBytes i
 		s.meter.UplinkBytes(), s.meter.DownlinkBytes(), s.meter.Snapshot()
 }
 
-func (s *Server) recordUplink(m msg.Message) {
+// recordUplinkWire counts one decoded uplink frame with its observed wire
+// size — the codec boundary is the single place uplink traffic is metered,
+// so message counts and byte counts can never disagree with the wire.
+func (s *Server) recordUplinkWire(k msg.Kind, wireBytes int) {
 	s.meterMu.Lock()
-	s.meter.RecordUplink(m)
+	s.meter.RecordUplinkWire(k, wireBytes)
 	s.meterMu.Unlock()
+	s.acct.Uplink(k, wireBytes)
 }
 
-func (s *Server) recordDownlink(m msg.Message, copies int) {
+func (s *Server) recordDownlinkWire(k msg.Kind, wireBytes, copies int) {
 	s.meterMu.Lock()
-	s.meter.RecordDownlink(m, copies)
+	s.meter.RecordDownlinkWire(k, wireBytes, copies)
 	s.meterMu.Unlock()
+	s.acct.Downlink(k, wireBytes, copies)
 }
 
 // NumConnected returns the number of connected objects.
@@ -365,7 +401,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			sc.out.send(messageFrame(msg.Pong{Token: p.Token}))
 			continue
 		}
-		s.recordUplink(m)
+		s.recordUplinkWire(m.Kind(), 4+len(payload))
 		start := time.Now()
 		s.backend.HandleUplinkTraced(m, trace.ID(tid))
 		s.om.observeUplink(m.Kind(), start)
@@ -451,8 +487,8 @@ func (d serverDownlink) Broadcast(region grid.CellRange, m msg.Message) {
 }
 
 func (d serverDownlink) BroadcastTraced(region grid.CellRange, m msg.Message, tid trace.ID) {
-	d.s.recordDownlink(m, 1)
 	frame := wire.EncodeTraced(m, uint64(tid))
+	d.s.recordDownlinkWire(m.Kind(), 4+len(frame), 1)
 	d.s.mu.RLock()
 	defer d.s.mu.RUnlock()
 	d.s.om.broadcastFanout.Observe(float64(len(d.s.conns)))
@@ -466,8 +502,8 @@ func (d serverDownlink) Unicast(oid model.ObjectID, m msg.Message) {
 }
 
 func (d serverDownlink) UnicastTraced(oid model.ObjectID, m msg.Message, tid trace.ID) {
-	d.s.recordDownlink(m, 1)
 	frame := wire.EncodeTraced(m, uint64(tid))
+	d.s.recordDownlinkWire(m.Kind(), 4+len(frame), 1)
 	d.s.mu.Lock()
 	c := d.s.conns[oid]
 	if c == nil {

@@ -14,6 +14,7 @@ import (
 	"mobieyes/internal/core"
 	"mobieyes/internal/geo"
 	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/cost"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/power"
 	"mobieyes/internal/workload"
@@ -117,6 +118,25 @@ type Config struct {
 	// it (see internal/obs/trace and DESIGN.md §11). Like Metrics, tracing
 	// is measurement only — behavior and determinism are unchanged.
 	Trace *trace.Recorder
+
+	// Costs, when non-nil, attaches a cost accountant to the whole system:
+	// the engine charges every message at the simulated transport (global
+	// ledger plus per-cell and per-base-station tallies), the server
+	// attributes uplinks per shard and traffic per query/object, and
+	// clients charge their computation units (see internal/obs/cost and
+	// DESIGN.md §12). The engine calls Configure on it and resets it at the
+	// same quiescent points as the message meter (after installation and
+	// after warmup), so ledgers describe measured steady-state traffic.
+	// Like Metrics, accounting is measurement only. MobiEyes only; the
+	// centralized baselines ignore it.
+	Costs *cost.Accountant
+
+	// MeasureQuality compares query results against brute-force ground
+	// truth every measured step and feeds Costs with answer-quality
+	// samples: per-step precision/recall and a staleness histogram counting
+	// how many steps each wrong (qid, oid) pair stayed wrong. Requires
+	// Costs; costs extra time like MeasureError.
+	MeasureQuality bool
 }
 
 // DefaultConfig returns the Table 1 defaults: 100,000 mi² area, α = 5 mi,
@@ -170,6 +190,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: DeadReckoningThreshold must be non-negative, got %v", c.Core.DeadReckoningThreshold)
 	case c.ServerShards < 0:
 		return fmt.Errorf("sim: ServerShards must be non-negative, got %d", c.ServerShards)
+	case c.MeasureQuality && c.Costs == nil:
+		return fmt.Errorf("sim: MeasureQuality requires a Costs accountant")
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
 	"mobieyes/internal/network"
+	"mobieyes/internal/obs/cost"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/power"
 	"mobieyes/internal/workload"
@@ -35,7 +36,8 @@ type Engine struct {
 	bkt   *buckets
 	meter network.Meter
 	now   model.Time
-	obsm  *engineObs // nil unless Config.Metrics set
+	obsm  *engineObs       // nil unless Config.Metrics set
+	acct  *cost.Accountant // nil unless Config.Costs set; nil-safe methods
 
 	qids []model.QueryID // installed queries, parallel to w.Queries
 
@@ -74,6 +76,12 @@ type Engine struct {
 
 	gtScratch map[model.ObjectID]struct{}
 
+	// Answer-quality tracking (Config.MeasureQuality): divergence records,
+	// per wrong (qid, oid) pair, the measured step the pair first went
+	// wrong, so its staleness in steps can be observed once it heals.
+	qScratch   map[model.ObjectID]struct{}
+	divergence map[qualityKey]int
+
 	// history accumulates per-step records while measuring (enabled by
 	// CollectHistory).
 	collectHistory bool
@@ -97,6 +105,12 @@ type engineDown struct {
 type upEntry struct {
 	m   msg.Message
 	tid trace.ID
+}
+
+// qualityKey identifies one (query, object) membership decision.
+type qualityKey struct {
+	qid model.QueryID
+	oid model.ObjectID
 }
 
 // NewEngine builds a MobiEyes simulation from cfg and installs all queries.
@@ -123,9 +137,27 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.Trace != nil {
 		e.srv.SetTracer(cfg.Trace)
 	}
+	if cfg.Costs != nil {
+		e.acct = cfg.Costs
+		shards := 0
+		if cfg.ServerShards > 1 {
+			shards = cfg.ServerShards
+		}
+		e.acct.Configure(g.NumCells(), e.dep.NumStations(), shards)
+		e.srv.SetAccountant(e.acct)
+		e.dep.SetAccountant(e.acct)
+		if cfg.Metrics != nil {
+			e.acct.Instrument(cfg.Metrics)
+		}
+		if cfg.MeasureQuality {
+			e.divergence = make(map[qualityKey]int)
+		}
+	}
 	for i, o := range e.w.Objects {
 		up := engineUplink{e, i}
-		e.cls = append(e.cls, core.NewClient(g, cfg.Core, up, o.ID, o.Props, o.MaxVel, o.Pos))
+		c := core.NewClient(g, cfg.Core, up, o.ID, o.Props, o.MaxVel, o.Pos)
+		c.SetAccountant(e.acct)
+		e.cls = append(e.cls, c)
 		e.accounts = append(e.accounts, power.NewAccount(cfg.Radio))
 	}
 	e.bkt.rebuild(e.w.Objects)
@@ -141,6 +173,7 @@ func NewEngine(cfg Config) *Engine {
 	}
 	e.drain()
 	e.meter.Reset()
+	e.acct.Reset()
 	for _, a := range e.accounts {
 		a.Reset()
 	}
@@ -195,6 +228,20 @@ func (d engineDownlink) BroadcastTraced(region grid.CellRange, m msg.Message, ti
 			}
 		}
 	}
+	if e.acct != nil {
+		// Transport-level attribution: one transmission per relaying base
+		// station in the global ledger, one delivery per station and per
+		// reached cell in the scoped tallies. Atomic counters, so this is
+		// safe outside downMu.
+		size := m.Size()
+		e.acct.Downlink(m.Kind(), size, len(stations))
+		for _, sid := range stations {
+			e.acct.StationDown(int32(sid), size)
+		}
+		for _, ci := range cells {
+			e.acct.CellDown(ci, size)
+		}
+	}
 	e.downMu.Lock()
 	e.meter.RecordDownlink(m, len(stations))
 	e.downQueue = append(e.downQueue, engineDown{target: -1, cells: cells, m: m, tid: tid})
@@ -207,6 +254,18 @@ func (d engineDownlink) Unicast(oid model.ObjectID, m msg.Message) {
 
 func (d engineDownlink) UnicastTraced(oid model.ObjectID, m msg.Message, tid trace.ID) {
 	e := d.e
+	if e.acct != nil {
+		// One-to-one delivery through the station covering the recipient's
+		// position (positions are stable while messages flow: motion is a
+		// separate serial phase).
+		size := m.Size()
+		e.acct.Downlink(m.Kind(), size, 1)
+		if i := int(oid) - 1; i >= 0 && i < len(e.w.Objects) {
+			pos := e.w.Objects[i].Pos
+			e.acct.StationDown(int32(e.dep.StationOf(pos)), size)
+			e.acct.CellDown(int32(e.g.CellIndex(e.g.CellOf(pos))), size)
+		}
+	}
 	e.downMu.Lock()
 	e.meter.RecordDownlink(m, 1)
 	e.downQueue = append(e.downQueue, engineDown{target: oid, m: m, tid: tid})
@@ -228,8 +287,22 @@ func (u engineUplink) Send(m msg.Message) {
 		return
 	}
 	e.meter.RecordUplink(m)
+	e.acctUplink(u.i, m)
 	e.accounts[u.i].Sent(m.Size())
 	e.upQueue = append(e.upQueue, upEntry{m: m, tid: e.deliverTID})
+}
+
+// acctUplink charges one uplink from object index i at the transport: the
+// global ledger plus the sender's cell and uplink base station.
+func (e *Engine) acctUplink(i int, m msg.Message) {
+	if e.acct == nil {
+		return
+	}
+	size := m.Size()
+	e.acct.Uplink(m.Kind(), size)
+	pos := e.w.Objects[i].Pos
+	e.acct.StationUp(int32(e.dep.StationOf(pos)), size)
+	e.acct.CellUp(int32(e.g.CellIndex(e.g.CellOf(pos))), size)
 }
 
 // drain processes queued uplinks (timed as server work) and delivers queued
@@ -383,6 +456,9 @@ func (e *Engine) Step() {
 		if e.cfg.MeasureError {
 			e.measureError()
 		}
+		if e.cfg.MeasureQuality && e.acct != nil {
+			e.measureQuality()
+		}
 		if e.collectHistory {
 			rec := StepRecord{
 				Step:          e.stepsSeen,
@@ -456,6 +532,7 @@ func (e *Engine) forEachClient(fn func(i int, c *core.Client)) {
 	for i := range e.clientUp {
 		for _, m := range e.clientUp[i] {
 			e.meter.RecordUplink(m)
+			e.acctUplink(i, m)
 			e.accounts[i].Sent(m.Size())
 			e.upQueue = append(e.upQueue, upEntry{m: m})
 		}
@@ -474,6 +551,47 @@ func (e *Engine) measureError() {
 		if ok {
 			e.errTotal += err
 			e.errSamples++
+		}
+	}
+}
+
+// measureQuality compares every query's result set against brute-force
+// ground truth and feeds the cost accountant: per-step true/false
+// positives and false negatives (the live precision/recall gauges), plus a
+// staleness observation for each wrong (qid, oid) pair at the step it heals,
+// measuring how long stale answers persist.
+func (e *Engine) measureQuality() {
+	var tp, fp, fn int64
+	cur := make(map[qualityKey]struct{})
+	for i, spec := range e.w.Queries {
+		qid := e.qids[i]
+		correct := groundTruth(e.bkt, e.w.Objects, spec, e.qScratch)
+		e.qScratch = correct
+		for _, oid := range e.srv.Result(qid) {
+			if _, ok := correct[oid]; ok {
+				tp++
+			} else {
+				fp++
+				cur[qualityKey{qid, oid}] = struct{}{}
+			}
+		}
+		for oid := range correct {
+			if !e.srv.ResultContains(qid, oid) {
+				fn++
+				cur[qualityKey{qid, oid}] = struct{}{}
+			}
+		}
+	}
+	e.acct.QualityStep(tp, fp, fn)
+	for k, start := range e.divergence {
+		if _, still := cur[k]; !still {
+			e.acct.ObserveStaleness(int64(e.stepsSeen - start))
+			delete(e.divergence, k)
+		}
+	}
+	for k := range cur {
+		if _, known := e.divergence[k]; !known {
+			e.divergence[k] = e.stepsSeen
 		}
 	}
 }
@@ -504,6 +622,7 @@ func (e *Engine) Run() Metrics {
 		e.Step()
 	}
 	e.meter.Reset()
+	e.acct.Reset()
 	for _, a := range e.accounts {
 		a.Reset()
 	}

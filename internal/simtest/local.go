@@ -9,6 +9,7 @@ import (
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
+	"mobieyes/internal/obs/cost"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/workload"
 )
@@ -61,6 +62,12 @@ type localSystem struct {
 	// delivered, so client responses continue the causing trace.
 	rec        *trace.Recorder
 	deliverTID trace.ID
+
+	// acct is this system's cost accountant (Scenario.Costs); nil otherwise.
+	// Uplinks and downlinks are charged at the queued transport, so two
+	// systems running the same schedule must produce identical global
+	// ledgers — the ledger oracle.
+	acct *cost.Accountant
 }
 
 type queuedDown struct {
@@ -95,6 +102,15 @@ func newLocalSystem(label string, g *grid.Grid, opts core.Options, objs []*model
 	return ls
 }
 
+// attachCosts wires a cost accountant into the system: the server (and its
+// shards) for per-entity and per-shard attribution, the transport for
+// global ledger charges, and every client — present and future (join
+// attaches fresh clients) — for compute units. Call before the first join.
+func (ls *localSystem) attachCosts(a *cost.Accountant) {
+	ls.acct = a
+	ls.srv.SetAccountant(a)
+}
+
 func (ls *localSystem) tracer() *trace.Recorder { return ls.rec }
 
 func (ls *localSystem) name() string { return ls.label }
@@ -119,6 +135,7 @@ func (d localDown) BroadcastTraced(region grid.CellRange, m msg.Message, tid tra
 		}
 		return
 	}
+	d.ls.acct.Downlink(m.Kind(), m.Size(), 1)
 	d.ls.queue = append(d.ls.queue, queuedDown{target: -1, m: m, tid: tid})
 }
 
@@ -127,6 +144,7 @@ func (d localDown) Unicast(oid model.ObjectID, m msg.Message) {
 }
 
 func (d localDown) UnicastTraced(oid model.ObjectID, m msg.Message, tid trace.ID) {
+	d.ls.acct.Downlink(m.Kind(), m.Size(), 1)
 	d.ls.queue = append(d.ls.queue, queuedDown{target: oid, m: m, tid: tid})
 }
 
@@ -163,6 +181,7 @@ func (ls *localSystem) join(o *model.MovingObject, now model.Time) error {
 	// A fresh Client on every (re)join: the device that left is gone and a
 	// new one arrives, exactly as in the remote deployment.
 	ls.clients[i] = core.NewClient(ls.g, ls.opts, localUp{ls}, o.ID, o.Props, o.MaxVel, o.Pos)
+	ls.clients[i].SetAccountant(ls.acct)
 	ls.active[o.ID] = true
 	ls.clients[i].Join(o.Pos, o.Vel, now)
 	ls.flush()
@@ -179,7 +198,10 @@ func (ls *localSystem) depart(oid model.ObjectID, now model.Time) error {
 
 type localUp struct{ ls *localSystem }
 
-func (u localUp) Send(m msg.Message) { u.ls.srv.HandleUplinkTraced(m, u.ls.deliverTID) }
+func (u localUp) Send(m msg.Message) {
+	u.ls.acct.Uplink(m.Kind(), m.Size())
+	u.ls.srv.HandleUplinkTraced(m, u.ls.deliverTID)
+}
 
 func (ls *localSystem) install(spec workload.QuerySpec, maxVel float64, now model.Time) (model.QueryID, error) {
 	ls.now = now

@@ -10,6 +10,7 @@ import (
 	"mobieyes/internal/geo"
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
+	"mobieyes/internal/obs/cost"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/sim"
 	"mobieyes/internal/workload"
@@ -46,6 +47,13 @@ type Scenario struct {
 	// oracle fails, the returned error carries the causal event timeline of
 	// the divergent query or object from each engine (DESIGN.md §11).
 	Trace bool
+	// Costs attaches a cost accountant to each local engine and adds the
+	// ledger oracle: after every strict-mode operation the serial and
+	// sharded engines must have charged byte-for-byte identical global
+	// ledgers (traffic by kind plus compute units), and the sharded
+	// engine's per-shard ledgers plus the router ledger must sum to its
+	// global uplink count — no message attributed twice or lost.
+	Costs bool
 	Ops   []Op
 }
 
@@ -91,10 +99,22 @@ func RunScenario(sc Scenario) error {
 		shards = 4
 	}
 
-	systems := []system{
-		newLocalSystem("serial", g, sc.Opts, wl.Objects, 0, 0, sc.Trace),
-		newLocalSystem("sharded", g, sc.Opts, wl.Objects, shards, sc.DropNthBroadcast, sc.Trace),
+	serial := newLocalSystem("serial", g, sc.Opts, wl.Objects, 0, 0, sc.Trace)
+	sharded := newLocalSystem("sharded", g, sc.Opts, wl.Objects, shards, sc.DropNthBroadcast, sc.Trace)
+	var ledgered []*localSystem
+	if sc.Costs {
+		for _, ls := range []*localSystem{serial, sharded} {
+			a := cost.New()
+			n := 0
+			if ls != serial {
+				n = shards
+			}
+			a.Configure(g.NumCells(), 0, n)
+			ls.attachCosts(a)
+			ledgered = append(ledgered, ls)
+		}
 	}
+	systems := []system{serial, sharded}
 	var rsys *remoteSystem
 	if sc.Remote {
 		rsys = newRemoteSystem("remote", wl.Config().UoD, alphaMiles, sc.Opts, wl.Objects, shards, sc.Faults, sc.Trace)
@@ -107,6 +127,7 @@ func RunScenario(sc Scenario) error {
 		wl:        wl,
 		g:         g,
 		systems:   systems,
+		ledgered:  ledgered,
 		rsys:      rsys,
 		active:    make(map[model.ObjectID]bool),
 		specByQID: make(map[model.QueryID]workload.QuerySpec),
@@ -176,12 +197,13 @@ func traceDump(systems []system, err error) string {
 }
 
 type runner struct {
-	sc      *Scenario
-	wl      *workload.Workload
-	g       *grid.Grid
-	systems []system
-	rsys    *remoteSystem
-	now     model.Time
+	sc       *Scenario
+	wl       *workload.Workload
+	g        *grid.Grid
+	systems  []system
+	ledgered []*localSystem // systems under the ledger oracle (Scenario.Costs)
+	rsys     *remoteSystem
+	now      model.Time
 
 	active    map[model.ObjectID]bool
 	specByQID map[model.QueryID]workload.QuerySpec
@@ -390,6 +412,10 @@ func (r *runner) checkOracle(strict bool) error {
 		}
 	}
 
+	if err := r.checkLedgers(); err != nil {
+		return err
+	}
+
 	baseSnap, err := base.snapshot()
 	if err != nil {
 		return err
@@ -410,6 +436,41 @@ func (r *runner) checkOracle(strict bool) error {
 		if !bytes.Equal(baseSnap, snap) {
 			return fmt.Errorf("%s snapshot (%d bytes) differs from %s snapshot (%d bytes)",
 				sys.name(), len(snap), base.name(), len(baseSnap))
+		}
+	}
+	return nil
+}
+
+// checkLedgers is the ledger oracle (Scenario.Costs): engines that ran the
+// exact same schedule must have charged identical global cost ledgers —
+// LedgerSnap is a comparable value, so this is one == per pair — and each
+// sharded engine must attribute every dispatched uplink to exactly one
+// shard (or the router for messages about unknown entities), making the
+// shard sum plus router equal the global uplink count.
+func (r *runner) checkLedgers() error {
+	if len(r.ledgered) == 0 {
+		return nil
+	}
+	base := r.ledgered[0]
+	want := base.acct.Global()
+	for _, ls := range r.ledgered[1:] {
+		if got := ls.acct.Global(); got != want {
+			return fmt.Errorf("%s vs %s: global cost ledgers diverged:\n%+v\nvs\n%+v",
+				base.name(), ls.name(), want, got)
+		}
+	}
+	for _, ls := range r.ledgered {
+		shards := ls.acct.Shards()
+		if len(shards) == 0 {
+			continue
+		}
+		dispatched := ls.acct.Router().UplinkMsgs()
+		for _, s := range shards {
+			dispatched += s.UplinkMsgs()
+		}
+		if global := ls.acct.Global().UplinkMsgs(); dispatched != global {
+			return fmt.Errorf("%s: shard+router ledgers account for %d uplinks, transport charged %d",
+				ls.name(), dispatched, global)
 		}
 	}
 	return nil
