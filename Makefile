@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check simtest bench bench-smoke bench-sharded bench-json report staticcheck
+.PHONY: build vet test race check simtest cluster bench bench-smoke bench-sharded bench-json report staticcheck
 
 # Optional deeper linting: runs only when staticcheck is installed, so the
 # gate works on minimal toolchains (CI installs it; see scripts/check.sh).
@@ -25,7 +25,7 @@ test:
 # the metrics registry are the packages with real concurrency; run them
 # under -race.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/remote/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/remote/... ./internal/obs/... ./internal/cluster/...
 
 # Differential simulation sweep under the race detector — including one
 # fault-injection seed with causal tracing enabled (TestTracedFaultInjection),
@@ -38,7 +38,16 @@ simtest:
 	$(GO) test -run '^$$' -fuzz '^FuzzWire$$' -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 10s ./internal/remote/
 
-check: build vet staticcheck test race simtest
+# Cluster gate: the three-way differential oracle (serial vs sharded vs
+# clustered, byte-identical snapshots and cost ledgers) over the seeded
+# sweeps — including node kill, cell-range rebalancing and cross-node
+# handoff under injected frame faults — plus the wire-tier cluster package
+# itself, all under the race detector.
+cluster:
+	$(GO) test -race -count=1 -run 'ThreeWay|Cluster' ./internal/simtest/
+	$(GO) test -race -count=1 ./internal/cluster/
+
+check: build vet staticcheck test race simtest cluster
 
 bench:
 	$(GO) test -bench . -benchtime 1s ./internal/core/
@@ -49,15 +58,17 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Serial vs sharded uplink throughput (see EXPERIMENTS.md).
+# Serial vs sharded vs clustered uplink throughput (see EXPERIMENTS.md).
 bench-sharded:
 	$(GO) test -run xxx -bench 'BenchmarkUplink' -benchtime 2s ./internal/core/
 	$(GO) test -run xxx -bench 'BenchmarkEngineStep' -benchtime 20x .
 
 # Machine-readable results of the cost-accounting, instrumentation-overhead,
-# flight-recorder and uplink throughput benchmarks (see scripts/bench_json.sh).
+# flight-recorder and uplink throughput benchmarks — including the
+# router-forwarding-overhead comparison (clustered vs sharded uplinks at
+# 10k/100k objects; see scripts/bench_json.sh).
 bench-json:
-	sh scripts/bench_json.sh BENCH_PR5.json
+	sh scripts/bench_json.sh BENCH_PR6.json
 
 # The structured §5 cost & accuracy report (ledger sweeps, EQP-vs-LQP
 # quality, baselines, qualitative checks) → results/runreport.{json,txt}.

@@ -7,6 +7,16 @@
 //	mobieyes-server [-addr :7070] [-admin :7071] [-metrics-addr :7072]
 //	                [-area SQMILES] [-alpha MILES] [-lazy] [-grouping]
 //	                [-trace-events N] [-costs]
+//	                [-cluster router -workers host:port,… | -cluster worker]
+//	                [-cluster-nodes N]
+//
+// Cluster deployment: `-cluster router` makes this process the cluster's
+// router tier, owning query lifecycle and routing uplinks to the worker
+// processes named by -workers (each a mobieyes-worker, or a
+// `mobieyes-server -cluster worker`, with matching grid flags).
+// `-cluster worker` runs a bare worker node on -addr instead of an object
+// server. `-cluster-nodes N` runs router plus N worker nodes inside this
+// process — the clustered topology without the TCP hops.
 //
 // Admin protocol (one command per line, e.g. via netcat):
 //
@@ -28,13 +38,17 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"mobieyes/internal/cluster"
 	"mobieyes/internal/core"
 	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
 	"mobieyes/internal/obs"
 	"mobieyes/internal/obs/cost"
 	"mobieyes/internal/obs/trace"
@@ -54,6 +68,9 @@ func main() {
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz and pprof on this address (empty = off)")
 		traceSz  = flag.Int("trace-events", 0, "causal-tracing flight recorder size in events (0 = off); exposed on /debug/events and the admin TRACE command")
 		costs    = flag.Bool("costs", false, "attribute protocol costs per message kind, shard, cell, query and object; exposed on /debug/costs and the admin COSTS command")
+		role     = flag.String("cluster", "", `cluster role: "router" (route over -workers) or "worker" (serve one node on -addr)`)
+		workers  = flag.String("workers", "", "comma-separated worker addresses for -cluster router")
+		nodes    = flag.Int("cluster-nodes", 0, "run the clustered backend with N in-process worker nodes (ignored with -cluster)")
 	)
 	flag.Parse()
 
@@ -82,15 +99,53 @@ func main() {
 		opts.Mode = core.LazyPropagation
 	}
 	side := math.Sqrt(*area)
+	uod := geo.NewRect(0, 0, side, side)
+
+	if *role == "worker" {
+		w := cluster.NewWorker(cluster.WorkerConfig{UoD: uod, Alpha: *alpha, Opts: opts})
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mobieyes-server: cluster worker on %v, UoD %.0f×%.0f mi, alpha %.1f, %v\n",
+			ln.Addr(), side, side, *alpha, opts.Mode)
+		if err := w.Serve(ln); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	cfg := remote.ServerConfig{
-		Addr:    *addr,
-		UoD:     geo.NewRect(0, 0, side, side),
-		Alpha:   *alpha,
-		Options: opts,
-		Shards:  *shards,
-		Metrics: reg,
-		Trace:   rec,
-		Costs:   acct,
+		Addr:         *addr,
+		UoD:          uod,
+		Alpha:        *alpha,
+		Options:      opts,
+		Shards:       *shards,
+		ClusterNodes: *nodes,
+		Metrics:      reg,
+		Trace:        rec,
+		Costs:        acct,
+	}
+	switch *role {
+	case "", "worker":
+	case "router":
+		addrs := strings.Split(*workers, ",")
+		if *workers == "" || len(addrs) == 0 {
+			fatal(fmt.Errorf("-cluster router needs -workers host:port,…"))
+		}
+		if *restore != "" {
+			fatal(fmt.Errorf("-restore is not supported with -cluster router: workers own the table state"))
+		}
+		cfg.Backend = func(g *grid.Grid, opts core.Options, down core.Downlink) (core.ServerAPI, error) {
+			cs, rns, err := cluster.NewRouter(g, opts, down, addrs)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Printf("mobieyes-server: routing over %d workers: %s\n", len(rns), *workers)
+			return cs, nil
+		}
+	default:
+		fatal(fmt.Errorf("unknown -cluster role %q (want router or worker)", *role))
 	}
 	var srv *remote.Server
 	var err error

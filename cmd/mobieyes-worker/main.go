@@ -1,0 +1,67 @@
+// Command mobieyes-worker runs one cluster worker node: it hosts a node
+// engine (the FOT/SQT/RQI rows of the focals in its assigned cell range)
+// and serves a router connection over the cluster wire protocol
+// (internal/cluster). Start one worker per node, then point a router at
+// them:
+//
+//	mobieyes-worker -listen :7081 &
+//	mobieyes-worker -listen :7082 &
+//	mobieyes-server -cluster router -workers localhost:7081,localhost:7082
+//
+// The grid flags (-area, -alpha) and protocol flags (-lazy, -grouping) must
+// match the router's exactly: cell indices on the wire are meaningful only
+// over the same tessellation.
+//
+// Usage:
+//
+//	mobieyes-worker [-listen :7081] [-area SQMILES] [-alpha MILES]
+//	                [-lazy] [-grouping]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"os"
+
+	"mobieyes/internal/cluster"
+	"mobieyes/internal/core"
+	"mobieyes/internal/geo"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7081", "router listen address")
+		area     = flag.Float64("area", 10000, "area in square miles")
+		alpha    = flag.Float64("alpha", 5, "grid cell side length")
+		lazy     = flag.Bool("lazy", false, "lazy query propagation")
+		grouping = flag.Bool("grouping", false, "query grouping")
+	)
+	flag.Parse()
+
+	opts := core.Options{DeadReckoningThreshold: 0.01, Grouping: *grouping}
+	if *lazy {
+		opts.Mode = core.LazyPropagation
+	}
+	side := math.Sqrt(*area)
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		UoD:   geo.NewRect(0, 0, side, side),
+		Alpha: *alpha,
+		Opts:  opts,
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mobieyes-worker: serving on %v, UoD %.0f×%.0f mi, alpha %.1f, %v\n",
+		ln.Addr(), side, side, *alpha, opts.Mode)
+	if err := w.Serve(ln); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mobieyes-worker:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,467 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/obs/trace"
+	"mobieyes/internal/remote"
+	"mobieyes/internal/wire"
+)
+
+// RemoteNode is the router-side core.NodeHandle over a worker connection:
+// every call becomes one synchronous exchange — a NodeOp (or Handoff) frame
+// out, then NodeDownlink frames replayed into the router's downlink as they
+// arrive, then the NodeOpDone (or HandoffAck) that completes the call. The
+// ClusterServer serializes calls under its router mutex, so a RemoteNode
+// never has two exchanges in flight.
+//
+// A transport failure is sticky: the node answers subsequent calls with zero
+// values and reports the error through Err, and the operator (or the
+// heartbeat loop) is expected to KillNode it out of the cluster — mirroring
+// how an unreachable worker behaves.
+type RemoteNode struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	node  uint32
+	down  core.Downlink
+	tdown core.TracedDownlink
+	seq   uint64
+	err   error
+}
+
+// Dial connects to a worker, performs the NodeHello handshake announcing
+// node index and ProtoVersion, and returns the handle. Downlinks the worker
+// emits are replayed into down.
+func Dial(addr string, node int, down core.Downlink) (*RemoteNode, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	rn, err := NewRemoteNode(conn, node, down)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return rn, nil
+}
+
+// NewRemoteNode performs the handshake over an established connection. A
+// worker speaking a different protocol version yields a *VersionError.
+func NewRemoteNode(conn net.Conn, node int, down core.Downlink) (*RemoteNode, error) {
+	rn := &RemoteNode{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+		node: uint32(node),
+		down: down,
+	}
+	rn.tdown, _ = down.(core.TracedDownlink)
+	hello := msg.NodeHello{Node: rn.node, Proto: ProtoVersion}
+	if err := remote.WriteFrame(rn.bw, wire.Encode(hello)); err != nil {
+		return nil, err
+	}
+	if err := rn.bw.Flush(); err != nil {
+		return nil, err
+	}
+	payload, err := remote.ReadFrame(rn.br)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: handshake with node %d: %w", node, err)
+	}
+	m, err := wire.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: handshake with node %d: %w", node, err)
+	}
+	back, ok := m.(msg.NodeHello)
+	if !ok {
+		return nil, fmt.Errorf("cluster: handshake with node %d: got %v, want NodeHello", node, m.Kind())
+	}
+	if back.Proto != ProtoVersion {
+		return nil, &VersionError{Node: back.Node, Got: back.Proto}
+	}
+	return rn, nil
+}
+
+// Err reports the sticky transport error, if any.
+func (rn *RemoteNode) Err() error { return rn.err }
+
+// NodeID returns the node index announced in the handshake.
+func (rn *RemoteNode) NodeID() int { return int(rn.node) }
+
+// fail records the first transport error; the node is dead from here on.
+func (rn *RemoteNode) fail(err error) error {
+	if rn.err == nil {
+		rn.err = fmt.Errorf("cluster: node %d: %w", rn.node, err)
+		rn.conn.Close()
+	}
+	return rn.err
+}
+
+// exchange sends m and pumps incoming frames — replaying NodeDownlink — until
+// the completing reply arrives.
+func (rn *RemoteNode) exchange(m msg.Message, tid trace.ID) (msg.Message, error) {
+	if rn.err != nil {
+		return nil, rn.err
+	}
+	if err := remote.WriteFrame(rn.bw, wire.EncodeTraced(m, uint64(tid))); err != nil {
+		return nil, rn.fail(err)
+	}
+	if err := rn.bw.Flush(); err != nil {
+		return nil, rn.fail(err)
+	}
+	for {
+		payload, err := remote.ReadFrame(rn.br)
+		if err != nil {
+			return nil, rn.fail(err)
+		}
+		reply, rtid, err := wire.DecodeTraced(payload)
+		if err != nil {
+			return nil, rn.fail(err)
+		}
+		switch mm := reply.(type) {
+		case msg.NodeDownlink:
+			rn.replay(mm, trace.ID(rtid))
+		case msg.NodeOpDone, msg.HandoffAck, msg.NodeHeartbeat:
+			return reply, nil
+		default:
+			return nil, rn.fail(fmt.Errorf("unexpected %v frame", mm.Kind()))
+		}
+	}
+}
+
+// replay forwards a worker downlink into the router's transport.
+func (rn *RemoteNode) replay(nd msg.NodeDownlink, tid trace.ID) {
+	inner, err := wire.Decode(nd.Inner)
+	if err != nil {
+		rn.fail(fmt.Errorf("downlink payload: %w", err))
+		return
+	}
+	switch {
+	case nd.Broadcast && rn.tdown != nil:
+		rn.tdown.BroadcastTraced(nd.Region, inner, tid)
+	case nd.Broadcast:
+		rn.down.Broadcast(nd.Region, inner)
+	case rn.tdown != nil:
+		rn.tdown.UnicastTraced(nd.Target, inner, tid)
+	default:
+		rn.down.Unicast(nd.Target, inner)
+	}
+}
+
+// op runs one NodeOp exchange and returns the reply payload.
+func (rn *RemoteNode) op(code uint8, data []byte, tid trace.ID) ([]byte, error) {
+	rn.seq++
+	reply, err := rn.exchange(msg.NodeOp{Seq: rn.seq, Code: code, Data: data}, tid)
+	if err != nil {
+		return nil, err
+	}
+	done, ok := reply.(msg.NodeOpDone)
+	if !ok {
+		return nil, rn.fail(fmt.Errorf("op %d answered by %v", code, reply.Kind()))
+	}
+	if done.Code == opError {
+		return nil, fmt.Errorf("cluster: node %d: %s", rn.node, done.Data)
+	}
+	if done.Seq != rn.seq || done.Code != code {
+		return nil, rn.fail(fmt.Errorf("op %d/seq %d answered by op %d/seq %d",
+			code, rn.seq, done.Code, done.Seq))
+	}
+	return done.Data, nil
+}
+
+// mustOp runs an exchange for the NodeHandle methods that cannot surface an
+// error; failures stick on the handle.
+func (rn *RemoteNode) mustOp(code uint8, data []byte, tid trace.ID) *pread {
+	out, err := rn.op(code, data, tid)
+	if err != nil {
+		rn.fail(err)
+		return &pread{err: err}
+	}
+	return &pread{b: out}
+}
+
+// Heartbeat runs one synchronous liveness probe.
+func (rn *RemoteNode) Heartbeat() error {
+	rn.seq++
+	reply, err := rn.exchange(msg.NodeHeartbeat{Node: rn.node, Seq: rn.seq}, 0)
+	if err != nil {
+		return err
+	}
+	hb, ok := reply.(msg.NodeHeartbeat)
+	if !ok || hb.Seq != rn.seq {
+		return rn.fail(fmt.Errorf("heartbeat answered by %v", reply.Kind()))
+	}
+	return nil
+}
+
+// Assign ships a span assignment; workers apply it in FIFO order ahead of
+// any subsequent op, so no acknowledgement is needed.
+func (rn *RemoteNode) Assign(epoch uint64, lo, hi int) {
+	if rn.err != nil {
+		return
+	}
+	m := msg.AssignRange{Epoch: epoch, Node: rn.node, Lo: uint32(lo), Hi: uint32(hi)}
+	if err := remote.WriteFrame(rn.bw, wire.Encode(m)); err != nil {
+		rn.fail(err)
+		return
+	}
+	if err := rn.bw.Flush(); err != nil {
+		rn.fail(err)
+	}
+}
+
+func (rn *RemoteNode) CompleteInstall(qid model.QueryID, q model.Query, maxVel float64, expiry model.Time, tid trace.ID) {
+	var p pbuf
+	p.f64(float64(expiry))
+	p.queryStates([]msg.QueryState{queryToState(q, maxVel)})
+	rn.mustOp(opCompleteInstall, p.b, tid)
+}
+
+func (rn *RemoteNode) RemoveQuery(qid model.QueryID, tid trace.ID) (removed bool, focal model.ObjectID, stillFocal bool) {
+	var p pbuf
+	p.qid(qid)
+	out := rn.mustOp(opRemoveQuery, p.b, tid)
+	removed = out.bool()
+	focal = out.oid()
+	stillFocal = out.bool()
+	return removed, focal, stillFocal
+}
+
+func (rn *RemoteNode) DueExpiries(now model.Time) []model.QueryID {
+	var p pbuf
+	p.f64(float64(now))
+	return rn.mustOp(opDueExpiries, p.b, 0).qidList()
+}
+
+func (rn *RemoteNode) UpsertFocal(oid model.ObjectID, st model.MotionState, tid trace.ID) {
+	var p pbuf
+	p.oid(oid)
+	p.motion(st)
+	rn.mustOp(opUpsertFocal, p.b, tid)
+}
+
+func (rn *RemoteNode) VelocityReport(m msg.VelocityReport, tid trace.ID) {
+	rn.mustOp(opVelocityReport, wire.Encode(m), tid)
+}
+
+func (rn *RemoteNode) ContainmentReport(m msg.ContainmentReport, tid trace.ID) {
+	rn.mustOp(opContainmentReport, wire.Encode(m), tid)
+}
+
+func (rn *RemoteNode) GroupContainmentReport(m msg.GroupContainmentReport, tid trace.ID) {
+	rn.mustOp(opGroupContainmentReport, wire.Encode(m), tid)
+}
+
+func (rn *RemoteNode) FocalCellChange(oid model.ObjectID, st model.MotionState, newCell grid.CellID, tid trace.ID) {
+	var p pbuf
+	p.oid(oid)
+	p.motion(st)
+	p.cell(newCell)
+	rn.mustOp(opFocalCellChange, p.b, tid)
+}
+
+func (rn *RemoteNode) FreshQueryStates(prevCell, newCell grid.CellID) []msg.QueryState {
+	var p pbuf
+	p.cell(prevCell)
+	p.cell(newCell)
+	return rn.mustOp(opFreshQueryStates, p.b, 0).queryStates()
+}
+
+func (rn *RemoteNode) ClearResults(oid model.ObjectID, tid trace.ID) {
+	var p pbuf
+	p.oid(oid)
+	rn.mustOp(opClearResults, p.b, tid)
+}
+
+func (rn *RemoteNode) DepartSweep(oid model.ObjectID, tid trace.ID) {
+	var p pbuf
+	p.oid(oid)
+	rn.mustOp(opDepartSweep, p.b, tid)
+}
+
+func (rn *RemoteNode) DepartFocal(oid model.ObjectID, tid trace.ID) []model.QueryID {
+	var p pbuf
+	p.oid(oid)
+	return rn.mustOp(opDepartFocal, p.b, tid).qidList()
+}
+
+func (rn *RemoteNode) ExtractFocal(oid model.ObjectID, admin bool, tid trace.ID) ([]byte, error) {
+	var p pbuf
+	p.oid(oid)
+	p.bool(admin)
+	return rn.op(opExtractFocal, p.b, tid)
+}
+
+// sliceOID recovers the focal's ID from an encoded focal slice for the
+// Handoff frame's metadata: version u16, then the object ID at offset 2
+// (the layout encodeFocalSlice pins under focal-slice version 1).
+func sliceOID(slice []byte) model.ObjectID {
+	if len(slice) >= 6 && binary.LittleEndian.Uint16(slice) == 1 {
+		return model.ObjectID(binary.LittleEndian.Uint32(slice[2:]))
+	}
+	return 0
+}
+
+func (rn *RemoteNode) InjectFocal(slice []byte, st model.MotionState, cell grid.CellID, relocate, admin bool, tid trace.ID) error {
+	rn.seq++
+	seq := rn.seq
+	if admin {
+		seq |= adminSeqBit
+	}
+	h := msg.Handoff{Seq: seq, OID: sliceOID(slice), Relocate: relocate, State: st, Cell: cell, Slice: slice}
+	reply, err := rn.exchange(h, tid)
+	if err != nil {
+		return err
+	}
+	switch mm := reply.(type) {
+	case msg.HandoffAck:
+		if mm.Seq != seq {
+			return rn.fail(fmt.Errorf("handoff seq %d acknowledged as %d", seq, mm.Seq))
+		}
+		return nil
+	case msg.NodeOpDone:
+		if mm.Code == opError {
+			return fmt.Errorf("cluster: node %d: %s", rn.node, mm.Data)
+		}
+		return rn.fail(fmt.Errorf("handoff answered by op done %d", mm.Code))
+	default:
+		return rn.fail(fmt.Errorf("handoff answered by %v", reply.Kind()))
+	}
+}
+
+func (rn *RemoteNode) Result(qid model.QueryID) []model.ObjectID {
+	var p pbuf
+	p.qid(qid)
+	return rn.mustOp(opResult, p.b, 0).oidList()
+}
+
+func (rn *RemoteNode) ResultContains(qid model.QueryID, oid model.ObjectID) bool {
+	var p pbuf
+	p.qid(qid)
+	p.oid(oid)
+	return rn.mustOp(opResultContains, p.b, 0).bool()
+}
+
+func (rn *RemoteNode) ResultSize(qid model.QueryID) int {
+	var p pbuf
+	p.qid(qid)
+	return int(rn.mustOp(opResultSize, p.b, 0).u32())
+}
+
+func (rn *RemoteNode) Query(qid model.QueryID) (model.Query, bool) {
+	var p pbuf
+	p.qid(qid)
+	out := rn.mustOp(opQuery, p.b, 0)
+	if !out.bool() {
+		return model.Query{}, false
+	}
+	qss := out.queryStates()
+	if out.err != nil || len(qss) != 1 {
+		return model.Query{}, false
+	}
+	q, _ := stateToQuery(qss[0])
+	return q, true
+}
+
+func (rn *RemoteNode) MonRegion(qid model.QueryID) (grid.CellRange, bool) {
+	var p pbuf
+	p.qid(qid)
+	out := rn.mustOp(opMonRegion, p.b, 0)
+	if !out.bool() {
+		return grid.CellRange{}, false
+	}
+	return grid.CellRange{Min: out.cell(), Max: out.cell()}, out.err == nil
+}
+
+func (rn *RemoteNode) NumQueries() int {
+	return int(rn.mustOp(opNumQueries, nil, 0).u32())
+}
+
+func (rn *RemoteNode) QueryIDs() []model.QueryID {
+	return rn.mustOp(opQueryIDs, nil, 0).qidList()
+}
+
+func (rn *RemoteNode) NearbyQueries(cell grid.CellID) []model.QueryID {
+	var p pbuf
+	p.cell(cell)
+	return rn.mustOp(opNearbyQueries, p.b, 0).qidList()
+}
+
+func (rn *RemoteNode) FocalIDs() []model.ObjectID {
+	return rn.mustOp(opFocalIDs, nil, 0).oidList()
+}
+
+func (rn *RemoteNode) FocalCell(oid model.ObjectID) (grid.CellID, bool) {
+	var p pbuf
+	p.oid(oid)
+	out := rn.mustOp(opFocalCell, p.b, 0)
+	if !out.bool() {
+		return grid.CellID{}, false
+	}
+	return out.cell(), out.err == nil
+}
+
+func (rn *RemoteNode) Ops() int64 {
+	return int64(rn.mustOp(opOps, nil, 0).u64())
+}
+
+func (rn *RemoteNode) SnapshotData() ([]byte, error) {
+	return rn.op(opSnapshotData, nil, 0)
+}
+
+func (rn *RemoteNode) CheckInvariants() error {
+	_, err := rn.op(opCheckInvariants, nil, 0)
+	return err
+}
+
+func (rn *RemoteNode) Close() error {
+	if rn.err != nil {
+		return nil
+	}
+	_, err := rn.op(opClose, nil, 0)
+	rn.conn.Close()
+	return err
+}
+
+var _ core.NodeHandle = (*RemoteNode)(nil)
+
+// NewRouter dials the worker addresses, handshakes each as node i, and
+// returns a ClusterServer routing over them, with span assignments shipped
+// as AssignRange frames on every rebalance (and once at startup). The
+// returned handles let the caller run heartbeats and inspect transport
+// health.
+func NewRouter(g *grid.Grid, opts core.Options, down core.Downlink, addrs []string) (*core.ClusterServer, []*RemoteNode, error) {
+	if len(addrs) == 0 {
+		return nil, nil, fmt.Errorf("cluster: a router needs at least one worker address")
+	}
+	rns := make([]*RemoteNode, len(addrs))
+	handles := make([]core.NodeHandle, len(addrs))
+	for i, addr := range addrs {
+		rn, err := Dial(addr, i, down)
+		if err != nil {
+			for _, prev := range rns[:i] {
+				prev.conn.Close()
+			}
+			return nil, nil, fmt.Errorf("cluster: worker %d at %s: %w", i, addr, err)
+		}
+		rns[i] = rn
+		handles[i] = rn
+	}
+	cs := core.NewClusterServerOver(g, opts, down, handles)
+	cs.SetAssignListener(func(epoch uint64, node, lo, hi int) {
+		rns[node].Assign(epoch, lo, hi)
+	})
+	epoch := cs.Epoch()
+	for _, sp := range cs.Spans() {
+		rns[sp.Node].Assign(epoch, sp.Lo, sp.Hi)
+	}
+	return cs, rns, nil
+}

@@ -1,0 +1,422 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/obs/trace"
+	"mobieyes/internal/remote"
+	"mobieyes/internal/wire"
+)
+
+// WorkerConfig configures a worker node. UoD and Alpha must match the
+// router's grid exactly — cell indices in AssignRange and cells in op
+// payloads are meaningful only over the same tessellation.
+type WorkerConfig struct {
+	UoD   geo.Rect
+	Alpha float64
+	Opts  core.Options
+}
+
+// Worker hosts an in-process core.NodeServer behind the cluster wire
+// protocol: it accepts a router connection, performs the NodeHello
+// handshake, then executes NodeOp/Handoff exchanges one at a time, streaming
+// the node's downlink sends back as NodeDownlink frames before each
+// acknowledgement. A worker serves one router connection at a time; a
+// reconnecting router resumes against the same node state.
+type Worker struct {
+	g    *grid.Grid
+	node *core.NodeServer
+	capt *captureDown
+
+	// id is the node index the router announced in its hello; epoch/lo/hi
+	// mirror the latest span assignment, for operator introspection.
+	id     uint32
+	epoch  uint64
+	lo, hi int
+}
+
+// NewWorker returns a worker over a fresh node engine.
+func NewWorker(cfg WorkerConfig) *Worker {
+	capt := &captureDown{}
+	g := grid.New(cfg.UoD, cfg.Alpha)
+	return &Worker{g: g, node: core.NewNodeServer(g, cfg.Opts, capt), capt: capt}
+}
+
+// Node exposes the hosted engine for worker-local wiring (instrumentation,
+// snapshot persistence) outside the wire protocol.
+func (w *Worker) Node() *core.NodeServer { return w.node }
+
+// Span returns the worker's latest cell-range assignment.
+func (w *Worker) Span() (epoch uint64, lo, hi int) { return w.epoch, w.lo, w.hi }
+
+// Serve accepts router connections until the listener closes. Connections
+// are served one at a time: the cluster has one router, and serial exchanges
+// are the protocol's concurrency model.
+func (w *Worker) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if err := w.ServeConn(conn); err != nil {
+			var ve *VersionError
+			if !errors.As(err, &ve) {
+				return err
+			}
+			// A version-mismatched router was refused with a typed hello;
+			// keep accepting.
+		}
+	}
+}
+
+// ServeConn runs the handshake and exchange loop over one router
+// connection, returning nil on orderly disconnect (EOF or an opClose). A
+// *VersionError is returned — after sending this build's hello so the peer
+// can diagnose — when the router speaks a different protocol version.
+func (w *Worker) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	payload, err := remote.ReadFrame(br)
+	if err != nil {
+		return fmt.Errorf("cluster: worker handshake: %w", err)
+	}
+	m, err := wire.Decode(payload)
+	if err != nil {
+		return fmt.Errorf("cluster: worker handshake: %w", err)
+	}
+	hello, ok := m.(msg.NodeHello)
+	if !ok {
+		return fmt.Errorf("cluster: worker handshake: first frame is %v, want NodeHello", m.Kind())
+	}
+	reply := msg.NodeHello{Node: hello.Node, Proto: ProtoVersion}
+	if err := remote.WriteFrame(bw, wire.Encode(reply)); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if hello.Proto != ProtoVersion {
+		return &VersionError{Node: hello.Node, Got: hello.Proto}
+	}
+	w.id = hello.Node
+
+	for {
+		payload, err := remote.ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		m, tid, err := wire.DecodeTraced(payload)
+		if err != nil {
+			return fmt.Errorf("cluster: worker: %w", err)
+		}
+		closing := false
+		switch mm := m.(type) {
+		case msg.NodeHeartbeat:
+			if err := remote.WriteFrame(bw, payload); err != nil {
+				return err
+			}
+		case msg.AssignRange:
+			// Stale assignments (an old epoch arriving after a rebalance
+			// raced a reconnect) are discarded.
+			if mm.Epoch >= w.epoch {
+				w.epoch, w.lo, w.hi = mm.Epoch, int(mm.Lo), int(mm.Hi)
+			}
+		case msg.NodeOp:
+			result, opErr := w.apply(mm.Code, mm.Data, trace.ID(tid))
+			if err := w.reply(bw, opReply(mm, result, opErr)); err != nil {
+				return err
+			}
+			closing = opErr == nil && mm.Code == opClose
+		case msg.Handoff:
+			admin := mm.Seq&adminSeqBit != 0
+			injErr := w.node.InjectFocal(mm.Slice, mm.State, mm.Cell, mm.Relocate, admin, trace.ID(tid))
+			var done msg.Message = msg.HandoffAck{Seq: mm.Seq, OID: mm.OID}
+			if injErr != nil {
+				done = msg.NodeOpDone{Seq: mm.Seq, Code: opError, Data: []byte(injErr.Error())}
+			}
+			if err := w.reply(bw, done); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("cluster: worker: unexpected %v frame", m.Kind())
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if closing {
+			return nil
+		}
+	}
+}
+
+// opReply builds the NodeOpDone for an applied op.
+func opReply(op msg.NodeOp, result []byte, err error) msg.Message {
+	if err != nil {
+		return msg.NodeOpDone{Seq: op.Seq, Code: opError, Data: []byte(err.Error())}
+	}
+	return msg.NodeOpDone{Seq: op.Seq, Code: op.Code, Data: result}
+}
+
+// reply drains the downlinks the op produced — in send order, ahead of the
+// acknowledgement, so the router replays them before the NodeHandle call
+// returns — then writes the done frame.
+func (w *Worker) reply(bw *bufio.Writer, done msg.Message) error {
+	for _, snd := range w.capt.drain() {
+		if err := remote.WriteFrame(bw, wire.EncodeTraced(snd.nd, snd.tid)); err != nil {
+			return err
+		}
+	}
+	return remote.WriteFrame(bw, wire.Encode(done))
+}
+
+// apply decodes and executes one opcode against the hosted node.
+func (w *Worker) apply(code uint8, data []byte, tid trace.ID) ([]byte, error) {
+	in := &pread{b: data}
+	var out pbuf
+	n := w.node
+	switch code {
+	case opCompleteInstall:
+		expiry := model.Time(in.f64())
+		qss := in.queryStates()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		if len(qss) != 1 {
+			return nil, fmt.Errorf("cluster: CompleteInstall carries %d query states", len(qss))
+		}
+		q, maxVel := stateToQuery(qss[0])
+		n.CompleteInstall(q.ID, q, maxVel, expiry, tid)
+	case opRemoveQuery:
+		qid := in.qid()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		removed, focal, stillFocal := n.RemoveQuery(qid, tid)
+		out.bool(removed)
+		out.oid(focal)
+		out.bool(stillFocal)
+	case opDueExpiries:
+		now := model.Time(in.f64())
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		out.qids(n.DueExpiries(now))
+	case opUpsertFocal:
+		oid, st := in.oid(), in.motion()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		n.UpsertFocal(oid, st, tid)
+	case opVelocityReport, opContainmentReport, opGroupContainmentReport:
+		m, err := wire.Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		switch mm := m.(type) {
+		case msg.VelocityReport:
+			n.VelocityReport(mm, tid)
+		case msg.ContainmentReport:
+			n.ContainmentReport(mm, tid)
+		case msg.GroupContainmentReport:
+			n.GroupContainmentReport(mm, tid)
+		default:
+			return nil, fmt.Errorf("cluster: op %d carries %v", code, m.Kind())
+		}
+	case opFocalCellChange:
+		oid, st, cell := in.oid(), in.motion(), in.cell()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		n.FocalCellChange(oid, st, cell, tid)
+	case opFreshQueryStates:
+		prev, next := in.cell(), in.cell()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		out.queryStates(n.FreshQueryStates(prev, next))
+	case opClearResults:
+		oid := in.oid()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		n.ClearResults(oid, tid)
+	case opDepartSweep:
+		oid := in.oid()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		n.DepartSweep(oid, tid)
+	case opDepartFocal:
+		oid := in.oid()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		out.qids(n.DepartFocal(oid, tid))
+	case opExtractFocal:
+		oid, admin := in.oid(), in.bool()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		slice, err := n.ExtractFocal(oid, admin, tid)
+		if err != nil {
+			return nil, err
+		}
+		return slice, nil
+	case opResult:
+		qid := in.qid()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		out.oids(n.Result(qid))
+	case opResultContains:
+		qid, oid := in.qid(), in.oid()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		out.bool(n.ResultContains(qid, oid))
+	case opResultSize:
+		qid := in.qid()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		out.u32(uint32(n.ResultSize(qid)))
+	case opQuery:
+		qid := in.qid()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		q, ok := n.Query(qid)
+		out.bool(ok)
+		if ok {
+			out.queryStates([]msg.QueryState{queryToState(q, 0)})
+		}
+	case opMonRegion:
+		qid := in.qid()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		mr, ok := n.MonRegion(qid)
+		out.bool(ok)
+		if ok {
+			out.cell(mr.Min)
+			out.cell(mr.Max)
+		}
+	case opNumQueries:
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		out.u32(uint32(n.NumQueries()))
+	case opQueryIDs:
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		out.qids(n.QueryIDs())
+	case opNearbyQueries:
+		cell := in.cell()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		out.qids(n.NearbyQueries(cell))
+	case opFocalIDs:
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		out.oids(n.FocalIDs())
+	case opFocalCell:
+		oid := in.oid()
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		cell, ok := n.FocalCell(oid)
+		out.bool(ok)
+		if ok {
+			out.cell(cell)
+		}
+	case opOps:
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		out.u64(uint64(n.Ops()))
+	case opSnapshotData:
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		return n.SnapshotData()
+	case opCheckInvariants:
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		if err := n.CheckInvariants(); err != nil {
+			return nil, err
+		}
+	case opClose:
+		if err := in.done(); err != nil {
+			return nil, err
+		}
+		if err := n.Close(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown opcode %d", code)
+	}
+	return out.b, nil
+}
+
+// captureDown buffers the node engine's downlink sends as NodeDownlink
+// frames until the worker drains them onto the wire. The node executes one
+// op at a time, so no locking is needed.
+type captureDown struct {
+	q []capturedSend
+}
+
+type capturedSend struct {
+	nd  msg.NodeDownlink
+	tid uint64
+}
+
+func (c *captureDown) Broadcast(region grid.CellRange, m msg.Message) {
+	c.BroadcastTraced(region, m, 0)
+}
+
+func (c *captureDown) Unicast(oid model.ObjectID, m msg.Message) {
+	c.UnicastTraced(oid, m, 0)
+}
+
+func (c *captureDown) BroadcastTraced(region grid.CellRange, m msg.Message, tid trace.ID) {
+	c.q = append(c.q, capturedSend{
+		nd:  msg.NodeDownlink{Broadcast: true, Region: region, Inner: wire.Encode(m)},
+		tid: uint64(tid),
+	})
+}
+
+func (c *captureDown) UnicastTraced(oid model.ObjectID, m msg.Message, tid trace.ID) {
+	c.q = append(c.q, capturedSend{
+		nd:  msg.NodeDownlink{Target: oid, Inner: wire.Encode(m)},
+		tid: uint64(tid),
+	})
+}
+
+func (c *captureDown) drain() []capturedSend {
+	q := c.q
+	c.q = nil
+	return q
+}
+
+var _ core.TracedDownlink = (*captureDown)(nil)

@@ -12,10 +12,11 @@ import (
 )
 
 // ServerAPI is the server-side surface of the MobiEyes protocol, implemented
-// by both the serial Server and the grid-partitioned ShardedServer. Engines
-// and transports program against this interface so the two implementations
-// are interchangeable; the sharded implementation is additionally safe for
-// concurrent use by multiple goroutines.
+// by the serial Server, the grid-partitioned ShardedServer and the
+// router-plus-worker-nodes ClusterServer. Engines and transports program
+// against this interface so the implementations are interchangeable; the
+// sharded and cluster implementations are additionally safe for concurrent
+// use by multiple goroutines.
 type ServerAPI interface {
 	// Query lifecycle (§3.3).
 	InstallQuery(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64) model.QueryID
@@ -62,4 +63,5 @@ type ServerAPI interface {
 var (
 	_ ServerAPI = (*Server)(nil)
 	_ ServerAPI = (*ShardedServer)(nil)
+	_ ServerAPI = (*ClusterServer)(nil)
 )

@@ -158,6 +158,31 @@ func BenchmarkUplinkSharded10k(b *testing.B)  { benchUplinkThroughput(b, true, 1
 func BenchmarkUplinkSerial100k(b *testing.B)  { benchUplinkThroughput(b, false, 100000) }
 func BenchmarkUplinkSharded100k(b *testing.B) { benchUplinkThroughput(b, true, 100000) }
 
+// benchUplinkThroughputClustered measures the router-forwarding overhead of
+// the cluster tier: the same mixed workload as the serial/sharded
+// throughput benchmarks, dispatched through a 3-node in-process
+// ClusterServer (routing-table lookup, NodeHandle indirection and the
+// router mutex on every uplink). Compare against BenchmarkUplinkSharded*
+// for the clustered-vs-sharded uplink latency delta.
+func benchUplinkThroughputClustered(b *testing.B, nObjects int) {
+	const nQueries = 1000
+	g := grid.New(geo.NewRect(0, 0, 1000, 1000), 5)
+	srv := NewClusterServer(g, Options{}, nullDown{}, 3)
+	for i := 0; i < nQueries; i++ {
+		oid := model.ObjectID(i + 1)
+		srv.HandleUplink(msg.FocalInfoResponse{OID: oid, Pos: benchPos(i)})
+		srv.InstallQuery(oid, model.CircleRegion{R: 3}, model.Filter{Seed: uint64(i), Permille: 750}, 250)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.HandleUplink(benchUplink(g, i, nObjects, nQueries))
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "uplinks/sec")
+}
+
+func BenchmarkUplinkClustered10k(b *testing.B)  { benchUplinkThroughputClustered(b, 10000) }
+func BenchmarkUplinkClustered100k(b *testing.B) { benchUplinkThroughputClustered(b, 100000) }
+
 // benchClient builds a client with n LQT entries bound to k focal objects.
 func benchClient(b *testing.B, opts Options, n, k int) *Client {
 	b.Helper()

@@ -1,0 +1,1089 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/cost"
+	"mobieyes/internal/obs/trace"
+)
+
+// ClusterServer is the distributed MobiEyes server: a router tier that owns
+// query lifecycle and message routing, over N worker nodes each holding the
+// FOT, SQT and RQI rows of the focal objects whose current grid cell falls
+// in that node's assigned cell range. Nodes are driven through the
+// NodeHandle surface, so the same router runs over in-process NodeServers
+// (the configuration the differential oracle compares against the serial
+// and sharded servers) and over internal/cluster RemoteNodes speaking the
+// wire protocol to worker processes.
+//
+// Unlike the sharded server's hash partitioning, nodes own contiguous cell
+// ranges (spans) so a worker's working set is spatially local and
+// rebalancing moves a boundary rather than rehashing the world. The router
+// serializes all dispatch under one mutex: the cluster tier distributes
+// state, the sharded tier parallelizes it — a worker node can itself be
+// deployed over a sharded engine later without changing this router.
+//
+// Cross-node focal handoff is a two-phase, byte-mediated transfer: the
+// source node drains its sends and detaches the focal's complete state as
+// an encoded focal slice (ExtractFocal), then the destination installs the
+// slice and acknowledges (InjectFocal) before the router flips its routing
+// tables — no result entry is lost or duplicated, which the three-way
+// snapshot oracle verifies byte-for-byte. See DESIGN.md §13.
+type ClusterServer struct {
+	g     *grid.Grid
+	opts  Options
+	down  Downlink
+	nodes []NodeHandle
+	// local mirrors nodes for in-process NodeServers (nil per remote node);
+	// tracing, accounting, result listeners and restore need direct engine
+	// access and degrade gracefully over the wire.
+	local []*NodeServer
+
+	// spanLo/spanHi assign each node the dense cell indices [lo, hi); the
+	// spans of live nodes partition the grid. epoch increments on every
+	// reassignment so workers can discard stale AssignRange frames.
+	spanLo, spanHi []int
+	live           []bool
+	epoch          uint64
+	onAssign       func(epoch uint64, node, lo, hi int)
+
+	// qidCounter holds the last assigned query identifier (1-based sequence,
+	// matching the serial server).
+	qidCounter int64
+
+	// ops counts router-level operations; upl counts uplinks handled outside
+	// any node (departures); migrations counts cross-node focal handoffs;
+	// nUpl counts uplinks dispatched to each node.
+	ops        *obs.Counter
+	upl        *obs.Counter
+	migrations *obs.Counter
+	nUpl       []*obs.Counter
+	// migrationsAdminDone counts admin (rebalancing/drain) focal moves;
+	// kept separate from migrations, which tracks protocol handoffs.
+	migrationsAdminDone int
+
+	obsm  *serverObs
+	rec   *trace.Recorder
+	tdown TracedDownlink
+	acct  *cost.Accountant
+
+	// mu serializes all routing and node dispatch. Routing tables mirror the
+	// sharded server's: focalNode/queryNode map ownership, pending holds
+	// installations waiting on a FocalInfoRequest (queries exist only at the
+	// router until their focal object is located).
+	mu         sync.Mutex
+	focalNode  map[model.ObjectID]int
+	queryNode  map[model.QueryID]int
+	pending    map[model.ObjectID][]pendingInstall
+	pendingExp map[model.QueryID]model.Time
+}
+
+// NewClusterServer returns a cluster router over n in-process worker nodes;
+// n <= 0 selects 2. The downlink carries both router-level sends
+// (FocalInfoRequest, cross-node QueryInstall unions) and node-level sends.
+func NewClusterServer(g *grid.Grid, opts Options, down Downlink, n int) *ClusterServer {
+	if n <= 0 {
+		n = 2
+	}
+	handles := make([]NodeHandle, n)
+	local := make([]*NodeServer, n)
+	for i := range handles {
+		ns := NewNodeServer(g, opts, down)
+		handles[i] = ns
+		local[i] = ns
+	}
+	return newClusterServer(g, opts, down, handles, local)
+}
+
+// NewClusterServerOver returns a cluster router over caller-provided node
+// handles — the entry point for the TCP tier, where each handle forwards to
+// a worker process. Handles that are in-process NodeServers get full
+// tracing/accounting wiring.
+func NewClusterServerOver(g *grid.Grid, opts Options, down Downlink, handles []NodeHandle) *ClusterServer {
+	local := make([]*NodeServer, len(handles))
+	for i, h := range handles {
+		if ns, ok := h.(*NodeServer); ok {
+			local[i] = ns
+		}
+	}
+	return newClusterServer(g, opts, down, handles, local)
+}
+
+func newClusterServer(g *grid.Grid, opts Options, down Downlink, handles []NodeHandle, local []*NodeServer) *ClusterServer {
+	cs := &ClusterServer{
+		g:          g,
+		opts:       opts,
+		down:       down,
+		nodes:      handles,
+		local:      local,
+		spanLo:     make([]int, len(handles)),
+		spanHi:     make([]int, len(handles)),
+		live:       make([]bool, len(handles)),
+		ops:        obs.NewCounter(),
+		upl:        obs.NewCounter(),
+		migrations: obs.NewCounter(),
+		nUpl:       make([]*obs.Counter, len(handles)),
+		focalNode:  make(map[model.ObjectID]int),
+		queryNode:  make(map[model.QueryID]int),
+		pending:    make(map[model.ObjectID][]pendingInstall),
+		pendingExp: make(map[model.QueryID]model.Time),
+	}
+	for i := range cs.live {
+		cs.live[i] = true
+		cs.nUpl[i] = obs.NewCounter()
+	}
+	cs.computeSpans()
+	return cs
+}
+
+// NumNodes returns the number of nodes (live and dead).
+func (cs *ClusterServer) NumNodes() int { return len(cs.nodes) }
+
+// Epoch returns the current span-assignment epoch.
+func (cs *ClusterServer) Epoch() uint64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.epoch
+}
+
+// SetAssignListener installs a callback invoked (under the router lock) for
+// every node on each span reassignment — the TCP tier ships AssignRange
+// frames from it. Dead nodes are reported with an empty span.
+func (cs *ClusterServer) SetAssignListener(fn func(epoch uint64, node, lo, hi int)) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.onAssign = fn
+}
+
+// focalWeight biases span boundaries toward splitting cells that currently
+// host focal objects, so rebalancing evens out table load, not just area.
+const focalWeight = 4
+
+// computeSpans repartitions the grid's dense cell indices into contiguous
+// spans over the live nodes, weighting each cell by the focal objects it
+// hosts, and bumps the epoch. Requires cs.mu held (or construction).
+func (cs *ClusterServer) computeSpans() {
+	numCells := cs.g.NumCells()
+	var liveIdx []int
+	for i, l := range cs.live {
+		if l {
+			liveIdx = append(liveIdx, i)
+		}
+	}
+	w := make([]int, numCells)
+	for i := range w {
+		w[i] = 1
+	}
+	total := numCells
+	for i, nd := range cs.nodes {
+		if !cs.live[i] {
+			continue
+		}
+		for _, oid := range nd.FocalIDs() {
+			if c, ok := nd.FocalCell(oid); ok {
+				w[cs.g.CellIndex(c)] += focalWeight
+				total += focalWeight
+			}
+		}
+	}
+	for i := range cs.spanLo {
+		cs.spanLo[i], cs.spanHi[i] = 0, 0
+	}
+	cell, rem := 0, total
+	for k, ni := range liveIdx {
+		lo := cell
+		if k == len(liveIdx)-1 {
+			cell = numCells
+		} else {
+			left := len(liveIdx) - k
+			target := (rem + left - 1) / left
+			acc := 0
+			for cell < numCells && acc < target {
+				acc += w[cell]
+				cell++
+			}
+			rem -= acc
+		}
+		cs.spanLo[ni], cs.spanHi[ni] = lo, cell
+	}
+	cs.epoch++
+	if cs.onAssign != nil {
+		for i := range cs.nodes {
+			cs.onAssign(cs.epoch, i, cs.spanLo[i], cs.spanHi[i])
+		}
+	}
+}
+
+// nodeOf returns the live node owning cell c's span.
+func (cs *ClusterServer) nodeOf(c grid.CellID) int {
+	idx := cs.g.CellIndex(c)
+	for i := range cs.nodes {
+		if cs.live[i] && idx >= cs.spanLo[i] && idx < cs.spanHi[i] {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: cell index %d owned by no live node", idx))
+}
+
+// SetAccountant attaches a cost accountant to the router and every
+// in-process node (nil = off). Not safe to call concurrently with dispatch.
+func (cs *ClusterServer) SetAccountant(a *cost.Accountant) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.acct = a
+	for _, ns := range cs.local {
+		if ns != nil {
+			ns.srv.acct = a
+		}
+	}
+	a.SetMode(cs.opts.Mode.String())
+}
+
+// acctNodeUplink charges one dispatched uplink to node ni's ledger (-1 =
+// the router ledger, for stale drops and router-level work), keeping the
+// node-sum-plus-router == global identity the ledger oracle checks.
+func (cs *ClusterServer) acctNodeUplink(ni int, m msg.Message) {
+	if cs.acct == nil {
+		return
+	}
+	cs.acct.NodeUplink(ni, m.Kind(), m.Size())
+}
+
+// SetTracer attaches a flight recorder to the router and every in-process
+// node. Nodes record as "node0", "node1", …; router-level work (handoffs,
+// cross-node unicasts, uplink ingress) records as "router".
+func (cs *ClusterServer) SetTracer(rec *trace.Recorder) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.rec = rec
+	cs.tdown, _ = cs.down.(TracedDownlink)
+	for i, ns := range cs.local {
+		if ns != nil {
+			ns.SetTracer(rec, "node"+strconv.Itoa(i))
+		}
+	}
+}
+
+// mintRoot starts a fresh trace for a router-level API ingress.
+func (cs *ClusterServer) mintRoot(oid model.ObjectID, qid model.QueryID, note string) trace.ID {
+	if cs.rec == nil {
+		return 0
+	}
+	tid := cs.rec.NextID()
+	cs.rec.Event(tid, trace.KindIngress, "router", int64(oid), int64(qid), note)
+	return tid
+}
+
+// unicast is the router-level unicast funnel (sends outside any node).
+func (cs *ClusterServer) unicast(oid model.ObjectID, m msg.Message, tid trace.ID) {
+	if cs.acct != nil {
+		_, qid := TraceRef(m)
+		sz := m.Size()
+		cs.acct.ObjectDown(int64(oid), sz, 1)
+		if qid != 0 {
+			cs.acct.QueryDown(qid, sz, 1)
+		}
+	}
+	if cs.rec != nil {
+		_, qid := TraceRef(m)
+		cs.rec.Event(tid, trace.KindUnicast, "router", int64(oid), qid, m.Kind().String())
+		if cs.tdown != nil {
+			cs.tdown.UnicastTraced(oid, m, tid)
+			return
+		}
+	}
+	cs.down.Unicast(oid, m)
+}
+
+// InstallQuery starts installation of a moving query (§3.3), exactly like
+// the serial server but routed to the node owning the focal object.
+func (cs *ClusterServer) InstallQuery(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64) model.QueryID {
+	return cs.install(focal, region, filter, focalMaxVel, 0)
+}
+
+// InstallQueryUntil installs a query that expires at the given time.
+func (cs *ClusterServer) InstallQueryUntil(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64, expiry model.Time) model.QueryID {
+	return cs.install(focal, region, filter, focalMaxVel, expiry)
+}
+
+func (cs *ClusterServer) install(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64, expiry model.Time) model.QueryID {
+	cs.mu.Lock()
+	cs.qidCounter++
+	qid := model.QueryID(cs.qidCounter)
+	tid := cs.mintRoot(focal, qid, "InstallQuery")
+	q := model.Query{ID: qid, Focal: focal, Region: region, Filter: filter}
+	if ni, ok := cs.focalNode[focal]; ok {
+		cs.nodes[ni].CompleteInstall(qid, q, focalMaxVel, expiry, tid)
+		cs.queryNode[qid] = ni
+		cs.mu.Unlock()
+		return qid
+	}
+	// §3.3 step 3: the focal object is unknown — request its motion state.
+	cs.pending[focal] = append(cs.pending[focal], pendingInstall{qid, q, focalMaxVel})
+	if expiry != 0 {
+		cs.pendingExp[qid] = expiry
+	}
+	first := len(cs.pending[focal]) == 1
+	cs.mu.Unlock()
+	cs.ops.Add(1)
+	if first {
+		cs.unicast(focal, msg.FocalInfoRequest{OID: focal}, tid)
+	}
+	return qid
+}
+
+// RemoveQuery uninstalls a query from its owning node.
+func (cs *ClusterServer) RemoveQuery(qid model.QueryID) bool {
+	tid := cs.mintRoot(0, qid, "RemoveQuery")
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.removeQueryLocked(qid, tid)
+}
+
+func (cs *ClusterServer) removeQueryLocked(qid model.QueryID, tid trace.ID) bool {
+	ni, ok := cs.queryNode[qid]
+	if !ok {
+		return false
+	}
+	removed, focal, stillFocal := cs.nodes[ni].RemoveQuery(qid, tid)
+	delete(cs.queryNode, qid)
+	if removed && !stillFocal {
+		delete(cs.focalNode, focal)
+	}
+	return removed
+}
+
+// ExpireQueries removes every query whose expiry has passed and returns the
+// removed identifiers (sorted), like the serial server.
+func (cs *ClusterServer) ExpireQueries(now model.Time) []model.QueryID {
+	tid := cs.mintRoot(0, 0, "ExpireQueries")
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	var expired []model.QueryID
+	for i, nd := range cs.nodes {
+		if cs.live[i] {
+			expired = append(expired, nd.DueExpiries(now)...)
+		}
+	}
+	for qid, exp := range cs.pendingExp {
+		if exp <= now {
+			// Pending past its deadline: forget the expiry; if the install
+			// ever completes the query runs unbounded, like the serial server.
+			delete(cs.pendingExp, qid)
+			expired = append(expired, qid)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, qid := range expired {
+		cs.removeQueryLocked(qid, tid)
+	}
+	return expired
+}
+
+// HandleUplink dispatches any uplink message to its handler; it panics on
+// message kinds the MobiEyes server does not consume, exactly like the
+// serial server.
+func (cs *ClusterServer) HandleUplink(m msg.Message) { cs.HandleUplinkTraced(m, 0) }
+
+// HandleUplinkTraced is HandleUplink with an inbound trace ID — the uplink
+// ingress point when running behind a tracing transport.
+func (cs *ClusterServer) HandleUplinkTraced(m msg.Message, tid trace.ID) {
+	if cs.acct != nil {
+		oid, qid := TraceRef(m)
+		sz := m.Size()
+		if oid != 0 {
+			cs.acct.ObjectUp(oid, sz)
+		}
+		if qid != 0 {
+			cs.acct.QueryUp(qid, sz)
+		}
+	}
+	if cs.rec != nil {
+		if tid == 0 {
+			tid = cs.rec.NextID()
+		}
+		oid, qid := TraceRef(m)
+		cs.rec.Event(tid, trace.KindIngress, "router", oid, qid, m.Kind().String())
+	}
+	if o := cs.obsm; o != nil && o.uplinkLat != nil {
+		start := time.Now()
+		cs.dispatchUplink(m, tid)
+		o.uplinkLat.observe(m.Kind(), start)
+		return
+	}
+	cs.dispatchUplink(m, tid)
+}
+
+func (cs *ClusterServer) dispatchUplink(m msg.Message, tid trace.ID) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	switch mm := m.(type) {
+	case msg.VelocityReport:
+		cs.onVelocityReport(mm, tid)
+	case msg.CellChangeReport:
+		cs.onCellChangeReport(mm, tid)
+	case msg.ContainmentReport:
+		cs.onContainmentReport(mm, tid)
+	case msg.GroupContainmentReport:
+		cs.onGroupContainmentReport(mm, tid)
+	case msg.FocalInfoResponse:
+		cs.onFocalInfoResponse(mm, tid)
+	case msg.DepartureReport:
+		cs.onDepartureReport(mm, tid)
+	default:
+		panic(fmt.Sprintf("core: cluster server cannot handle %v", m.Kind()))
+	}
+}
+
+func (cs *ClusterServer) onVelocityReport(m msg.VelocityReport, tid trace.ID) {
+	ni, ok := cs.focalNode[m.OID]
+	if !ok {
+		cs.acctNodeUplink(-1, m) // stale drop: charge the router ledger
+		return
+	}
+	cs.nUpl[ni].Add(1)
+	cs.acctNodeUplink(ni, m)
+	cs.nodes[ni].VelocityReport(m, tid)
+}
+
+func (cs *ClusterServer) onContainmentReport(m msg.ContainmentReport, tid trace.ID) {
+	ni, ok := cs.queryNode[m.QID]
+	if !ok {
+		cs.acctNodeUplink(-1, m) // stale drop: charge the router ledger
+		return
+	}
+	cs.nUpl[ni].Add(1)
+	cs.acctNodeUplink(ni, m)
+	cs.nodes[ni].ContainmentReport(m, tid)
+}
+
+func (cs *ClusterServer) onGroupContainmentReport(m msg.GroupContainmentReport, tid trace.ID) {
+	// All queries of a group share a focal object and therefore a node, so
+	// the whole bitmap resolves in one place.
+	for _, qid := range m.QIDs {
+		if ni, ok := cs.queryNode[qid]; ok {
+			cs.nUpl[ni].Add(1)
+			cs.acctNodeUplink(ni, m)
+			cs.nodes[ni].GroupContainmentReport(m, tid)
+			return
+		}
+	}
+	cs.acctNodeUplink(-1, m) // no query resolvable: charge the router ledger
+}
+
+func (cs *ClusterServer) onFocalInfoResponse(m msg.FocalInfoResponse, tid trace.ID) {
+	ni := cs.nodeOf(cs.g.CellOf(m.Pos))
+	cs.nUpl[ni].Add(1)
+	cs.acctNodeUplink(ni, m)
+	cs.applyFocalInfo(m.OID, model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}, tid)
+}
+
+// applyFocalInfo refreshes oid's FOT row from a reported motion state —
+// handing it off when the reported cell belongs to another node's span —
+// and completes pending installations.
+func (cs *ClusterServer) applyFocalInfo(oid model.ObjectID, st model.MotionState, tid trace.ID) {
+	cell := cs.g.CellOf(st.Pos)
+	di := cs.nodeOf(cell)
+	if si, known := cs.focalNode[oid]; known && si != di {
+		cs.handoff(si, di, oid, st, cell, false, tid)
+	} else {
+		cs.nodes[di].UpsertFocal(oid, st, tid)
+		cs.focalNode[oid] = di
+	}
+	if len(cs.pending[oid]) == 0 {
+		return
+	}
+	for _, p := range cs.pending[oid] {
+		var exp model.Time
+		if e, ok := cs.pendingExp[p.qid]; ok {
+			exp = e
+			delete(cs.pendingExp, p.qid)
+		}
+		cs.nodes[di].CompleteInstall(p.qid, p.query, p.maxVel, exp, tid)
+		cs.queryNode[p.qid] = di
+	}
+	delete(cs.pending, oid)
+}
+
+// handoff runs the two-phase cross-node focal transfer and flips the
+// routing tables: extract the encoded slice from the source (which has
+// drained its sends when the call returns), inject it into the destination,
+// then repoint focalNode/queryNode. relocate selects the §3.5 monitoring-
+// region recomputation on the destination, exactly like the serial server's
+// in-table relocation.
+func (cs *ClusterServer) handoff(si, di int, oid model.ObjectID, st model.MotionState, cell grid.CellID, relocate bool, tid trace.ID) {
+	if cs.rec != nil {
+		cs.rec.Event(tid, trace.KindMigrate, "router", int64(oid), 0, fmt.Sprintf("node%d -> node%d", si, di))
+	}
+	slice, err := cs.nodes[si].ExtractFocal(oid, false, tid)
+	if err != nil {
+		panic(fmt.Sprintf("core: handoff extract of focal %d from node %d: %v", oid, si, err))
+	}
+	rec, _, _, err := decodeFocalSlice(slice)
+	if err != nil {
+		panic(fmt.Sprintf("core: handoff slice of focal %d: %v", oid, err))
+	}
+	if err := cs.nodes[di].InjectFocal(slice, st, cell, relocate, false, tid); err != nil {
+		panic(fmt.Sprintf("core: handoff inject of focal %d into node %d: %v", oid, di, err))
+	}
+	cs.migrations.Add(1)
+	cs.focalNode[oid] = di
+	for _, qid := range rec.fe.queries {
+		cs.queryNode[qid] = di
+	}
+}
+
+func (cs *ClusterServer) onCellChangeReport(m msg.CellChangeReport, tid trace.ID) {
+	st := model.MotionState{Pos: m.Pos, Vel: m.Vel, Tm: m.Tm}
+	if !cs.g.Valid(m.PrevCell) {
+		// (Re)join: drop stale result entries across every node before the
+		// object re-reports, exactly like the serial server.
+		for i, nd := range cs.nodes {
+			if cs.live[i] {
+				nd.ClearResults(m.OID, tid)
+			}
+		}
+	}
+	if len(cs.pending[m.OID]) > 0 {
+		// The report carries the object's motion state; complete pending
+		// installs from it (the FocalInfoRequest may have been lost).
+		cs.applyFocalInfo(m.OID, st, tid)
+	}
+	ni := cs.nodeOf(m.NewCell)
+	cs.nUpl[ni].Add(1)
+	cs.acctNodeUplink(ni, m)
+	cs.focalCellChange(m.OID, st, m.NewCell, tid)
+	cs.sendNewNearbyQueries(m.OID, m.PrevCell, m.NewCell, tid)
+	cs.ops.Add(1)
+}
+
+// focalCellChange routes a focal object's cell crossing: node-local when
+// the new cell stays in the owner's span, otherwise a cross-node handoff
+// with monitoring-region relocation on the destination.
+func (cs *ClusterServer) focalCellChange(oid model.ObjectID, st model.MotionState, newCell grid.CellID, tid trace.ID) {
+	si, ok := cs.focalNode[oid]
+	if !ok {
+		return // not focal: nothing to relocate
+	}
+	di := cs.nodeOf(newCell)
+	if si == di {
+		cs.nodes[si].FocalCellChange(oid, st, newCell, tid)
+		return
+	}
+	cs.handoff(si, di, oid, st, newCell, true, tid)
+}
+
+// sendNewNearbyQueries unions RQI(newCell) \ RQI(prevCell) across nodes and
+// ships the result to the object, ascending by query ID exactly like the
+// serial server.
+func (cs *ClusterServer) sendNewNearbyQueries(oid model.ObjectID, prevCell, newCell grid.CellID, tid trace.ID) {
+	var fresh []msg.QueryState
+	for i, nd := range cs.nodes {
+		if cs.live[i] {
+			fresh = append(fresh, nd.FreshQueryStates(prevCell, newCell)...)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].QID < fresh[j].QID })
+	cs.unicast(oid, msg.QueryInstall{Queries: fresh}, tid)
+	cs.ops.Add(1)
+}
+
+func (cs *ClusterServer) onDepartureReport(m msg.DepartureReport, tid trace.ID) {
+	cs.upl.Add(1)
+	cs.acctNodeUplink(-1, m) // handled across nodes: charge the router ledger
+	for i, nd := range cs.nodes {
+		if cs.live[i] {
+			nd.DepartSweep(m.OID, tid)
+		}
+	}
+	if si, ok := cs.focalNode[m.OID]; ok {
+		for _, qid := range cs.nodes[si].DepartFocal(m.OID, tid) {
+			delete(cs.queryNode, qid)
+		}
+		delete(cs.focalNode, m.OID)
+	}
+	for _, p := range cs.pending[m.OID] {
+		delete(cs.pendingExp, p.qid)
+	}
+	delete(cs.pending, m.OID)
+	cs.ops.Add(1)
+}
+
+// KillNode fail-stops node i: its span is redistributed over the surviving
+// nodes and every focal it owns is drained to the new owners via admin
+// (charge-free) handoffs, so protocol state, results and cost ledgers are
+// preserved exactly. Killing the last live node is refused. Recovery of a
+// node lost without a drain (crash) is future work — see DESIGN.md §13.
+func (cs *ClusterServer) KillNode(i int) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if i < 0 || i >= len(cs.nodes) {
+		return fmt.Errorf("core: no such node %d", i)
+	}
+	if !cs.live[i] {
+		return fmt.Errorf("core: node %d is already dead", i)
+	}
+	liveCount := 0
+	for _, l := range cs.live {
+		if l {
+			liveCount++
+		}
+	}
+	if liveCount == 1 {
+		return fmt.Errorf("core: cannot kill the last live node")
+	}
+	cs.live[i] = false
+	return cs.rebalanceLocked()
+}
+
+// Rebalance recomputes span assignments from the current focal distribution
+// and migrates misplaced focals to their new owners via admin handoffs.
+// Returns the number of focals moved.
+func (cs *ClusterServer) Rebalance() (int, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	before := cs.migrationsAdminDone
+	err := cs.rebalanceLocked()
+	return cs.migrationsAdminDone - before, err
+}
+
+func (cs *ClusterServer) rebalanceLocked() error {
+	cs.computeSpans()
+	type move struct {
+		si, di int
+		oid    model.ObjectID
+	}
+	var moves []move
+	for i, nd := range cs.nodes {
+		for _, oid := range nd.FocalIDs() {
+			cell, ok := nd.FocalCell(oid)
+			if !ok {
+				continue
+			}
+			if want := cs.nodeOf(cell); want != i {
+				moves = append(moves, move{si: i, di: want, oid: oid})
+			}
+		}
+	}
+	for _, mv := range moves {
+		if err := cs.adminHandoff(mv.si, mv.di, mv.oid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adminHandoff moves a focal between nodes without touching the protocol
+// cost model: rebalancing and drains are infrastructure, not messages on
+// the wireless medium, so the serial-vs-clustered ledger identity holds
+// across them.
+func (cs *ClusterServer) adminHandoff(si, di int, oid model.ObjectID) error {
+	slice, err := cs.nodes[si].ExtractFocal(oid, true, 0)
+	if err != nil {
+		return fmt.Errorf("core: admin handoff extract focal %d from node %d: %w", oid, si, err)
+	}
+	rec, st, cell, err := decodeFocalSlice(slice)
+	if err != nil {
+		return fmt.Errorf("core: admin handoff slice of focal %d: %w", oid, err)
+	}
+	if err := cs.nodes[di].InjectFocal(slice, st, cell, false, true, 0); err != nil {
+		return fmt.Errorf("core: admin handoff inject focal %d into node %d: %w", oid, di, err)
+	}
+	if cs.rec != nil {
+		cs.rec.Event(0, trace.KindMigrate, "router", int64(oid), 0, fmt.Sprintf("node%d -> node%d (rebalance)", si, di))
+	}
+	cs.focalNode[oid] = di
+	for _, qid := range rec.fe.queries {
+		cs.queryNode[qid] = di
+	}
+	cs.migrationsAdminDone++
+	return nil
+}
+
+// SetResultListener installs a callback for every result change on the
+// in-process nodes. Remote nodes report results on their own side.
+func (cs *ClusterServer) SetResultListener(fn func(ResultEvent)) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for _, ns := range cs.local {
+		if ns != nil {
+			ns.srv.SetResultListener(fn)
+		}
+	}
+}
+
+// Result returns the current result set of a query as a sorted slice.
+func (cs *ClusterServer) Result(qid model.QueryID) []model.ObjectID {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ni, ok := cs.queryNode[qid]
+	if !ok {
+		return nil
+	}
+	return cs.nodes[ni].Result(qid)
+}
+
+// ResultContains reports whether oid is currently in qid's result.
+func (cs *ClusterServer) ResultContains(qid model.QueryID, oid model.ObjectID) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ni, ok := cs.queryNode[qid]
+	if !ok {
+		return false
+	}
+	return cs.nodes[ni].ResultContains(qid, oid)
+}
+
+// ResultSize returns |result| for a query (0 for unknown queries).
+func (cs *ClusterServer) ResultSize(qid model.QueryID) int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ni, ok := cs.queryNode[qid]
+	if !ok {
+		return 0
+	}
+	return cs.nodes[ni].ResultSize(qid)
+}
+
+// Query returns the descriptor of an installed query.
+func (cs *ClusterServer) Query(qid model.QueryID) (model.Query, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ni, ok := cs.queryNode[qid]
+	if !ok {
+		return model.Query{}, false
+	}
+	return cs.nodes[ni].Query(qid)
+}
+
+// MonRegion returns the current monitoring region of a query.
+func (cs *ClusterServer) MonRegion(qid model.QueryID) (grid.CellRange, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ni, ok := cs.queryNode[qid]
+	if !ok {
+		return grid.CellRange{}, false
+	}
+	return cs.nodes[ni].MonRegion(qid)
+}
+
+// NumQueries returns the number of installed queries across all nodes.
+func (cs *ClusterServer) NumQueries() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	n := 0
+	for i, nd := range cs.nodes {
+		if cs.live[i] {
+			n += nd.NumQueries()
+		}
+	}
+	return n
+}
+
+// QueryIDs returns all installed query IDs across nodes, ascending.
+func (cs *ClusterServer) QueryIDs() []model.QueryID {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	var out []model.QueryID
+	for i, nd := range cs.nodes {
+		if cs.live[i] {
+			out = append(out, nd.QueryIDs()...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NearbyQueries returns RQI(cell) unioned across nodes, ascending.
+func (cs *ClusterServer) NearbyQueries(cell grid.CellID) []model.QueryID {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	var out []model.QueryID
+	for i, nd := range cs.nodes {
+		if cs.live[i] {
+			out = append(out, nd.NearbyQueries(cell)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Ops returns the cumulative operation count: router dispatches plus every
+// node's table work.
+func (cs *ClusterServer) Ops() int64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	n := cs.ops.Value()
+	for i, nd := range cs.nodes {
+		if cs.live[i] {
+			n += nd.Ops()
+		}
+	}
+	return n
+}
+
+// Migrations returns the cumulative number of protocol-driven cross-node
+// focal handoffs (admin rebalancing moves are not counted).
+func (cs *ClusterServer) Migrations() int64 { return cs.migrations.Value() }
+
+// OpsByNode returns each node's cumulative operation count, indexed by node.
+func (cs *ClusterServer) OpsByNode() []int64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make([]int64, len(cs.nodes))
+	for i, nd := range cs.nodes {
+		if cs.live[i] {
+			out[i] = nd.Ops()
+		}
+	}
+	return out
+}
+
+// UplinksByNode returns the number of uplink messages dispatched to each
+// node, indexed by node.
+func (cs *ClusterServer) UplinksByNode() []int64 {
+	out := make([]int64, len(cs.nUpl))
+	for i, c := range cs.nUpl {
+		out[i] = c.Value()
+	}
+	return out
+}
+
+// NodeSpan describes one node's current assignment for introspection and
+// the admin `nodes` command.
+type NodeSpan struct {
+	Node    int  `json:"node"`
+	Lo      int  `json:"lo"`
+	Hi      int  `json:"hi"`
+	Live    bool `json:"live"`
+	Focals  int  `json:"focals"`
+	Queries int  `json:"queries"`
+}
+
+// Spans returns every node's current cell-range assignment and table sizes.
+func (cs *ClusterServer) Spans() []NodeSpan {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make([]NodeSpan, len(cs.nodes))
+	for i, nd := range cs.nodes {
+		out[i] = NodeSpan{Node: i, Lo: cs.spanLo[i], Hi: cs.spanHi[i], Live: cs.live[i]}
+		if cs.live[i] {
+			out[i].Focals = len(nd.FocalIDs())
+			out[i].Queries = nd.NumQueries()
+		}
+	}
+	return out
+}
+
+// Instrument attaches the cluster server's metrics to reg: router-level ops
+// and uplink counters (node="router"), per-node counters and table-size
+// gauges for in-process nodes, the handoff counter, and per-kind uplink
+// latency measured at the router.
+func (cs *ClusterServer) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(metricOps, helpOps, cs.ops, "node", "router")
+	reg.RegisterCounter(metricUplinks, helpUplinks, cs.upl, "node", "router")
+	reg.RegisterCounter(metricMigrations, helpMigrations, cs.migrations)
+	cs.obsm = &serverObs{uplinkLat: newKindLatency(reg, metricUplinkSeconds, helpUplinkSeconds)}
+	reg.GaugeFunc(metricPending, helpPending, func() float64 {
+		cs.mu.Lock()
+		defer cs.mu.Unlock()
+		return float64(len(cs.pending))
+	})
+	for i, ns := range cs.local {
+		if ns == nil {
+			continue
+		}
+		srv := ns.srv
+		label := strconv.Itoa(i)
+		reg.RegisterCounter(metricOps, helpOps, srv.ops, "node", label)
+		reg.RegisterCounter(metricUplinks, helpUplinks, cs.nUpl[i], "node", label)
+		locked := func(fn func(*Server) int) func() float64 {
+			return func() float64 {
+				cs.mu.Lock()
+				defer cs.mu.Unlock()
+				return float64(fn(srv))
+			}
+		}
+		reg.GaugeFunc(metricFOTSize, helpFOTSize, locked(func(s *Server) int { return len(s.fot) }), "node", label)
+		reg.GaugeFunc(metricSQTSize, helpSQTSize, locked(func(s *Server) int { return len(s.sqt) }), "node", label)
+		reg.GaugeFunc(metricRQIEntries, helpRQIEntries, locked(func(s *Server) int { return s.rqiCount }), "node", label)
+	}
+}
+
+// Snapshot serializes the cluster's durable state in the same MOBS format
+// as the serial and sharded servers — snapshots move freely between all
+// three implementations and across node counts.
+func (cs *ClusterServer) Snapshot(w io.Writer) error {
+	cs.mu.Lock()
+	d := snapData{nextQID: model.QueryID(cs.qidCounter) + 1}
+	for i, nd := range cs.nodes {
+		if !cs.live[i] {
+			continue
+		}
+		raw, err := nd.SnapshotData()
+		if err != nil {
+			cs.mu.Unlock()
+			return err
+		}
+		sd, err := readSnapshot(bytes.NewReader(raw))
+		if err != nil {
+			cs.mu.Unlock()
+			return err
+		}
+		d.queries = append(d.queries, sd.queries...)
+	}
+	sort.Slice(d.queries, func(i, j int) bool { return d.queries[i].state.QID < d.queries[j].state.QID })
+	var pendingFocals []model.ObjectID
+	for focal := range cs.pending {
+		pendingFocals = append(pendingFocals, focal)
+	}
+	sort.Slice(pendingFocals, func(i, j int) bool { return pendingFocals[i] < pendingFocals[j] })
+	for _, focal := range pendingFocals {
+		for _, p := range cs.pending[focal] {
+			d.pending = append(d.pending, snapPending{
+				qid:    p.qid,
+				query:  p.query,
+				maxVel: p.maxVel,
+				expiry: cs.pendingExp[p.qid],
+			})
+		}
+	}
+	cs.mu.Unlock()
+	return writeSnapshot(w, d)
+}
+
+// RestoreClusterServer rebuilds an in-process cluster server from a
+// snapshot written by any implementation. Each restored query lands on the
+// node whose span owns its focal object's current cell; pending
+// installations re-issue their FocalInfoRequests through down.
+func RestoreClusterServer(g *grid.Grid, opts Options, down Downlink, n int, r io.Reader) (*ClusterServer, error) {
+	d, err := readSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	cs := NewClusterServer(g, opts, down, n)
+	cs.qidCounter = int64(d.nextQID) - 1
+	for _, q := range d.queries {
+		cell := g.CellOf(q.state.State.Pos)
+		ni := cs.nodeOf(cell)
+		cs.local[ni].srv.restoreQuery(q)
+		cs.focalNode[q.state.Focal] = ni
+		cs.queryNode[q.state.QID] = ni
+	}
+	for _, p := range d.pending {
+		focal := p.query.Focal
+		cs.pending[focal] = append(cs.pending[focal], pendingInstall{
+			qid:    p.qid,
+			query:  p.query,
+			maxVel: p.maxVel,
+		})
+		if p.expiry != 0 {
+			cs.pendingExp[p.qid] = p.expiry
+		}
+		if len(cs.pending[focal]) == 1 {
+			cs.unicast(focal, msg.FocalInfoRequest{OID: focal}, 0)
+		}
+	}
+	return cs, nil
+}
+
+// CheckInvariants validates every node's internal consistency plus the
+// cluster invariants: routing tables agree with node contents in both
+// directions, each focal row lives in the node whose span owns its current
+// cell, live spans partition the grid, dead nodes are empty, and pending
+// expiries refer to pending queries. Intended for tests and debugging.
+func (cs *ClusterServer) CheckInvariants() error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for idx := 0; idx < cs.g.NumCells(); idx++ {
+		owners := 0
+		for i := range cs.nodes {
+			if cs.live[i] && idx >= cs.spanLo[i] && idx < cs.spanHi[i] {
+				owners++
+			}
+		}
+		if owners != 1 {
+			return fmt.Errorf("core: cell index %d owned by %d live nodes", idx, owners)
+		}
+	}
+	for i, nd := range cs.nodes {
+		if !cs.live[i] {
+			if n := nd.NumQueries(); n != 0 {
+				return fmt.Errorf("core: dead node %d still owns %d queries", i, n)
+			}
+			if ids := nd.FocalIDs(); len(ids) != 0 {
+				return fmt.Errorf("core: dead node %d still owns %d focals", i, len(ids))
+			}
+			continue
+		}
+		if err := nd.CheckInvariants(); err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+		for _, oid := range nd.FocalIDs() {
+			cell, _ := nd.FocalCell(oid)
+			if want := cs.nodeOf(cell); want != i {
+				return fmt.Errorf("core: focal %d on node %d but %v is in node %d's span", oid, i, cell, want)
+			}
+			if ri, ok := cs.focalNode[oid]; !ok || ri != i {
+				return fmt.Errorf("core: focal %d owned by node %d but routed to %d", oid, i, ri)
+			}
+		}
+		for _, qid := range nd.QueryIDs() {
+			if ri, ok := cs.queryNode[qid]; !ok || ri != i {
+				return fmt.Errorf("core: query %d owned by node %d but routed to %d", qid, i, ri)
+			}
+		}
+	}
+	for oid, ni := range cs.focalNode {
+		if _, ok := cs.nodes[ni].FocalCell(oid); !ok {
+			return fmt.Errorf("core: focal %d routed to node %d which does not own it", oid, ni)
+		}
+	}
+	for qid, ni := range cs.queryNode {
+		if _, ok := cs.nodes[ni].Query(qid); !ok {
+			return fmt.Errorf("core: query %d routed to node %d which does not own it", qid, ni)
+		}
+	}
+	for qid := range cs.pendingExp {
+		found := false
+		for _, ps := range cs.pending {
+			for _, p := range ps {
+				if p.qid == qid {
+					found = true
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: pending expiry recorded for non-pending query %d", qid)
+		}
+	}
+	return nil
+}
+
+// Close closes every node handle (a no-op for in-process nodes; the TCP
+// tier tears down worker connections).
+func (cs *ClusterServer) Close() error {
+	var first error
+	for _, nd := range cs.nodes {
+		if err := nd.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

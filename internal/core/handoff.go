@@ -1,0 +1,159 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/wire"
+)
+
+// focalSliceVersion versions the encoded focal-slice format carried by
+// cluster Handoff frames (and used verbatim for in-process node transfers,
+// so the byte-mediated path is what the differential oracle exercises).
+const focalSliceVersion = uint16(1)
+
+// encodeFocalSlice serializes a detached focal record — the FOT row plus
+// every bound query's SQT row and result set — into the self-contained byte
+// slice a Handoff frame carries. Query rows reuse the snapshot idiom: each
+// is a length-prefixed wire-encoded QueryInstall holding one QueryState, so
+// regions, filters and monitoring regions round-trip bit-exactly.
+func encodeFocalSlice(rec focalRecord) []byte {
+	var b []byte
+	le := binary.LittleEndian
+	u16 := func(v uint16) { b = le.AppendUint16(b, v) }
+	u32 := func(v uint32) { b = le.AppendUint32(b, v) }
+	f64 := func(v float64) { b = le.AppendUint64(b, math.Float64bits(v)) }
+	fe := rec.fe
+	u16(focalSliceVersion)
+	u32(uint32(rec.oid))
+	f64(fe.state.Pos.X)
+	f64(fe.state.Pos.Y)
+	f64(fe.state.Vel.X)
+	f64(fe.state.Vel.Y)
+	f64(float64(fe.state.Tm))
+	f64(fe.maxVel)
+	u32(uint32(int32(fe.currCell.Col)))
+	u32(uint32(int32(fe.currCell.Row)))
+	u32(uint32(len(fe.queries)))
+	for i, qid := range fe.queries {
+		e := rec.entries[i]
+		qs := msg.QueryState{
+			QID:         qid,
+			Focal:       rec.oid,
+			State:       fe.state,
+			Region:      e.query.Region,
+			Filter:      e.query.Filter,
+			MonRegion:   e.monRegion,
+			FocalMaxVel: fe.maxVel,
+		}
+		enc := wire.Encode(msg.QueryInstall{Queries: []msg.QueryState{qs}})
+		u32(uint32(len(enc)))
+		b = append(b, enc...)
+		f64(float64(e.expiry))
+		res := make([]model.ObjectID, 0, len(e.result))
+		for oid := range e.result {
+			res = append(res, oid)
+		}
+		sortOIDs(res)
+		u32(uint32(len(res)))
+		for _, oid := range res {
+			u32(uint32(oid))
+		}
+	}
+	return b
+}
+
+func sortOIDs(ids []model.ObjectID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// decodeFocalSlice parses an encoded focal slice back into a detached focal
+// record plus the motion state and grid cell it was extracted at. The
+// record is ready for injectFocal.
+func decodeFocalSlice(b []byte) (focalRecord, model.MotionState, grid.CellID, error) {
+	var rec focalRecord
+	le := binary.LittleEndian
+	off := 0
+	fail := func(what string) (focalRecord, model.MotionState, grid.CellID, error) {
+		return focalRecord{}, model.MotionState{}, grid.CellID{}, fmt.Errorf("core: focal slice: %s", what)
+	}
+	need := func(n int) bool { return off+n <= len(b) }
+	u16 := func() uint16 { v := le.Uint16(b[off:]); off += 2; return v }
+	u32 := func() uint32 { v := le.Uint32(b[off:]); off += 4; return v }
+	f64 := func() float64 { v := math.Float64frombits(le.Uint64(b[off:])); off += 8; return v }
+	if !need(2 + 4 + 6*8 + 2*4 + 4) {
+		return fail("truncated header")
+	}
+	if v := u16(); v != focalSliceVersion {
+		return fail(fmt.Sprintf("unsupported version %d", v))
+	}
+	rec.oid = model.ObjectID(u32())
+	var st model.MotionState
+	st.Pos = geo.Pt(f64(), f64())
+	st.Vel = geo.Vec(f64(), f64())
+	st.Tm = model.Time(f64())
+	maxVel := f64()
+	cell := grid.CellID{Col: int(int32(u32())), Row: int(int32(u32()))}
+	n := int(u32())
+	if n > (len(b)-off)/4 {
+		return fail("implausible query count")
+	}
+	fe := &fotEntry{state: st, maxVel: maxVel, currCell: cell}
+	rec.fe = fe
+	rec.entries = make([]*sqtEntry, 0, n)
+	for i := 0; i < n; i++ {
+		if !need(4) {
+			return fail("truncated query record")
+		}
+		encLen := int(u32())
+		if encLen > len(b)-off {
+			return fail("truncated query state")
+		}
+		m, err := wire.Decode(b[off : off+encLen])
+		off += encLen
+		if err != nil {
+			return focalRecord{}, model.MotionState{}, grid.CellID{}, err
+		}
+		qi, ok := m.(msg.QueryInstall)
+		if !ok || len(qi.Queries) != 1 {
+			return fail("malformed query record")
+		}
+		qs := qi.Queries[0]
+		if !need(8 + 4) {
+			return fail("truncated result set")
+		}
+		expiry := model.Time(f64())
+		nRes := int(u32())
+		if nRes > (len(b)-off)/4 {
+			return fail("implausible result count")
+		}
+		result := make(map[model.ObjectID]struct{}, nRes)
+		for j := 0; j < nRes; j++ {
+			result[model.ObjectID(u32())] = struct{}{}
+		}
+		fe.queries = append(fe.queries, qs.QID)
+		rec.entries = append(rec.entries, &sqtEntry{
+			query:     model.Query{ID: qs.QID, Focal: qs.Focal, Region: qs.Region, Filter: qs.Filter},
+			currCell:  cell,
+			monRegion: qs.MonRegion,
+			result:    result,
+			expiry:    expiry,
+		})
+	}
+	if off != len(b) {
+		return fail("trailing bytes")
+	}
+	return rec, st, cell, nil
+}
+
+var errNoFocal = errors.New("core: node does not own that focal object")

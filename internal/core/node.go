@@ -1,0 +1,269 @@
+package core
+
+import (
+	"bytes"
+
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/obs/trace"
+)
+
+// NodeHandle is the operation surface a cluster router drives a worker node
+// through: the per-dispatch table operations of the MobiEyes protocol, the
+// byte-mediated focal handoff, and the introspection the router aggregates.
+// Two implementations exist: NodeServer executes in-process, and
+// internal/cluster's RemoteNode forwards each call over the wire protocol
+// (NodeOp/Handoff frames) to a worker hosting a NodeServer. Every call
+// carries the causal-trace ID of the uplink or API call that triggered it.
+//
+// Methods are not safe for concurrent use; the ClusterServer serializes all
+// calls under its router mutex.
+type NodeHandle interface {
+	// Query lifecycle.
+	CompleteInstall(qid model.QueryID, q model.Query, maxVel float64, expiry model.Time, tid trace.ID)
+	RemoveQuery(qid model.QueryID, tid trace.ID) (removed bool, focal model.ObjectID, stillFocal bool)
+	DueExpiries(now model.Time) []model.QueryID
+
+	// Uplink-driven table operations (§3.4–3.6).
+	UpsertFocal(oid model.ObjectID, st model.MotionState, tid trace.ID)
+	VelocityReport(m msg.VelocityReport, tid trace.ID)
+	ContainmentReport(m msg.ContainmentReport, tid trace.ID)
+	GroupContainmentReport(m msg.GroupContainmentReport, tid trace.ID)
+	FocalCellChange(oid model.ObjectID, st model.MotionState, newCell grid.CellID, tid trace.ID)
+	FreshQueryStates(prevCell, newCell grid.CellID) []msg.QueryState
+	ClearResults(oid model.ObjectID, tid trace.ID)
+	DepartSweep(oid model.ObjectID, tid trace.ID)
+	DepartFocal(oid model.ObjectID, tid trace.ID) []model.QueryID
+
+	// Cross-node focal handoff: ExtractFocal detaches the focal's complete
+	// state as an encoded focal slice (phase one — the source has drained
+	// its sends and forgotten the rows when it returns); InjectFocal
+	// installs the slice (phase two — acknowledged before the router
+	// updates its routing tables). admin marks charge-free infrastructure
+	// transfers (rebalancing, node drain) outside the protocol cost model.
+	ExtractFocal(oid model.ObjectID, admin bool, tid trace.ID) ([]byte, error)
+	InjectFocal(slice []byte, st model.MotionState, cell grid.CellID, relocate, admin bool, tid trace.ID) error
+
+	// Introspection, aggregated by the router.
+	Result(qid model.QueryID) []model.ObjectID
+	ResultContains(qid model.QueryID, oid model.ObjectID) bool
+	ResultSize(qid model.QueryID) int
+	Query(qid model.QueryID) (model.Query, bool)
+	MonRegion(qid model.QueryID) (grid.CellRange, bool)
+	NumQueries() int
+	QueryIDs() []model.QueryID
+	NearbyQueries(cell grid.CellID) []model.QueryID
+	FocalIDs() []model.ObjectID
+	FocalCell(oid model.ObjectID) (grid.CellID, bool)
+	Ops() int64
+
+	// Durability and diagnostics.
+	SnapshotData() ([]byte, error)
+	CheckInvariants() error
+	Close() error
+}
+
+// NodeServer is the in-process NodeHandle: a serial Server restricted to
+// the focal objects whose current cell falls in this node's assigned range.
+// It is both the executor a cluster Worker hosts behind the wire protocol
+// and the node implementation of the in-process ClusterServer.
+type NodeServer struct {
+	srv *Server
+}
+
+// NewNodeServer returns a node executor over grid g sending through down.
+func NewNodeServer(g *grid.Grid, opts Options, down Downlink) *NodeServer {
+	return &NodeServer{srv: NewServer(g, opts, down)}
+}
+
+// run invokes fn with the node's dispatch trace set to tid.
+func (n *NodeServer) run(tid trace.ID, fn func(s *Server)) {
+	prev := n.srv.curTrace
+	n.srv.curTrace = tid
+	fn(n.srv)
+	n.srv.curTrace = prev
+}
+
+// SetTracer attaches a flight recorder under the given actor name
+// ("node0", "node1", …).
+func (n *NodeServer) SetTracer(rec *trace.Recorder, actor string) {
+	n.srv.setTracer(rec, actor)
+}
+
+// Underlying exposes the wrapped serial server for host-side wiring
+// (instrumentation, accounting, result listeners) that stays outside the
+// NodeHandle operation surface.
+func (n *NodeServer) Underlying() *Server { return n.srv }
+
+func (n *NodeServer) CompleteInstall(qid model.QueryID, q model.Query, maxVel float64, expiry model.Time, tid trace.ID) {
+	n.run(tid, func(s *Server) {
+		if expiry != 0 {
+			s.expiries[qid] = expiry
+		}
+		s.completeInstall(qid, q, maxVel)
+	})
+}
+
+func (n *NodeServer) RemoveQuery(qid model.QueryID, tid trace.ID) (removed bool, focal model.ObjectID, stillFocal bool) {
+	n.run(tid, func(s *Server) {
+		if e, installed := s.sqt[qid]; installed {
+			focal = e.query.Focal
+		}
+		removed = s.RemoveQuery(qid)
+		_, stillFocal = s.fot[focal]
+	})
+	return removed, focal, stillFocal
+}
+
+func (n *NodeServer) DueExpiries(now model.Time) []model.QueryID {
+	var due []model.QueryID
+	for qid, exp := range n.srv.expiries {
+		if exp <= now {
+			due = append(due, qid)
+		}
+	}
+	return due
+}
+
+func (n *NodeServer) UpsertFocal(oid model.ObjectID, st model.MotionState, tid trace.ID) {
+	n.run(tid, func(s *Server) { s.upsertFocal(oid, st) })
+}
+
+func (n *NodeServer) VelocityReport(m msg.VelocityReport, tid trace.ID) {
+	n.run(tid, func(s *Server) { s.OnVelocityReport(m) })
+}
+
+func (n *NodeServer) ContainmentReport(m msg.ContainmentReport, tid trace.ID) {
+	n.run(tid, func(s *Server) { s.OnContainmentReport(m) })
+}
+
+func (n *NodeServer) GroupContainmentReport(m msg.GroupContainmentReport, tid trace.ID) {
+	n.run(tid, func(s *Server) { s.OnGroupContainmentReport(m) })
+}
+
+func (n *NodeServer) FocalCellChange(oid model.ObjectID, st model.MotionState, newCell grid.CellID, tid trace.ID) {
+	n.run(tid, func(s *Server) {
+		if fe, ok := s.fot[oid]; ok {
+			s.focalCellChange(fe, st, newCell)
+		}
+	})
+}
+
+func (n *NodeServer) FreshQueryStates(prevCell, newCell grid.CellID) []msg.QueryState {
+	return n.srv.freshQueryStates(prevCell, newCell)
+}
+
+func (n *NodeServer) ClearResults(oid model.ObjectID, tid trace.ID) {
+	n.run(tid, func(s *Server) { s.clearObjectFromResults(oid) })
+}
+
+func (n *NodeServer) DepartSweep(oid model.ObjectID, tid trace.ID) {
+	n.run(tid, func(s *Server) {
+		for qid, e := range s.sqt {
+			if _, in := e.result[oid]; in {
+				delete(e.result, oid)
+				s.notifyResult(qid, oid, false)
+			}
+		}
+	})
+}
+
+func (n *NodeServer) DepartFocal(oid model.ObjectID, tid trace.ID) []model.QueryID {
+	var qids []model.QueryID
+	n.run(tid, func(s *Server) {
+		fe, ok := s.fot[oid]
+		if !ok {
+			return
+		}
+		qids = append(qids, fe.queries...)
+		for _, qid := range qids {
+			s.RemoveQuery(qid)
+		}
+		delete(s.fot, oid)
+	})
+	return qids
+}
+
+func (n *NodeServer) ExtractFocal(oid model.ObjectID, admin bool, tid trace.ID) ([]byte, error) {
+	if _, ok := n.srv.fot[oid]; !ok {
+		return nil, errNoFocal
+	}
+	restore := n.suspendCharges(admin)
+	var slice []byte
+	n.run(tid, func(s *Server) { slice = encodeFocalSlice(s.extractFocal(oid)) })
+	restore()
+	return slice, nil
+}
+
+func (n *NodeServer) InjectFocal(slice []byte, st model.MotionState, cell grid.CellID, relocate, admin bool, tid trace.ID) error {
+	rec, _, _, err := decodeFocalSlice(slice)
+	if err != nil {
+		return err
+	}
+	restore := n.suspendCharges(admin)
+	n.run(tid, func(s *Server) { s.injectFocal(rec, st, cell, relocate) })
+	restore()
+	return nil
+}
+
+// suspendCharges disables cost accounting for the duration of an admin
+// (infrastructure) transfer: rebalancing and node drains move state without
+// protocol messages, so they must not perturb the cost model the
+// differential ledger oracle compares against the serial server.
+func (n *NodeServer) suspendCharges(admin bool) func() {
+	if !admin {
+		return func() {}
+	}
+	saved := n.srv.acct
+	n.srv.acct = nil
+	return func() { n.srv.acct = saved }
+}
+
+func (n *NodeServer) Result(qid model.QueryID) []model.ObjectID { return n.srv.Result(qid) }
+func (n *NodeServer) ResultContains(qid model.QueryID, oid model.ObjectID) bool {
+	return n.srv.ResultContains(qid, oid)
+}
+func (n *NodeServer) ResultSize(qid model.QueryID) int          { return n.srv.ResultSize(qid) }
+func (n *NodeServer) Query(qid model.QueryID) (model.Query, bool) { return n.srv.Query(qid) }
+func (n *NodeServer) MonRegion(qid model.QueryID) (grid.CellRange, bool) {
+	return n.srv.MonRegion(qid)
+}
+func (n *NodeServer) NumQueries() int            { return n.srv.NumQueries() }
+func (n *NodeServer) QueryIDs() []model.QueryID  { return n.srv.QueryIDs() }
+func (n *NodeServer) NearbyQueries(cell grid.CellID) []model.QueryID {
+	return n.srv.NearbyQueries(cell)
+}
+
+func (n *NodeServer) FocalIDs() []model.ObjectID {
+	out := make([]model.ObjectID, 0, len(n.srv.fot))
+	for oid := range n.srv.fot {
+		out = append(out, oid)
+	}
+	sortOIDs(out)
+	return out
+}
+
+func (n *NodeServer) FocalCell(oid model.ObjectID) (grid.CellID, bool) {
+	fe, ok := n.srv.fot[oid]
+	if !ok {
+		return grid.CellID{}, false
+	}
+	return fe.currCell, true
+}
+
+func (n *NodeServer) Ops() int64 { return n.srv.Ops() }
+
+func (n *NodeServer) SnapshotData() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeSnapshot(&buf, n.srv.snapshotData()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (n *NodeServer) CheckInvariants() error { return n.srv.CheckInvariants() }
+
+func (n *NodeServer) Close() error { return nil }
+
+var _ NodeHandle = (*NodeServer)(nil)

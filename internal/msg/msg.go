@@ -54,6 +54,17 @@ const (
 	KindFocalNotify
 	KindFocalInfoRequest
 	KindPong
+	// Node tier (router ↔ worker, internal/cluster). These frames never
+	// touch a moving object's radio; they ride the backhaul between the
+	// router and its worker nodes.
+	KindNodeHello
+	KindNodeHeartbeat
+	KindAssignRange
+	KindHandoff
+	KindHandoffAck
+	KindNodeOp
+	KindNodeOpDone
+	KindNodeDownlink
 
 	numKinds
 )
@@ -67,6 +78,8 @@ var kindNames = [...]string{
 	"DepartureReport", "Ping",
 	"QueryInstall", "QueryRemove", "VelocityChange",
 	"FocalNotify", "FocalInfoRequest", "Pong",
+	"NodeHello", "NodeHeartbeat", "AssignRange",
+	"Handoff", "HandoffAck", "NodeOp", "NodeOpDone", "NodeDownlink",
 }
 
 // String implements fmt.Stringer.
@@ -79,6 +92,11 @@ func (k Kind) String() string {
 
 // Uplink reports whether messages of this kind travel object → server.
 func (k Kind) Uplink() bool { return k <= KindPing }
+
+// Node reports whether messages of this kind belong to the router↔worker
+// node tier (internal/cluster). Node frames are neither uplink nor downlink
+// in the device sense: they never cross the wireless medium.
+func (k Kind) Node() bool { return k >= KindNodeHello }
 
 // Message is implemented by every protocol message.
 type Message interface {
@@ -319,6 +337,124 @@ type Pong struct {
 
 func (Pong) Kind() Kind { return KindPong }
 func (Pong) Size() int  { return HeaderSize + ScalarSize }
+
+// ---------------------------------------------------------------------------
+// Node-tier messages (router ↔ worker, internal/cluster). These share the
+// wire codec and the cost-ledger kind axis with the protocol messages, but
+// they travel on the backhaul between cluster nodes, never on the wireless
+// medium (Kind.Node reports the tier).
+
+// NodeHello opens a router↔worker connection: the worker's assigned node
+// index and the node-tier protocol version each side speaks. A version
+// mismatch is rejected with a typed error by both ends.
+type NodeHello struct {
+	Node  uint32
+	Proto uint16
+}
+
+func (NodeHello) Kind() Kind { return KindNodeHello }
+func (NodeHello) Size() int  { return HeaderSize + IDSize + 2 }
+
+// NodeHeartbeat is the router's liveness probe; the worker echoes it with
+// the same sequence number.
+type NodeHeartbeat struct {
+	Node uint32
+	Seq  uint64
+}
+
+func (NodeHeartbeat) Kind() Kind { return KindNodeHeartbeat }
+func (NodeHeartbeat) Size() int  { return HeaderSize + IDSize + ScalarSize }
+
+// AssignRange gives a worker its contiguous range of dense grid-cell
+// indices [Lo, Hi). Epoch increases with every reassignment so a worker can
+// discard stale assignments after a rebalance.
+type AssignRange struct {
+	Epoch uint64
+	Node  uint32
+	Lo    uint32
+	Hi    uint32
+}
+
+func (AssignRange) Kind() Kind { return KindAssignRange }
+func (AssignRange) Size() int  { return HeaderSize + ScalarSize + 3*IDSize }
+
+// Handoff transfers one focal object's complete server-side state (an
+// encoded focal slice: FOT row plus every bound query's SQT row and result
+// set) into the receiving node. Relocate distinguishes a §3.5 cell-crossing
+// migration (monitoring regions recomputed and re-broadcast) from a
+// state-preserving transfer (focal-info refresh or admin rebalancing).
+type Handoff struct {
+	Seq      uint64
+	OID      model.ObjectID
+	Relocate bool
+	// State/Cell are the motion state and grid cell the receiving node
+	// installs the focal at (for admin transfers they repeat the slice's
+	// embedded values).
+	State model.MotionState
+	Cell  grid.CellID
+	Slice []byte
+}
+
+func (Handoff) Kind() Kind { return KindHandoff }
+func (m Handoff) Size() int {
+	return HeaderSize + ScalarSize + IDSize + BoolSize +
+		PointSize + VectorSize + TimeSize + CellSize + 4 + len(m.Slice)
+}
+
+// HandoffAck confirms a Handoff was applied; the two-phase transfer is
+// complete and the sender may forget the focal.
+type HandoffAck struct {
+	Seq uint64
+	OID model.ObjectID
+}
+
+func (HandoffAck) Kind() Kind { return KindHandoffAck }
+func (HandoffAck) Size() int  { return HeaderSize + ScalarSize + IDSize }
+
+// NodeOp is one remote table operation on a worker node: an opcode from
+// internal/cluster's operation set and its encoded arguments. The worker
+// answers with any number of NodeDownlink frames followed by one
+// NodeOpDone carrying the same sequence number.
+type NodeOp struct {
+	Seq  uint64
+	Code uint8
+	Data []byte
+}
+
+func (NodeOp) Kind() Kind { return KindNodeOp }
+func (m NodeOp) Size() int {
+	return HeaderSize + ScalarSize + 1 + 4 + len(m.Data)
+}
+
+// NodeOpDone completes a NodeOp, carrying the operation's encoded result.
+type NodeOpDone struct {
+	Seq  uint64
+	Code uint8
+	Data []byte
+}
+
+func (NodeOpDone) Kind() Kind { return KindNodeOpDone }
+func (m NodeOpDone) Size() int {
+	return HeaderSize + ScalarSize + 1 + 4 + len(m.Data)
+}
+
+// NodeDownlink relays a downlink message a worker produced while applying a
+// NodeOp back to the router, which forwards it to the wireless medium.
+// Broadcast frames carry the target cell range (Target must be zero);
+// unicast frames carry the receiving object (Region must be zero).
+type NodeDownlink struct {
+	Broadcast bool
+	Region    grid.CellRange
+	Target    model.ObjectID
+	// Inner is the wire-encoded protocol message (trace ID included when the
+	// causing operation was traced).
+	Inner []byte
+}
+
+func (NodeDownlink) Kind() Kind { return KindNodeDownlink }
+func (m NodeDownlink) Size() int {
+	return HeaderSize + BoolSize + CellRangeSize + IDSize + 4 + len(m.Inner)
+}
 
 // ---------------------------------------------------------------------------
 

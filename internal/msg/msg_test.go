@@ -185,6 +185,8 @@ func TestAllMessagesImplementInterface(t *testing.T) {
 		DepartureReport{}, Ping{},
 		QueryInstall{}, QueryRemove{}, VelocityChange{},
 		FocalNotify{}, FocalInfoRequest{}, Pong{},
+		NodeHello{}, NodeHeartbeat{}, AssignRange{}, Handoff{},
+		HandoffAck{}, NodeOp{}, NodeOpDone{}, NodeDownlink{},
 	}
 	seen := map[Kind]bool{}
 	for _, m := range msgs {

@@ -277,6 +277,13 @@ type Accountant struct {
 	cells    []Tally
 	stations []Tally
 
+	// nodes are the per-cluster-node ledgers, sized by ConfigureNodes. They
+	// mirror the shard level one tier up: the clustered router attributes
+	// each dispatched uplink to the node whose tables it mutates, with the
+	// router ledger absorbing stale drops and router-handled work, so
+	// sum(nodes) + router == global uplinks.
+	nodes []Ledger
+
 	mu      sync.RWMutex // guards queries, objects, mode
 	queries map[int64]*Tally
 	objects map[int64]*Tally
@@ -315,6 +322,20 @@ func (a *Accountant) Configure(numCells, numStations, numShards int) {
 		a.stations = make([]Tally, numStations)
 	} else {
 		a.stations = nil
+	}
+}
+
+// ConfigureNodes (re)allocates the per-cluster-node ledgers. Zero or
+// negative disables the node scope. Like Configure, call before the system
+// runs.
+func (a *Accountant) ConfigureNodes(numNodes int) {
+	if a == nil {
+		return
+	}
+	if numNodes > 0 {
+		a.nodes = make([]Ledger, numNodes)
+	} else {
+		a.nodes = nil
 	}
 }
 
@@ -371,6 +392,20 @@ func (a *Accountant) ShardUplink(shard int, k msg.Kind, bytes int) {
 		return
 	}
 	a.shards[shard].uplink(k, int64(bytes))
+}
+
+// NodeUplink charges one uplink to the cluster node that processed it. An
+// index outside the configured range — the router's conventional -1 — goes
+// to the router ledger, preserving sum(nodes) + router == global uplinks.
+func (a *Accountant) NodeUplink(node int, k msg.Kind, bytes int) {
+	if a == nil {
+		return
+	}
+	if node < 0 || node >= len(a.nodes) {
+		a.router.uplink(k, int64(bytes))
+		return
+	}
+	a.nodes[node].uplink(k, int64(bytes))
 }
 
 // CellUp charges one uplink's bytes to the sender's grid cell. Out-of-range
@@ -570,6 +605,18 @@ func (a *Accountant) Shards() []LedgerSnap {
 	return out
 }
 
+// Nodes returns snapshots of the per-cluster-node ledgers.
+func (a *Accountant) Nodes() []LedgerSnap {
+	if a == nil {
+		return nil
+	}
+	out := make([]LedgerSnap, len(a.nodes))
+	for i := range a.nodes {
+		out[i] = a.nodes[i].snap()
+	}
+	return out
+}
+
 // Reset zeroes every ledger, tally and quality instrument in place,
 // preserving registry registrations and configured scope sizes. Intended
 // for quiescent points (e.g. after warmup), like network.Meter.Reset.
@@ -581,6 +628,9 @@ func (a *Accountant) Reset() {
 	a.router.reset()
 	for i := range a.shards {
 		a.shards[i].reset()
+	}
+	for i := range a.nodes {
+		a.nodes[i].reset()
 	}
 	for i := range a.cells {
 		a.cells[i].reset()

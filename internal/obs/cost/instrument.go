@@ -59,6 +59,13 @@ func (a *Accountant) Instrument(reg *obs.Registry) {
 		"Uplink messages attributed to each server shard.",
 		func() float64 { return float64(a.router.UplinkMsgs()) },
 		"shard", "router")
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		reg.GaugeFunc("mobieyes_cost_node_uplink_msgs",
+			"Uplink messages attributed to each cluster node.",
+			func() float64 { return float64(nd.UplinkMsgs()) },
+			"node", strconv.Itoa(i))
+	}
 	reg.GaugeFunc("mobieyes_cost_precision",
 		"Latest-step result-set precision against ground truth.",
 		a.q.precision.Value)

@@ -93,6 +93,7 @@ type Snapshot struct {
 	Global   LedgerReport   `json:"global"`
 	Router   *LedgerReport  `json:"router,omitempty"`
 	Shards   []LedgerReport `json:"shards,omitempty"`
+	Nodes    []LedgerReport `json:"nodes,omitempty"`
 	Cells    []TallySnap    `json:"cells,omitempty"`
 	Stations []TallySnap    `json:"stations,omitempty"`
 	Queries  []TallySnap    `json:"queries,omitempty"`
@@ -116,6 +117,9 @@ func (a *Accountant) Snapshot() Snapshot {
 	}
 	for i := range a.shards {
 		s.Shards = append(s.Shards, a.shards[i].snap().Report())
+	}
+	for i := range a.nodes {
+		s.Nodes = append(s.Nodes, a.nodes[i].snap().Report())
 	}
 	for i := range a.cells {
 		if !a.cells[i].zeroValued() {
@@ -250,6 +254,9 @@ func (s Snapshot) WriteText(w io.Writer) {
 	}
 	for i, sh := range s.Shards {
 		fmt.Fprintf(tw, "shard %d\tup %d msgs / %d B\n", i, sh.UpMsgs, sh.UpBytes)
+	}
+	for i, nd := range s.Nodes {
+		fmt.Fprintf(tw, "node %d\tup %d msgs / %d B\n", i, nd.UpMsgs, nd.UpBytes)
 	}
 	if s.Router != nil {
 		fmt.Fprintf(tw, "router\tup %d msgs / %d B\n", s.Router.UpMsgs, s.Router.UpBytes)

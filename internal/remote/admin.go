@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"mobieyes/internal/core"
 	"mobieyes/internal/model"
 	"mobieyes/internal/obs/cost"
 	"mobieyes/internal/obs/trace"
@@ -21,6 +22,10 @@ import (
 //	remove <qid>                             → "ok"
 //	result <qid>                             → "result <id> <oid…>"
 //	conns                                    → "conns <n>"
+//	nodes                                    → per-worker-node cell spans and
+//	                                           table sizes of a clustered
+//	                                           backend, "." terminated
+//	                                           ("err not clustered" otherwise)
 //	stats                                    → "stats <up> <down> <upB> <downB>"
 //	STATS                                    → full metric registry in Prometheus
 //	                                           text format, terminated by a "." line
@@ -162,6 +167,22 @@ func (a *AdminServer) handleCommand(conn net.Conn, fields []string) bool {
 		fmt.Fprintln(conn)
 	case "conns":
 		fmt.Fprintf(conn, "conns %d\n", a.srv.NumConnected())
+	case "nodes":
+		cs, ok := a.srv.backend.(*core.ClusterServer)
+		if !ok {
+			fmt.Fprintln(conn, "err not clustered")
+			return true
+		}
+		fmt.Fprintf(conn, "epoch %d\n", cs.Epoch())
+		for _, sp := range cs.Spans() {
+			state := "live"
+			if !sp.Live {
+				state = "dead"
+			}
+			fmt.Fprintf(conn, "node %d %s cells [%d,%d) focals %d queries %d\n",
+				sp.Node, state, sp.Lo, sp.Hi, sp.Focals, sp.Queries)
+		}
+		fmt.Fprintln(conn, ".")
 	case "stats":
 		up, down, upB, downB, _ := a.srv.Stats()
 		fmt.Fprintf(conn, "stats %d %d %d %d\n", up, down, upB, downB)

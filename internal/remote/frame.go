@@ -34,6 +34,21 @@ const maxFrame = 1 << 20
 // wire messages always start with the wire magic's low byte, which differs.
 const helloTag = 0x48 // 'H'
 
+// HelloVersion is the handshake protocol version spoken by this build.
+// Version 1 was the unversioned 5-byte [tag, oid] form; version 2 added the
+// version byte so incompatible peers are refused explicitly instead of
+// misparsed.
+const HelloVersion = 2
+
+// HelloVersionError reports a handshake from a peer speaking a different
+// protocol version. It is a typed rejection: the session is refused, but the
+// caller can tell "wrong version" apart from "corrupt frame".
+type HelloVersionError struct{ Got uint8 }
+
+func (e *HelloVersionError) Error() string {
+	return fmt.Sprintf("remote: peer hello is protocol version %d, this build speaks %d", e.Got, HelloVersion)
+}
+
 // WriteFrame writes a length-prefixed payload.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxFrame {
@@ -65,20 +80,30 @@ func ReadFrame(r *bufio.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// EncodeHello builds the handshake frame payload announcing an object ID.
+// EncodeHello builds the handshake frame payload announcing an object ID:
+// [tag, version, oid u32].
 func EncodeHello(oid model.ObjectID) []byte {
-	b := make([]byte, 5)
+	b := make([]byte, 6)
 	b[0] = helloTag
-	binary.LittleEndian.PutUint32(b[1:], uint32(oid))
+	b[1] = HelloVersion
+	binary.LittleEndian.PutUint32(b[2:], uint32(oid))
 	return b
 }
 
-// decodeHello parses a handshake payload.
+// decodeHello parses a handshake payload. A recognizable hello of the wrong
+// protocol version — including the legacy unversioned 5-byte form, which is
+// version 1 — returns a *HelloVersionError; anything else is malformed.
 func decodeHello(b []byte) (model.ObjectID, error) {
-	if len(b) != 5 || b[0] != helloTag {
-		return 0, fmt.Errorf("remote: malformed hello (%d bytes)", len(b))
+	switch {
+	case len(b) == 5 && b[0] == helloTag:
+		return 0, &HelloVersionError{Got: 1}
+	case len(b) == 6 && b[0] == helloTag:
+		if b[1] != HelloVersion {
+			return 0, &HelloVersionError{Got: b[1]}
+		}
+		return model.ObjectID(binary.LittleEndian.Uint32(b[2:])), nil
 	}
-	return model.ObjectID(binary.LittleEndian.Uint32(b[1:])), nil
+	return 0, fmt.Errorf("remote: malformed hello (%d bytes)", len(b))
 }
 
 // messageFrame encodes a protocol message as a frame payload.
@@ -90,7 +115,9 @@ func messageFrame(m msg.Message) []byte { return wire.Encode(m) }
 // degrading it, and the simulation harness's quiescence barrier relies on
 // Ping/Pong surviving.
 func ControlFrame(payload []byte) bool {
-	if len(payload) == 5 && payload[0] == helloTag {
+	// Both hello shapes pass: a wrong-version hello must reach the server so
+	// it is refused with a typed error, not silently eaten by a relay.
+	if (len(payload) == 5 || len(payload) == 6) && payload[0] == helloTag {
 		return true
 	}
 	if len(payload) >= 4 && binary.LittleEndian.Uint16(payload) == wire.Magic {

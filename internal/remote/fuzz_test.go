@@ -34,6 +34,17 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(fuzzStream(hello, report, ping))
 	f.Add(fuzzStream(hello))
 	f.Add(fuzzStream(nil))
+	// Version-mismatched handshakes: the legacy 5-byte (version 1) form and
+	// a version byte from the future. Both must be refused as
+	// HelloVersionError, never misparsed as an object ID.
+	legacy := []byte{0x48, 42, 0, 0, 0}
+	future := []byte{0x48, 0x7F, 42, 0, 0, 0}
+	f.Add(fuzzStream(legacy, report))
+	f.Add(fuzzStream(future, report))
+	// Cluster-tier frames arriving on an object connection: decodable, but
+	// the server must classify them without panicking.
+	f.Add(fuzzStream(hello, wire.Encode(msg.NodeHello{Node: 1, Proto: 2})))
+	f.Add(fuzzStream(hello, wire.Encode(msg.Handoff{Seq: 1, OID: 9, Slice: []byte{1, 2}})))
 	// Length prefix pointing past the data, oversized prefix, raw garbage.
 	f.Add([]byte{0x10, 0x00, 0x00, 0x00, 0x48})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})

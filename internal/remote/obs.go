@@ -18,6 +18,7 @@ const (
 	metricBytesIn         = "mobieyes_remote_bytes_in_total"
 	metricBytesOut        = "mobieyes_remote_bytes_out_total"
 	metricDecodeErrors    = "mobieyes_remote_decode_errors_total"
+	metricVersionRejects  = "mobieyes_remote_version_rejects_total"
 	metricUplinkSecondsRm = "mobieyes_remote_uplink_seconds"
 	metricBroadcastConns  = "mobieyes_remote_broadcast_fanout"
 	metricPendingUni      = "mobieyes_remote_pending_unicasts"
@@ -29,6 +30,7 @@ const (
 	helpBytesIn         = "Bytes received from objects, length prefixes included."
 	helpBytesOut        = "Bytes written to objects, length prefixes included."
 	helpDecodeErrors    = "Received frames that failed protocol decoding."
+	helpVersionRejects  = "Handshakes refused for a mismatched protocol version."
 	helpUplinkSecondsRm = "Uplink dispatch latency into the backend, in seconds."
 	helpBroadcastConns  = "Connections addressed per downlink broadcast."
 	helpPendingUni      = "Unicast frames queued for not-yet-connected objects."
@@ -42,8 +44,9 @@ type remoteObs struct {
 	framesIn     *obs.Counter
 	framesOut    *obs.Counter
 	bytesIn      *obs.Counter
-	bytesOut     *obs.Counter
-	decodeErrors *obs.Counter
+	bytesOut       *obs.Counter
+	decodeErrors   *obs.Counter
+	versionRejects *obs.Counter
 	// uplinkLat is indexed by message kind; only uplink kinds are populated
 	// (downlink kinds never arrive on the uplink path).
 	uplinkLat       [msg.NumKinds]*obs.Histogram
@@ -58,6 +61,7 @@ func newRemoteObs(reg *obs.Registry) *remoteObs {
 		bytesIn:         reg.Counter(metricBytesIn, helpBytesIn),
 		bytesOut:        reg.Counter(metricBytesOut, helpBytesOut),
 		decodeErrors:    reg.Counter(metricDecodeErrors, helpDecodeErrors),
+		versionRejects:  reg.Counter(metricVersionRejects, helpVersionRejects),
 		broadcastFanout: reg.Histogram(metricBroadcastConns, helpBroadcastConns, obs.SizeBuckets),
 	}
 	for k := msg.Kind(0); int(k) < msg.NumKinds; k++ {

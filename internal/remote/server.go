@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bufio"
+	"errors"
 	"io"
 	"net"
 	"sync"
@@ -32,7 +33,20 @@ type ServerConfig struct {
 	// 0 defaults to GOMAXPROCS. Each connection goroutine dispatches its
 	// uplinks straight into the partitioned engine, so independent
 	// objects are processed concurrently instead of through one funnel.
+	// Ignored when ClusterNodes selects the clustered backend.
 	Shards int
+	// ClusterNodes > 0 selects the router-plus-workers clustered backend
+	// (core.ClusterServer) with that many in-process worker nodes instead
+	// of the sharded backend: the server process acts as the router tier,
+	// owning query lifecycle and forwarding uplinks to the worker owning
+	// the reported cell.
+	ClusterNodes int
+	// Backend, when non-nil, constructs the query engine over the server's
+	// grid and downlink instead of the built-in sharded or clustered
+	// engines — the hook the cluster-router entrypoint uses to route over
+	// TCP worker processes (internal/cluster). Shards and ClusterNodes are
+	// ignored when set; ListenAndRestore does not support it.
+	Backend func(g *grid.Grid, opts core.Options, down core.Downlink) (core.ServerAPI, error)
 	// Metrics is the registry transport and backend metrics attach to,
 	// typically shared with an obs.HTTPServer. Nil means the server keeps
 	// a private registry, still reachable via Metrics() and the admin
@@ -70,7 +84,7 @@ type Server struct {
 	g   *grid.Grid
 	ln  net.Listener
 
-	backend *core.ShardedServer
+	backend core.ServerAPI // *core.ShardedServer, or *core.ClusterServer with cfg.ClusterNodes
 	rec     *trace.Recorder
 	acct    *cost.Accountant // nil-safe; charged at the frame codec boundary
 	done    chan struct{}
@@ -110,33 +124,58 @@ func ListenAndServe(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Serve(cfg, ln), nil
+	s, err := Serve(cfg, ln)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Serve starts a server on an existing listener. Any net.Listener works,
 // including in-memory ones — the deterministic simulation harness serves
-// over net.Pipe connections this way. cfg.Addr is ignored.
-func Serve(cfg ServerConfig, ln net.Listener) *Server {
+// over net.Pipe connections this way. cfg.Addr is ignored. The error is
+// non-nil only when a cfg.Backend factory fails (e.g. a cluster router that
+// cannot reach its workers); the built-in backends cannot fail.
+func Serve(cfg ServerConfig, ln net.Listener) (*Server, error) {
 	s := newServer(cfg, ln)
-	s.backend = core.NewShardedServer(s.g, cfg.Options, serverDownlink{s}, cfg.Shards)
+	switch {
+	case cfg.Backend != nil:
+		backend, err := cfg.Backend(s.g, cfg.Options, serverDownlink{s})
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.backend = backend
+	case cfg.ClusterNodes > 0:
+		s.backend = core.NewClusterServer(s.g, cfg.Options, serverDownlink{s}, cfg.ClusterNodes)
+	default:
+		s.backend = core.NewShardedServer(s.g, cfg.Options, serverDownlink{s}, cfg.Shards)
+	}
 	if s.rec != nil {
 		s.backend.SetTracer(s.rec)
 	}
 	s.wireCosts()
 	s.start()
-	return s
+	return s, nil
 }
 
 // wireCosts connects the configured accountant: sized to the grid and the
-// backend's partition count (no base stations over TCP), instrumented into
-// the server's registry, and attached to the backend for per-shard and
-// per-entity attribution.
+// backend's partition or node count (no base stations over TCP),
+// instrumented into the server's registry, and attached to the backend for
+// per-shard/per-node and per-entity attribution.
 func (s *Server) wireCosts() {
 	if s.cfg.Costs == nil {
 		return
 	}
 	s.acct = s.cfg.Costs
-	s.acct.Configure(s.g.NumCells(), 0, s.backend.NumShards())
+	shards := 0
+	if b, ok := s.backend.(*core.ShardedServer); ok {
+		shards = b.NumShards()
+	}
+	s.acct.Configure(s.g.NumCells(), 0, shards)
+	if b, ok := s.backend.(*core.ClusterServer); ok {
+		s.acct.ConfigureNodes(b.NumNodes())
+	}
 	s.acct.Instrument(s.reg)
 	s.backend.SetAccountant(s.acct)
 }
@@ -259,7 +298,12 @@ func ListenAndRestore(cfg ServerConfig, snapshot io.Reader) (*Server, error) {
 		return nil, err
 	}
 	s := newServer(cfg, ln)
-	backend, err := core.RestoreShardedServer(s.g, cfg.Options, serverDownlink{s}, cfg.Shards, snapshot)
+	var backend core.ServerAPI
+	if cfg.ClusterNodes > 0 {
+		backend, err = core.RestoreClusterServer(s.g, cfg.Options, serverDownlink{s}, cfg.ClusterNodes, snapshot)
+	} else {
+		backend, err = core.RestoreShardedServer(s.g, cfg.Options, serverDownlink{s}, cfg.Shards, snapshot)
+	}
 	if err != nil {
 		ln.Close()
 		return nil, err
@@ -354,7 +398,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.om.bytesIn.Add(int64(4 + len(hello)))
 	oid, err := decodeHello(hello)
 	if err != nil {
-		s.om.decodeErrors.Add(1)
+		var ve *HelloVersionError
+		if errors.As(err, &ve) {
+			s.om.versionRejects.Add(1)
+		} else {
+			s.om.decodeErrors.Add(1)
+		}
 		conn.Close()
 		return
 	}

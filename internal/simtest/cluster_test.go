@@ -1,0 +1,217 @@
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/workload"
+)
+
+// clusterScenario builds a three-way differential scenario — serial,
+// sharded and clustered engines in lockstep under the full oracle
+// hierarchy, cost ledgers included. Every third seed additionally injects
+// node-level faults into the clustered engine: a mid-schedule rebalance and
+// a node kill. Both are drained through charge-free admin handoffs, so the
+// strict oracles (byte-identical snapshots and ledgers) must keep holding
+// across them — there is no weakened window for cluster events.
+func clusterScenario(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{
+		Seed:       seed,
+		NumObjects: 30 + rng.Intn(16),
+		NumSpecs:   10,
+		Opts:       variants[int(seed)%len(variants)],
+		Mobility:   mobilities[int(seed)%len(mobilities)],
+		Shards:     2 + rng.Intn(4),
+		Nodes:      2 + rng.Intn(3),
+		Costs:      true,
+	}
+	sc.Ops = Generate(rng, GenConfig{
+		Ops:         14 + rng.Intn(8),
+		NumSpecs:    sc.NumSpecs,
+		AllowExpiry: true,
+		AllowChurn:  true,
+	})
+	if seed%3 == 0 {
+		n := len(sc.Ops)
+		sc.ClusterEvents = []ClusterEvent{
+			{AtOp: n / 3, Kind: ClusterRebalance},
+			{AtOp: 2 * n / 3, Node: int(seed) % sc.Nodes, Kind: ClusterKill},
+		}
+	}
+	return sc
+}
+
+// TestThreeWayLockstepSweep is the cluster tier's differential acceptance
+// sweep: serial vs sharded vs clustered through seeded random schedules,
+// asserting after every operation that query sets, per-query results,
+// ground truth (for exact variants), cost ledgers and durable snapshots are
+// identical across all three — including the seeds that kill a worker node
+// and rebalance cell ranges mid-schedule.
+func TestThreeWayLockstepSweep(t *testing.T) {
+	seeds := 24
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		sc := clusterScenario(seed)
+		t.Run(fmt.Sprintf("seed=%d/%s/nodes=%d", seed, sc.Opts.Mode, sc.Nodes), func(t *testing.T) {
+			t.Parallel()
+			if err := RunScenario(sc); err != nil {
+				t.Fatalf("oracle violation: %v\nrepro:\n%s", err, ReproCase(sc))
+			}
+		})
+	}
+}
+
+// TestClusteredColumnExercisesHandoffs pins that the sweep's schedules are
+// not vacuous: a clustered engine run through a representative schedule
+// must perform cross-node focal handoffs and spread focals over several
+// nodes — otherwise the three-way oracle never tests the transfer path.
+func TestClusteredColumnExercisesHandoffs(t *testing.T) {
+	sc := Scenario{Seed: 2, NumObjects: 40, NumSpecs: 10}
+	wl := workload.New(sc.workloadConfig())
+	g := grid.New(wl.Config().UoD, alphaMiles)
+	ls := newLocalSystem("clustered", g, core.Options{}, wl.Objects, 0, 3, 0, false)
+	tstep := model.FromSeconds(wl.Config().StepSeconds)
+	var now model.Time
+	for _, o := range wl.Objects {
+		if err := ls.join(o, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, spec := range wl.Queries {
+		if _, err := ls.install(spec, wl.Objects[int(spec.Focal)-1].MaxVel, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for step := 0; step < 30; step++ {
+		now += tstep
+		wl.Step()
+		if err := ls.step(now); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	cs := ls.srv.(*core.ClusterServer)
+	if cs.Migrations() == 0 {
+		t.Error("schedule produced no cross-node handoffs — the sweep is weak")
+	}
+	if err := cs.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+// TestThreeWayOracleCatchesClusterDrop is the clustered column's teeth
+// check: an engine whose router silently skips broadcasts must be caught by
+// the three-way differential oracle within a handful of seeds.
+func TestThreeWayOracleCatchesClusterDrop(t *testing.T) {
+	caught := 0
+	const seeds = 8
+	for seed := int64(801); seed < 801+seeds; seed++ {
+		sc := clusterScenario(seed)
+		sc.ClusterEvents = nil // keep the failure shrinkable
+		sc.ClusterDropNth = 3
+		if err := RunScenario(sc); err != nil {
+			t.Logf("seed %d caught: %v", seed, err)
+			caught++
+		}
+	}
+	if caught < seeds/2 {
+		t.Fatalf("cluster broadcast-skip bug caught in only %d/%d seeds; the oracle is too weak", caught, seeds)
+	}
+}
+
+// TestClusterShrinkProducesRepro minimizes a failing clustered scenario
+// with delta debugging and replays the printed repro: the ddmin path works
+// for clustered failures exactly as for sharded ones.
+func TestClusterShrinkProducesRepro(t *testing.T) {
+	var failing Scenario
+	found := false
+	for seed := int64(801); seed < 821 && !found; seed++ {
+		sc := clusterScenario(seed)
+		sc.ClusterEvents = nil
+		sc.ClusterDropNth = 3
+		if RunScenario(sc) != nil {
+			failing, found = sc, true
+		}
+	}
+	if !found {
+		t.Fatal("no failing seed found for the planted cluster bug")
+	}
+
+	shrunk, err := Shrink(failing, 200)
+	if err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if len(shrunk.Ops) > len(failing.Ops) {
+		t.Fatalf("shrink grew the schedule: %d -> %d ops", len(failing.Ops), len(shrunk.Ops))
+	}
+	repro := ReproCase(shrunk)
+	t.Logf("shrunk %d ops to %d:\n%s", len(failing.Ops), len(shrunk.Ops), repro)
+	if RunScenario(shrunk) == nil {
+		t.Fatal("shrunk scenario no longer fails")
+	}
+	body := repro[strings.Index(repro, "\n")+1:]
+	ops, err := ParseSchedule(body)
+	if err != nil {
+		t.Fatalf("parse repro: %v", err)
+	}
+	replay := shrunk
+	replay.Ops = ops
+	if RunScenario(replay) == nil {
+		t.Fatal("replayed repro case no longer fails")
+	}
+}
+
+// TestShrinkRejectsClusterEvents documents the contract: cluster events
+// address schedule positions by index, so event-bearing scenarios are not
+// shrinkable.
+func TestShrinkRejectsClusterEvents(t *testing.T) {
+	sc := clusterScenario(3) // seed%3==0: carries events
+	if len(sc.ClusterEvents) == 0 {
+		t.Fatal("test premise broken: scenario has no cluster events")
+	}
+	if _, err := Shrink(sc, 50); err == nil {
+		t.Fatal("expected an error shrinking a cluster-event scenario")
+	}
+}
+
+// clusterFaultScenario puts the clustered backend behind the remote
+// transport and injects frame faults: the remote engine runs the
+// router-plus-workers ClusterServer while the relay drops, duplicates and
+// reorders object frames, and severs two connections. Cross-node focal
+// handoffs therefore happen while the uplink stream is degraded; after the
+// window heals, the strict oracles must resume within ConvergeSteps — which
+// IS the exactness-resumes guarantee for handoff under faults.
+func clusterFaultScenario(seed int64) Scenario {
+	sc := faultScenario(seed)
+	rng := rand.New(rand.NewSource(seed * 31))
+	sc.Nodes = 2 + rng.Intn(3)
+	sc.Costs = false // the remote engine is unledgered; keep columns uniform
+	return sc
+}
+
+// TestClusterHandoffUnderFrameFaults is the satellite sweep: focal handoff
+// across worker nodes under injected frame drop/dup/reorder plus connection
+// kills, with convergence-after-heal asserted by the strict oracle resuming
+// at End+ConvergeSteps.
+func TestClusterHandoffUnderFrameFaults(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(901); seed < int64(901+seeds); seed++ {
+		sc := clusterFaultScenario(seed)
+		t.Run(fmt.Sprintf("seed=%d/%s/nodes=%d", sc.Seed, sc.Opts.Mode, sc.Nodes), func(t *testing.T) {
+			t.Parallel()
+			if err := RunScenario(sc); err != nil {
+				t.Fatalf("oracle violation: %v\nrepro:\n%s", err, ReproCase(sc))
+			}
+		})
+	}
+}

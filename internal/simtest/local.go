@@ -35,11 +35,11 @@ type system interface {
 	close()
 }
 
-// localSystem drives a core.Server or core.ShardedServer with in-process
-// clients and queued FIFO message delivery — the internal/core test-harness
-// idiom. Broadcasts reach every active object (one giant base station);
-// clients self-filter by monitoring region, which is the protocol behavior
-// under test.
+// localSystem drives a core.Server, core.ShardedServer or core.ClusterServer
+// with in-process clients and queued FIFO message delivery — the
+// internal/core test-harness idiom. Broadcasts reach every active object
+// (one giant base station); clients self-filter by monitoring region, which
+// is the protocol behavior under test.
 type localSystem struct {
 	label   string
 	g       *grid.Grid
@@ -77,10 +77,12 @@ type queuedDown struct {
 }
 
 // newLocalSystem builds a local engine over the shared object population.
-// shards == 0 selects the serial core.Server, otherwise a ShardedServer
-// with that many partitions. traced attaches a per-system flight recorder
-// so oracle failures can print the causal timeline of the divergence.
-func newLocalSystem(label string, g *grid.Grid, opts core.Options, objs []*model.MovingObject, shards, dropNth int, traced bool) *localSystem {
+// nodes > 0 selects the router-plus-workers ClusterServer with that many
+// worker nodes; otherwise shards > 0 selects a ShardedServer with that many
+// partitions, and zero for both the serial core.Server. traced attaches a
+// per-system flight recorder so oracle failures can print the causal
+// timeline of the divergence.
+func newLocalSystem(label string, g *grid.Grid, opts core.Options, objs []*model.MovingObject, shards, nodes, dropNth int, traced bool) *localSystem {
 	ls := &localSystem{
 		label:            label,
 		g:                g,
@@ -90,9 +92,12 @@ func newLocalSystem(label string, g *grid.Grid, opts core.Options, objs []*model
 		active:           make(map[model.ObjectID]bool),
 		dropNthBroadcast: dropNth,
 	}
-	if shards > 0 {
+	switch {
+	case nodes > 0:
+		ls.srv = core.NewClusterServer(g, opts, localDown{ls}, nodes)
+	case shards > 0:
 		ls.srv = core.NewShardedServer(g, opts, localDown{ls}, shards)
-	} else {
+	default:
 		ls.srv = core.NewServer(g, opts, localDown{ls})
 	}
 	if traced {

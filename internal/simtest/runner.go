@@ -33,8 +33,24 @@ type Scenario struct {
 	Mobility   workload.MobilityModel
 	// Shards is the sharded engine's partition count (0 = 4).
 	Shards int
+	// Nodes > 0 adds the router-plus-workers ClusterServer with that many
+	// worker nodes as a third local engine ("clustered"), under the same
+	// differential, ledger and snapshot oracles as the first two.
+	Nodes int
+	// ClusterEvents are node-level fault injections applied to the
+	// clustered engine (requires Nodes > 0): a node kill drains its focals
+	// to the survivors, a rebalance recomputes span boundaries and migrates
+	// misplaced focals. Both use charge-free admin handoffs, so the strict
+	// oracles — including byte-identical snapshots and ledgers — keep
+	// holding across every event; there is no weakened window.
+	ClusterEvents []ClusterEvent
+	// ClusterDropNth plants the deliberate equivalence bug into the
+	// clustered engine — every Nth broadcast is skipped — the clustered
+	// counterpart of DropNthBroadcast, used to prove the three-way oracle
+	// has teeth and to feed the Shrink minimizer a clustered failure.
+	ClusterDropNth int
 	// Remote adds the internal/remote server over in-memory pipes as a
-	// third engine.
+	// further engine.
 	Remote bool
 	// Faults injects transport faults into the remote engine (requires
 	// Remote).
@@ -55,6 +71,24 @@ type Scenario struct {
 	// global uplink count — no message attributed twice or lost.
 	Costs bool
 	Ops   []Op
+}
+
+// Cluster event kinds.
+const (
+	// ClusterKill marks worker node Node dead before op AtOp; the router
+	// refuses if it is the last live node.
+	ClusterKill = "kill"
+	// ClusterRebalance recomputes the weighted cell-range assignment and
+	// migrates misplaced focals before op AtOp.
+	ClusterRebalance = "rebalance"
+)
+
+// ClusterEvent schedules one node-level fault on the clustered engine:
+// before executing op AtOp, node Node is killed or the cluster rebalanced.
+type ClusterEvent struct {
+	AtOp int
+	Node int // ignored for ClusterRebalance
+	Kind string
 }
 
 func (sc *Scenario) workloadConfig() workload.Config {
@@ -99,25 +133,41 @@ func RunScenario(sc Scenario) error {
 		shards = 4
 	}
 
-	serial := newLocalSystem("serial", g, sc.Opts, wl.Objects, 0, 0, sc.Trace)
-	sharded := newLocalSystem("sharded", g, sc.Opts, wl.Objects, shards, sc.DropNthBroadcast, sc.Trace)
+	if len(sc.ClusterEvents) > 0 && sc.Nodes <= 0 {
+		return fmt.Errorf("simtest: scenario %q has cluster events but no clustered engine (Nodes == 0)", sc.Name)
+	}
+
+	serial := newLocalSystem("serial", g, sc.Opts, wl.Objects, 0, 0, 0, sc.Trace)
+	sharded := newLocalSystem("sharded", g, sc.Opts, wl.Objects, shards, 0, sc.DropNthBroadcast, sc.Trace)
+	locals := []*localSystem{serial, sharded}
+	var csys *localSystem
+	if sc.Nodes > 0 {
+		csys = newLocalSystem("clustered", g, sc.Opts, wl.Objects, 0, sc.Nodes, sc.ClusterDropNth, sc.Trace)
+		locals = append(locals, csys)
+	}
 	var ledgered []*localSystem
 	if sc.Costs {
-		for _, ls := range []*localSystem{serial, sharded} {
+		for _, ls := range locals {
 			a := cost.New()
 			n := 0
-			if ls != serial {
+			if ls == sharded {
 				n = shards
 			}
 			a.Configure(g.NumCells(), 0, n)
+			if ls == csys {
+				a.ConfigureNodes(sc.Nodes)
+			}
 			ls.attachCosts(a)
 			ledgered = append(ledgered, ls)
 		}
 	}
-	systems := []system{serial, sharded}
+	systems := make([]system, 0, len(locals)+1)
+	for _, ls := range locals {
+		systems = append(systems, ls)
+	}
 	var rsys *remoteSystem
 	if sc.Remote {
-		rsys = newRemoteSystem("remote", wl.Config().UoD, alphaMiles, sc.Opts, wl.Objects, shards, sc.Faults, sc.Trace)
+		rsys = newRemoteSystem("remote", wl.Config().UoD, alphaMiles, sc.Opts, wl.Objects, shards, sc.Nodes, sc.Faults, sc.Trace)
 		defer rsys.close()
 		systems = append(systems, rsys)
 	}
@@ -128,6 +178,7 @@ func RunScenario(sc Scenario) error {
 		g:         g,
 		systems:   systems,
 		ledgered:  ledgered,
+		csys:      csys,
 		rsys:      rsys,
 		active:    make(map[model.ObjectID]bool),
 		specByQID: make(map[model.QueryID]workload.QuerySpec),
@@ -202,6 +253,7 @@ type runner struct {
 	g        *grid.Grid
 	systems  []system
 	ledgered []*localSystem // systems under the ledger oracle (Scenario.Costs)
+	csys     *localSystem   // the clustered engine (Scenario.Nodes > 0); nil otherwise
 	rsys     *remoteSystem
 	now      model.Time
 
@@ -244,6 +296,35 @@ func (r *runner) faultPhase(i int) error {
 	return nil
 }
 
+// clusterPhase applies the scheduled cluster events before op i runs: node
+// kills and rebalances on the clustered engine. Both drain or migrate
+// focals via charge-free admin handoffs, so no oracle weakening follows —
+// the strict check after the op doubles as the convergence assertion.
+func (r *runner) clusterPhase(i int) error {
+	if r.csys == nil {
+		return nil
+	}
+	cs := r.csys.srv.(*core.ClusterServer)
+	for _, ev := range r.sc.ClusterEvents {
+		if ev.AtOp != i {
+			continue
+		}
+		switch ev.Kind {
+		case ClusterKill:
+			if err := cs.KillNode(ev.Node); err != nil {
+				return fmt.Errorf("cluster event kill node %d: %w", ev.Node, err)
+			}
+		case ClusterRebalance:
+			if _, err := cs.Rebalance(); err != nil {
+				return fmt.Errorf("cluster event rebalance: %w", err)
+			}
+		default:
+			return fmt.Errorf("cluster event: unknown kind %q", ev.Kind)
+		}
+	}
+	return nil
+}
+
 // strictAt reports whether the full oracle hierarchy applies after op i.
 // During a fault window and for ConvergeSteps ops past it only the
 // invariant and liveness oracles hold; strictness resuming afterwards IS
@@ -261,6 +342,9 @@ func (r *runner) apply(i int, op Op) error {
 		return fmt.Errorf("seed %d, op %d (%s): %w", r.sc.Seed, i, op, err)
 	}
 	if err := r.faultPhase(i); err != nil {
+		return fail(err)
+	}
+	if err := r.clusterPhase(i); err != nil {
 		return fail(err)
 	}
 	switch op.Kind {
@@ -470,6 +554,23 @@ func (r *runner) checkLedgers() error {
 		}
 		if global := ls.acct.Global().UplinkMsgs(); dispatched != global {
 			return fmt.Errorf("%s: shard+router ledgers account for %d uplinks, transport charged %d",
+				ls.name(), dispatched, global)
+		}
+	}
+	// The clustered counterpart: the router plus the worker-node ledgers
+	// must account for every dispatched uplink exactly once, across kills
+	// and rebalances too.
+	for _, ls := range r.ledgered {
+		nodes := ls.acct.Nodes()
+		if len(nodes) == 0 {
+			continue
+		}
+		dispatched := ls.acct.Router().UplinkMsgs()
+		for _, n := range nodes {
+			dispatched += n.UplinkMsgs()
+		}
+		if global := ls.acct.Global().UplinkMsgs(); dispatched != global {
+			return fmt.Errorf("%s: node+router ledgers account for %d uplinks, transport charged %d",
 				ls.name(), dispatched, global)
 		}
 	}

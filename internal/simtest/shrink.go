@@ -9,11 +9,14 @@ import "fmt"
 // state depends only on the seeds and the surviving ops — the workload's
 // random process is consumed exclusively by OpStep.
 //
-// Shrink applies to fault-free scenarios; fault windows address schedule
-// positions by index, which removal would shift.
+// Shrink applies to fault-free scenarios; fault windows and cluster events
+// address schedule positions by index, which removal would shift.
 func Shrink(sc Scenario, maxRuns int) (Scenario, error) {
 	if sc.Faults != nil {
 		return sc, fmt.Errorf("simtest: cannot shrink a scenario with a fault plan")
+	}
+	if len(sc.ClusterEvents) > 0 {
+		return sc, fmt.Errorf("simtest: cannot shrink a scenario with cluster events")
 	}
 	fails := func(ops []Op) bool {
 		t := sc
@@ -51,7 +54,8 @@ func Shrink(sc Scenario, maxRuns int) (Scenario, error) {
 // schedule in FormatSchedule form, ready for ParseSchedule + RunScenario.
 func ReproCase(sc Scenario) string {
 	return fmt.Sprintf(
-		"# simtest repro: seed=%d objects=%d specs=%d opts=%+v mobility=%v remote=%v dropNth=%d\n%s",
-		sc.Seed, sc.NumObjects, sc.NumSpecs, sc.Opts, sc.Mobility, sc.Remote, sc.DropNthBroadcast,
+		"# simtest repro: seed=%d objects=%d specs=%d opts=%+v mobility=%v nodes=%d remote=%v dropNth=%d clusterDropNth=%d\n%s",
+		sc.Seed, sc.NumObjects, sc.NumSpecs, sc.Opts, sc.Mobility, sc.Nodes, sc.Remote,
+		sc.DropNthBroadcast, sc.ClusterDropNth,
 		FormatSchedule(sc.Ops))
 }

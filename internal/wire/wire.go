@@ -47,6 +47,18 @@ const (
 // ErrTruncated reports a buffer shorter than its header or declared length.
 var ErrTruncated = errors.New("wire: truncated message")
 
+// VersionError reports a frame whose header declares a protocol version this
+// codec does not speak. It is a typed error so handshakes (the remote hello,
+// the cluster NodeHello) can distinguish "peer speaks a different protocol
+// revision" from a corrupt frame and reject it explicitly.
+type VersionError struct {
+	Got uint8
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("wire: unsupported version %d (speaking %d/%d)", e.Got, Version, TracedVersion)
+}
+
 // encoder appends primitive values to a buffer.
 type encoder struct{ b []byte }
 
@@ -72,6 +84,12 @@ func (e *encoder) cellRange(r grid.CellRange) { e.cell(r.Min); e.cell(r.Max) }
 func (e *encoder) filter(f model.Filter) {
 	e.u64(f.Seed)
 	e.u32(f.Permille)
+}
+
+// bytes appends a u32 length prefix and the raw payload.
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.b = append(e.b, b...)
 }
 
 func (e *encoder) region(r model.Region) {
@@ -194,6 +212,19 @@ func (d *decoder) cellRange() grid.CellRange {
 }
 func (d *decoder) filter() model.Filter {
 	return model.Filter{Seed: d.u64(), Permille: d.u32()}
+}
+
+// bytes consumes a u32 length prefix and that many raw bytes. Zero length
+// decodes to nil so the round trip stays canonical.
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if n == 0 || !d.need(n) {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.b[d.off:])
+	d.off += n
+	return b
 }
 
 // regionOrPolygon decodes a region including the variable-length polygon
@@ -342,6 +373,40 @@ func encodeBody(e *encoder, m msg.Message) {
 		e.boolByte(mm.Install)
 	case msg.FocalInfoRequest:
 		e.oid(mm.OID)
+	case msg.NodeHello:
+		e.u32(mm.Node)
+		e.u16(mm.Proto)
+	case msg.NodeHeartbeat:
+		e.u32(mm.Node)
+		e.u64(mm.Seq)
+	case msg.AssignRange:
+		e.u64(mm.Epoch)
+		e.u32(mm.Node)
+		e.u32(mm.Lo)
+		e.u32(mm.Hi)
+	case msg.Handoff:
+		e.u64(mm.Seq)
+		e.oid(mm.OID)
+		e.boolByte(mm.Relocate)
+		e.motionState(mm.State)
+		e.cell(mm.Cell)
+		e.bytes(mm.Slice)
+	case msg.HandoffAck:
+		e.u64(mm.Seq)
+		e.oid(mm.OID)
+	case msg.NodeOp:
+		e.u64(mm.Seq)
+		e.u8(mm.Code)
+		e.bytes(mm.Data)
+	case msg.NodeOpDone:
+		e.u64(mm.Seq)
+		e.u8(mm.Code)
+		e.bytes(mm.Data)
+	case msg.NodeDownlink:
+		e.boolByte(mm.Broadcast)
+		e.cellRange(mm.Region)
+		e.oid(mm.Target)
+		e.bytes(mm.Inner)
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", m))
 	}
@@ -364,7 +429,7 @@ func DecodeTraced(b []byte) (msg.Message, uint64, error) {
 	}
 	ver := d.u8()
 	if ver != Version && ver != TracedVersion && d.err == nil {
-		return nil, 0, fmt.Errorf("wire: unsupported version %d", ver)
+		return nil, 0, &VersionError{Got: ver}
 	}
 	kind := msg.Kind(d.u8())
 	length := d.u32()
@@ -468,6 +533,39 @@ func decodeBody(d *decoder, kind msg.Kind) (msg.Message, error) {
 		m = msg.FocalNotify{OID: d.oid(), QID: d.qid(), Install: d.boolByte()}
 	case msg.KindFocalInfoRequest:
 		m = msg.FocalInfoRequest{OID: d.oid()}
+	case msg.KindNodeHello:
+		m = msg.NodeHello{Node: d.u32(), Proto: d.u16()}
+	case msg.KindNodeHeartbeat:
+		m = msg.NodeHeartbeat{Node: d.u32(), Seq: d.u64()}
+	case msg.KindAssignRange:
+		m = msg.AssignRange{Epoch: d.u64(), Node: d.u32(), Lo: d.u32(), Hi: d.u32()}
+	case msg.KindHandoff:
+		m = msg.Handoff{
+			Seq: d.u64(), OID: d.oid(), Relocate: d.boolByte(),
+			State: d.motionState(), Cell: d.cell(), Slice: d.bytes(),
+		}
+	case msg.KindHandoffAck:
+		m = msg.HandoffAck{Seq: d.u64(), OID: d.oid()}
+	case msg.KindNodeOp:
+		m = msg.NodeOp{Seq: d.u64(), Code: d.u8(), Data: d.bytes()}
+	case msg.KindNodeOpDone:
+		m = msg.NodeOpDone{Seq: d.u64(), Code: d.u8(), Data: d.bytes()}
+	case msg.KindNodeDownlink:
+		nd := msg.NodeDownlink{
+			Broadcast: d.boolByte(), Region: d.cellRange(),
+			Target: d.oid(), Inner: d.bytes(),
+		}
+		// Canonical addressing: broadcasts carry no unicast target, unicasts
+		// carry no region — so every accepted frame has one encoding.
+		if d.err == nil {
+			if nd.Broadcast && nd.Target != 0 {
+				return nil, fmt.Errorf("wire: broadcast node downlink with target %d", nd.Target)
+			}
+			if !nd.Broadcast && nd.Region != (grid.CellRange{}) {
+				return nil, fmt.Errorf("wire: unicast node downlink with region %v", nd.Region)
+			}
+		}
+		m = nd
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
 	}

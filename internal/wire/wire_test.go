@@ -55,6 +55,25 @@ func sampleMessages(rng *rand.Rand) []msg.Message {
 		msg.FocalNotify{OID: 10, QID: 11, Install: true},
 		msg.FocalInfoRequest{OID: 12},
 		msg.Pong{Token: rng.Uint64()},
+		msg.NodeHello{Node: 1, Proto: 3},
+		msg.NodeHeartbeat{Node: 2, Seq: rng.Uint64()},
+		msg.AssignRange{Epoch: 4, Node: 1, Lo: 20, Hi: 57},
+		msg.Handoff{
+			Seq: 9, OID: 13, Relocate: true, State: st,
+			Cell: grid.CellID{Col: 4, Row: 5}, Slice: []byte{1, 2, 3, 4},
+		},
+		msg.HandoffAck{Seq: 9, OID: 13},
+		msg.NodeOp{Seq: 10, Code: 3, Data: []byte{0xAA, 0xBB}},
+		msg.NodeOpDone{Seq: 10, Code: 3, Data: []byte{0x01}},
+		msg.NodeDownlink{
+			Broadcast: true,
+			Region: grid.CellRange{
+				Min: grid.CellID{Col: 1, Row: 1},
+				Max: grid.CellID{Col: 3, Row: 4},
+			},
+			Inner: Encode(msg.FocalNotify{OID: 10, QID: 11, Install: true}),
+		},
+		msg.NodeDownlink{Target: 14, Inner: Encode(msg.FocalInfoRequest{OID: 14})},
 	}
 }
 
