@@ -64,11 +64,12 @@ bench-sharded:
 	$(GO) test -run xxx -bench 'BenchmarkEngineStep' -benchtime 20x .
 
 # Machine-readable results of the cost-accounting, instrumentation-overhead,
-# flight-recorder and uplink throughput benchmarks — including the
-# router-forwarding-overhead comparison (clustered vs sharded uplinks at
-# 10k/100k objects; see scripts/bench_json.sh).
+# flight-recorder, telemetry-plane and uplink throughput benchmarks —
+# including the router-forwarding-overhead comparison (clustered vs sharded
+# uplinks at 10k/100k objects) and the per-heartbeat telemetry cost
+# (see scripts/bench_json.sh).
 bench-json:
-	sh scripts/bench_json.sh BENCH_PR6.json
+	sh scripts/bench_json.sh BENCH_PR7.json
 
 # The structured §5 cost & accuracy report (ledger sweeps, EQP-vs-LQP
 # quality, baselines, qualitative checks) → results/runreport.{json,txt}.

@@ -51,6 +51,7 @@ import (
 	"mobieyes/internal/grid"
 	"mobieyes/internal/obs"
 	"mobieyes/internal/obs/cost"
+	"mobieyes/internal/obs/telemetry"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/remote"
 )
@@ -83,14 +84,27 @@ func main() {
 		acct = cost.New()
 	}
 	reg := obs.NewRegistry()
+	// The router role runs the cluster telemetry plane: workers push metric,
+	// cost and trace deltas over the wire tier; the plane re-exports them
+	// under node="N" labels, stitches the trace timeline, and watches the
+	// cluster invariants (DESIGN.md §14). /debug/cluster and /readyz on the
+	// metrics mux, HEALTH on the admin port.
+	var plane *telemetry.Plane
+	if *role == "router" {
+		plane = telemetry.New(telemetry.Config{Metrics: reg, Trace: rec, Costs: acct})
+	}
 	if *metrics != "" {
 		ms, err := obs.ListenAndServeWith(*metrics, reg, rec, func(mux *http.ServeMux) {
 			cost.Attach(mux, acct)
+			telemetry.Attach(mux, plane)
 		})
 		if err != nil {
 			fatal(err)
 		}
 		defer ms.Close()
+		if plane != nil {
+			ms.SetReady(plane.Ready)
+		}
 		fmt.Printf("mobieyes-server: metrics on http://%v/metrics\n", ms.Addr())
 	}
 
@@ -102,7 +116,10 @@ func main() {
 	uod := geo.NewRect(0, 0, side, side)
 
 	if *role == "worker" {
-		w := cluster.NewWorker(cluster.WorkerConfig{UoD: uod, Alpha: *alpha, Opts: opts})
+		w := cluster.NewWorker(cluster.WorkerConfig{
+			UoD: uod, Alpha: *alpha, Opts: opts,
+			Metrics: reg, Costs: acct, Trace: rec,
+		})
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {
 			fatal(err)
@@ -141,6 +158,7 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
+			cluster.WireTelemetry(cs, rns, plane)
 			fmt.Printf("mobieyes-server: routing over %d workers: %s\n", len(rns), *workers)
 			return cs, nil
 		}
@@ -163,6 +181,9 @@ func main() {
 		fatal(err)
 	}
 	defer srv.Close()
+	if plane != nil {
+		srv.SetTelemetry(plane)
+	}
 
 	adminSrv, err := remote.ServeAdmin(*admin, srv)
 	if err != nil {

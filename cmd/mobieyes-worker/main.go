@@ -12,10 +12,19 @@
 // match the router's exactly: cell indices on the wire are meaningful only
 // over the same tessellation.
 //
+// Observability matches mobieyes-server: -metrics-addr serves the worker's
+// own /metrics, /debug/vars, /healthz, /readyz and pprof; -trace-events
+// sizes a local flight recorder; -costs attaches a cost accountant (with
+// /debug/costs on the metrics mux). Whenever any of the three is enabled,
+// the worker also ships telemetry batches to its router over the cluster
+// wire tier, so the router's single /metrics scrape, stitched TRACE and
+// HEALTH watchdog cover this node (DESIGN.md §14).
+//
 // Usage:
 //
 //	mobieyes-worker [-listen :7081] [-area SQMILES] [-alpha MILES]
 //	                [-lazy] [-grouping]
+//	                [-metrics-addr :7082] [-trace-events N] [-costs]
 package main
 
 import (
@@ -23,11 +32,15 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"net/http"
 	"os"
 
 	"mobieyes/internal/cluster"
 	"mobieyes/internal/core"
 	"mobieyes/internal/geo"
+	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/cost"
+	"mobieyes/internal/obs/trace"
 )
 
 func main() {
@@ -37,8 +50,37 @@ func main() {
 		alpha    = flag.Float64("alpha", 5, "grid cell side length")
 		lazy     = flag.Bool("lazy", false, "lazy query propagation")
 		grouping = flag.Bool("grouping", false, "query grouping")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz, /readyz and pprof on this address (empty = off)")
+		traceSz  = flag.Int("trace-events", 0, "causal-tracing flight recorder size in events (0 = off); events also ship to the router's stitched timeline")
+		costs    = flag.Bool("costs", false, "attribute protocol costs per message kind; exposed on /debug/costs and shipped to the router's ledgers")
 	)
 	flag.Parse()
+
+	var rec *trace.Recorder
+	if *traceSz > 0 {
+		rec = trace.NewRecorder(*traceSz)
+	}
+	var acct *cost.Accountant
+	if *costs {
+		acct = cost.New()
+	}
+	var reg *obs.Registry
+	if *metrics != "" || rec != nil || acct != nil {
+		// The registry exists whenever any observability is on: even
+		// without a local HTTP endpoint, the collector ships its series to
+		// the router.
+		reg = obs.NewRegistry()
+	}
+	if *metrics != "" {
+		ms, err := obs.ListenAndServeWith(*metrics, reg, rec, func(mux *http.ServeMux) {
+			cost.Attach(mux, acct)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer ms.Close()
+		fmt.Printf("mobieyes-worker: metrics on http://%v/metrics\n", ms.Addr())
+	}
 
 	opts := core.Options{DeadReckoningThreshold: 0.01, Grouping: *grouping}
 	if *lazy {
@@ -46,9 +88,12 @@ func main() {
 	}
 	side := math.Sqrt(*area)
 	w := cluster.NewWorker(cluster.WorkerConfig{
-		UoD:   geo.NewRect(0, 0, side, side),
-		Alpha: *alpha,
-		Opts:  opts,
+		UoD:     geo.NewRect(0, 0, side, side),
+		Alpha:   *alpha,
+		Opts:    opts,
+		Metrics: reg,
+		Costs:   acct,
+		Trace:   rec,
 	})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -5,11 +5,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"time"
 
 	"mobieyes/internal/core"
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
+	"mobieyes/internal/obs/telemetry"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/remote"
 	"mobieyes/internal/wire"
@@ -34,8 +36,18 @@ type RemoteNode struct {
 	node  uint32
 	down  core.Downlink
 	tdown core.TracedDownlink
+	tel   *telemetry.Plane
 	seq   uint64
 	err   error
+}
+
+// SetTelemetry routes this node's pushed NodeTelemetry frames and heartbeat
+// NodeStatus answers into the router's telemetry plane, and registers the
+// node with the plane's liveness watchdog. A nil plane (telemetry disabled)
+// leaves frames consumed but dropped.
+func (rn *RemoteNode) SetTelemetry(p *telemetry.Plane) {
+	rn.tel = p
+	p.ExpectNode(int(rn.node))
 }
 
 // Dial connects to a worker, performs the NodeHello handshake announcing
@@ -129,7 +141,14 @@ func (rn *RemoteNode) exchange(m msg.Message, tid trace.ID) (msg.Message, error)
 		switch mm := reply.(type) {
 		case msg.NodeDownlink:
 			rn.replay(mm, trace.ID(rtid))
-		case msg.NodeOpDone, msg.HandoffAck, msg.NodeHeartbeat:
+		case msg.NodeTelemetry:
+			// Telemetry streams ahead of the completing reply, like
+			// downlinks; a payload the plane cannot decode means the
+			// stream is corrupt, which is fatal for the connection.
+			if err := rn.tel.Apply(int(mm.Node), mm.Seq, mm.Payload); err != nil {
+				return nil, rn.fail(err)
+			}
+		case msg.NodeOpDone, msg.HandoffAck, msg.NodeStatus:
 			return reply, nil
 		default:
 			return nil, rn.fail(fmt.Errorf("unexpected %v frame", mm.Kind()))
@@ -188,17 +207,26 @@ func (rn *RemoteNode) mustOp(code uint8, data []byte, tid trace.ID) *pread {
 	return &pread{b: out}
 }
 
-// Heartbeat runs one synchronous liveness probe.
+// Heartbeat runs one synchronous liveness probe. The worker answers with a
+// NodeStatus (its span epoch, digest and op count), preceded by any pending
+// telemetry; the round-trip time, status and any probe failure feed the
+// telemetry plane's watchdog.
 func (rn *RemoteNode) Heartbeat() error {
 	rn.seq++
+	start := time.Now()
 	reply, err := rn.exchange(msg.NodeHeartbeat{Node: rn.node, Seq: rn.seq}, 0)
 	if err != nil {
+		rn.tel.NoteProbeError(int(rn.node), err)
 		return err
 	}
-	hb, ok := reply.(msg.NodeHeartbeat)
-	if !ok || hb.Seq != rn.seq {
-		return rn.fail(fmt.Errorf("heartbeat answered by %v", reply.Kind()))
+	st, ok := reply.(msg.NodeStatus)
+	if !ok || st.Seq != rn.seq {
+		err := rn.fail(fmt.Errorf("heartbeat answered by %v", reply.Kind()))
+		rn.tel.NoteProbeError(int(rn.node), err)
+		return err
 	}
+	rn.tel.ObserveRTT(int(rn.node), time.Since(start))
+	rn.tel.ApplyStatus(st)
 	return nil
 }
 
@@ -464,4 +492,20 @@ func NewRouter(g *grid.Grid, opts core.Options, down core.Downlink, addrs []stri
 		rns[sp.Node].Assign(epoch, sp.Lo, sp.Hi)
 	}
 	return cs, rns, nil
+}
+
+// WireTelemetry attaches a telemetry plane to a router and its remote
+// nodes: pushed NodeTelemetry frames and heartbeat answers flow into p,
+// every node is registered with p's liveness watchdog, and the router's
+// telemetry rounds probe each live node through Heartbeat. Call it once,
+// right after NewRouter, before traffic starts.
+func WireTelemetry(cs *core.ClusterServer, rns []*RemoteNode, p *telemetry.Plane) {
+	if p == nil {
+		return
+	}
+	for _, rn := range rns {
+		rn.SetTelemetry(p)
+	}
+	cs.SetTelemetry(p)
+	cs.SetProbe(func(i int) error { return rns[i].Heartbeat() })
 }

@@ -32,7 +32,10 @@ import (
 // ProtoVersion is the cluster handshake version carried in NodeHello.Proto.
 // Router and worker must agree exactly; a mismatch is refused with a typed
 // VersionError on both sides rather than decaying into garbled exchanges.
-const ProtoVersion = uint16(1)
+// Version 2 added the telemetry plane: workers answer heartbeats with
+// NodeStatus (epoch + span digest) and may stream NodeTelemetry batches
+// ahead of any reply frame.
+const ProtoVersion = uint16(2)
 
 // VersionError reports a NodeHello handshake refused for speaking a
 // different cluster protocol version.

@@ -12,6 +12,9 @@ import (
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
+	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/cost"
+	"mobieyes/internal/obs/telemetry"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/remote"
 	"mobieyes/internal/wire"
@@ -20,10 +23,20 @@ import (
 // WorkerConfig configures a worker node. UoD and Alpha must match the
 // router's grid exactly — cell indices in AssignRange and cells in op
 // payloads are meaningful only over the same tessellation.
+//
+// Metrics, Costs and Trace are the worker's local observability surfaces,
+// all optional. When any is set the worker instruments its hosted engine
+// against them and ships telemetry batches (changed metric series, cost
+// deltas, trace events) back to the router as NodeTelemetry frames — the
+// push half of the cluster telemetry plane (DESIGN.md §14).
 type WorkerConfig struct {
 	UoD   geo.Rect
 	Alpha float64
 	Opts  core.Options
+
+	Metrics *obs.Registry
+	Costs   *cost.Accountant
+	Trace   *trace.Recorder
 }
 
 // Worker hosts an in-process core.NodeServer behind the cluster wire
@@ -36,6 +49,8 @@ type Worker struct {
 	g    *grid.Grid
 	node *core.NodeServer
 	capt *captureDown
+	coll *telemetry.Collector
+	rec  *trace.Recorder
 
 	// id is the node index the router announced in its hello; epoch/lo/hi
 	// mirror the latest span assignment, for operator introspection.
@@ -44,11 +59,18 @@ type Worker struct {
 	lo, hi int
 }
 
-// NewWorker returns a worker over a fresh node engine.
+// NewWorker returns a worker over a fresh node engine, instrumented against
+// the config's observability surfaces (when set).
 func NewWorker(cfg WorkerConfig) *Worker {
 	capt := &captureDown{}
 	g := grid.New(cfg.UoD, cfg.Alpha)
-	return &Worker{g: g, node: core.NewNodeServer(g, cfg.Opts, capt), capt: capt}
+	w := &Worker{g: g, node: core.NewNodeServer(g, cfg.Opts, capt), capt: capt, rec: cfg.Trace}
+	w.node.Underlying().Instrument(cfg.Metrics)
+	if cfg.Costs != nil {
+		w.node.Underlying().SetAccountant(cfg.Costs)
+	}
+	w.coll = telemetry.NewCollector(cfg.Metrics, cfg.Costs, cfg.Trace)
+	return w
 }
 
 // Node exposes the hosted engine for worker-local wiring (instrumentation,
@@ -113,6 +135,12 @@ func (w *Worker) ServeConn(conn net.Conn) error {
 		return &VersionError{Node: hello.Node, Got: hello.Proto}
 	}
 	w.id = hello.Node
+	if w.rec != nil {
+		// The worker learns its node index here, so the engine's trace
+		// actor ("nodeN", matching the in-process cluster's naming) can
+		// only be set now. Stitched cross-node timelines rely on it.
+		w.node.SetTracer(w.rec, fmt.Sprintf("node%d", w.id))
+	}
 
 	for {
 		payload, err := remote.ReadFrame(br)
@@ -129,7 +157,20 @@ func (w *Worker) ServeConn(conn net.Conn) error {
 		closing := false
 		switch mm := m.(type) {
 		case msg.NodeHeartbeat:
-			if err := remote.WriteFrame(bw, payload); err != nil {
+			// A probe always flushes pending telemetry (forced collect),
+			// then answers with the node's status: span epoch + digest so
+			// the router's watchdog can verify assignment agreement, and
+			// the op count for liveness progress.
+			if err := w.shipTelemetry(bw, true); err != nil {
+				return err
+			}
+			status := msg.NodeStatus{
+				Node: w.id, Seq: mm.Seq,
+				Epoch: w.epoch, Lo: uint32(w.lo), Hi: uint32(w.hi),
+				Digest: telemetry.SpanDigest(w.epoch, uint32(w.lo), uint32(w.hi)),
+				Ops:    uint64(w.node.Ops()),
+			}
+			if err := remote.WriteFrame(bw, wire.Encode(status)); err != nil {
 				return err
 			}
 		case msg.AssignRange:
@@ -137,9 +178,11 @@ func (w *Worker) ServeConn(conn net.Conn) error {
 			// raced a reconnect) are discarded.
 			if mm.Epoch >= w.epoch {
 				w.epoch, w.lo, w.hi = mm.Epoch, int(mm.Lo), int(mm.Hi)
+				w.coll.MarkEdge()
 			}
 		case msg.NodeOp:
 			result, opErr := w.apply(mm.Code, mm.Data, trace.ID(tid))
+			w.coll.NoteOp()
 			if err := w.reply(bw, opReply(mm, result, opErr)); err != nil {
 				return err
 			}
@@ -147,6 +190,10 @@ func (w *Worker) ServeConn(conn net.Conn) error {
 		case msg.Handoff:
 			admin := mm.Seq&adminSeqBit != 0
 			injErr := w.node.InjectFocal(mm.Slice, mm.State, mm.Cell, mm.Relocate, admin, trace.ID(tid))
+			w.coll.NoteOp()
+			// A handoff changes which node owns a focal — the edge the
+			// router's watchdog wants telemetry for promptly.
+			w.coll.MarkEdge()
 			var done msg.Message = msg.HandoffAck{Seq: mm.Seq, OID: mm.OID}
 			if injErr != nil {
 				done = msg.NodeOpDone{Seq: mm.Seq, Code: opError, Data: []byte(injErr.Error())}
@@ -176,14 +223,30 @@ func opReply(op msg.NodeOp, result []byte, err error) msg.Message {
 
 // reply drains the downlinks the op produced — in send order, ahead of the
 // acknowledgement, so the router replays them before the NodeHandle call
-// returns — then writes the done frame.
+// returns — then any due telemetry batch (likewise ahead of the done frame,
+// so the router merges this op's trace events before the call completes and
+// merge order tracks causal order), then the done frame.
 func (w *Worker) reply(bw *bufio.Writer, done msg.Message) error {
 	for _, snd := range w.capt.drain() {
 		if err := remote.WriteFrame(bw, wire.EncodeTraced(snd.nd, snd.tid)); err != nil {
 			return err
 		}
 	}
+	if err := w.shipTelemetry(bw, false); err != nil {
+		return err
+	}
 	return remote.WriteFrame(bw, wire.Encode(done))
+}
+
+// shipTelemetry writes the collector's next batch as a NodeTelemetry frame,
+// if one is due (force makes it due). A nil or idle collector writes
+// nothing.
+func (w *Worker) shipTelemetry(bw *bufio.Writer, force bool) error {
+	seq, payload := w.coll.Collect(force)
+	if payload == nil {
+		return nil
+	}
+	return remote.WriteFrame(bw, wire.Encode(msg.NodeTelemetry{Node: w.id, Seq: seq, Payload: payload}))
 }
 
 // apply decodes and executes one opcode against the hosted node.

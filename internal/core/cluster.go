@@ -14,6 +14,7 @@ import (
 	"mobieyes/internal/msg"
 	"mobieyes/internal/obs"
 	"mobieyes/internal/obs/cost"
+	"mobieyes/internal/obs/telemetry"
 	"mobieyes/internal/obs/trace"
 )
 
@@ -76,6 +77,13 @@ type ClusterServer struct {
 	rec   *trace.Recorder
 	tdown TracedDownlink
 	acct  *cost.Accountant
+
+	// tel is the cluster telemetry plane (nil when disabled); probe runs one
+	// synchronous heartbeat exchange with a node — the TCP tier installs
+	// RemoteNode.Heartbeat, the in-process tier needs none (node state is
+	// directly visible).
+	tel   *telemetry.Plane
+	probe func(node int) error
 
 	// mu serializes all routing and node dispatch. Routing tables mirror the
 	// sharded server's: focalNode/queryNode map ownership, pending holds
@@ -163,6 +171,64 @@ func (cs *ClusterServer) SetAssignListener(fn func(epoch uint64, node, lo, hi in
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	cs.onAssign = fn
+}
+
+// SetTelemetry attaches the cluster telemetry plane: handoff and rebalance
+// edges notify it, and TelemetryRound evaluates its invariant watchdog
+// against the router's authoritative span view.
+func (cs *ClusterServer) SetTelemetry(p *telemetry.Plane) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.tel = p
+}
+
+// SetProbe installs the per-node heartbeat probe TelemetryRound runs before
+// each watchdog evaluation. The TCP tier installs RemoteNode.Heartbeat here;
+// probe errors are the probe's to report (NoteProbeError) — the round only
+// needs the exchange to have happened.
+func (cs *ClusterServer) SetProbe(fn func(node int) error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.probe = fn
+}
+
+// viewLocked builds the watchdog's authoritative cluster view. cs.mu held.
+func (cs *ClusterServer) viewLocked() telemetry.View {
+	v := telemetry.View{Epoch: cs.epoch, Cells: cs.g.NumCells()}
+	for i := range cs.nodes {
+		v.Spans = append(v.Spans, telemetry.SpanView{
+			Node: i, Lo: cs.spanLo[i], Hi: cs.spanHi[i], Live: cs.live[i],
+		})
+	}
+	return v
+}
+
+// TelemetryRound runs one telemetry round: probe every live node (each
+// probe pumps that node's pending telemetry into the plane and reports its
+// heartbeat status), then evaluate the invariant watchdog. The remote
+// server's housekeeping loop drives this about once a second; handoff and
+// rebalance edges run evaluation-only rounds inline. Returns the active
+// alerts (nil with no plane attached).
+func (cs *ClusterServer) TelemetryRound() []telemetry.Alert {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.telemetryRoundLocked(true)
+}
+
+func (cs *ClusterServer) telemetryRoundLocked(probe bool) []telemetry.Alert {
+	if cs.tel == nil {
+		return nil
+	}
+	if probe && cs.probe != nil {
+		for i := range cs.nodes {
+			if cs.live[i] {
+				// Probe errors reach the plane via NoteProbeError inside
+				// the probe; the round below raises node-unreachable.
+				_ = cs.probe(i)
+			}
+		}
+	}
+	return cs.tel.Round(cs.viewLocked())
 }
 
 // focalWeight biases span boundaries toward splitting cells that currently
@@ -541,6 +607,11 @@ func (cs *ClusterServer) handoff(si, di int, oid model.ObjectID, st model.Motion
 	for _, qid := range rec.fe.queries {
 		cs.queryNode[qid] = di
 	}
+	// Handoff edge: notify the telemetry plane and evaluate the watchdog
+	// immediately (without probing — over the wire, both nodes' telemetry
+	// already streamed in ahead of the extract/inject acknowledgements).
+	cs.tel.NoteHandoff(si, di)
+	cs.telemetryRoundLocked(false)
 }
 
 func (cs *ClusterServer) onCellChangeReport(m msg.CellChangeReport, tid trace.ID) {
@@ -683,6 +754,9 @@ func (cs *ClusterServer) rebalanceLocked() error {
 			return err
 		}
 	}
+	// Rebalance edge (also reached by KillNode): re-evaluate the watchdog
+	// against the fresh span assignment.
+	cs.telemetryRoundLocked(false)
 	return nil
 }
 
@@ -863,14 +937,17 @@ func (cs *ClusterServer) UplinksByNode() []int64 {
 }
 
 // NodeSpan describes one node's current assignment for introspection and
-// the admin `nodes` command.
+// the admin `nodes` command. Fault carries the node's sticky transport
+// error, when it has one — the explicit marker that this row's counts are
+// zeros because the node is unreachable, not because its tables are empty.
 type NodeSpan struct {
-	Node    int  `json:"node"`
-	Lo      int  `json:"lo"`
-	Hi      int  `json:"hi"`
-	Live    bool `json:"live"`
-	Focals  int  `json:"focals"`
-	Queries int  `json:"queries"`
+	Node    int    `json:"node"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+	Live    bool   `json:"live"`
+	Focals  int    `json:"focals"`
+	Queries int    `json:"queries"`
+	Fault   string `json:"fault,omitempty"`
 }
 
 // Spans returns every node's current cell-range assignment and table sizes.
@@ -883,6 +960,11 @@ func (cs *ClusterServer) Spans() []NodeSpan {
 		if cs.live[i] {
 			out[i].Focals = len(nd.FocalIDs())
 			out[i].Queries = nd.NumQueries()
+		}
+		if f, ok := nd.(interface{ Err() error }); ok {
+			if err := f.Err(); err != nil {
+				out[i].Fault = err.Error()
+			}
 		}
 	}
 	return out

@@ -65,6 +65,8 @@ const (
 	KindNodeOp
 	KindNodeOpDone
 	KindNodeDownlink
+	KindNodeTelemetry
+	KindNodeStatus
 
 	numKinds
 )
@@ -80,6 +82,7 @@ var kindNames = [...]string{
 	"FocalNotify", "FocalInfoRequest", "Pong",
 	"NodeHello", "NodeHeartbeat", "AssignRange",
 	"Handoff", "HandoffAck", "NodeOp", "NodeOpDone", "NodeDownlink",
+	"NodeTelemetry", "NodeStatus",
 }
 
 // String implements fmt.Stringer.
@@ -454,6 +457,42 @@ type NodeDownlink struct {
 func (NodeDownlink) Kind() Kind { return KindNodeDownlink }
 func (m NodeDownlink) Size() int {
 	return HeaderSize + BoolSize + CellRangeSize + IDSize + 4 + len(m.Inner)
+}
+
+// NodeTelemetry pushes one compact telemetry batch from a worker to the
+// router: changed metric series, cost-ledger deltas and trace-event batches,
+// encoded by internal/obs/telemetry (the payload carries its own version
+// byte; the wire codec treats it as opaque). Workers stream these frames
+// ahead of an op reply or a heartbeat answer, exactly like NodeDownlink; an
+// empty payload is non-canonical and rejected by the codec.
+type NodeTelemetry struct {
+	Node    uint32
+	Seq     uint64 // worker-local telemetry batch counter, strictly increasing
+	Payload []byte
+}
+
+func (NodeTelemetry) Kind() Kind { return KindNodeTelemetry }
+func (m NodeTelemetry) Size() int {
+	return HeaderSize + IDSize + ScalarSize + 4 + len(m.Payload)
+}
+
+// NodeStatus is the worker's heartbeat answer: the echoed probe sequence
+// plus the worker's view of its assignment — span epoch, cell range and a
+// digest over (epoch, lo, hi) — so the router's watchdog can verify epoch
+// monotonicity and span agreement without a table op.
+type NodeStatus struct {
+	Node   uint32
+	Seq    uint64 // echoes the probe's NodeHeartbeat.Seq
+	Epoch  uint64
+	Lo     uint32
+	Hi     uint32
+	Digest uint64
+	Ops    uint64 // worker-side table ops applied so far
+}
+
+func (NodeStatus) Kind() Kind { return KindNodeStatus }
+func (NodeStatus) Size() int {
+	return HeaderSize + IDSize + 3*ScalarSize + 2*IDSize + ScalarSize
 }
 
 // ---------------------------------------------------------------------------

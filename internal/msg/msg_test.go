@@ -187,6 +187,7 @@ func TestAllMessagesImplementInterface(t *testing.T) {
 		FocalNotify{}, FocalInfoRequest{}, Pong{},
 		NodeHello{}, NodeHeartbeat{}, AssignRange{}, Handoff{},
 		HandoffAck{}, NodeOp{}, NodeOpDone{}, NodeDownlink{},
+		NodeTelemetry{}, NodeStatus{},
 	}
 	seen := map[Kind]bool{}
 	for _, m := range msgs {

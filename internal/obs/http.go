@@ -2,9 +2,11 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"mobieyes/internal/obs/trace"
@@ -45,8 +47,25 @@ func NewMux(r *Registry) *http.ServeMux {
 
 // HTTPServer is a metrics/pprof endpoint bound to its own listener.
 type HTTPServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln    net.Listener
+	srv   *http.Server
+	ready atomic.Pointer[func() (string, bool)]
+}
+
+// SetReady installs fn as the readiness probe backing /readyz. fn returns a
+// status line and whether the process is fit to serve; false answers 503.
+// With no probe installed (or fn nil) /readyz mirrors /healthz: "ok", 200 —
+// so callers without a cluster watchdog get a sane readiness endpoint for
+// free. Safe to call at any time, including while serving.
+func (h *HTTPServer) SetReady(fn func() (string, bool)) {
+	if h == nil {
+		return
+	}
+	if fn == nil {
+		h.ready.Store(nil)
+		return
+	}
+	h.ready.Store(&fn)
 }
 
 // ListenAndServe starts serving the registry (plus runtime gauges and
@@ -75,13 +94,24 @@ func ListenAndServeWith(addr string, r *Registry, rec *trace.Recorder, attach fu
 	RegisterRuntime(r)
 	mux := NewMux(r)
 	AttachEvents(mux, rec)
+	h := &HTTPServer{ln: ln}
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		status, ok := "ok", true
+		if fn := h.ready.Load(); fn != nil {
+			status, ok = (*fn)()
+		}
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		io.WriteString(w, status+"\n")
+	})
 	if attach != nil {
 		attach(mux)
 	}
-	h := &HTTPServer{ln: ln, srv: &http.Server{
+	h.srv = &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
-	}}
+	}
 	go h.srv.Serve(ln)
 	return h, nil
 }

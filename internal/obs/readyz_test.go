@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestReadyz: with no probe installed /readyz mirrors /healthz; a probe can
+// degrade the answer (still 200) or fail it (503); nil restores the default.
+func TestReadyz(t *testing.T) {
+	h, err := ListenAndServe("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	get := func() (int, string) {
+		resp, err := http.Get("http://" + h.Addr().String() + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get(); code != 200 || body != "ok\n" {
+		t.Errorf("default /readyz: code %d body %q", code, body)
+	}
+	h.SetReady(func() (string, bool) { return "degraded", true })
+	if code, body := get(); code != 200 || body != "degraded\n" {
+		t.Errorf("degraded /readyz: code %d body %q", code, body)
+	}
+	h.SetReady(func() (string, bool) { return "failing", false })
+	if code, body := get(); code != 503 || body != "failing\n" {
+		t.Errorf("failing /readyz: code %d body %q", code, body)
+	}
+	h.SetReady(nil)
+	if code, body := get(); code != 200 || body != "ok\n" {
+		t.Errorf("reset /readyz: code %d body %q", code, body)
+	}
+
+	var nilSrv *HTTPServer
+	nilSrv.SetReady(func() (string, bool) { return "x", false }) // must not panic
+}

@@ -21,7 +21,8 @@ const (
 // series is one labeled time series inside a family. Exactly one of the
 // value fields is set, matching the family's type.
 type series struct {
-	labels  string // canonical `k="v",k2="v2"` signature, "" when unlabeled
+	labels  string   // canonical `k="v",k2="v2"` signature, "" when unlabeled
+	pairs   []string // the label pairs as registered (for Export)
 	counter *Counter
 	gauge   *Gauge
 	gaugeFn func() float64
@@ -104,7 +105,7 @@ func (r *Registry) withSeries(name, help string, typ metricType, labels []string
 	}
 	s, ok := f.series[sig]
 	if !ok {
-		s = &series{labels: sig}
+		s = &series{labels: sig, pairs: append([]string(nil), labels...)}
 		f.series[sig] = s
 	}
 	fn(s)
@@ -271,6 +272,53 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// SeriesPoint is one exported counter or gauge sample: the series identity
+// (name, help, label pairs as registered) plus its current value. It is the
+// unit the cluster telemetry plane ships from worker registries to the
+// router, which re-imports each point under an extra node label. Histograms
+// are not exported — their bucket state does not merge across processes.
+type SeriesPoint struct {
+	Name    string
+	Help    string
+	Counter bool // counter (monotone, re-imported as a counter) vs gauge
+	Labels  []string
+	Value   float64
+}
+
+// Key returns the point's series identity as `name{labels}` — stable across
+// exports, usable as a map key for delta tracking.
+func (p SeriesPoint) Key() string { return seriesName(p.Name, labelSignature(p.Labels)) }
+
+// Export returns every counter and gauge series as a SeriesPoint, in the
+// deterministic exposition order. Gauge functions are evaluated outside the
+// registry lock, like a scrape. Histograms are skipped. Nil returns nil.
+func (r *Registry) Export() []SeriesPoint {
+	if r == nil {
+		return nil
+	}
+	var out []SeriesPoint
+	for _, f := range r.snapshotFamilies() {
+		for _, s := range f.series {
+			p := SeriesPoint{Name: f.name, Help: f.help, Labels: s.pairs}
+			switch f.typ {
+			case typeCounter:
+				p.Counter = true
+				p.Value = float64(s.counter.Value())
+			case typeGauge:
+				if s.gaugeFn != nil {
+					p.Value = s.gaugeFn()
+				} else {
+					p.Value = s.gauge.Value()
+				}
+			default:
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Snapshot returns the registry as a flat map from `name{labels}` to value:

@@ -1,0 +1,343 @@
+// Package telemetry is the cluster telemetry plane: the push side of the
+// observability stack for MobiEyes cluster mode (DESIGN.md §14).
+//
+// PR 2–5 built per-process, pull-only observability — metrics registries,
+// the flight-recorder trace ring, the cost accountant. Cluster mode (PR 6)
+// spread the system's behavior across worker processes, so a cross-node
+// handoff's causal timeline lived split across two workers' rings and the
+// router's /metrics scrape showed nothing about remote nodes. This package
+// closes the gap with three pieces:
+//
+//   - A worker-side Collector that snapshots the worker's registry,
+//     accountant and recorder into compact Batches — changed metric series
+//     (absolute values, so a lost frame self-heals on the next ship),
+//     changed cost-ledger entries, and the trace events recorded since the
+//     last ship. Batches ride the existing cluster wire tier as
+//     msg.NodeTelemetry frames, streamed ahead of op replies and heartbeat
+//     answers exactly like NodeDownlink frames, so merge order at the
+//     router tracks causal order.
+//
+//   - A router-side Plane that re-exports worker metrics into the router's
+//     obs.Registry under node="N" labels (one /metrics scrape covers the
+//     whole cluster), merges worker trace batches into the router's ring
+//     (trace IDs are minted at the router and ride the wire, so merged
+//     chains stitch into one cross-node timeline), and records per-node
+//     heartbeat state (span epoch, span digest, uplink RTT).
+//
+//   - A Watchdog evaluated on every telemetry round: the router+Σnodes ==
+//     global cost identity, span coverage and epoch monotonicity, heartbeat
+//     liveness deadlines, and per-node uplink latency SLOs. Violations are
+//     latched as structured Alerts, exposed via /debug/cluster (JSON +
+//     text), the admin HEALTH command, and a /readyz that degrades from
+//     "ok" to "degraded"/"failing".
+//
+// Like the rest of internal/obs, everything is dependency-free and
+// nil-safe: a nil Collector or Plane costs one branch per call site.
+package telemetry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"mobieyes/internal/msg"
+	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/cost"
+	"mobieyes/internal/obs/trace"
+)
+
+// batchVersion is the payload format version carried in every encoded
+// Batch. The payload is opaque to the wire codec (msg.NodeTelemetry ships
+// it as bytes), so this version can evolve independently of ProtoVersion.
+const batchVersion = 1
+
+// Cost-entry axes: which counter array of the ledger an entry addresses.
+const (
+	axisUpMsgs uint8 = iota
+	axisUpBytes
+	axisDownMsgs
+	axisDownBytes
+	axisCompute
+)
+
+// CostEntry is one changed cost-ledger counter: an axis (uplink/downlink
+// msgs/bytes or compute), the index within it (msg.Kind or cost.Unit), and
+// the absolute cumulative value. Shipping absolutes keeps the stream
+// self-healing: a dropped batch is corrected by the next one.
+type CostEntry struct {
+	Axis  uint8
+	Index uint8
+	Value int64
+}
+
+// Batch is one decoded telemetry payload: the worker's changed metric
+// series, changed cost-ledger entries, and the trace events recorded since
+// the previous batch.
+type Batch struct {
+	Metrics []obs.SeriesPoint
+	Costs   []CostEntry
+	Events  []trace.Event
+}
+
+// SpanDigest hashes a span assignment (epoch, lo, hi) with FNV-1a. Workers
+// report it in NodeStatus so the router's watchdog can verify span
+// agreement without a table op.
+func SpanDigest(epoch uint64, lo, hi uint32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range [3]uint64{epoch, uint64(lo), uint64(hi)} {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xFF
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------------
+// Payload codec. Little-endian, length-prefixed strings (u16), bounded
+// counts. The payload travels inside a msg.NodeTelemetry frame whose outer
+// codec already enforces framing; this codec enforces internal shape.
+
+type benc struct{ b []byte }
+
+func (e *benc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *benc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *benc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *benc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *benc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *benc) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type bdec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *bdec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.b) {
+		d.err = errors.New("telemetry: truncated batch")
+		return false
+	}
+	return true
+}
+
+func (d *bdec) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *bdec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *bdec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *bdec) i64() int64   { return int64(d.u64()) }
+func (d *bdec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *bdec) str() string {
+	n := int(d.u16())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// EncodeBatch serializes a batch. An empty batch (no metrics, costs or
+// events) encodes to nil — callers must not ship it (the wire codec rejects
+// empty telemetry payloads as non-canonical).
+func EncodeBatch(b *Batch) []byte {
+	if b == nil || (len(b.Metrics) == 0 && len(b.Costs) == 0 && len(b.Events) == 0) {
+		return nil
+	}
+	e := &benc{b: make([]byte, 0, 256)}
+	e.u8(batchVersion)
+	e.u16(uint16(len(b.Metrics)))
+	for _, p := range b.Metrics {
+		var kind uint8
+		if p.Counter {
+			kind = 1
+		}
+		e.u8(kind)
+		e.str(p.Name)
+		e.str(p.Help)
+		e.u8(uint8(len(p.Labels)))
+		for _, l := range p.Labels {
+			e.str(l)
+		}
+		e.f64(p.Value)
+	}
+	e.u16(uint16(len(b.Costs)))
+	for _, c := range b.Costs {
+		e.u8(c.Axis)
+		e.u8(c.Index)
+		e.i64(c.Value)
+	}
+	e.u16(uint16(len(b.Events)))
+	for _, ev := range b.Events {
+		e.u64(uint64(ev.Trace))
+		e.i64(ev.Nanos)
+		e.u8(uint8(ev.Kind))
+		e.str(ev.Actor)
+		e.i64(ev.OID)
+		e.i64(ev.QID)
+		e.str(ev.Note)
+	}
+	return e.b
+}
+
+// DecodeBatch parses a telemetry payload. It never panics on hostile input:
+// every count is bounded against the remaining bytes before allocation.
+func DecodeBatch(p []byte) (*Batch, error) {
+	d := &bdec{b: p}
+	if v := d.u8(); d.err == nil && v != batchVersion {
+		return nil, fmt.Errorf("telemetry: batch version %d, want %d", v, batchVersion)
+	}
+	var b Batch
+	nm := int(d.u16())
+	if nm > len(p) { // each metric entry is ≥ 1 byte
+		return nil, errors.New("telemetry: metric count exceeds payload")
+	}
+	for i := 0; i < nm && d.err == nil; i++ {
+		var sp obs.SeriesPoint
+		sp.Counter = d.u8() == 1
+		sp.Name = d.str()
+		sp.Help = d.str()
+		nl := int(d.u8())
+		if nl%2 != 0 {
+			if d.err == nil {
+				d.err = errors.New("telemetry: odd label count")
+			}
+			break
+		}
+		for j := 0; j < nl && d.err == nil; j++ {
+			sp.Labels = append(sp.Labels, d.str())
+		}
+		sp.Value = d.f64()
+		b.Metrics = append(b.Metrics, sp)
+	}
+	nc := int(d.u16())
+	if nc > len(p) {
+		return nil, errors.New("telemetry: cost count exceeds payload")
+	}
+	for i := 0; i < nc && d.err == nil; i++ {
+		c := CostEntry{Axis: d.u8(), Index: d.u8(), Value: d.i64()}
+		if d.err == nil && c.Axis > axisCompute {
+			d.err = fmt.Errorf("telemetry: unknown cost axis %d", c.Axis)
+		}
+		b.Costs = append(b.Costs, c)
+	}
+	ne := int(d.u16())
+	if ne > len(p) {
+		return nil, errors.New("telemetry: event count exceeds payload")
+	}
+	for i := 0; i < ne && d.err == nil; i++ {
+		ev := trace.Event{
+			Trace: trace.ID(d.u64()),
+			Nanos: d.i64(),
+			Kind:  trace.Kind(d.u8()),
+			Actor: d.str(),
+			OID:   d.i64(),
+			QID:   d.i64(),
+			Note:  d.str(),
+		}
+		b.Events = append(b.Events, ev)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(p) {
+		return nil, fmt.Errorf("telemetry: %d trailing bytes", len(p)-d.off)
+	}
+	return &b, nil
+}
+
+// costEntries returns the entries of cur that differ from prev, as absolute
+// values.
+func costEntries(prev, cur cost.LedgerSnap) []CostEntry {
+	var out []CostEntry
+	for k := 0; k < msg.NumKinds; k++ {
+		if cur.UpMsgs[k] != prev.UpMsgs[k] {
+			out = append(out, CostEntry{axisUpMsgs, uint8(k), cur.UpMsgs[k]})
+		}
+		if cur.UpBytes[k] != prev.UpBytes[k] {
+			out = append(out, CostEntry{axisUpBytes, uint8(k), cur.UpBytes[k]})
+		}
+		if cur.DownMsgs[k] != prev.DownMsgs[k] {
+			out = append(out, CostEntry{axisDownMsgs, uint8(k), cur.DownMsgs[k]})
+		}
+		if cur.DownBytes[k] != prev.DownBytes[k] {
+			out = append(out, CostEntry{axisDownBytes, uint8(k), cur.DownBytes[k]})
+		}
+	}
+	for u := 0; u < cost.NumUnits; u++ {
+		if cur.Compute[u] != prev.Compute[u] {
+			out = append(out, CostEntry{axisCompute, uint8(u), cur.Compute[u]})
+		}
+	}
+	return out
+}
+
+// applyCostEntries folds entries into a ledger snapshot, ignoring
+// out-of-range indices (a newer worker may know more kinds than we do).
+func applyCostEntries(snap *cost.LedgerSnap, entries []CostEntry) {
+	for _, c := range entries {
+		i := int(c.Index)
+		switch c.Axis {
+		case axisUpMsgs:
+			if i < msg.NumKinds {
+				snap.UpMsgs[i] = c.Value
+			}
+		case axisUpBytes:
+			if i < msg.NumKinds {
+				snap.UpBytes[i] = c.Value
+			}
+		case axisDownMsgs:
+			if i < msg.NumKinds {
+				snap.DownMsgs[i] = c.Value
+			}
+		case axisDownBytes:
+			if i < msg.NumKinds {
+				snap.DownBytes[i] = c.Value
+			}
+		case axisCompute:
+			if i < cost.NumUnits {
+				snap.Compute[i] = c.Value
+			}
+		}
+	}
+}

@@ -202,6 +202,26 @@ func (r *Recorder) Event(tid ID, k Kind, actor string, oid, qid int64, note stri
 	r.slots[e.Seq&r.mask].Store(e)
 }
 
+// Record merges one externally recorded event into the ring: the event's
+// trace ID, kind, actor, entities, note and original wall-clock timestamp
+// are preserved, but it is assigned a fresh local sequence number. This is
+// how the cluster telemetry plane stitches worker flight-recorder batches
+// into the router's ring — trace IDs are minted at the router and ride the
+// wire, so merged chains line up by ID; workers ship their events ahead of
+// each op reply, so merge order tracks causal order. A zero Nanos is
+// stamped with the local clock.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	if e.Nanos == 0 {
+		e.Nanos = time.Now().UnixNano()
+	}
+	ce := &e
+	ce.Seq = r.seq.Add(1)
+	r.slots[ce.Seq&r.mask].Store(ce)
+}
+
 // Filter selects events. Zero values mean "any"; Limit > 0 keeps only the
 // newest Limit matches.
 type Filter struct {

@@ -38,6 +38,11 @@ import (
 //	                                           by kind, compute units, shard
 //	                                           attribution, quality) or one
 //	                                           entity's tally, "." terminated
+//	HEALTH                                   → cluster telemetry watchdog report:
+//	                                           health line, per-node state, and
+//	                                           active alerts, "." terminated
+//	                                           ("err telemetry disabled" without
+//	                                           a telemetry plane)
 //	snapshot <path>                          → "ok" (writes a state snapshot)
 //	quit                                     → closes the session
 type AdminServer struct {
@@ -179,8 +184,14 @@ func (a *AdminServer) handleCommand(conn net.Conn, fields []string) bool {
 			if !sp.Live {
 				state = "dead"
 			}
-			fmt.Fprintf(conn, "node %d %s cells [%d,%d) focals %d queries %d\n",
+			fmt.Fprintf(conn, "node %d %s cells [%d,%d) focals %d queries %d",
 				sp.Node, state, sp.Lo, sp.Hi, sp.Focals, sp.Queries)
+			if sp.Fault != "" {
+				// Unreachable node: its counts above are zeros because the
+				// transport is dead, not because its tables are empty.
+				fmt.Fprintf(conn, " fault %q", sp.Fault)
+			}
+			fmt.Fprintln(conn)
 		}
 		fmt.Fprintln(conn, ".")
 	case "stats":
@@ -193,6 +204,14 @@ func (a *AdminServer) handleCommand(conn net.Conn, fields []string) bool {
 		a.handleTrace(conn, fields[1:])
 	case "COSTS":
 		a.handleCosts(conn, fields[1:])
+	case "HEALTH":
+		p := a.srv.Telemetry()
+		if p == nil {
+			fmt.Fprintln(conn, "err telemetry disabled")
+			return true
+		}
+		p.WriteHealth(conn)
+		fmt.Fprintln(conn, ".")
 	case "snapshot":
 		if len(fields) != 2 {
 			fmt.Fprintln(conn, "err usage: snapshot <path>")

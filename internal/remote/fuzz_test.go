@@ -45,6 +45,11 @@ func FuzzDecodeFrame(f *testing.F) {
 	// the server must classify them without panicking.
 	f.Add(fuzzStream(hello, wire.Encode(msg.NodeHello{Node: 1, Proto: 2})))
 	f.Add(fuzzStream(hello, wire.Encode(msg.Handoff{Seq: 1, OID: 9, Slice: []byte{1, 2}})))
+	// Telemetry-plane frames: a pushed batch, its zero-length-payload
+	// non-canonical twin, and a heartbeat status answer.
+	f.Add(fuzzStream(hello, wire.Encode(msg.NodeTelemetry{Node: 1, Seq: 3, Payload: []byte{0x01, 0x00}})))
+	f.Add(fuzzStream(hello, wire.Encode(msg.NodeTelemetry{Node: 1, Seq: 3})))
+	f.Add(fuzzStream(hello, wire.Encode(msg.NodeStatus{Node: 1, Seq: 4, Epoch: 2, Lo: 0, Hi: 9, Digest: 0xABCD, Ops: 7})))
 	// Length prefix pointing past the data, oversized prefix, raw garbage.
 	f.Add([]byte{0x10, 0x00, 0x00, 0x00, 0x48})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})

@@ -16,6 +16,7 @@ import (
 	"mobieyes/internal/network"
 	"mobieyes/internal/obs"
 	"mobieyes/internal/obs/cost"
+	"mobieyes/internal/obs/telemetry"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/wire"
 )
@@ -87,6 +88,7 @@ type Server struct {
 	backend core.ServerAPI // *core.ShardedServer, or *core.ClusterServer with cfg.ClusterNodes
 	rec     *trace.Recorder
 	acct    *cost.Accountant // nil-safe; charged at the frame codec boundary
+	tel     *telemetry.Plane // cluster telemetry plane, nil unless attached
 	done    chan struct{}
 	closing sync.Once
 	wg      sync.WaitGroup
@@ -226,9 +228,12 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// expiryLoop sweeps duration-bound queries once a second. The sharded
-// backend is safe for concurrent use, so the sweep runs alongside the
-// connection goroutines' uplink dispatch.
+// expiryLoop sweeps duration-bound queries once a second, and — for a
+// clustered backend with a telemetry plane attached — runs the periodic
+// telemetry round on the same tick: probe every live node (which pumps the
+// workers' pending telemetry into the plane) and evaluate the invariant
+// watchdog. The sharded backend is safe for concurrent use, so the sweep
+// runs alongside the connection goroutines' uplink dispatch.
 func (s *Server) expiryLoop() {
 	defer s.wg.Done()
 	expiry := time.NewTicker(time.Second)
@@ -239,8 +244,34 @@ func (s *Server) expiryLoop() {
 			return
 		case <-expiry.C:
 			s.backend.ExpireQueries(nowHours())
+			if s.Telemetry() != nil {
+				if cs, ok := s.backend.(*core.ClusterServer); ok {
+					cs.TelemetryRound()
+				}
+			}
 		}
 	}
+}
+
+// SetTelemetry attaches a cluster telemetry plane: the housekeeping loop
+// starts driving periodic telemetry rounds through the clustered backend,
+// and the admin HEALTH command reports the plane's watchdog state. Call it
+// once, after Serve, before traffic matters (typically right after
+// constructing the plane and wiring the router's remote nodes to it).
+func (s *Server) SetTelemetry(p *telemetry.Plane) {
+	s.mu.Lock()
+	s.tel = p
+	s.mu.Unlock()
+	if cs, ok := s.backend.(*core.ClusterServer); ok {
+		cs.SetTelemetry(p)
+	}
+}
+
+// Telemetry returns the attached telemetry plane, or nil.
+func (s *Server) Telemetry() *telemetry.Plane {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tel
 }
 
 // InstallQuery installs a moving query.

@@ -33,6 +33,9 @@ func FuzzWire(f *testing.F) {
 		zeroTID[i] = 0
 	}
 	f.Add(zeroTID)
+	// A telemetry frame with a zero-length payload delta: non-canonical (the
+	// worker would not send an empty batch) and must be rejected.
+	f.Add(Encode(msg.NodeTelemetry{Node: 1, Seq: 1}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, tid, err := DecodeTraced(data)

@@ -407,6 +407,18 @@ func encodeBody(e *encoder, m msg.Message) {
 		e.cellRange(mm.Region)
 		e.oid(mm.Target)
 		e.bytes(mm.Inner)
+	case msg.NodeTelemetry:
+		e.u32(mm.Node)
+		e.u64(mm.Seq)
+		e.bytes(mm.Payload)
+	case msg.NodeStatus:
+		e.u32(mm.Node)
+		e.u64(mm.Seq)
+		e.u64(mm.Epoch)
+		e.u32(mm.Lo)
+		e.u32(mm.Hi)
+		e.u64(mm.Digest)
+		e.u64(mm.Ops)
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", m))
 	}
@@ -566,6 +578,19 @@ func decodeBody(d *decoder, kind msg.Kind) (msg.Message, error) {
 			}
 		}
 		m = nd
+	case msg.KindNodeTelemetry:
+		nt := msg.NodeTelemetry{Node: d.u32(), Seq: d.u64(), Payload: d.bytes()}
+		// A telemetry frame exists only to carry a batch: an empty payload is
+		// non-canonical (the worker would simply not send the frame).
+		if d.err == nil && len(nt.Payload) == 0 {
+			return nil, errors.New("wire: node telemetry with empty payload")
+		}
+		m = nt
+	case msg.KindNodeStatus:
+		m = msg.NodeStatus{
+			Node: d.u32(), Seq: d.u64(), Epoch: d.u64(),
+			Lo: d.u32(), Hi: d.u32(), Digest: d.u64(), Ops: d.u64(),
+		}
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
 	}

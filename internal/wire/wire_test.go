@@ -74,6 +74,11 @@ func sampleMessages(rng *rand.Rand) []msg.Message {
 			Inner: Encode(msg.FocalNotify{OID: 10, QID: 11, Install: true}),
 		},
 		msg.NodeDownlink{Target: 14, Inner: Encode(msg.FocalInfoRequest{OID: 14})},
+		msg.NodeTelemetry{Node: 2, Seq: 17, Payload: []byte{0x01, 0x00, 0x02, 0xFE}},
+		msg.NodeStatus{
+			Node: 2, Seq: rng.Uint64(), Epoch: 5, Lo: 20, Hi: 57,
+			Digest: rng.Uint64(), Ops: 123,
+		},
 	}
 }
 
@@ -128,6 +133,9 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 		"bad length":        mutate(good, 4, byte(len(good)+5)),
 		"truncated payload": good[:len(good)-4],
 		"trailing bytes":    append(append([]byte(nil), good...), 0, 0),
+		// A telemetry frame exists only to carry a batch: empty payloads are
+		// non-canonical and rejected.
+		"empty telemetry payload": Encode(msg.NodeTelemetry{Node: 1, Seq: 1}),
 	}
 	for name, b := range cases {
 		if _, err := Decode(b); err == nil {

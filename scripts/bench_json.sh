@@ -1,11 +1,13 @@
 #!/bin/sh
-# Emits the PR benchmark set as JSON (BENCH_PR6.json by default): the
+# Emits the PR benchmark set as JSON (BENCH_PR7.json by default): the
 # cost-accounting overhead benchmarks of internal/obs/cost (disabled-path
 # nil-accountant calls, enabled-path charges, scrape-under-load), the
 # instrumentation overhead benchmarks of internal/obs, the causal-tracing
-# flight-recorder benchmarks of internal/obs/trace, and the
-# serial/sharded/clustered uplink throughput benchmarks of internal/core —
-# the sharded-vs-clustered delta at 10k/100k objects is the
+# flight-recorder benchmarks of internal/obs/trace, the telemetry-plane
+# benchmarks of internal/obs/telemetry (batch encode/decode, idle collector
+# probe, per-heartbeat collect+encode, router-side merge, watchdog round),
+# and the serial/sharded/clustered uplink throughput benchmarks of
+# internal/core — the sharded-vs-clustered delta at 10k/100k objects is the
 # router-forwarding overhead. Usage:
 #
 #   scripts/bench_json.sh [output.json]
@@ -13,13 +15,14 @@
 # Tune BENCHTIME for fidelity vs speed (default 1s; CI smoke uses 1x).
 set -eu
 
-OUT="${1:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR7.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 
 {
 	go test -run '^$' -bench . -benchtime "$BENCHTIME" ./internal/obs/cost/
 	go test -run '^$' -bench . -benchtime "$BENCHTIME" ./internal/obs/
 	go test -run '^$' -bench . -benchtime "$BENCHTIME" ./internal/obs/trace/
+	go test -run '^$' -bench . -benchtime "$BENCHTIME" ./internal/obs/telemetry/
 	go test -run '^$' -bench 'BenchmarkUplink(Serial|Sharded|Clustered)(10k|100k)' -benchtime "$BENCHTIME" ./internal/core/
 } | awk '
 	/^Benchmark/ {
