@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check simtest cluster bench bench-smoke bench-sharded bench-json report staticcheck
+.PHONY: build vet test race check simtest cluster crash bench bench-smoke bench-sharded bench-json report staticcheck
 
 # Optional deeper linting: runs only when staticcheck is installed, so the
 # gate works on minimal toolchains (CI installs it; see scripts/check.sh).
@@ -47,7 +47,15 @@ cluster:
 	$(GO) test -race -count=1 -run 'ThreeWay|Cluster' ./internal/simtest/
 	$(GO) test -race -count=1 ./internal/cluster/
 
-check: build vet staticcheck test race simtest cluster
+# Crash-recovery gate: the seeded crash-schedule sweep (ungraceful kills,
+# mid-handoff kills, double kills, kills at rebalance edges) plus the
+# checkpoint/replay unit and teeth tests, under the race detector. On
+# failure the sweep shrinks the first violation to a minimal repro and, when
+# CRASH_REPRO_OUT names a file, writes it there (CI uploads it).
+crash:
+	$(GO) test -race -count=1 -run 'Crash|Checkpoint|Recovery' ./internal/simtest/ ./internal/core/ ./internal/cluster/ ./internal/obs/telemetry/
+
+check: build vet staticcheck test race simtest cluster crash
 
 bench:
 	$(GO) test -bench . -benchtime 1s ./internal/core/

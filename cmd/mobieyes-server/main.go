@@ -8,7 +8,7 @@
 //	                [-area SQMILES] [-alpha MILES] [-lazy] [-grouping]
 //	                [-trace-events N] [-costs]
 //	                [-cluster router -workers host:port,… | -cluster worker]
-//	                [-cluster-nodes N]
+//	                [-cluster-nodes N] [-auto-recover=false]
 //
 // Cluster deployment: `-cluster router` makes this process the cluster's
 // router tier, owning query lifecycle and routing uplinks to the worker
@@ -16,7 +16,10 @@
 // `mobieyes-server -cluster worker`, with matching grid flags).
 // `-cluster worker` runs a bare worker node on -addr instead of an object
 // server. `-cluster-nodes N` runs router plus N worker nodes inside this
-// process — the clustered topology without the TCP hops.
+// process — the clustered topology without the TCP hops. The router
+// checkpoints worker focal state every telemetry round and, with
+// -auto-recover (the default), fences and replays a worker that misses
+// its heartbeat deadline (DESIGN.md §15).
 //
 // Admin protocol (one command per line, e.g. via netcat):
 //
@@ -72,6 +75,7 @@ func main() {
 		role     = flag.String("cluster", "", `cluster role: "router" (route over -workers) or "worker" (serve one node on -addr)`)
 		workers  = flag.String("workers", "", "comma-separated worker addresses for -cluster router")
 		nodes    = flag.Int("cluster-nodes", 0, "run the clustered backend with N in-process worker nodes (ignored with -cluster)")
+		autoRec  = flag.Bool("auto-recover", true, "with -cluster router: fence and replay a worker that misses its heartbeat deadline (checkpointed crash recovery, DESIGN.md §15)")
 	)
 	flag.Parse()
 
@@ -159,6 +163,7 @@ func main() {
 				return nil, err
 			}
 			cluster.WireTelemetry(cs, rns, plane)
+			cs.SetAutoRecover(*autoRec)
 			fmt.Printf("mobieyes-server: routing over %d workers: %s\n", len(rns), *workers)
 			return cs, nil
 		}

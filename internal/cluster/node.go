@@ -148,7 +148,7 @@ func (rn *RemoteNode) exchange(m msg.Message, tid trace.ID) (msg.Message, error)
 			if err := rn.tel.Apply(int(mm.Node), mm.Seq, mm.Payload); err != nil {
 				return nil, rn.fail(err)
 			}
-		case msg.NodeOpDone, msg.HandoffAck, msg.NodeStatus:
+		case msg.NodeOpDone, msg.HandoffAck, msg.NodeStatus, msg.NodeCheckpoint:
 			return reply, nil
 		default:
 			return nil, rn.fail(fmt.Errorf("unexpected %v frame", mm.Kind()))
@@ -439,6 +439,35 @@ func (rn *RemoteNode) FocalCell(oid model.ObjectID) (grid.CellID, bool) {
 
 func (rn *RemoteNode) Ops() int64 {
 	return int64(rn.mustOp(opOps, nil, 0).u64())
+}
+
+// CheckpointDelta pulls the worker's focal-slice changes since the last
+// checkpoint exchange (a CheckpointRequest/NodeCheckpoint round trip). The
+// router journals the result so an ungraceful worker death is recoverable.
+func (rn *RemoteNode) CheckpointDelta(since uint64) (core.CheckpointDelta, error) {
+	if rn.err != nil {
+		return core.CheckpointDelta{}, rn.err
+	}
+	reply, err := rn.exchange(msg.CheckpointRequest{Node: rn.node, Since: since}, 0)
+	if err != nil {
+		return core.CheckpointDelta{}, err
+	}
+	ck, ok := reply.(msg.NodeCheckpoint)
+	if !ok {
+		return core.CheckpointDelta{}, rn.fail(fmt.Errorf("checkpoint answered by %v", reply.Kind()))
+	}
+	d := core.CheckpointDelta{Seq: ck.Seq, Slices: ck.Slices}
+	for _, oid := range ck.Removed {
+		d.Removed = append(d.Removed, model.ObjectID(oid))
+	}
+	return d, nil
+}
+
+// Sever closes the raw connection without a goodbye and marks the handle
+// failed — the test-facing ungraceful kill: the worker process may keep
+// running, but the router can no longer reach it.
+func (rn *RemoteNode) Sever() {
+	rn.fail(fmt.Errorf("connection severed"))
 }
 
 func (rn *RemoteNode) SnapshotData() ([]byte, error) {

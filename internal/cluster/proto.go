@@ -34,8 +34,11 @@ import (
 // VersionError on both sides rather than decaying into garbled exchanges.
 // Version 2 added the telemetry plane: workers answer heartbeats with
 // NodeStatus (epoch + span digest) and may stream NodeTelemetry batches
-// ahead of any reply frame.
-const ProtoVersion = uint16(2)
+// ahead of any reply frame. Version 3 added crash recovery: routers pull
+// focal-slice checkpoint deltas with CheckpointRequest, answered by
+// NodeCheckpoint, and journal them for replay after an ungraceful worker
+// death (DESIGN.md §15).
+const ProtoVersion = uint16(3)
 
 // VersionError reports a NodeHello handshake refused for speaking a
 // different cluster protocol version.

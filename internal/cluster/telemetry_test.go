@@ -177,6 +177,68 @@ func TestWireTelemetryNodeDeath(t *testing.T) {
 	}
 }
 
+// TestWireAutoRecovery severs a worker's transport and lets the router heal
+// itself: with auto-recovery enabled, the telemetry round that diagnoses the
+// dead node fences it, replays its journaled focal state into the survivor
+// over the checkpoint path it pulled through the wire, and resolves the
+// alert — no focal is lost because the previous round's checkpoint is the
+// watermark and nothing moved since.
+func TestWireAutoRecovery(t *testing.T) {
+	cs, rns, plane, _, _ := newTelemetryCluster(t, 2)
+	defer cs.Close()
+	drive(cs, testGrid())
+
+	// The round checkpoints every live node over the wire and is clean.
+	if alerts := cs.TelemetryRound(); len(alerts) != 0 {
+		t.Fatalf("healthy cluster raised alerts: %v", alerts)
+	}
+	spans := cs.Spans()
+	total := 0
+	victim := 1
+	for _, sp := range spans {
+		total += sp.Focals
+		if sp.Focals > 0 {
+			victim = sp.Node
+		}
+	}
+	if total == 0 {
+		t.Fatal("schedule installed no focals — recovery untested")
+	}
+	if n, _ := cs.JournalSize(victim); n != spans[victim].Focals {
+		t.Fatalf("journal holds %d slices for node %d, want %d (the wire checkpoint path)",
+			n, victim, spans[victim].Focals)
+	}
+
+	cs.SetAutoRecover(true)
+	rns[victim].conn.Close() // the worker process dies ungracefully
+
+	// One round: diagnose, fence, replay, converge. The returned alert set is
+	// post-recovery, so the node-death alert has already auto-resolved.
+	if alerts := cs.TelemetryRound(); len(alerts) != 0 {
+		t.Fatalf("alerts after auto-recovery = %v, want none", alerts)
+	}
+	if s := plane.HealthStatus(); s != telemetry.HealthOK {
+		t.Errorf("health after recovery = %s, want ok", s)
+	}
+	if n := plane.Recoveries(); n != 1 {
+		t.Errorf("plane counted %d recoveries, want 1", n)
+	}
+	after := cs.Spans()
+	if after[victim].Live {
+		t.Fatalf("victim node %d still live after recovery", victim)
+	}
+	got := 0
+	for _, sp := range after {
+		got += sp.Focals
+	}
+	if got != total {
+		t.Errorf("focals after recovery = %d, want %d (zero loss at the watermark)", got, total)
+	}
+	if err := cs.CheckInvariants(); err != nil {
+		t.Errorf("invariants after recovery: %v", err)
+	}
+}
+
 // adminConn is a minimal admin-protocol client for the satellite test below.
 type adminConn struct {
 	conn net.Conn

@@ -187,6 +187,25 @@ func (w *Worker) ServeConn(conn net.Conn) error {
 				return err
 			}
 			closing = opErr == nil && mm.Code == opClose
+		case msg.CheckpointRequest:
+			// Checkpoint pull: answer with the focal-slice delta since the
+			// router's journaled sequence. A desync (Since not matching the
+			// node's sequence) is answered as an error op-done — the router
+			// treats it as a failed exchange.
+			d, ckErr := w.node.CheckpointDelta(mm.Since)
+			if ckErr != nil {
+				if err := w.reply(bw, msg.NodeOpDone{Seq: 0, Code: opError, Data: []byte(ckErr.Error())}); err != nil {
+					return err
+				}
+				break
+			}
+			ck := msg.NodeCheckpoint{Node: w.id, Seq: d.Seq, Slices: d.Slices}
+			for _, oid := range d.Removed {
+				ck.Removed = append(ck.Removed, uint32(oid))
+			}
+			if err := w.reply(bw, ck); err != nil {
+				return err
+			}
 		case msg.Handoff:
 			admin := mm.Seq&adminSeqBit != 0
 			injErr := w.node.InjectFocal(mm.Slice, mm.State, mm.Cell, mm.Relocate, admin, trace.ID(tid))

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mobieyes/internal/model"
+)
+
+// TestCheckpointDeltaRoundTrip: pulling checkpoints after a busy scenario
+// journals every live focal slice byte-identically to the node's own
+// non-destructive encoding, a second pull with no traffic is an empty
+// delta at the same sequence, and new traffic dirties the delta again.
+func TestCheckpointDeltaRoundTrip(t *testing.T) {
+	cluster := newClusterHarness(smallGrid(), Options{}, 3)
+	runScenario(cluster)
+	cs := cluster.server.(*ClusterServer)
+
+	if err := cs.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	total := 0
+	for i := range cs.nodes {
+		slices, seq := cs.JournalSize(i)
+		total += slices
+		if slices > 0 && seq == 0 {
+			t.Errorf("node %d: %d slices journaled at seq 0", i, slices)
+		}
+		// Journal bytes must equal the node's current (non-destructive)
+		// encoding of each focal — the replay source is exact.
+		for oid, journaled := range cs.journal[i].slices {
+			ns := cs.local[i]
+			if ns == nil {
+				t.Fatalf("node %d has no local NodeServer", i)
+			}
+			if live := ns.srv.encodeFocalState(oid); !bytes.Equal(journaled, live) {
+				t.Errorf("node %d focal %d: journaled slice differs from live encoding", i, oid)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("scenario journaled no focal slices — weak test")
+	}
+
+	// Idle second pull: empty delta, sequence unchanged.
+	seqs := make([]uint64, len(cs.nodes))
+	for i := range cs.nodes {
+		_, seqs[i] = cs.JournalSize(i)
+	}
+	if err := cs.Checkpoint(); err != nil {
+		t.Fatalf("idle Checkpoint: %v", err)
+	}
+	for i := range cs.nodes {
+		if _, seq := cs.JournalSize(i); seq != seqs[i] {
+			t.Errorf("node %d: idle checkpoint bumped seq %d -> %d", i, seqs[i], seq)
+		}
+	}
+
+	// Traffic dirties the delta: at least one node's sequence advances.
+	cluster.step(model.FromSeconds(30))
+	if err := cs.Checkpoint(); err != nil {
+		t.Fatalf("post-step Checkpoint: %v", err)
+	}
+	advanced := false
+	for i := range cs.nodes {
+		if _, seq := cs.JournalSize(i); seq > seqs[i] {
+			advanced = true
+		}
+	}
+	if !advanced {
+		t.Error("a step's worth of traffic advanced no checkpoint sequence")
+	}
+}
+
+// TestCheckpointDeltaDesync: a since that does not match the node's
+// sequence is an error, never a silently wrong delta.
+func TestCheckpointDeltaDesync(t *testing.T) {
+	h := newHarness(smallGrid(), Options{})
+	runScenario(h)
+	n := &NodeServer{srv: h.server.(*Server)}
+	d, err := n.CheckpointDelta(0)
+	if err != nil {
+		t.Fatalf("first delta: %v", err)
+	}
+	if len(d.Slices) == 0 {
+		t.Fatal("first delta empty — weak test")
+	}
+	if _, err := n.CheckpointDelta(d.Seq + 7); err == nil {
+		t.Error("desynced since accepted")
+	}
+	if _, err := n.CheckpointDelta(d.Seq); err != nil {
+		t.Errorf("matching since refused: %v", err)
+	}
+}
+
+// TestCheckpointReplayFreshNode: a checkpointed slice injected into a
+// fresh node (the replay path) restores rows that re-encode
+// byte-identically and satisfy the engine invariants — including the
+// single-focal node edge case.
+func TestCheckpointReplayFreshNode(t *testing.T) {
+	h := newHarness(smallGrid(), Options{})
+	runScenario(h)
+	src := &NodeServer{srv: h.server.(*Server)}
+	oids := src.FocalIDs()
+	if len(oids) < 2 {
+		t.Fatal("scenario left fewer than 2 focals — weak test")
+	}
+
+	for _, oid := range oids {
+		fresh := NewNodeServer(smallGrid(), Options{}, nullDown{})
+		slice := src.srv.encodeFocalState(oid)
+		got, err := FocalSliceOID(slice)
+		if err != nil || got != oid {
+			t.Fatalf("FocalSliceOID = %d, %v; want %d", got, err, oid)
+		}
+		cell, _ := src.FocalCell(oid)
+		st := src.srv.fot[oid].state
+		if err := fresh.InjectFocal(slice, st, cell, false, true, 0); err != nil {
+			t.Fatalf("replay inject of focal %d: %v", oid, err)
+		}
+		if err := fresh.CheckInvariants(); err != nil {
+			t.Errorf("invariants after replaying focal %d: %v", oid, err)
+		}
+		if again := fresh.srv.encodeFocalState(oid); !bytes.Equal(slice, again) {
+			t.Errorf("focal %d: replayed slice re-encodes differently", oid)
+		}
+	}
+
+	// Empty-node edge: a fresh node's delta is empty at seq 0, and stays
+	// empty across pulls.
+	empty := NewNodeServer(smallGrid(), Options{}, nullDown{})
+	for pull := 0; pull < 2; pull++ {
+		d, err := empty.CheckpointDelta(0)
+		if err != nil {
+			t.Fatalf("empty-node delta: %v", err)
+		}
+		if d.Seq != 0 || len(d.Slices) != 0 || len(d.Removed) != 0 {
+			t.Fatalf("empty-node delta = %+v, want zero", d)
+		}
+	}
+}
+
+// TestFocalSliceOIDRejectsGarbage: the journal key reader refuses
+// truncated and version-skewed slices.
+func TestFocalSliceOIDRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {1}, {1, 0, 9}, {2, 0, 9, 0, 0, 0}} {
+		if _, err := FocalSliceOID(b); err == nil {
+			t.Errorf("FocalSliceOID(%v) accepted", b)
+		}
+	}
+}
+
+// TestClusterCrashRecovery: after a full checkpoint, an ungraceful crash
+// of a focal-bearing node preserves the durable snapshot byte-for-byte
+// (the journal replay restores every row), invariants hold, and the
+// cluster keeps matching the serial server afterwards. Crashing a dead
+// node or the last survivor is refused.
+func TestClusterCrashRecovery(t *testing.T) {
+	serial := newHarness(smallGrid(), Options{})
+	cluster := newClusterHarness(smallGrid(), Options{}, 3)
+	runScenario(serial)
+	runScenario(cluster)
+	cs := cluster.server.(*ClusterServer)
+
+	if err := cs.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if slices, _ := cs.JournalSize(1); slices == 0 {
+		t.Fatal("node 1 holds no journaled focals — weak test")
+	}
+	var before bytes.Buffer
+	if err := cs.Snapshot(&before); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.CrashNode(1); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	var after bytes.Buffer
+	if err := cs.Snapshot(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Error("crash recovery changed the durable snapshot")
+	}
+	if err := cs.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after crash: %v", err)
+	}
+	spans := cs.Spans()
+	if spans[1].Live || spans[1].Focals != 0 || spans[1].Queries != 0 {
+		t.Errorf("crashed node still reports state: %+v", spans[1])
+	}
+	if slices, seq := cs.JournalSize(1); slices != 0 || seq != 0 {
+		t.Errorf("crashed node's journal not cleared: %d slices seq %d", slices, seq)
+	}
+
+	// The cluster must keep tracking the serial server after recovery.
+	for step := 0; step < 4; step++ {
+		serial.step(model.FromSeconds(30))
+		cluster.step(model.FromSeconds(30))
+	}
+	for _, qid := range serial.server.QueryIDs() {
+		if !idsEqual(serial.server.Result(qid), cluster.server.Result(qid)) {
+			t.Errorf("query %d result diverged after crash recovery", qid)
+		}
+	}
+
+	if err := cs.CrashNode(1); err == nil {
+		t.Error("crashing a dead node should fail")
+	}
+	if err := cs.CrashNode(3); err == nil {
+		t.Error("crashing an out-of-range node should fail")
+	}
+	if err := cs.CrashNode(0); err != nil {
+		t.Fatalf("CrashNode(0): %v", err)
+	}
+	if err := cs.CrashNode(2); err == nil {
+		t.Error("crashing the last live node should be refused")
+	}
+}
+
+// TestCrashSuppressedReplayLosesState: with replay suppressed (the teeth
+// knob), a crash loses every focal the dead node owned — the routing
+// tables are swept clean, yet invariants still hold and the cluster keeps
+// serving. This is the state of the world the convergence oracle must
+// catch.
+func TestCrashSuppressedReplayLosesState(t *testing.T) {
+	cluster := newClusterHarness(smallGrid(), Options{}, 3)
+	runScenario(cluster)
+	cs := cluster.server.(*ClusterServer)
+	if err := cs.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	lost := 0
+	for _, ni := range cs.focalNode {
+		if ni == 1 {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("node 1 owns no focals — weak test")
+	}
+	beforeFocals := len(cs.focalNode)
+	cs.SuppressRecoveryReplay(true)
+	defer cs.SuppressRecoveryReplay(false)
+	if err := cs.CrashNode(1); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	if got := len(cs.focalNode); got != beforeFocals-lost {
+		t.Errorf("focals after suppressed-replay crash = %d, want %d", got, beforeFocals-lost)
+	}
+	if err := cs.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after lossy crash: %v", err)
+	}
+}
+
+// TestCrashStaleWatermarkKeepsInvariants: with no explicit Checkpoint, the
+// journal holds only what the handoff-entry barriers captured — a stale
+// watermark. A crash must still recover cleanly: stale shadows of focals
+// that migrated away are skipped, whatever is journaled for focals the
+// dead node still owned is restored, and invariants hold throughout.
+func TestCrashStaleWatermarkKeepsInvariants(t *testing.T) {
+	cluster := newClusterHarness(smallGrid(), Options{}, 3)
+	runScenario(cluster)
+	cs := cluster.server.(*ClusterServer)
+	if cs.Migrations() == 0 {
+		t.Fatal("scenario produced no handoffs — no barrier checkpoints to go stale")
+	}
+	if err := cs.CrashNode(1); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	if err := cs.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after stale-watermark crash: %v", err)
+	}
+	// The cluster keeps serving: a few more steps, invariants still hold.
+	for step := 0; step < 3; step++ {
+		cluster.step(model.FromSeconds(30))
+	}
+	if err := cs.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after post-crash steps: %v", err)
+	}
+}

@@ -94,6 +94,18 @@ type ClusterServer struct {
 	queryNode  map[model.QueryID]int
 	pending    map[model.ObjectID][]pendingInstall
 	pendingExp map[model.QueryID]model.Time
+
+	// journal holds each node's last checkpoint (focal slices keyed by oid),
+	// replayed into the survivors when the node crashes without a drain.
+	// armedHandoffCrash (-1 disarmed) and suppressReplay are test hooks —
+	// see ArmCrashOnHandoff and SuppressRecoveryReplay in checkpoint.go.
+	journal           []nodeJournal
+	armedHandoffCrash int
+	suppressReplay    bool
+
+	// autoRecover lets TelemetryRound trigger crash recovery on critical
+	// liveness alerts instead of only reporting them (SetAutoRecover).
+	autoRecover bool
 }
 
 // NewClusterServer returns a cluster router over n in-process worker nodes;
@@ -145,10 +157,14 @@ func newClusterServer(g *grid.Grid, opts Options, down Downlink, handles []NodeH
 		queryNode:  make(map[model.QueryID]int),
 		pending:    make(map[model.ObjectID][]pendingInstall),
 		pendingExp: make(map[model.QueryID]model.Time),
+
+		journal:           make([]nodeJournal, len(handles)),
+		armedHandoffCrash: -1,
 	}
 	for i := range cs.live {
 		cs.live[i] = true
 		cs.nUpl[i] = obs.NewCounter()
+		cs.journal[i].slices = make(map[model.ObjectID][]byte)
 	}
 	cs.computeSpans()
 	return cs
@@ -203,16 +219,64 @@ func (cs *ClusterServer) viewLocked() telemetry.View {
 	return v
 }
 
-// TelemetryRound runs one telemetry round: probe every live node (each
-// probe pumps that node's pending telemetry into the plane and reports its
-// heartbeat status), then evaluate the invariant watchdog. The remote
-// server's housekeeping loop drives this about once a second; handoff and
-// rebalance edges run evaluation-only rounds inline. Returns the active
-// alerts (nil with no plane attached).
+// TelemetryRound runs one telemetry round: pull a checkpoint delta from
+// every live node into the router journal (the recovery watermark —
+// DESIGN.md §15), probe every live node (each probe pumps that node's
+// pending telemetry into the plane and reports its heartbeat status), then
+// evaluate the invariant watchdog. The remote server's housekeeping loop
+// drives this about once a second; handoff and rebalance edges run
+// evaluation-only rounds inline. Returns the active alerts (nil with no
+// plane attached).
+//
+// With auto-recovery enabled (SetAutoRecover), a critical heartbeat-stale
+// or node-unreachable alert against a live node triggers the crash
+// recovery path inline: the node is fenced, its journaled focal state
+// replays into the survivors, and a follow-up watchdog round resolves the
+// alerts it can.
 func (cs *ClusterServer) TelemetryRound() []telemetry.Alert {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	return cs.telemetryRoundLocked(true)
+	_ = cs.checkpointLocked()
+	alerts := cs.telemetryRoundLocked(true)
+	if !cs.autoRecover {
+		return alerts
+	}
+	for _, a := range alerts {
+		if a.Severity != telemetry.SeverityCritical {
+			continue
+		}
+		if a.Check != telemetry.CheckHeartbeat && a.Check != telemetry.CheckUnreachable {
+			continue
+		}
+		i := a.Node
+		if i < 0 || i >= len(cs.nodes) || !cs.live[i] || cs.liveCount() <= 1 {
+			continue
+		}
+		cs.crashLocked(i, 0)
+		alerts = cs.telemetryRoundLocked(false)
+	}
+	return alerts
+}
+
+// SetAutoRecover enables router-driven crash recovery: when the watchdog
+// declares a live node dead (missed heartbeats or unreachable), the router
+// fences it and replays its journal instead of just alerting. Off by
+// default so operators can choose alert-and-wait.
+func (cs *ClusterServer) SetAutoRecover(on bool) {
+	cs.mu.Lock()
+	cs.autoRecover = on
+	cs.mu.Unlock()
+}
+
+// liveCount returns the number of live nodes. cs.mu held.
+func (cs *ClusterServer) liveCount() int {
+	n := 0
+	for _, l := range cs.live {
+		if l {
+			n++
+		}
+	}
+	return n
 }
 
 func (cs *ClusterServer) telemetryRoundLocked(probe bool) []telemetry.Alert {
@@ -591,9 +655,26 @@ func (cs *ClusterServer) handoff(si, di int, oid model.ObjectID, st model.Motion
 	if cs.rec != nil {
 		cs.rec.Event(tid, trace.KindMigrate, "router", int64(oid), 0, fmt.Sprintf("node%d -> node%d", si, di))
 	}
+	// Checkpoint barrier: journal the source's rows before the destructive
+	// extract, so a crash between the two phases loses nothing — the slice
+	// in hand and the journal agree byte-for-byte at this instant. A failed
+	// pull leaves the journal at its previous watermark (see DESIGN.md §15).
+	_ = cs.checkpointNodeLocked(si)
 	slice, err := cs.nodes[si].ExtractFocal(oid, false, tid)
 	if err != nil {
 		panic(fmt.Sprintf("core: handoff extract of focal %d from node %d: %v", oid, si, err))
+	}
+	if cs.armedHandoffCrash == si {
+		// Armed mid-handoff crash: the source dies holding nothing (the
+		// extract already detached the slice), the router holds the only
+		// copy. The journal entry is superseded by the in-hand slice —
+		// drop it so replay cannot inject the focal a second time, recover
+		// the rest of the journal, then continue phase two against
+		// whichever node owns the cell after the fence.
+		cs.armedHandoffCrash = -1
+		delete(cs.journal[si].slices, oid)
+		cs.crashLocked(si, tid)
+		di = cs.nodeOf(cell)
 	}
 	rec, _, _, err := decodeFocalSlice(slice)
 	if err != nil {
@@ -693,11 +774,12 @@ func (cs *ClusterServer) onDepartureReport(m msg.DepartureReport, tid trace.ID) 
 	cs.ops.Add(1)
 }
 
-// KillNode fail-stops node i: its span is redistributed over the surviving
-// nodes and every focal it owns is drained to the new owners via admin
-// (charge-free) handoffs, so protocol state, results and cost ledgers are
-// preserved exactly. Killing the last live node is refused. Recovery of a
-// node lost without a drain (crash) is future work — see DESIGN.md §13.
+// KillNode fail-stops node i *gracefully*: its span is redistributed over
+// the surviving nodes and every focal it owns is drained to the new owners
+// via admin (charge-free) handoffs, so protocol state, results and cost
+// ledgers are preserved exactly. Killing the last live node is refused. A
+// node lost *without* a drain is CrashNode's business: its rows replay
+// from the router's checkpoint journal — see DESIGN.md §15.
 func (cs *ClusterServer) KillNode(i int) error {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
@@ -717,6 +799,9 @@ func (cs *ClusterServer) KillNode(i int) error {
 		return fmt.Errorf("core: cannot kill the last live node")
 	}
 	cs.live[i] = false
+	// The drain moves every focal off the node, so its journal is dead
+	// weight; drop it rather than letting it shadow the handed-off rows.
+	cs.journal[i] = nodeJournal{slices: make(map[model.ObjectID][]byte)}
 	return cs.rebalanceLocked()
 }
 

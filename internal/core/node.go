@@ -58,7 +58,12 @@ type NodeHandle interface {
 	FocalCell(oid model.ObjectID) (grid.CellID, bool)
 	Ops() int64
 
-	// Durability and diagnostics.
+	// Durability and diagnostics. CheckpointDelta returns the focal-slice
+	// changes since the caller's last checkpoint sequence (the router pulls
+	// one each telemetry round and journals the slices so an ungraceful
+	// crash is recoverable — DESIGN.md §15); since must equal the node's
+	// current sequence or the exchange errors.
+	CheckpointDelta(since uint64) (CheckpointDelta, error)
 	SnapshotData() ([]byte, error)
 	CheckInvariants() error
 	Close() error
@@ -70,6 +75,12 @@ type NodeHandle interface {
 // and the node implementation of the in-process ClusterServer.
 type NodeServer struct {
 	srv *Server
+
+	// Checkpoint baseline: the focal-slice bytes as of the last
+	// CheckpointDelta exchange, used to diff the next delta. ckptSeq bumps
+	// only when the delta is non-empty.
+	ckptSeq  uint64
+	ckptBase map[model.ObjectID][]byte
 }
 
 // NewNodeServer returns a node executor over grid g sending through down.

@@ -67,6 +67,8 @@ const (
 	KindNodeDownlink
 	KindNodeTelemetry
 	KindNodeStatus
+	KindCheckpointRequest
+	KindNodeCheckpoint
 
 	numKinds
 )
@@ -83,6 +85,7 @@ var kindNames = [...]string{
 	"NodeHello", "NodeHeartbeat", "AssignRange",
 	"Handoff", "HandoffAck", "NodeOp", "NodeOpDone", "NodeDownlink",
 	"NodeTelemetry", "NodeStatus",
+	"CheckpointRequest", "NodeCheckpoint",
 }
 
 // String implements fmt.Stringer.
@@ -493,6 +496,43 @@ type NodeStatus struct {
 func (NodeStatus) Kind() Kind { return KindNodeStatus }
 func (NodeStatus) Size() int {
 	return HeaderSize + IDSize + 3*ScalarSize + 2*IDSize + ScalarSize
+}
+
+// CheckpointRequest asks a worker for a checkpoint delta of its focal rows:
+// every focal slice that changed since the worker's checkpoint sequence
+// Since, plus the oids removed since then. Since==0 requests a full
+// checkpoint. The router journals the answer so the node's state survives
+// an ungraceful crash (DESIGN.md §15).
+type CheckpointRequest struct {
+	Node  uint32
+	Since uint64 // last checkpoint sequence the router has journaled
+}
+
+func (CheckpointRequest) Kind() Kind { return KindCheckpointRequest }
+func (CheckpointRequest) Size() int {
+	return HeaderSize + IDSize + ScalarSize
+}
+
+// NodeCheckpoint is the worker's checkpoint delta: the new checkpoint
+// sequence, the oids whose focal rows vanished since the requested
+// watermark (strictly ascending, no duplicates) and the versioned focal
+// slices (handoff encoding, each non-empty) that changed. An empty delta
+// (no removals, no slices) echoes Seq == Since and means the journal is
+// already current.
+type NodeCheckpoint struct {
+	Node    uint32
+	Seq     uint64 // checkpoint sequence after applying this delta
+	Removed []uint32
+	Slices  [][]byte
+}
+
+func (NodeCheckpoint) Kind() Kind { return KindNodeCheckpoint }
+func (m NodeCheckpoint) Size() int {
+	n := HeaderSize + IDSize + ScalarSize + 4 + 4*len(m.Removed) + 4
+	for _, s := range m.Slices {
+		n += 4 + len(s)
+	}
+	return n
 }
 
 // ---------------------------------------------------------------------------

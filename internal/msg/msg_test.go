@@ -188,6 +188,7 @@ func TestAllMessagesImplementInterface(t *testing.T) {
 		NodeHello{}, NodeHeartbeat{}, AssignRange{}, Handoff{},
 		HandoffAck{}, NodeOp{}, NodeOpDone{}, NodeDownlink{},
 		NodeTelemetry{}, NodeStatus{},
+		CheckpointRequest{}, NodeCheckpoint{},
 	}
 	seen := map[Kind]bool{}
 	for _, m := range msgs {

@@ -144,6 +144,14 @@ type Plane struct {
 	lastView View
 	hasView  bool
 	handoffs int64
+	// recovering marks nodes whose crash-recovery replay is in progress:
+	// their node-scoped critical alerts degrade health instead of failing
+	// it (the router is actively healing, not broken). recoveries counts
+	// completed recoveries.
+	recovering map[int]bool
+	recoveries int64
+
+	recoveriesTotal *obs.Counter
 }
 
 // New returns a plane over the router's observability surfaces.
@@ -158,6 +166,7 @@ func New(cfg Config) *Plane {
 		nodes:      make(map[int]*nodeState),
 		imported:   make(map[string]*importedSeries),
 		alerts:     make(map[string]*Alert),
+		recovering: make(map[int]bool),
 	}
 	if p.now == nil {
 		p.now = time.Now
@@ -178,6 +187,8 @@ func New(cfg Config) *Plane {
 		"Watchdog alerts raised (transitions into failing).")
 	p.resolvTotal = p.reg.Counter("mobieyes_cluster_alerts_resolved_total",
 		"Watchdog alerts resolved (transitions back to passing).")
+	p.recoveriesTotal = p.reg.Counter("mobieyes_cluster_recoveries_total",
+		"Crash recoveries completed: journaled focal state replayed into survivors.")
 	p.reg.GaugeFunc("mobieyes_cluster_alerts_active",
 		"Watchdog alerts currently failing.", func() float64 {
 			p.mu.Lock()
@@ -343,6 +354,43 @@ func (p *Plane) NoteHandoff(src, dst int) {
 	p.mu.Lock()
 	p.handoffs++
 	p.mu.Unlock()
+}
+
+// NoteRecoveryStart marks a node's crash recovery as in progress: the
+// router has fenced the dead node and is replaying its journaled focal
+// state into survivors. Until NoteRecoveryDone, node-scoped critical
+// alerts degrade health rather than failing it.
+func (p *Plane) NoteRecoveryStart(node int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.recovering[node] = true
+	p.mu.Unlock()
+}
+
+// NoteRecoveryDone marks a node's crash recovery as complete: the replay
+// converged and the dead node's alerts have been resolved by the round
+// that observed it leaving the live set.
+func (p *Plane) NoteRecoveryDone(node int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	delete(p.recovering, node)
+	p.recoveries++
+	p.mu.Unlock()
+	p.recoveriesTotal.Add(1)
+}
+
+// Recoveries returns the number of completed crash recoveries.
+func (p *Plane) Recoveries() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.recoveries
 }
 
 // uplink kinds the router dispatches into nodes; the ledger identity is
@@ -520,10 +568,15 @@ const (
 )
 
 // healthLocked classifies the active alert set. p.mu held.
+//
+// A critical alert scoped to a node whose crash recovery is in progress
+// counts as degraded, not failing: the router is actively healing that
+// node's state, and /readyz flipping to 503 mid-replay would eject the
+// router from load balancing exactly when it is about to converge.
 func (p *Plane) healthLocked() string {
 	h := HealthOK
 	for _, a := range p.alerts {
-		if a.Severity == SeverityCritical {
+		if a.Severity == SeverityCritical && !(a.Node >= 0 && p.recovering[a.Node]) {
 			return HealthFailing
 		}
 		h = HealthDegraded
@@ -564,16 +617,18 @@ type NodeSnapshot struct {
 	UplinkMsgs  int64   `json:"uplink_msgs"`  // worker-reported ledger
 	UplinkBytes int64   `json:"uplink_bytes"` // worker-reported ledger
 	ProbeError  string  `json:"probe_error,omitempty"`
+	Recovering  bool    `json:"recovering,omitempty"`
 }
 
 // Snapshot is the full JSON /debug/cluster view.
 type Snapshot struct {
-	Health   string         `json:"health"`
-	Epoch    uint64         `json:"epoch"`
-	Rounds   int64          `json:"rounds"`
-	Handoffs int64          `json:"handoffs"`
-	Alerts   []Alert        `json:"alerts"`
-	Nodes    []NodeSnapshot `json:"nodes"`
+	Health     string         `json:"health"`
+	Epoch      uint64         `json:"epoch"`
+	Rounds     int64          `json:"rounds"`
+	Handoffs   int64          `json:"handoffs"`
+	Recoveries int64          `json:"recoveries"`
+	Alerts     []Alert        `json:"alerts"`
+	Nodes      []NodeSnapshot `json:"nodes"`
 }
 
 // Snapshot returns the plane's current state for the /debug/cluster
@@ -586,15 +641,17 @@ func (p *Plane) Snapshot() Snapshot {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	s := Snapshot{
-		Health:   p.healthLocked(),
-		Rounds:   p.rounds,
-		Handoffs: p.handoffs,
-		Alerts:   p.activeLocked(),
+		Health:     p.healthLocked(),
+		Rounds:     p.rounds,
+		Handoffs:   p.handoffs,
+		Recoveries: p.recoveries,
+		Alerts:     p.activeLocked(),
 	}
 	if p.hasView {
 		s.Epoch = p.lastView.Epoch
 		for _, sp := range p.lastView.Spans {
-			ns := NodeSnapshot{Node: sp.Node, Live: sp.Live, Lo: sp.Lo, Hi: sp.Hi}
+			ns := NodeSnapshot{Node: sp.Node, Live: sp.Live, Lo: sp.Lo, Hi: sp.Hi,
+				Recovering: p.recovering[sp.Node]}
 			if st, ok := p.nodes[sp.Node]; ok {
 				ns.Expected = st.expected
 				ns.Epoch = st.epoch
@@ -637,11 +694,15 @@ func (p *Plane) Snapshot() Snapshot {
 // per node, then any active alerts.
 func (p *Plane) WriteHealth(w io.Writer) {
 	s := p.Snapshot()
-	fmt.Fprintf(w, "health %s epoch %d rounds %d handoffs %d\n", s.Health, s.Epoch, s.Rounds, s.Handoffs)
+	fmt.Fprintf(w, "health %s epoch %d rounds %d handoffs %d recoveries %d\n",
+		s.Health, s.Epoch, s.Rounds, s.Handoffs, s.Recoveries)
 	for _, n := range s.Nodes {
 		state := "live"
 		if !n.Live {
 			state = "dead"
+		}
+		if n.Recovering {
+			state = "recovering"
 		}
 		fmt.Fprintf(w, "node %d %s cells [%d,%d) epoch %d ops %d batches %d events %d age %.1fs rtt %.2fms",
 			n.Node, state, n.Lo, n.Hi, n.Epoch, n.Ops, n.Batches, n.Events, n.AgeSeconds, n.RTTMillis)

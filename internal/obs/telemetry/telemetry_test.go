@@ -512,6 +512,79 @@ func TestWatchdogRTTSLO(t *testing.T) {
 	}
 }
 
+// TestWatchdogRecoveryDegrades pins the recovery-aware health contract:
+// while a dead node's crash recovery is in progress, its critical alert
+// degrades health instead of failing it (readiness keeps serving), the
+// alert auto-resolves on the round that observes the node leaving the live
+// set, and NoteRecoveryDone counts the completed recovery.
+func TestWatchdogRecoveryDegrades(t *testing.T) {
+	clock := newFakeClock()
+	p, reg, _ := planeForTest(t, clock)
+	v := healthyView()
+	p.ExpectNode(0)
+	p.ExpectNode(1)
+	p.ApplyStatus(statusFor(0, v))
+	p.ApplyStatus(statusFor(1, v))
+	if alerts := p.Round(v); len(alerts) != 0 {
+		t.Fatalf("healthy cluster raised alerts: %v", alerts)
+	}
+
+	// Node 1 goes silent past the deadline: critical heartbeat alert, the
+	// cluster is failing.
+	clock.advance(DefaultHeartbeatDeadline + time.Second)
+	p.ApplyStatus(statusFor(0, v))
+	alerts := p.Round(v)
+	if len(alerts) != 1 || alerts[0].Check != CheckHeartbeat || alerts[0].Node != 1 {
+		t.Fatalf("stale alerts = %v", alerts)
+	}
+	if s, ok := p.Ready(); ok || s != HealthFailing {
+		t.Fatalf("Ready() = %s,%v, want failing,false", s, ok)
+	}
+
+	// The router declares the node dead and starts replaying its journal:
+	// the same alert now only degrades health, and /readyz keeps serving.
+	p.NoteRecoveryStart(1)
+	if s, ok := p.Ready(); !ok || s != HealthDegraded {
+		t.Errorf("Ready() during recovery = %s,%v, want degraded,true", s, ok)
+	}
+	snap := p.Snapshot()
+	if len(snap.Nodes) != 2 || !snap.Nodes[1].Recovering {
+		t.Errorf("snapshot does not mark node 1 recovering: %+v", snap.Nodes)
+	}
+	var sb strings.Builder
+	p.WriteHealth(&sb)
+	if !strings.Contains(sb.String(), "node 1 recovering") {
+		t.Errorf("WriteHealth missing recovering state: %q", sb.String())
+	}
+
+	// The post-fence round: node 1 has left the live set, its span folded
+	// into node 0. The heartbeat alert resolves on its own — liveness only
+	// applies to live spans.
+	fenced := View{Epoch: 3, Cells: 100, Spans: []SpanView{
+		{Node: 0, Lo: 0, Hi: 100, Live: true},
+		{Node: 1, Lo: 0, Hi: 0, Live: false},
+	}}
+	p.ApplyStatus(statusFor(0, fenced))
+	if alerts := p.Round(fenced); len(alerts) != 0 {
+		t.Fatalf("fenced node still alerting: %v", alerts)
+	}
+
+	// Replay converged: the recovery completes and is counted.
+	p.NoteRecoveryDone(1)
+	if s := p.HealthStatus(); s != HealthOK {
+		t.Errorf("health after recovery = %s, want ok", s)
+	}
+	if n := p.Recoveries(); n != 1 {
+		t.Errorf("Recoveries() = %d, want 1", n)
+	}
+	if v := reg.Counter("mobieyes_cluster_recoveries_total", "").Value(); v != 1 {
+		t.Errorf("recoveries_total = %d, want 1", v)
+	}
+	if snap := p.Snapshot(); snap.Recoveries != 1 || snap.Nodes[1].Recovering {
+		t.Errorf("post-recovery snapshot = %+v", snap)
+	}
+}
+
 func TestNilPlane(t *testing.T) {
 	var p *Plane
 	p.ExpectNode(0)

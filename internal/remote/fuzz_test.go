@@ -50,6 +50,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(fuzzStream(hello, wire.Encode(msg.NodeTelemetry{Node: 1, Seq: 3, Payload: []byte{0x01, 0x00}})))
 	f.Add(fuzzStream(hello, wire.Encode(msg.NodeTelemetry{Node: 1, Seq: 3})))
 	f.Add(fuzzStream(hello, wire.Encode(msg.NodeStatus{Node: 1, Seq: 4, Epoch: 2, Lo: 0, Hi: 9, Digest: 0xABCD, Ops: 7})))
+	// Crash-recovery frames: a checkpoint pull, a populated delta, and its
+	// non-canonical twin with an unsorted removal list (must be refused by
+	// the wire decode without poisoning the frame loop).
+	f.Add(fuzzStream(hello, wire.Encode(msg.CheckpointRequest{Node: 1, Since: 5})))
+	f.Add(fuzzStream(hello, wire.Encode(msg.NodeCheckpoint{
+		Node: 1, Seq: 6, Removed: []uint32{2, 8}, Slices: [][]byte{{0x01, 0x00, 0x09}},
+	})))
+	f.Add(fuzzStream(hello, wire.Encode(msg.NodeCheckpoint{Node: 1, Seq: 6, Removed: []uint32{8, 2}})))
 	// Length prefix pointing past the data, oversized prefix, raw garbage.
 	f.Add([]byte{0x10, 0x00, 0x00, 0x00, 0x48})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})

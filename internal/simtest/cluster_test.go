@@ -168,16 +168,38 @@ func TestClusterShrinkProducesRepro(t *testing.T) {
 	}
 }
 
-// TestShrinkRejectsClusterEvents documents the contract: cluster events
-// address schedule positions by index, so event-bearing scenarios are not
-// shrinkable.
-func TestShrinkRejectsClusterEvents(t *testing.T) {
-	sc := clusterScenario(3) // seed%3==0: carries events
-	if len(sc.ClusterEvents) == 0 {
-		t.Fatal("test premise broken: scenario has no cluster events")
+// TestShrinkRemapsClusterEvents pins the event-remapping contract ddmin
+// relies on: removing ops [start,end) shifts later events down by the
+// chunk length, events inside the chunk land on the removal point, and
+// every event is clamped into the surviving schedule so it still fires.
+// (TestCrashTeethShrinks exercises the full Shrink over an event-bearing
+// failing scenario.)
+func TestShrinkRemapsClusterEvents(t *testing.T) {
+	evs := []ClusterEvent{
+		{AtOp: 2, Node: 0, Kind: ClusterCrash},
+		{AtOp: 5, Kind: ClusterRebalance},
+		{AtOp: 9, Node: 1, Kind: ClusterCrash},
 	}
-	if _, err := Shrink(sc, 50); err == nil {
-		t.Fatal("expected an error shrinking a cluster-event scenario")
+	got := remapEvents(evs, 4, 7, 7) // 10 ops minus chunk [4,7) = 7 left
+	want := []int{2, 4, 6}
+	for i, ev := range got {
+		if ev.AtOp != want[i] {
+			t.Errorf("event %d remapped to op %d, want %d", i, ev.AtOp, want[i])
+		}
+		if ev.Kind != evs[i].Kind || ev.Node != evs[i].Node {
+			t.Errorf("event %d lost its identity: %+v", i, ev)
+		}
+	}
+	// Clamping: an event addressing a now-out-of-range op fires at the end
+	// of the surviving schedule instead of never.
+	tail := remapEvents([]ClusterEvent{{AtOp: 9, Kind: ClusterCrash}}, 0, 0, 3)
+	if tail[0].AtOp != 2 {
+		t.Errorf("out-of-range event clamped to %d, want 2", tail[0].AtOp)
+	}
+	// A fault plan still refuses to shrink.
+	sc := clusterFaultScenario(901)
+	if _, err := Shrink(sc, 10); err == nil {
+		t.Fatal("expected an error shrinking a fault-plan scenario")
 	}
 }
 

@@ -40,10 +40,18 @@ type Scenario struct {
 	// ClusterEvents are node-level fault injections applied to the
 	// clustered engine (requires Nodes > 0): a node kill drains its focals
 	// to the survivors, a rebalance recomputes span boundaries and migrates
-	// misplaced focals. Both use charge-free admin handoffs, so the strict
-	// oracles — including byte-identical snapshots and ledgers — keep
-	// holding across every event; there is no weakened window.
+	// misplaced focals, a crash ungracefully fail-stops a node (no drain)
+	// and recovers it from the router's checkpoint journal. All use
+	// charge-free admin transfers, and the runner checkpoints the clustered
+	// engine after every op (a zero-loss watermark), so the strict oracles
+	// — including byte-identical snapshots and ledgers — keep holding
+	// across every event; there is no weakened window.
 	ClusterEvents []ClusterEvent
+	// ClusterSuppressReplay plants the deliberate recovery bug: crash
+	// recovery fences and sweeps the dead node but skips the journal
+	// replay, cleanly losing its focal state. The teeth test uses it to
+	// prove the convergence oracle notices suppressed replay.
+	ClusterSuppressReplay bool
 	// ClusterDropNth plants the deliberate equivalence bug into the
 	// clustered engine — every Nth broadcast is skipped — the clustered
 	// counterpart of DropNthBroadcast, used to prove the three-way oracle
@@ -71,16 +79,30 @@ type Scenario struct {
 	// global uplink count — no message attributed twice or lost.
 	Costs bool
 	Ops   []Op
+
+	// inspectCluster, when set, is called with the clustered engine after
+	// the whole schedule ran without an oracle violation — test-side
+	// introspection (e.g. "did the armed crash actually fire?").
+	inspectCluster func(cs *core.ClusterServer)
 }
 
 // Cluster event kinds.
 const (
-	// ClusterKill marks worker node Node dead before op AtOp; the router
-	// refuses if it is the last live node.
+	// ClusterKill marks worker node Node dead before op AtOp, gracefully
+	// draining its focals to the survivors; the router refuses if it is
+	// the last live node.
 	ClusterKill = "kill"
 	// ClusterRebalance recomputes the weighted cell-range assignment and
 	// migrates misplaced focals before op AtOp.
 	ClusterRebalance = "rebalance"
+	// ClusterCrash fail-stops node Node *ungracefully* before op AtOp: no
+	// drain, no extract — the router fences the node and replays its
+	// journaled checkpoint into the survivors (DESIGN.md §15).
+	ClusterCrash = "crash"
+	// ClusterCrashOnHandoff arms node Node to crash at the most hostile
+	// instant of its next cross-node handoff: after the source's
+	// destructive extract, before the destination's inject.
+	ClusterCrashOnHandoff = "crash-on-handoff"
 )
 
 // ClusterEvent schedules one node-level fault on the clustered engine:
@@ -183,6 +205,9 @@ func RunScenario(sc Scenario) error {
 		active:    make(map[model.ObjectID]bool),
 		specByQID: make(map[model.QueryID]workload.QuerySpec),
 	}
+	if csys != nil && sc.ClusterSuppressReplay {
+		csys.srv.(*core.ClusterServer).SuppressRecoveryReplay(true)
+	}
 	for _, o := range wl.Objects {
 		for _, sys := range systems {
 			if err := sys.join(o, r.now); err != nil {
@@ -191,6 +216,13 @@ func RunScenario(sc Scenario) error {
 		}
 		r.active[o.ID] = true
 	}
+	// Baseline checkpoint before the first op, so a crash scheduled at op 0
+	// already has a (possibly empty) journal at the current watermark.
+	if csys != nil {
+		if err := csys.srv.(*core.ClusterServer).Checkpoint(); err != nil {
+			return fmt.Errorf("seed %d: baseline checkpoint: %w", sc.Seed, err)
+		}
+	}
 	for i, op := range sc.Ops {
 		if err := r.apply(i, op); err != nil {
 			if sc.Trace {
@@ -198,6 +230,9 @@ func RunScenario(sc Scenario) error {
 			}
 			return err
 		}
+	}
+	if sc.inspectCluster != nil && csys != nil {
+		sc.inspectCluster(csys.srv.(*core.ClusterServer))
 	}
 	return nil
 }
@@ -318,6 +353,12 @@ func (r *runner) clusterPhase(i int) error {
 			if _, err := cs.Rebalance(); err != nil {
 				return fmt.Errorf("cluster event rebalance: %w", err)
 			}
+		case ClusterCrash:
+			if err := cs.CrashNode(ev.Node); err != nil {
+				return fmt.Errorf("cluster event crash node %d: %w", ev.Node, err)
+			}
+		case ClusterCrashOnHandoff:
+			cs.ArmCrashOnHandoff(ev.Node)
 		default:
 			return fmt.Errorf("cluster event: unknown kind %q", ev.Kind)
 		}
@@ -421,6 +462,16 @@ func (r *runner) apply(i int, op Op) error {
 		}
 		r.active[oid] = true
 		r.gtValid = false
+	}
+	// Checkpoint the clustered engine after every op: the journal watermark
+	// is never more than one op behind, so a crash fired at the next op
+	// boundary loses nothing and the strict oracle doubles as the
+	// recovery-convergence assertion. (A live deployment checkpoints on the
+	// ~1s telemetry round instead; loss is bounded by that watermark.)
+	if r.csys != nil {
+		if err := r.csys.srv.(*core.ClusterServer).Checkpoint(); err != nil {
+			return fail(fmt.Errorf("checkpoint: %w", err))
+		}
 	}
 	if err := r.checkOracle(r.strictAt(i)); err != nil {
 		return fail(err)

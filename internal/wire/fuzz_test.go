@@ -36,6 +36,10 @@ func FuzzWire(f *testing.F) {
 	// A telemetry frame with a zero-length payload delta: non-canonical (the
 	// worker would not send an empty batch) and must be rejected.
 	f.Add(Encode(msg.NodeTelemetry{Node: 1, Seq: 1}))
+	// Hostile checkpoint deltas: unsorted removals and a zero-length slice
+	// are non-canonical and must be rejected.
+	f.Add(Encode(msg.NodeCheckpoint{Node: 1, Seq: 2, Removed: []uint32{9, 4}}))
+	f.Add(Encode(msg.NodeCheckpoint{Node: 1, Seq: 2, Slices: [][]byte{nil}}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, tid, err := DecodeTraced(data)

@@ -419,6 +419,20 @@ func encodeBody(e *encoder, m msg.Message) {
 		e.u32(mm.Hi)
 		e.u64(mm.Digest)
 		e.u64(mm.Ops)
+	case msg.CheckpointRequest:
+		e.u32(mm.Node)
+		e.u64(mm.Since)
+	case msg.NodeCheckpoint:
+		e.u32(mm.Node)
+		e.u64(mm.Seq)
+		e.u32(uint32(len(mm.Removed)))
+		for _, oid := range mm.Removed {
+			e.u32(oid)
+		}
+		e.u32(uint32(len(mm.Slices)))
+		for _, s := range mm.Slices {
+			e.bytes(s)
+		}
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", m))
 	}
@@ -591,6 +605,41 @@ func decodeBody(d *decoder, kind msg.Kind) (msg.Message, error) {
 			Node: d.u32(), Seq: d.u64(), Epoch: d.u64(),
 			Lo: d.u32(), Hi: d.u32(), Digest: d.u64(), Ops: d.u64(),
 		}
+	case msg.KindCheckpointRequest:
+		m = msg.CheckpointRequest{Node: d.u32(), Since: d.u64()}
+	case msg.KindNodeCheckpoint:
+		nc := msg.NodeCheckpoint{Node: d.u32(), Seq: d.u64()}
+		n := int(d.u32())
+		if n > (len(b)-d.off)/4 {
+			return nil, ErrTruncated
+		}
+		if n > 0 {
+			nc.Removed = make([]uint32, n)
+			for i := range nc.Removed {
+				nc.Removed[i] = d.u32()
+				// Strictly ascending: one canonical encoding per removal set,
+				// and the journal can apply deletions without a sort.
+				if d.err == nil && i > 0 && nc.Removed[i] <= nc.Removed[i-1] {
+					return nil, fmt.Errorf("wire: checkpoint removals not strictly ascending at %d", i)
+				}
+			}
+		}
+		k := int(d.u32())
+		if k > (len(b)-d.off)/4 {
+			return nil, ErrTruncated
+		}
+		if k > 0 {
+			nc.Slices = make([][]byte, k)
+			for i := range nc.Slices {
+				nc.Slices[i] = d.bytes()
+				// A zero-length slice can encode no focal row: reject it so a
+				// truncated or hand-rolled checkpoint cannot silently drop state.
+				if d.err == nil && len(nc.Slices[i]) == 0 {
+					return nil, fmt.Errorf("wire: empty checkpoint slice at %d", i)
+				}
+			}
+		}
+		m = nc
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
 	}

@@ -79,6 +79,13 @@ func sampleMessages(rng *rand.Rand) []msg.Message {
 			Node: 2, Seq: rng.Uint64(), Epoch: 5, Lo: 20, Hi: 57,
 			Digest: rng.Uint64(), Ops: 123,
 		},
+		msg.CheckpointRequest{Node: 1, Since: rng.Uint64()},
+		msg.NodeCheckpoint{Node: 1, Seq: 9}, // empty delta: journal current
+		msg.NodeCheckpoint{
+			Node: 2, Seq: 10,
+			Removed: []uint32{3, 7, 19},
+			Slices:  [][]byte{{0x01, 0x00, 0x09}, {0x01, 0x00, 0x0D, 0xFF}},
+		},
 	}
 }
 
@@ -136,6 +143,21 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 		// A telemetry frame exists only to carry a batch: empty payloads are
 		// non-canonical and rejected.
 		"empty telemetry payload": Encode(msg.NodeTelemetry{Node: 1, Seq: 1}),
+		// Checkpoint deltas: removal lists must be strictly ascending and
+		// every slice non-empty, so each delta has exactly one encoding and a
+		// truncated slice cannot silently drop a focal row.
+		"checkpoint removals unsorted": Encode(msg.NodeCheckpoint{
+			Node: 1, Seq: 2, Removed: []uint32{7, 3},
+		}),
+		"checkpoint removals duplicated": Encode(msg.NodeCheckpoint{
+			Node: 1, Seq: 2, Removed: []uint32{3, 3},
+		}),
+		"checkpoint empty slice": Encode(msg.NodeCheckpoint{
+			Node: 1, Seq: 2, Slices: [][]byte{{}},
+		}),
+		"checkpoint truncated": Encode(msg.NodeCheckpoint{
+			Node: 1, Seq: 2, Removed: []uint32{3, 7}, Slices: [][]byte{{0x01}},
+		})[:30],
 	}
 	for name, b := range cases {
 		if _, err := Decode(b); err == nil {
