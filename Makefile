@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check simtest cluster crash bench bench-smoke bench-sharded bench-json report staticcheck
+.PHONY: build vet test race check simtest cluster crash load bench bench-smoke bench-sharded bench-json report staticcheck
 
 # Optional deeper linting: runs only when staticcheck is installed, so the
 # gate works on minimal toolchains (CI installs it; see scripts/check.sh).
@@ -55,7 +55,14 @@ cluster:
 crash:
 	$(GO) test -race -count=1 -run 'Crash|Checkpoint|Recovery' ./internal/simtest/ ./internal/core/ ./internal/cluster/ ./internal/obs/telemetry/
 
-check: build vet staticcheck test race simtest cluster crash
+# Load-observatory gate: the open-loop generator's smoke suite under -race —
+# a short coordinated-omission-safe run against every backend (serial,
+# sharded, clustered, TCP), the traced stage-decomposition identity, and the
+# queue-depth-gauges-zero-at-quiescence check (see internal/obs/load).
+load:
+	$(GO) test -race -count=1 ./internal/obs/load/
+
+check: build vet staticcheck test race simtest cluster crash load
 
 bench:
 	$(GO) test -bench . -benchtime 1s ./internal/core/
@@ -74,10 +81,11 @@ bench-sharded:
 # Machine-readable results of the cost-accounting, instrumentation-overhead,
 # flight-recorder, telemetry-plane and uplink throughput benchmarks —
 # including the router-forwarding-overhead comparison (clustered vs sharded
-# uplinks at 10k/100k objects) and the per-heartbeat telemetry cost
+# uplinks at 10k/100k objects), the per-heartbeat telemetry cost, and the
+# open-loop sustained-throughput series at 10k/100k objects
 # (see scripts/bench_json.sh).
 bench-json:
-	sh scripts/bench_json.sh BENCH_PR7.json
+	sh scripts/bench_json.sh BENCH_PR9.json
 
 # The structured §5 cost & accuracy report (ledger sweeps, EQP-vs-LQP
 # quality, baselines, qualitative checks) → results/runreport.{json,txt}.

@@ -43,8 +43,11 @@ func main() {
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz and pprof on this address while experiments run (empty = off)")
 		traceSz  = flag.Int("trace-events", 0, "causal-tracing flight recorder size in events (0 = off); requires -metrics-addr, exposed on /debug/events")
 		repDir   = flag.String("report-dir", "results", "directory for -exp report artifacts (empty = stdout only)")
+		mutexPF  = flag.Int("mutex-profile-fraction", 0, "sample 1/N mutex contention events on /debug/pprof/mutex (0 = leave off, -1 = disable)")
+		blockPR  = flag.Int("block-profile-rate", 0, "sample blocking events lasting ≥ N ns on /debug/pprof/block (0 = leave off, -1 = disable)")
 	)
 	flag.Parse()
+	obs.SetContentionProfiling(*mutexPF, *blockPR)
 
 	opts := experiments.RunOpts{
 		Steps:    *steps,

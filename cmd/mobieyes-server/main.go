@@ -7,6 +7,7 @@
 //	mobieyes-server [-addr :7070] [-admin :7071] [-metrics-addr :7072]
 //	                [-area SQMILES] [-alpha MILES] [-lazy] [-grouping]
 //	                [-trace-events N] [-costs]
+//	                [-mutex-profile-fraction N] [-block-profile-rate NS]
 //	                [-cluster router -workers host:port,… | -cluster worker]
 //	                [-cluster-nodes N] [-auto-recover=false]
 //
@@ -28,6 +29,9 @@
 //	result <qid>                             → "result <id> <oid…>"
 //	conns                                    → "conns <n>"
 //	TRACE [n | oid N | qid N | trace N]      → event journal (needs -trace-events)
+//	LAT                                      → per-stage pipeline latency table
+//	                                           (needs -trace-events; same data
+//	                                           as /debug/latency)
 //	COSTS [qid N | oid N]                    → cost ledgers (needs -costs)
 //	quit                                     → closes the admin session
 //
@@ -76,12 +80,19 @@ func main() {
 		workers  = flag.String("workers", "", "comma-separated worker addresses for -cluster router")
 		nodes    = flag.Int("cluster-nodes", 0, "run the clustered backend with N in-process worker nodes (ignored with -cluster)")
 		autoRec  = flag.Bool("auto-recover", true, "with -cluster router: fence and replay a worker that misses its heartbeat deadline (checkpointed crash recovery, DESIGN.md §15)")
+		mutexPF  = flag.Int("mutex-profile-fraction", 0, "sample 1/N mutex contention events on /debug/pprof/mutex (0 = leave off, -1 = disable)")
+		blockPR  = flag.Int("block-profile-rate", 0, "sample blocking events lasting ≥ N ns on /debug/pprof/block (0 = leave off, -1 = disable)")
 	)
 	flag.Parse()
+	obs.SetContentionProfiling(*mutexPF, *blockPR)
 
 	var rec *trace.Recorder
+	var lat *obs.LatencyView
 	if *traceSz > 0 {
 		rec = trace.NewRecorder(*traceSz)
+		// The per-stage pipeline latency view over the recorder: shared
+		// between /debug/latency on the metrics mux and the admin LAT command.
+		lat = obs.NewLatencyView(rec)
 	}
 	var acct *cost.Accountant
 	if *costs {
@@ -101,6 +112,7 @@ func main() {
 		ms, err := obs.ListenAndServeWith(*metrics, reg, rec, func(mux *http.ServeMux) {
 			cost.Attach(mux, acct)
 			telemetry.Attach(mux, plane)
+			obs.AttachLatency(mux, lat)
 		})
 		if err != nil {
 			fatal(err)
@@ -145,6 +157,7 @@ func main() {
 		ClusterNodes: *nodes,
 		Metrics:      reg,
 		Trace:        rec,
+		Latency:      lat,
 		Costs:        acct,
 	}
 	switch *role {

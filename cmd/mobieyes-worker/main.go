@@ -25,6 +25,7 @@
 //	mobieyes-worker [-listen :7081] [-area SQMILES] [-alpha MILES]
 //	                [-lazy] [-grouping]
 //	                [-metrics-addr :7082] [-trace-events N] [-costs]
+//	                [-mutex-profile-fraction N] [-block-profile-rate NS]
 package main
 
 import (
@@ -53,8 +54,11 @@ func main() {
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz, /readyz and pprof on this address (empty = off)")
 		traceSz  = flag.Int("trace-events", 0, "causal-tracing flight recorder size in events (0 = off); events also ship to the router's stitched timeline")
 		costs    = flag.Bool("costs", false, "attribute protocol costs per message kind; exposed on /debug/costs and shipped to the router's ledgers")
+		mutexPF  = flag.Int("mutex-profile-fraction", 0, "sample 1/N mutex contention events on /debug/pprof/mutex (0 = leave off, -1 = disable)")
+		blockPR  = flag.Int("block-profile-rate", 0, "sample blocking events lasting ≥ N ns on /debug/pprof/block (0 = leave off, -1 = disable)")
 	)
 	flag.Parse()
+	obs.SetContentionProfiling(*mutexPF, *blockPR)
 
 	var rec *trace.Recorder
 	if *traceSz > 0 {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobieyes/internal/grid"
@@ -69,6 +70,11 @@ type ClusterServer struct {
 	upl        *obs.Counter
 	migrations *obs.Counter
 	nUpl       []*obs.Counter
+
+	// inflight counts uplinks currently inside HandleUplinkTraced —
+	// queued on cs.mu or executing a NodeOp round-trip. Always maintained
+	// (two atomic adds per uplink); zero at quiescence.
+	inflight atomic.Int64
 	// migrationsAdminDone counts admin (rebalancing/drain) focal moves;
 	// kept separate from migrations, which tracks protocol handoffs.
 	migrationsAdminDone int
@@ -172,6 +178,11 @@ func newClusterServer(g *grid.Grid, opts Options, down Downlink, handles []NodeH
 
 // NumNodes returns the number of nodes (live and dead).
 func (cs *ClusterServer) NumNodes() int { return len(cs.nodes) }
+
+// InflightOps returns the number of uplinks currently inside the router's
+// dispatch funnel — queued on the router mutex or executing node operations.
+// Zero at quiescence.
+func (cs *ClusterServer) InflightOps() int64 { return cs.inflight.Load() }
 
 // Epoch returns the current span-assignment epoch.
 func (cs *ClusterServer) Epoch() uint64 {
@@ -528,6 +539,11 @@ func (cs *ClusterServer) HandleUplink(m msg.Message) { cs.HandleUplinkTraced(m, 
 // HandleUplinkTraced is HandleUplink with an inbound trace ID — the uplink
 // ingress point when running behind a tracing transport.
 func (cs *ClusterServer) HandleUplinkTraced(m msg.Message, tid trace.ID) {
+	// In-flight depth of the router's dispatch funnel: everything between
+	// ingress and handler return, including time queued on cs.mu — the
+	// saturation signal for the serialized router tier.
+	cs.inflight.Add(1)
+	defer cs.inflight.Add(-1)
 	if cs.acct != nil {
 		oid, qid := TraceRef(m)
 		sz := m.Size()
@@ -1071,6 +1087,9 @@ func (cs *ClusterServer) Instrument(reg *obs.Registry) {
 		cs.mu.Lock()
 		defer cs.mu.Unlock()
 		return float64(len(cs.pending))
+	})
+	reg.GaugeFunc(metricInflight, helpInflight, func() float64 {
+		return float64(cs.inflight.Load())
 	})
 	for i, ns := range cs.local {
 		if ns == nil {

@@ -25,6 +25,8 @@ const (
 	metricSQTSize        = "mobieyes_server_sqt_size"
 	metricRQIEntries     = "mobieyes_server_rqi_entries"
 	metricPending        = "mobieyes_server_pending_installs"
+	metricShardDepth     = "mobieyes_server_shard_pending_uplinks"
+	metricInflight       = "mobieyes_cluster_inflight_ops"
 
 	helpOps            = "Elementary server-side operations (table updates, RQI touches, sends)."
 	helpUplinks        = "Uplink messages dispatched."
@@ -36,6 +38,8 @@ const (
 	helpSQTSize        = "Server query table rows."
 	helpRQIEntries     = "Total (cell, query) entries in the reverse query index."
 	helpPending        = "Query installations awaiting the focal object's motion state."
+	helpShardDepth     = "Uplinks currently queued on or executing in the shard (0 at quiescence)."
+	helpInflight       = "Uplinks currently inside the cluster router's dispatch funnel (0 at quiescence)."
 )
 
 // kindLatency is a per-message-kind set of latency histograms covering the
@@ -176,6 +180,9 @@ func (ss *ShardedServer) Instrument(reg *obs.Registry) {
 		defer ss.mu.RUnlock()
 		return float64(len(ss.pending))
 	})
+	reg.GaugeFunc(metricShardDepth, helpShardDepth, func() float64 {
+		return float64(ss.inflight.Load())
+	}, "shard", "router")
 	for i, sh := range ss.shards {
 		sh := sh
 		label := strconv.Itoa(i)
@@ -195,6 +202,9 @@ func (ss *ShardedServer) Instrument(reg *obs.Registry) {
 		reg.GaugeFunc(metricFOTSize, helpFOTSize, locked(func(s *Server) int { return len(s.fot) }), "shard", label)
 		reg.GaugeFunc(metricSQTSize, helpSQTSize, locked(func(s *Server) int { return len(s.sqt) }), "shard", label)
 		reg.GaugeFunc(metricRQIEntries, helpRQIEntries, locked(func(s *Server) int { return s.rqiCount }), "shard", label)
+		reg.GaugeFunc(metricShardDepth, helpShardDepth, func() float64 {
+			return float64(sh.inflight.Load())
+		}, "shard", label)
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"mobieyes/internal/grid"
 	"mobieyes/internal/model"
@@ -24,6 +25,10 @@ type shard struct {
 	// idx is this shard's partition index, used by the router to attribute
 	// uplink traffic to the shard's cost ledger.
 	idx int
+	// inflight is the number of uplinks currently charged to this shard —
+	// queued on its lock or executing — maintained by the instrumented
+	// router's dispatch (see trackInflight). At quiescence it is zero.
+	inflight atomic.Int64
 }
 
 // focalRecord is a focal object's complete server-side state — its FOT row

@@ -59,6 +59,11 @@ type ShardedServer struct {
 	upl        *obs.Counter
 	migrations *obs.Counter
 
+	// inflight counts uplinks currently dispatching at router level (no
+	// owning shard: departures, stale drops); per-shard depth lives on each
+	// shard. Maintained only while instrumented — see trackInflight.
+	inflight atomic.Int64
+
 	// obsm, when attached by Instrument, times HandleUplink per message
 	// kind at the router.
 	obsm *serverObs
@@ -642,7 +647,84 @@ func (ss *ShardedServer) HandleUplinkTraced(m msg.Message, tid trace.ID) {
 	ss.dispatchUplink(m, tid)
 }
 
+// peekFocalShard returns the shard currently routed for oid's FOT row, or
+// -1. A concurrent migration may move the row immediately after; callers
+// using this for gauge attribution tolerate that.
+func (ss *ShardedServer) peekFocalShard(oid model.ObjectID) int {
+	ss.mu.RLock()
+	si, ok := ss.focalShard[oid]
+	ss.mu.RUnlock()
+	if !ok {
+		return -1
+	}
+	return si
+}
+
+// peekQueryShard returns the shard currently routed for qid's SQT row, or -1.
+func (ss *ShardedServer) peekQueryShard(qid model.QueryID) int {
+	ss.mu.RLock()
+	si, ok := ss.queryShard[qid]
+	ss.mu.RUnlock()
+	if !ok {
+		return -1
+	}
+	return si
+}
+
+// uplinkShard predicts the shard an uplink will be charged to, mirroring
+// each handler's own routing decision; -1 means router-level (departures,
+// stale reports).
+func (ss *ShardedServer) uplinkShard(m msg.Message) int {
+	switch mm := m.(type) {
+	case msg.VelocityReport:
+		return ss.peekFocalShard(mm.OID)
+	case msg.CellChangeReport:
+		return ss.shardOf(mm.NewCell)
+	case msg.ContainmentReport:
+		return ss.peekQueryShard(mm.QID)
+	case msg.GroupContainmentReport:
+		for _, qid := range mm.QIDs {
+			if si := ss.peekQueryShard(qid); si >= 0 {
+				return si
+			}
+		}
+	case msg.FocalInfoResponse:
+		return ss.shardOf(ss.g.CellOf(mm.Pos))
+	}
+	return -1
+}
+
+// trackInflight charges one dispatching uplink against the owning shard's
+// pending-depth counter (router-level when no shard owns it) and returns the
+// paired decrement. The inc/dec pairing is unconditional within one dispatch,
+// so every counter returns to zero at quiescence no matter how the handler
+// exits.
+func (ss *ShardedServer) trackInflight(m msg.Message) func() {
+	c := &ss.inflight
+	if si := ss.uplinkShard(m); si >= 0 {
+		c = &ss.shards[si].inflight
+	}
+	c.Add(1)
+	return func() { c.Add(-1) }
+}
+
+// PendingUplinksByShard returns each shard's current pending-uplink depth
+// (queued on the shard lock or executing), indexed by shard. Zero everywhere
+// at quiescence; only maintained while the server is instrumented.
+func (ss *ShardedServer) PendingUplinksByShard() []int64 {
+	out := make([]int64, len(ss.shards))
+	for i, sh := range ss.shards {
+		out[i] = sh.inflight.Load()
+	}
+	return out
+}
+
 func (ss *ShardedServer) dispatchUplink(m msg.Message, tid trace.ID) {
+	// The depth gauges cost a routing peek per uplink, so they are
+	// maintained only when someone attached a registry to read them.
+	if ss.obsm != nil {
+		defer ss.trackInflight(m)()
+	}
 	switch mm := m.(type) {
 	case msg.VelocityReport:
 		ss.onVelocityReport(mm, tid)

@@ -26,6 +26,37 @@ var SizeBuckets = []float64{
 	1024, 2048, 4096, 8192, 16384, 32768, 65536,
 }
 
+// LogBuckets generates strictly ascending log-spaced bucket bounds from lo to
+// at least hi, with perDecade bounds per factor of ten. Bounds are computed in
+// log space (not by repeated multiplication) so long ladders don't accumulate
+// rounding drift.
+func LogBuckets(lo, hi float64, perDecade int) []float64 {
+	if lo <= 0 || hi <= lo || perDecade <= 0 {
+		panic("obs: LogBuckets needs 0 < lo < hi and perDecade > 0")
+	}
+	steps := int(math.Ceil(math.Log10(hi/lo) * float64(perDecade)))
+	out := make([]float64, 0, steps+1)
+	logLo := math.Log10(lo)
+	for i := 0; ; i++ {
+		b := math.Pow(10, logLo+float64(i)/float64(perDecade))
+		if len(out) > 0 && b <= out[len(out)-1] {
+			continue
+		}
+		out = append(out, b)
+		if b >= hi {
+			return out
+		}
+	}
+}
+
+// HDRLatencyBuckets is the high-dynamic-range latency preset for open-loop
+// load measurement, in seconds: 20 ns to 10 s, nine log-spaced bounds per
+// decade (~29% resolution). Unlike LatencyBuckets it does not saturate at 1 s,
+// so coordinated-omission-corrected tail latencies — where one multi-second
+// stall charges thousands of queued ops with seconds of wait — stay resolved
+// instead of clamping to the top bound.
+var HDRLatencyBuckets = LogBuckets(20e-9, 10, 9)
+
 // A Histogram counts observations into fixed buckets (cumulative on export,
 // per-bucket internally) and tracks their total count and sum, permitting
 // Prometheus-style quantile estimation. All methods are safe for concurrent
@@ -38,6 +69,7 @@ type Histogram struct {
 	counts []atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	max    atomic.Uint64 // float64 bits, CAS-maximized; 0 until first observation
 }
 
 // NewHistogram returns a standalone histogram with the given ascending
@@ -70,6 +102,12 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
 		old := h.sum.Load()
 		niu := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, niu) {
@@ -92,6 +130,25 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return math.Float64frombits(h.sum.Load())
+}
+
+// Max returns the largest value observed so far — exact, not a bucket bound,
+// which matters for the tail above the quantile resolution. Returns 0 for a
+// nil or empty histogram (and for histograms that only saw values ≤ 0).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
+// Mean returns the arithmetic mean of all observations (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
 }
 
 // snapshot copies the per-bucket counts. The copy is not atomic across

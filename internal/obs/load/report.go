@@ -1,0 +1,131 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mobieyes/internal/obs"
+)
+
+// IntervalSample is one sampler tick of a run's time series. Latency fields
+// are the quantiles of ops *completed during this interval* (seconds,
+// measured from scheduled arrival — coordinated-omission safe); Backlog is
+// how many scheduled ops had not completed at sample time, i.e. the
+// open-loop queue the backend has fallen behind by.
+type IntervalSample struct {
+	T          float64 `json:"t"`          // seconds since run start
+	Issued     int64   `json:"issued"`     // ops issued so far (cumulative)
+	Done       int64   `json:"done"`       // ops completed so far (cumulative)
+	Throughput float64 `json:"throughput"` // ops/sec completed this interval
+	Backlog    int64   `json:"backlog"`    // scheduled-but-incomplete ops
+	Depth      int64   `json:"depth"`      // backend internal queue depth
+	Count      int64   `json:"count"`      // measured ops this interval
+	P50        float64 `json:"p50"`
+	P90        float64 `json:"p90"`
+	P99        float64 `json:"p99"`
+	P999       float64 `json:"p999"`
+	Max        float64 `json:"max"`
+	GCPauseNs  uint64  `json:"gc_pause_ns"` // GC pause time this interval
+	Goroutines int     `json:"goroutines"`
+}
+
+// Summary are the cumulative post-warmup end-to-end latency statistics of a
+// run (seconds from scheduled arrival to completion).
+type Summary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+}
+
+func summarize(h *obs.Histogram) Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.5),
+		P90:   h.Quantile(0.9),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// Report is the full result of one load run against one backend.
+type Report struct {
+	Backend  string  `json:"backend"`
+	Rate     float64 `json:"rate"` // target arrival rate, ops/sec
+	Objects  int     `json:"objects"`
+	Queries  int     `json:"queries"`
+	Workers  int     `json:"workers"`
+	Shards   int     `json:"shards,omitempty"`
+	Nodes    int     `json:"nodes,omitempty"`
+	Seed     uint64  `json:"seed"`
+	Duration float64 `json:"duration"` // measured window, seconds
+	Warmup   float64 `json:"warmup"`   // discarded warmup, seconds
+
+	// Sustained is the measured completion rate over the post-warmup
+	// window; Delivered counts downlink messages the backend emitted.
+	Sustained float64 `json:"sustained_throughput"`
+	Delivered int64   `json:"delivered"`
+
+	Summary   Summary          `json:"summary"`
+	Intervals []IntervalSample `json:"intervals"`
+
+	// Stages is the per-stage pipeline decomposition from the causal
+	// tracer (nil when the run was untraced).
+	Stages *obs.LatencySnap `json:"stages,omitempty"`
+}
+
+// File is the on-disk shape of results/loadreport.json: one run per backend.
+type File struct {
+	Runs []*Report `json:"runs"`
+}
+
+// WriteJSON writes the report file with stable indentation.
+func (f *File) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// WriteText prints a human-readable run summary: the headline sustained
+// throughput and SLO latencies, then the per-stage decomposition if traced.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "backend=%s rate=%.0f/s objects=%d queries=%d workers=%d\n",
+		r.Backend, r.Rate, r.Objects, r.Queries, r.Workers)
+	fmt.Fprintf(w, "  sustained %.0f ops/sec  delivered %d downlinks\n",
+		r.Sustained, r.Delivered)
+	s := r.Summary
+	fmt.Fprintf(w, "  e2e (from schedule): p50 %s  p90 %s  p99 %s  p99.9 %s  max %s  (n=%d)\n",
+		fmtSec(s.P50), fmtSec(s.P90), fmtSec(s.P99), fmtSec(s.P999), fmtSec(s.Max), s.Count)
+	if r.Stages != nil {
+		fmt.Fprintf(w, "  pipeline stages (traces=%d partial=%d orphans=%d):\n",
+			r.Stages.Traces, r.Stages.Partial, r.Stages.Orphans)
+		for _, st := range r.Stages.Stages {
+			fmt.Fprintf(w, "    %-8s p50 %s  p99 %s  max %s\n",
+				st.Stage, fmtSec(st.P50), fmtSec(st.P99), fmtSec(st.Max))
+		}
+		fmt.Fprintf(w, "    %-8s p50 %s  p99 %s  max %s\n",
+			"e2e", fmtSec(r.Stages.E2E.P50), fmtSec(r.Stages.E2E.P99), fmtSec(r.Stages.E2E.Max))
+	}
+}
+
+// fmtSec renders a duration in seconds at a human scale.
+func fmtSec(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-6:
+		return fmt.Sprintf("%.0fns", s*1e9)
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}

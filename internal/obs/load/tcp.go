@@ -1,0 +1,172 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync/atomic"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/model"
+	"mobieyes/internal/msg"
+	"mobieyes/internal/obs"
+	"mobieyes/internal/obs/trace"
+	"mobieyes/internal/remote"
+	"mobieyes/internal/wire"
+)
+
+// tcpTarget drives a real internal/remote server over loopback TCP: one
+// connection per worker, each op pipelined as an uplink frame immediately
+// followed by a Ping frame. The server's read loop dispatches uplinks
+// synchronously before echoing the Pong, so the Pong is a completion signal
+// covering the full server-side processing of the op (frame decode, backend
+// dispatch, and the enqueue of every downlink the op caused on this
+// connection).
+type tcpTarget struct {
+	srv       *remote.Server
+	rec       *trace.Recorder
+	conns     []*loadConn
+	delivered atomic.Int64
+}
+
+// loadConn is one worker's connection. A connection is owned by a single
+// goroutine at a time (setup runs before the workers start; each worker then
+// has its own), so writes never interleave.
+type loadConn struct {
+	conn  net.Conn
+	token uint64
+	pong  chan struct{}
+	dead  chan struct{}
+}
+
+func newTCPTarget(cfg Config, w *Workload, rec *trace.Recorder, reg *obs.Registry) (Target, error) {
+	srv, err := remote.ListenAndServe(remote.ServerConfig{
+		Addr:    "127.0.0.1:0",
+		UoD:     w.UoD,
+		Alpha:   workloadAlpha,
+		Shards:  cfg.Shards,
+		Metrics: reg,
+		Trace:   rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &tcpTarget{srv: srv, rec: rec}
+	for i := 0; i < cfg.Workers; i++ {
+		// Hello as object i+1: those are real workload objects, so unicasts
+		// addressed to them actually deliver over the wire.
+		c, err := t.dial(srv.Addr().String(), model.ObjectID(i+1))
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		t.conns = append(t.conns, c)
+	}
+	return t, nil
+}
+
+func (t *tcpTarget) dial(addr string, oid model.ObjectID) (*loadConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := remote.WriteFrame(conn, remote.EncodeHello(oid)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &loadConn{conn: conn, pong: make(chan struct{}, 1), dead: make(chan struct{})}
+	go t.readLoop(c)
+	return c, nil
+}
+
+// readLoop drains one connection's downlink stream: Pongs complete pending
+// ops; every other frame is a delivered protocol message, counted and — when
+// it carries a trace ID — recorded as the trace's delivery event.
+func (t *tcpTarget) readLoop(c *loadConn) {
+	defer close(c.dead)
+	br := bufio.NewReader(c.conn)
+	for {
+		payload, err := remote.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		m, tid, err := wire.DecodeTraced(payload)
+		if err != nil {
+			return
+		}
+		if _, isPong := m.(msg.Pong); isPong {
+			select {
+			case c.pong <- struct{}{}:
+			default:
+			}
+			continue
+		}
+		t.delivered.Add(1)
+		if t.rec != nil && tid != 0 {
+			oid, qid := core.TraceRef(m)
+			t.rec.Event(trace.ID(tid), trace.KindDeliver, "device", oid, qid, m.Kind().String())
+		}
+	}
+}
+
+// do writes one uplink frame (trace ID minted client-side when tracing)
+// followed by a Ping, then blocks until the Pong comes back.
+func (c *loadConn) do(t *tcpTarget, m msg.Message) error {
+	var tid uint64
+	if t.rec != nil {
+		tid = uint64(t.rec.NextID())
+	}
+	if err := remote.WriteFrame(c.conn, wire.EncodeTraced(m, tid)); err != nil {
+		return err
+	}
+	return c.ping()
+}
+
+func (t *tcpTarget) Name() string        { return "tcp" }
+func (t *tcpTarget) API() core.ServerAPI { return nil }
+
+func (t *tcpTarget) Install(focal model.ObjectID, radius, maxVel float64) model.QueryID {
+	return t.srv.InstallQuery(focal, model.CircleRegion{R: radius}, model.Filter{}, maxVel)
+}
+
+func (t *tcpTarget) Do(worker int, m msg.Message) error {
+	return t.conns[worker%len(t.conns)].do(t, m)
+}
+
+// ping writes a single Ping frame and waits for its Pong. Exactly one ping
+// is ever outstanding per connection (do and ping both wait before
+// returning), so pings and pongs stay matched one-to-one.
+func (c *loadConn) ping() error {
+	c.token++
+	if err := remote.WriteFrame(c.conn, wire.Encode(msg.Ping{Token: c.token})); err != nil {
+		return err
+	}
+	select {
+	case <-c.pong:
+		return nil
+	case <-c.dead:
+		return fmt.Errorf("load: connection lost waiting for pong")
+	}
+}
+
+// Quiesce runs a ping round on every connection: when each Pong is back, all
+// uplinks written before it have been dispatched.
+func (t *tcpTarget) Quiesce() error {
+	for _, c := range t.conns {
+		if err := c.ping(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *tcpTarget) Depth() int64     { return 0 }
+func (t *tcpTarget) Delivered() int64 { return t.delivered.Load() }
+
+func (t *tcpTarget) Close() error {
+	for _, c := range t.conns {
+		c.conn.Close()
+	}
+	t.srv.Close()
+	return nil
+}

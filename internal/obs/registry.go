@@ -172,6 +172,18 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 	return h
 }
 
+// RegisterHistogram exposes an existing standalone histogram under
+// name+labels, replacing any histogram previously registered there. This is
+// how components that own their histograms (e.g. the latency view, which
+// observes into them from its own collection pass) attach to a registry
+// without double-counting. No-op when r or h is nil.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...string) {
+	if h == nil {
+		return
+	}
+	r.withSeries(name, help, typeHistogram, labels, func(s *series) { s.hist = h })
+}
+
 // famSnap is a point-in-time copy of one family, taken under the registry
 // lock so scrapes never touch the live series maps while withSeries inserts
 // into them. The series are value copies (label signature plus metric
@@ -350,6 +362,8 @@ func (r *Registry) Snapshot() map[string]any {
 					"p50":   h.Quantile(0.50),
 					"p90":   h.Quantile(0.90),
 					"p99":   h.Quantile(0.99),
+					"p999":  h.Quantile(0.999),
+					"max":   h.Max(),
 				}
 			}
 		}

@@ -66,3 +66,26 @@ func RegisterRuntime(r *Registry) {
 		return float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
 	})
 }
+
+// SetContentionProfiling enables the runtime's contention profilers behind
+// the pprof endpoint: mutexFraction is passed to
+// runtime.SetMutexProfileFraction (sample 1/n mutex-unlock contention
+// events; 0 leaves the current setting, -1 disables), and blockRateNs to
+// runtime.SetBlockProfileRate (sample blocking events lasting ≥ n ns; 0
+// leaves the current setting untouched, so the flags' zero defaults are
+// free). The profiles appear at /debug/pprof/mutex and /debug/pprof/block
+// on any mux from NewMux.
+func SetContentionProfiling(mutexFraction, blockRateNs int) {
+	if mutexFraction != 0 {
+		if mutexFraction < 0 {
+			mutexFraction = 0 // runtime's "disable" spelling
+		}
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	if blockRateNs != 0 {
+		if blockRateNs < 0 {
+			blockRateNs = 0
+		}
+		runtime.SetBlockProfileRate(blockRateNs)
+	}
+}

@@ -34,6 +34,12 @@ import (
 //	                                           recent n, default 40; or the causal
 //	                                           timeline of an object / query; or
 //	                                           one trace chain), "." terminated
+//	LAT                                      → per-stage pipeline latency table
+//	                                           (dispatch/table/fanout/deliver +
+//	                                           end-to-end quantiles derived from
+//	                                           the flight recorder), "." terminated
+//	                                           ("err tracing disabled" without
+//	                                           -trace-events)
 //	COSTS [qid <id> | oid <id>]              → cost-ledger report (global traffic
 //	                                           by kind, compute units, shard
 //	                                           attribution, quality) or one
@@ -202,6 +208,14 @@ func (a *AdminServer) handleCommand(conn net.Conn, fields []string) bool {
 		fmt.Fprintln(conn, ".")
 	case "TRACE":
 		a.handleTrace(conn, fields[1:])
+	case "LAT":
+		lv := a.srv.Latency()
+		if lv == nil {
+			fmt.Fprintln(conn, "err tracing disabled")
+			return true
+		}
+		lv.WriteText(conn)
+		fmt.Fprintln(conn, ".")
 	case "COSTS":
 		a.handleCosts(conn, fields[1:])
 	case "HEALTH":

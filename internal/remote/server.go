@@ -59,6 +59,12 @@ type ServerConfig struct {
 	// ID back to the object. Nil disables tracing (the default) — the
 	// disabled path costs a single nil check per event site.
 	Trace *trace.Recorder
+	// Latency, when non-nil, is the pipeline-latency view folding Trace's
+	// causal chains into per-stage histograms (obs.LatencyView), shared with
+	// a metrics endpoint's /debug/latency. When nil and Trace is set, the
+	// server creates its own view — either way Latency() returns it and the
+	// admin LAT command reports it. Ignored without Trace.
+	Latency *obs.LatencyView
 	// Costs is the cost accountant the server attributes protocol traffic
 	// and backend work to (see internal/obs/cost and DESIGN.md §12): the
 	// transport charges every protocol frame at the codec boundary with its
@@ -87,6 +93,7 @@ type Server struct {
 
 	backend core.ServerAPI // *core.ShardedServer, or *core.ClusterServer with cfg.ClusterNodes
 	rec     *trace.Recorder
+	lat     *obs.LatencyView // per-stage latency over rec; nil without tracing
 	acct    *cost.Accountant // nil-safe; charged at the frame codec boundary
 	tel     *telemetry.Plane // cluster telemetry plane, nil unless attached
 	done    chan struct{}
@@ -187,11 +194,19 @@ func newServer(cfg ServerConfig, ln net.Listener) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	lat := cfg.Latency
+	if lat == nil && cfg.Trace != nil {
+		lat = obs.NewLatencyView(cfg.Trace)
+	}
+	if lat != nil {
+		lat.Instrument(reg)
+	}
 	return &Server{
 		cfg:         cfg,
 		g:           grid.New(cfg.UoD, cfg.Alpha),
 		ln:          ln,
 		rec:         cfg.Trace,
+		lat:         lat,
 		done:        make(chan struct{}),
 		reg:         reg,
 		conns:       make(map[model.ObjectID]*serverConn),
@@ -301,6 +316,11 @@ func (s *Server) CheckInvariants() error { return s.backend.CheckInvariants() }
 
 // Tracer returns the attached flight recorder, or nil when tracing is off.
 func (s *Server) Tracer() *trace.Recorder { return s.rec }
+
+// Latency returns the per-stage latency view over the flight recorder, or
+// nil when tracing is off. It backs the admin LAT command and can be mounted
+// on a metrics mux with obs.AttachLatency.
+func (s *Server) Latency() *obs.LatencyView { return s.lat }
 
 // Result returns a query's current result set.
 func (s *Server) Result(qid model.QueryID) []model.ObjectID {

@@ -131,3 +131,78 @@ func TestAdminTraceDisabled(t *testing.T) {
 		t.Errorf("TRACE without recorder = %q", got)
 	}
 }
+
+// TestAdminLatency (PR 9): the admin LAT command and the server's
+// LatencyView expose the per-stage pipeline decomposition of a live traced
+// deployment, and degrade to a clear error when tracing is off.
+func TestAdminLatency(t *testing.T) {
+	rec := trace.NewRecorder(4096)
+	s, err := ListenAndServe(ServerConfig{
+		Addr:  "127.0.0.1:0",
+		UoD:   geo.NewRect(0, 0, 100, 100),
+		Alpha: 5,
+		Trace: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if s.Latency() == nil {
+		t.Fatal("traced server has no latency view")
+	}
+	admin, err := ServeAdmin("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	dialObject(t, s, 1, geo.Pt(50, 50), geo.Vec(0, 0))
+	dialObject(t, s, 2, geo.Pt(51, 50), geo.Vec(0, 0))
+	if !waitFor(t, 2*time.Second, func() bool { return s.NumConnected() == 2 }) {
+		t.Fatal("objects never connected")
+	}
+	qid := s.InstallQuery(1, model.CircleRegion{R: 3}, acceptAll, 100000)
+	if !waitFor(t, 3*time.Second, func() bool { return len(s.Result(qid)) == 2 }) {
+		t.Fatalf("result never converged: %v", s.Result(qid))
+	}
+
+	a := dialAdmin(t, admin)
+	deadline := time.Now().Add(2 * time.Second)
+	var got string
+	for {
+		got = a.dump(t, "LAT")
+		if strings.Contains(got, "table") && !strings.Contains(got, "traces 0") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("LAT never reported folded traces:\n%s", got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, want := range []string{"traces", "dispatch", "table", "fanout", "e2e"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("LAT output missing %q:\n%s", want, got)
+		}
+	}
+	// The same view backs /debug/latency.
+	if snap := s.Latency().Snapshot(); snap.Traces == 0 {
+		t.Error("latency view snapshot has no traces")
+	}
+}
+
+// TestAdminLatencyDisabled: LAT without tracing errs like TRACE.
+func TestAdminLatencyDisabled(t *testing.T) {
+	s := testServer(t)
+	if s.Latency() != nil {
+		t.Fatal("untraced server grew a latency view")
+	}
+	admin, err := ServeAdmin("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	a := dialAdmin(t, admin)
+	if got := a.cmd(t, "LAT"); got != "err tracing disabled" {
+		t.Errorf("LAT without recorder = %q", got)
+	}
+}

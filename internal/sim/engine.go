@@ -314,6 +314,7 @@ func (e *Engine) drain() {
 	concurrent := e.cfg.ServerShards > 1
 	uplinks := 0
 	for len(e.upQueue) > 0 || len(e.downQueue) > 0 {
+		e.obsm.syncQueueDepths(len(e.upQueue), len(e.downQueue))
 		if len(e.upQueue) > 0 {
 			start := time.Now()
 			if concurrent {
@@ -336,6 +337,7 @@ func (e *Engine) drain() {
 		e.downQueue = e.downQueue[1:]
 		e.deliver(q)
 	}
+	e.obsm.syncQueueDepths(0, 0)
 	if o := e.obsm; o != nil {
 		o.drainBatch.Observe(float64(uplinks))
 	}

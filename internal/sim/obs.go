@@ -10,10 +10,14 @@ const (
 	metricSteps      = "mobieyes_sim_steps_total"
 	metricStepSecs   = "mobieyes_sim_step_seconds"
 	metricDrainBatch = "mobieyes_sim_drain_batch"
+	metricUpDepth    = "mobieyes_sim_up_queue_depth"
+	metricDownDepth  = "mobieyes_sim_down_queue_depth"
 
 	helpSteps      = "Simulation steps executed."
 	helpStepSecs   = "Wall-clock duration of one full simulation step."
 	helpDrainBatch = "Uplink messages processed per transport drain."
+	helpUpDepth    = "Uplink messages queued in the transport (0 at quiescence)."
+	helpDownDepth  = "Downlink messages queued in the transport (0 at quiescence)."
 )
 
 // engineObs is the optional instrumentation of one Engine; nil (the default)
@@ -22,6 +26,11 @@ type engineObs struct {
 	steps      *obs.Counter
 	stepLat    *obs.Histogram
 	drainBatch *obs.Histogram
+	// upDepth/downDepth are published by the owning goroutine from inside
+	// drain (the queues themselves are not safe to measure at scrape time),
+	// so a live scrape sees the instantaneous transport backlog.
+	upDepth   *obs.Gauge
+	downDepth *obs.Gauge
 }
 
 func newEngineObs(reg *obs.Registry) *engineObs {
@@ -29,5 +38,16 @@ func newEngineObs(reg *obs.Registry) *engineObs {
 		steps:      reg.Counter(metricSteps, helpSteps),
 		stepLat:    reg.Histogram(metricStepSecs, helpStepSecs, obs.LatencyBuckets),
 		drainBatch: reg.Histogram(metricDrainBatch, helpDrainBatch, obs.SizeBuckets),
+		upDepth:    reg.Gauge(metricUpDepth, helpUpDepth),
+		downDepth:  reg.Gauge(metricDownDepth, helpDownDepth),
 	}
+}
+
+// syncQueueDepths publishes the current transport queue depths.
+func (o *engineObs) syncQueueDepths(up, down int) {
+	if o == nil {
+		return
+	}
+	o.upDepth.Set(float64(up))
+	o.downDepth.Set(float64(down))
 }

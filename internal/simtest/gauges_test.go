@@ -1,0 +1,122 @@
+package simtest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mobieyes/internal/core"
+	"mobieyes/internal/geo"
+	"mobieyes/internal/grid"
+	"mobieyes/internal/model"
+	"mobieyes/internal/obs"
+	"mobieyes/internal/workload"
+)
+
+// TestQueueDepthGaugesZeroAtQuiescence (PR 9 satellite): the sharded
+// per-shard pending-uplink gauges and the cluster in-flight-ops gauge must
+// read exactly zero whenever the system is quiescent — every depth
+// increment taken during dispatch must be paired with a decrement on every
+// exit path. The harness drives a full protocol schedule (joins, installs,
+// mobility steps, departures) and checks the gauges between every phase:
+// local drivers dispatch synchronously, so any nonzero reading is a leaked
+// increment, not in-flight work.
+func TestQueueDepthGaugesZeroAtQuiescence(t *testing.T) {
+	wl := workload.New(workload.Config{
+		UoD:                    geo.NewRect(0, 0, 100, 100),
+		NumObjects:             30,
+		NumQueries:             6,
+		VelocityChangesPerStep: 7,
+		StepSeconds:            30,
+		MaxSpeeds:              []float64{100, 50, 150},
+		RadiusMeans:            []float64{5, 3, 8},
+		RadiusStdDevFrac:       0.2,
+		ZipfTheta:              0.8,
+		SelectivityPermille:    850,
+		RadiusFactor:           1,
+		Seed:                   909,
+	})
+	g := grid.New(wl.Config().UoD, alphaMiles)
+
+	for _, tc := range []struct {
+		name          string
+		shards, nodes int
+		gaugePrefix   string
+	}{
+		{"sharded", 4, 0, "mobieyes_server_shard_pending_uplinks"},
+		{"clustered", 0, 3, "mobieyes_cluster_inflight_ops"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ls := newLocalSystem(tc.name, g, core.Options{}, wl.Objects, tc.shards, tc.nodes, 0, false)
+			reg := obs.NewRegistry()
+			// Instrument before traffic: the sharded engine only maintains
+			// its depth counters when instrumented (the routing peek costs).
+			ls.srv.Instrument(reg)
+
+			check := func(phase string) {
+				t.Helper()
+				if err := depthGaugesZero(ls.srv, reg, tc.gaugePrefix); err != nil {
+					t.Fatalf("after %s: %v", phase, err)
+				}
+			}
+
+			now := model.Time(0)
+			for _, o := range wl.Objects {
+				if err := ls.join(o, now); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check("joins")
+			for _, spec := range wl.Queries {
+				maxVel := wl.Objects[int(spec.Focal)-1].MaxVel
+				if _, err := ls.install(spec, maxVel, now); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check("installs")
+			for i := 0; i < 5; i++ {
+				wl.Step()
+				now += model.FromSeconds(30)
+				if err := ls.step(now); err != nil {
+					t.Fatal(err)
+				}
+				check(fmt.Sprintf("step %d", i))
+			}
+			if err := ls.depart(wl.Objects[0].ID, now); err != nil {
+				t.Fatal(err)
+			}
+			check("departure")
+		})
+	}
+}
+
+// depthGaugesZero checks both the direct accessors and the registry's view
+// of the queue-depth gauges.
+func depthGaugesZero(srv core.ServerAPI, reg *obs.Registry, prefix string) error {
+	switch s := srv.(type) {
+	case *core.ShardedServer:
+		for shard, d := range s.PendingUplinksByShard() {
+			if d != 0 {
+				return fmt.Errorf("shard %d pending uplinks = %d, want 0", shard, d)
+			}
+		}
+	case *core.ClusterServer:
+		if n := s.InflightOps(); n != 0 {
+			return fmt.Errorf("inflight ops = %d, want 0", n)
+		}
+	}
+	found := false
+	for name, v := range reg.Snapshot() {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		found = true
+		if g, ok := v.(float64); !ok || g != 0 {
+			return fmt.Errorf("gauge %s = %v, want 0", name, v)
+		}
+	}
+	if !found {
+		return fmt.Errorf("no gauges with prefix %q registered", prefix)
+	}
+	return nil
+}

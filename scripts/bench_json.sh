@@ -1,21 +1,24 @@
 #!/bin/sh
-# Emits the PR benchmark set as JSON (BENCH_PR7.json by default): the
+# Emits the PR benchmark set as JSON (BENCH_PR9.json by default): the
 # cost-accounting overhead benchmarks of internal/obs/cost (disabled-path
 # nil-accountant calls, enabled-path charges, scrape-under-load), the
 # instrumentation overhead benchmarks of internal/obs, the causal-tracing
 # flight-recorder benchmarks of internal/obs/trace, the telemetry-plane
 # benchmarks of internal/obs/telemetry (batch encode/decode, idle collector
 # probe, per-heartbeat collect+encode, router-side merge, watchdog round),
-# and the serial/sharded/clustered uplink throughput benchmarks of
+# the serial/sharded/clustered uplink throughput benchmarks of
 # internal/core — the sharded-vs-clustered delta at 10k/100k objects is the
-# router-forwarding overhead. Usage:
+# router-forwarding overhead — and the open-loop sustained-throughput series
+# of internal/obs/load (saturation rate at 10k/100k objects, serial and
+# sharded; each iteration is a full load run, so these always run 1x).
+# Usage:
 #
 #   scripts/bench_json.sh [output.json]
 #
 # Tune BENCHTIME for fidelity vs speed (default 1s; CI smoke uses 1x).
 set -eu
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR9.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 
 {
@@ -24,6 +27,7 @@ BENCHTIME="${BENCHTIME:-1s}"
 	go test -run '^$' -bench . -benchtime "$BENCHTIME" ./internal/obs/trace/
 	go test -run '^$' -bench . -benchtime "$BENCHTIME" ./internal/obs/telemetry/
 	go test -run '^$' -bench 'BenchmarkUplink(Serial|Sharded|Clustered)(10k|100k)' -benchtime "$BENCHTIME" ./internal/core/
+	go test -run '^$' -bench 'BenchmarkSustained' -benchtime 1x ./internal/obs/load/
 } | awk '
 	/^Benchmark/ {
 		name = $1
