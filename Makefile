@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check simtest cluster crash load bench bench-smoke bench-sharded bench-json report staticcheck
+.PHONY: build vet test race check simtest cluster crash load stream bench bench-smoke bench-sharded bench-json report staticcheck
 
 # Optional deeper linting: runs only when staticcheck is installed, so the
 # gate works on minimal toolchains (CI installs it; see scripts/check.sh).
@@ -25,7 +25,7 @@ test:
 # the metrics registry are the packages with real concurrency; run them
 # under -race.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/remote/... ./internal/obs/... ./internal/cluster/...
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/remote/... ./internal/obs/... ./internal/cluster/... ./internal/history/...
 
 # Differential simulation sweep under the race detector — including one
 # fault-injection seed with causal tracing enabled (TestTracedFaultInjection),
@@ -62,7 +62,16 @@ crash:
 load:
 	$(GO) test -race -count=1 ./internal/obs/load/
 
-check: build vet staticcheck test race simtest cluster crash load
+# Stream & history gate: snapshot-then-delta gap-freeness across all three
+# backends, slow-consumer eviction under a deliberately stalled reader, the
+# history log codec and bounded store, the remote SSE/admin wiring, and the
+# simtest replay oracle (log vs live-subscription ground truth), under the
+# race detector (see internal/obs/stream, internal/history, DESIGN.md §17).
+stream:
+	$(GO) test -race -count=1 ./internal/obs/stream/ ./internal/history/
+	$(GO) test -race -count=1 -run 'Stream|History|AdminSubHist|Gateway' ./internal/remote/ ./internal/simtest/
+
+check: build vet staticcheck test race simtest cluster crash load stream
 
 bench:
 	$(GO) test -bench . -benchtime 1s ./internal/core/
@@ -81,11 +90,11 @@ bench-sharded:
 # Machine-readable results of the cost-accounting, instrumentation-overhead,
 # flight-recorder, telemetry-plane and uplink throughput benchmarks —
 # including the router-forwarding-overhead comparison (clustered vs sharded
-# uplinks at 10k/100k objects), the per-heartbeat telemetry cost, and the
-# open-loop sustained-throughput series at 10k/100k objects
-# (see scripts/bench_json.sh).
+# uplinks at 10k/100k objects), the per-heartbeat telemetry cost, the
+# open-loop sustained-throughput series at 10k/100k objects, and the stream
+# fan-out / history append costs (see scripts/bench_json.sh).
 bench-json:
-	sh scripts/bench_json.sh BENCH_PR9.json
+	sh scripts/bench_json.sh BENCH_PR10.json
 
 # The structured §5 cost & accuracy report (ledger sweeps, EQP-vs-LQP
 # quality, baselines, qualitative checks) → results/runreport.{json,txt}.

@@ -6,7 +6,7 @@
 //
 //	mobieyes-server [-addr :7070] [-admin :7071] [-metrics-addr :7072]
 //	                [-area SQMILES] [-alpha MILES] [-lazy] [-grouping]
-//	                [-trace-events N] [-costs]
+//	                [-trace-events N] [-costs] [-stream] [-history-bytes N]
 //	                [-mutex-profile-fraction N] [-block-profile-rate NS]
 //	                [-cluster router -workers host:port,… | -cluster worker]
 //	                [-cluster-nodes N] [-auto-recover=false]
@@ -33,12 +33,24 @@
 //	                                           (needs -trace-events; same data
 //	                                           as /debug/latency)
 //	COSTS [qid N | oid N]                    → cost ledgers (needs -costs)
+//	SUB <qid> [n]                            → snapshot + n live deltas (needs -stream)
+//	HIST [qid N | oid N]                     → history log (needs -history-bytes)
 //	quit                                     → closes the admin session
 //
 // With -costs, a cost accountant attributes every protocol action (see
 // internal/obs/cost): the admin COSTS command prints the ledgers, and the
 // metrics endpoint additionally serves /debug/costs with ?cell=, ?station=,
 // ?qid= and ?oid= scope filters.
+//
+// With -stream, every differential result transition is published to a live
+// tap: /debug/stream on the metrics address serves SSE subscriptions with
+// snapshot-then-delta semantics (?qid=N for one query, default firehose),
+// and the admin SUB command is its line-based twin. Slow subscribers are
+// evicted, never blocking uplink processing. With -history-bytes N, the
+// same transitions plus object position samples are teed into an
+// append-only in-memory log bounded to N bytes, served on /debug/history
+// (?qid=, ?oid=, ?format=json|raw) and the admin HIST command; the raw form
+// replays through cmd/mobiviz -replay. See DESIGN.md §17.
 package main
 
 import (
@@ -56,8 +68,10 @@ import (
 	"mobieyes/internal/core"
 	"mobieyes/internal/geo"
 	"mobieyes/internal/grid"
+	"mobieyes/internal/history"
 	"mobieyes/internal/obs"
 	"mobieyes/internal/obs/cost"
+	"mobieyes/internal/obs/stream"
 	"mobieyes/internal/obs/telemetry"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/remote"
@@ -76,6 +90,8 @@ func main() {
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz and pprof on this address (empty = off)")
 		traceSz  = flag.Int("trace-events", 0, "causal-tracing flight recorder size in events (0 = off); exposed on /debug/events and the admin TRACE command")
 		costs    = flag.Bool("costs", false, "attribute protocol costs per message kind, shard, cell, query and object; exposed on /debug/costs and the admin COSTS command")
+		streamOn = flag.Bool("stream", false, "publish live result streams: SSE with snapshot-then-delta on /debug/stream (needs -metrics-addr) and the admin SUB command")
+		histSz   = flag.Int("history-bytes", 0, "record result transitions and position samples into an append-only in-memory log bounded to N bytes (0 = off); /debug/history and the admin HIST command")
 		role     = flag.String("cluster", "", `cluster role: "router" (route over -workers) or "worker" (serve one node on -addr)`)
 		workers  = flag.String("workers", "", "comma-separated worker addresses for -cluster router")
 		nodes    = flag.Int("cluster-nodes", 0, "run the clustered backend with N in-process worker nodes (ignored with -cluster)")
@@ -98,7 +114,22 @@ func main() {
 	if *costs {
 		acct = cost.New()
 	}
+	// Live result streaming and the history log (DESIGN.md §17). The tap and
+	// store go into the server config (which instruments them); only the SSE
+	// gateway — unknown to the server tier — is built and metered here.
+	var tap *stream.Tap
+	var gw *stream.Gateway
+	if *streamOn {
+		tap = stream.NewTap()
+		gw = stream.NewGateway(tap)
+		gw.SetCostHook(acct.GatewayEgress)
+	}
+	var hist *history.Store
+	if *histSz > 0 {
+		hist = history.NewStore(*histSz)
+	}
 	reg := obs.NewRegistry()
+	gw.Instrument(reg)
 	// The router role runs the cluster telemetry plane: workers push metric,
 	// cost and trace deltas over the wire tier; the plane re-exports them
 	// under node="N" labels, stitches the trace timeline, and watches the
@@ -113,6 +144,8 @@ func main() {
 			cost.Attach(mux, acct)
 			telemetry.Attach(mux, plane)
 			obs.AttachLatency(mux, lat)
+			stream.Attach(mux, gw)
+			history.Attach(mux, hist)
 		})
 		if err != nil {
 			fatal(err)
@@ -159,6 +192,8 @@ func main() {
 		Trace:        rec,
 		Latency:      lat,
 		Costs:        acct,
+		Stream:       tap,
+		History:      hist,
 	}
 	switch *role {
 	case "", "worker":

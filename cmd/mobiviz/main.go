@@ -8,19 +8,31 @@
 // Usage:
 //
 //	mobiviz [-out DIR] [-frames N] [-objects N] [-queries N] [-area SQMILES]
-//	        [-alpha MILES] [-width PX] [-seed S]
+//	        [-alpha MILES] [-width PX] [-seed S] [-record FILE]
+//	mobiviz -replay FILE [-out DIR] [-area SQMILES] [-alpha MILES] [-width PX]
 //
 // Frames are written as DIR/frame_0000.png … Combine them with any
 // animation tool (e.g. ffmpeg).
+//
+// With -record FILE the simulated run is also written as a history log
+// (internal/history): query lifecycle marks, per-step position samples and
+// every sequenced result transition. With -replay FILE no simulation runs
+// at all — the frames are reconstructed purely from such a log (recorded
+// here, or fetched from a live server's /debug/history?format=raw), one
+// frame per logged timestamp. Replayed frames show what the log carries:
+// positions, query circles and result memberships; monitoring regions are
+// server state and are not recorded.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 
 	"mobieyes/internal/geo"
+	"mobieyes/internal/history"
 	"mobieyes/internal/model"
 	"mobieyes/internal/sim"
 	"mobieyes/internal/viz"
@@ -36,8 +48,20 @@ func main() {
 		alpha   = flag.Float64("alpha", 5, "grid cell side length")
 		width   = flag.Int("width", 800, "frame width in pixels")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		record  = flag.String("record", "", "also write the run as a history log to FILE")
+		replay  = flag.String("replay", "", "render from a recorded history log instead of simulating")
 	)
 	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if *replay != "" {
+		if err := replayLog(*replay, *out, *area, *alpha, *width); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := sim.DefaultConfig()
 	cfg.NumObjects = *objects
@@ -46,11 +70,13 @@ func main() {
 	cfg.AreaSqMiles = *area
 	cfg.Alpha = *alpha
 	cfg.Seed = *seed
+	var store *history.Store
+	if *record != "" {
+		store = history.NewStore(256 << 20)
+		cfg.ResultLog = store
+	}
 	e := sim.NewEngine(cfg)
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
-	}
 	for frame := 0; frame < *frames; frame++ {
 		e.Step()
 		if err := renderFrame(e, cfg, *width, filepath.Join(*out, fmt.Sprintf("frame_%04d.png", frame))); err != nil {
@@ -58,6 +84,97 @@ func main() {
 		}
 	}
 	fmt.Printf("rendered %d frames to %s/\n", *frames, *out)
+	if store != nil {
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := store.WriteTo(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d history records (%d B) to %s\n", store.Records(), store.Bytes(), *record)
+	}
+}
+
+// replayLog renders one PNG per logged timestamp, reconstructing the world
+// from the history log alone.
+func replayLog(path, out string, areaSqMiles, alpha float64, width int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	recs, err := history.ReadLog(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	frames := history.Frames(recs)
+	uod := sideRect(areaSqMiles)
+	for i, fr := range frames {
+		name := filepath.Join(out, fmt.Sprintf("frame_%04d.png", i))
+		if err := renderReplayFrame(fr, uod, alpha, width, name); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("replayed %d frames (%d records) from %s to %s/\n", len(frames), len(recs), path, out)
+	return nil
+}
+
+func renderReplayFrame(fr history.Frame, uod geo.Rect, alpha float64, width int, path string) error {
+	c := viz.NewCanvas(uod, width)
+	c.Clear(viz.Background)
+	c.DrawGrid(alpha, viz.GridLine)
+
+	focal := map[int64]bool{}
+	target := map[int64]bool{}
+	for _, q := range fr.Queries {
+		focal[q.Focal] = true
+	}
+	for _, members := range fr.Results {
+		for oid := range members {
+			target[oid] = true
+		}
+	}
+	for oid, p := range fr.Pos {
+		if !focal[oid] && !target[oid] {
+			c.DrawPoint(geo.Point{X: p[0], Y: p[1]}, 1, viz.Object)
+		}
+	}
+	for oid, p := range fr.Pos {
+		if target[oid] {
+			c.DrawPoint(geo.Point{X: p[0], Y: p[1]}, 2, viz.Target)
+		}
+	}
+	for _, q := range fr.Queries {
+		if p, ok := fr.Pos[q.Focal]; ok {
+			c.DrawCircle(geo.NewCircle(geo.Point{X: p[0], Y: p[1]}, q.Radius), viz.Region)
+		}
+	}
+	for oid, p := range fr.Pos {
+		if focal[oid] {
+			c.DrawPoint(geo.Point{X: p[0], Y: p[1]}, 3, viz.Focal)
+		}
+	}
+
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.EncodePNG(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// sideRect mirrors sim.Config.UoD for replay runs, which have no Config.
+func sideRect(areaSqMiles float64) geo.Rect {
+	side := math.Sqrt(areaSqMiles)
+	return geo.NewRect(0, 0, side, side)
 }
 
 func renderFrame(e *sim.Engine, cfg sim.Config, width int, path string) error {

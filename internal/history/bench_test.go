@@ -1,0 +1,28 @@
+package history
+
+import "testing"
+
+// BenchmarkHistoryAppend measures the per-record append cost on the engine
+// side of the tee — encode + segment bookkeeping under the store mutex.
+func BenchmarkHistoryAppend(b *testing.B) {
+	s := NewStore(16 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AppendResult(float64(i), 1, uint64(i+1), int64(i%1000), i%2 == 0)
+	}
+	b.SetBytes(RecordSize)
+}
+
+// BenchmarkHistoryAppendEvicting measures append cost once the store is past
+// its byte budget and evicting a segment per sealed segment — the steady
+// state of a long run.
+func BenchmarkHistoryAppendEvicting(b *testing.B) {
+	s := NewStore(256 << 10) // 4 sealed segments
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AppendPos(float64(i), int64(i%1000), 1.5, 2.5)
+	}
+	b.SetBytes(RecordSize)
+}

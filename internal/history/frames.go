@@ -1,0 +1,90 @@
+package history
+
+import "math"
+
+// FrameQuery is a query visible in a reconstructed frame.
+type FrameQuery struct {
+	Focal  int64   // focal object ID
+	Radius float64 // region radius
+}
+
+// Frame is the visible state of the system at one recorded instant,
+// reconstructed purely from the history log: every known object position,
+// every installed query, and each query's current result membership. It is
+// what cmd/mobiviz -replay renders.
+type Frame struct {
+	T       float64
+	Pos     map[int64][2]float64     // oid -> {x, y}
+	Queries map[int64]FrameQuery     // qid -> query
+	Results map[int64]map[int64]bool // qid -> result-set members
+}
+
+// Frames folds a record sequence (append order, non-decreasing T) into one
+// cumulative frame per distinct timestamp. State carries forward: an object
+// keeps its last sampled position, a query persists until its remove mark,
+// and result membership integrates the differential enter/leave stream.
+// Note the store is size-bounded — a log whose head was evicted reconstructs
+// the most recent window, starting from whatever state the surviving records
+// imply.
+func Frames(recs []Record) []Frame {
+	pos := map[int64][2]float64{}
+	queries := map[int64]FrameQuery{}
+	results := map[int64]map[int64]bool{}
+
+	snapshot := func(t float64) Frame {
+		f := Frame{
+			T:       t,
+			Pos:     make(map[int64][2]float64, len(pos)),
+			Queries: make(map[int64]FrameQuery, len(queries)),
+			Results: make(map[int64]map[int64]bool, len(results)),
+		}
+		for k, v := range pos {
+			f.Pos[k] = v
+		}
+		for k, v := range queries {
+			f.Queries[k] = v
+		}
+		for k, set := range results {
+			m := make(map[int64]bool, len(set))
+			for oid := range set {
+				m[oid] = true
+			}
+			f.Results[k] = m
+		}
+		return f
+	}
+
+	var frames []Frame
+	cur := math.NaN()
+	for _, r := range recs {
+		if r.T != cur {
+			if !math.IsNaN(cur) {
+				frames = append(frames, snapshot(cur))
+			}
+			cur = r.T
+		}
+		switch r.Kind {
+		case KindPos:
+			pos[r.OID] = [2]float64{r.X, r.Y}
+		case KindQuery:
+			queries[r.QID] = FrameQuery{Focal: r.OID, Radius: r.X}
+			if results[r.QID] == nil {
+				results[r.QID] = map[int64]bool{}
+			}
+		case KindQueryRemove:
+			delete(queries, r.QID)
+			delete(results, r.QID)
+		case KindEnter:
+			if results[r.QID] == nil {
+				results[r.QID] = map[int64]bool{}
+			}
+			results[r.QID][r.OID] = true
+		case KindLeave:
+			delete(results[r.QID], r.OID)
+		}
+	}
+	if !math.IsNaN(cur) {
+		frames = append(frames, snapshot(cur))
+	}
+	return frames
+}

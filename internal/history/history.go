@@ -1,0 +1,467 @@
+// Package history is the append-only replay store behind the live result
+// gateway (DESIGN.md §17): a size-bounded log of result transitions, object
+// position samples and query lifecycle marks, encoded as versioned
+// little-endian segments in the style of the wire codecs (internal/wire).
+// It makes the system's past queryable — replaying a query's enter/leave
+// timeline, or reconstructing the visible state of a run frame by frame
+// (cmd/mobiviz -replay) — without ever letting history retention grow
+// unbounded: the store seals fixed-size segments and evicts the oldest
+// whole segments once the configured byte budget is exceeded, so the log
+// always holds the most recent window of the run.
+//
+// The store is clock-agnostic: callers stamp each record with their own
+// time axis (simulated hours for the simulation, wall hours for the TCP
+// server), which keeps simulation replays deterministic.
+//
+// Everything is safe for concurrent use; a nil *Store is a valid, disabled
+// store on which every method is a no-op.
+package history
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"mobieyes/internal/obs"
+)
+
+// Segment framing constants. Each segment starts with an 8-byte header
+// (magic, version, reserved zero pad) followed by fixed-size records; a log
+// file is any concatenation of segments.
+const (
+	// Magic marks a segment header ("MEHL", little-endian).
+	Magic = uint32(0x4C48454D)
+	// Version is the current segment layout revision.
+	Version = uint16(1)
+	// HeaderSize is the segment header length in bytes.
+	HeaderSize = 8
+	// RecordSize is the fixed on-log record length in bytes: a one-byte
+	// kind tag plus four little-endian 8-byte fields.
+	RecordSize = 33
+)
+
+// Kind discriminates record types.
+type Kind uint8
+
+const (
+	// KindEnter records an object entering a query's result set.
+	KindEnter Kind = 1
+	// KindLeave records an object leaving a query's result set.
+	KindLeave Kind = 2
+	// KindPos records an object position sample.
+	KindPos Kind = 3
+	// KindQuery records a query installation (focal object and region
+	// radius), so replays can redraw the query without engine state.
+	KindQuery Kind = 4
+	// KindQueryRemove records a query uninstallation.
+	KindQueryRemove Kind = 5
+)
+
+var kindNames = map[Kind]string{
+	KindEnter: "enter", KindLeave: "leave", KindPos: "pos",
+	KindQuery: "query", KindQueryRemove: "query-remove",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Record is one log entry. Field use per kind (unused fields must be zero —
+// the decoder enforces canonical zero padding, like the wire codec's region
+// encoding):
+//
+//	KindEnter/KindLeave  T, QID, Seq, OID
+//	KindPos              T, OID, X, Y
+//	KindQuery            T, QID, OID (focal), X (region radius)
+//	KindQueryRemove      T, QID
+type Record struct {
+	Kind Kind    `json:"kind"`
+	T    float64 `json:"t"`
+	QID  int64   `json:"qid,omitempty"`
+	Seq  uint64  `json:"seq,omitempty"`
+	OID  int64   `json:"oid,omitempty"`
+	X    float64 `json:"x,omitempty"`
+	Y    float64 `json:"y,omitempty"`
+}
+
+// ErrTruncated reports a log shorter than its framing requires.
+var ErrTruncated = errors.New("history: truncated log")
+
+// appendHeader appends a segment header to buf.
+func appendHeader(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, Magic)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	return binary.LittleEndian.AppendUint16(buf, 0)
+}
+
+// AppendRecord appends r's canonical encoding to buf. It panics on a record
+// whose zero-padding invariant is violated — writers construct records via
+// the Store's typed append methods, so a violation is a programmer error.
+func AppendRecord(buf []byte, r Record) []byte {
+	var a, b, c uint64
+	switch r.Kind {
+	case KindEnter, KindLeave:
+		if r.X != 0 || r.Y != 0 {
+			panic("history: result record with position fields")
+		}
+		a, b, c = uint64(r.QID), r.Seq, uint64(r.OID)
+	case KindPos:
+		if r.QID != 0 || r.Seq != 0 {
+			panic("history: position record with query fields")
+		}
+		a, b, c = uint64(r.OID), math.Float64bits(r.X), math.Float64bits(r.Y)
+	case KindQuery:
+		if r.Seq != 0 || r.Y != 0 {
+			panic("history: query record with sequence fields")
+		}
+		a, b, c = uint64(r.QID), uint64(r.OID), math.Float64bits(r.X)
+	case KindQueryRemove:
+		if r.Seq != 0 || r.OID != 0 || r.X != 0 || r.Y != 0 {
+			panic("history: query-remove record with payload fields")
+		}
+		a = uint64(r.QID)
+	default:
+		panic(fmt.Sprintf("history: cannot encode kind %d", r.Kind))
+	}
+	buf = append(buf, byte(r.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.T))
+	buf = binary.LittleEndian.AppendUint64(buf, a)
+	buf = binary.LittleEndian.AppendUint64(buf, b)
+	buf = binary.LittleEndian.AppendUint64(buf, c)
+	return buf
+}
+
+// decodeRecord decodes one record from b (len >= RecordSize), enforcing the
+// canonical zero padding of unused fields.
+func decodeRecord(b []byte) (Record, error) {
+	r := Record{Kind: Kind(b[0])}
+	r.T = math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))
+	a := binary.LittleEndian.Uint64(b[9:])
+	bb := binary.LittleEndian.Uint64(b[17:])
+	c := binary.LittleEndian.Uint64(b[25:])
+	switch r.Kind {
+	case KindEnter, KindLeave:
+		r.QID, r.Seq, r.OID = int64(a), bb, int64(c)
+	case KindPos:
+		r.OID = int64(a)
+		r.X = math.Float64frombits(bb)
+		r.Y = math.Float64frombits(c)
+	case KindQuery:
+		r.QID, r.OID = int64(a), int64(bb)
+		r.X = math.Float64frombits(c)
+	case KindQueryRemove:
+		r.QID = int64(a)
+		if bb != 0 || c != 0 {
+			return Record{}, fmt.Errorf("history: non-canonical query-remove padding")
+		}
+	default:
+		return Record{}, fmt.Errorf("history: unknown record kind %d", b[0])
+	}
+	return r, nil
+}
+
+// EncodeLog encodes records as one self-contained segment — the canonical
+// byte form of a timeline, used by the replay oracle to compare two
+// timelines for byte-identical equality.
+func EncodeLog(recs []Record) []byte {
+	buf := appendHeader(make([]byte, 0, HeaderSize+len(recs)*RecordSize))
+	for _, r := range recs {
+		buf = AppendRecord(buf, r)
+	}
+	return buf
+}
+
+// DecodeLog decodes a concatenation of segments back into records.
+func DecodeLog(data []byte) ([]Record, error) {
+	var recs []Record
+	for len(data) > 0 {
+		if len(data) < HeaderSize {
+			return nil, ErrTruncated
+		}
+		if m := binary.LittleEndian.Uint32(data); m != Magic {
+			return nil, fmt.Errorf("history: bad segment magic %#x", m)
+		}
+		if v := binary.LittleEndian.Uint16(data[4:]); v != Version {
+			return nil, fmt.Errorf("history: unsupported segment version %d (speaking %d)", v, Version)
+		}
+		if pad := binary.LittleEndian.Uint16(data[6:]); pad != 0 {
+			return nil, fmt.Errorf("history: non-canonical header padding %#x", pad)
+		}
+		data = data[HeaderSize:]
+		for len(data) > 0 {
+			if len(data) >= HeaderSize && binary.LittleEndian.Uint32(data) == Magic {
+				break // next segment
+			}
+			if len(data) < RecordSize {
+				return nil, ErrTruncated
+			}
+			r, err := decodeRecord(data)
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, r)
+			data = data[RecordSize:]
+		}
+	}
+	return recs, nil
+}
+
+// ReadLog decodes a whole log stream (e.g. a file written by WriteTo or
+// /debug/history?format=raw).
+func ReadLog(r io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeLog(data)
+}
+
+// segment is one sealed or active run of encoded records.
+type segment struct {
+	buf  []byte
+	recs int
+}
+
+// Store is the size-bounded append-only log. Appends go to the active
+// segment; at SegmentBytes the segment is sealed and a new one starts; when
+// the total exceeds the byte budget, the oldest sealed segments are evicted
+// whole (the active segment is never evicted).
+type Store struct {
+	mu       sync.Mutex
+	maxBytes int
+	segBytes int
+	segs     []*segment
+	total    int
+
+	appends      obs.Counter // records appended over the store's lifetime
+	bytesWritten obs.Counter // log bytes written (headers included)
+	evictedSegs  obs.Counter
+	evictedRecs  obs.Counter
+
+	// costHook, when set, is called with the exact log bytes produced by
+	// each append (record plus any segment header started for it) — the
+	// encode boundary, mirroring the on-the-wire rule the remote transport
+	// uses for frames (DESIGN.md §12).
+	costHook func(bytes int)
+}
+
+// DefaultSegmentBytes is the sealed-segment size.
+const DefaultSegmentBytes = 64 << 10
+
+// NewStore returns a store bounded to maxBytes of log (minimum one
+// segment). maxBytes <= 0 selects a 16 MiB default.
+func NewStore(maxBytes int) *Store {
+	if maxBytes <= 0 {
+		maxBytes = 16 << 20
+	}
+	seg := DefaultSegmentBytes
+	if seg > maxBytes {
+		seg = maxBytes
+	}
+	return &Store{maxBytes: maxBytes, segBytes: seg}
+}
+
+// SetCostHook installs the encode-boundary charging hook (e.g.
+// cost.Accountant.HistoryAppend). Call before traffic; nil disables.
+func (s *Store) SetCostHook(fn func(bytes int)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.costHook = fn
+	s.mu.Unlock()
+}
+
+// append encodes r into the active segment under the lock.
+func (s *Store) append(r Record) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	wrote := 0
+	cur := (*segment)(nil)
+	if n := len(s.segs); n > 0 {
+		cur = s.segs[n-1]
+	}
+	if cur == nil || len(cur.buf)+RecordSize > s.segBytes {
+		cur = &segment{buf: appendHeader(make([]byte, 0, s.segBytes))}
+		s.segs = append(s.segs, cur)
+		s.total += HeaderSize
+		wrote += HeaderSize
+	}
+	cur.buf = AppendRecord(cur.buf, r)
+	cur.recs++
+	s.total += RecordSize
+	wrote += RecordSize
+	// Evict oldest sealed segments past the budget; the active segment
+	// always survives, so the store degrades to "most recent window" and
+	// never blocks or fails the append path.
+	for s.total > s.maxBytes && len(s.segs) > 1 {
+		old := s.segs[0]
+		s.segs = s.segs[1:]
+		s.total -= len(old.buf)
+		s.evictedSegs.Add(1)
+		s.evictedRecs.Add(int64(old.recs))
+	}
+	s.appends.Add(1)
+	s.bytesWritten.Add(int64(wrote))
+	hook := s.costHook
+	s.mu.Unlock()
+	if hook != nil {
+		hook(wrote)
+	}
+}
+
+// AppendResult records a result transition: at time t, object oid entered
+// (enter=true) or left query qid's result set as its seq'th change.
+func (s *Store) AppendResult(t float64, qid int64, seq uint64, oid int64, enter bool) {
+	k := KindLeave
+	if enter {
+		k = KindEnter
+	}
+	s.append(Record{Kind: k, T: t, QID: qid, Seq: seq, OID: oid})
+}
+
+// AppendPos records an object position sample.
+func (s *Store) AppendPos(t float64, oid int64, x, y float64) {
+	s.append(Record{Kind: KindPos, T: t, OID: oid, X: x, Y: y})
+}
+
+// AppendQuery records a query installation with its focal object and region
+// radius.
+func (s *Store) AppendQuery(t float64, qid, focal int64, radius float64) {
+	s.append(Record{Kind: KindQuery, T: t, QID: qid, OID: focal, X: radius})
+}
+
+// AppendQueryRemove records a query uninstallation.
+func (s *Store) AppendQueryRemove(t float64, qid int64) {
+	s.append(Record{Kind: KindQueryRemove, T: t, QID: qid})
+}
+
+// Bytes returns the current log size in bytes (headers included).
+func (s *Store) Bytes() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Records returns the number of records currently retained.
+func (s *Store) Records() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, seg := range s.segs {
+		n += seg.recs
+	}
+	return n
+}
+
+// Stats returns lifetime append and eviction counts: records appended, log
+// bytes written, segments evicted, and records lost to eviction.
+func (s *Store) Stats() (appended, bytesWritten, evictedSegs, evictedRecs int64) {
+	if s == nil {
+		return 0, 0, 0, 0
+	}
+	return s.appends.Value(), s.bytesWritten.Value(),
+		s.evictedSegs.Value(), s.evictedRecs.Value()
+}
+
+// snapshotLocked copies the retained log bytes.
+func (s *Store) snapshotBytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]byte, 0, s.total)
+	for _, seg := range s.segs {
+		out = append(out, seg.buf...)
+	}
+	return out
+}
+
+// WriteTo writes the retained log (a concatenation of segments) to w.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	if s == nil {
+		return 0, nil
+	}
+	n, err := w.Write(s.snapshotBytes())
+	return int64(n), err
+}
+
+// All returns every retained record in append order.
+func (s *Store) All() []Record {
+	if s == nil {
+		return nil
+	}
+	recs, err := DecodeLog(s.snapshotBytes())
+	if err != nil {
+		// The store wrote these bytes itself; a decode failure is a
+		// corrupted-invariant programmer error, not an input error.
+		panic(err)
+	}
+	return recs
+}
+
+// Replay returns qid's retained records in append order: its enter/leave
+// transitions plus its query lifecycle marks.
+func (s *Store) Replay(qid int64) []Record {
+	var out []Record
+	for _, r := range s.All() {
+		if r.QID == qid && r.Kind != KindPos {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Timeline returns qid's retained enter/leave transitions in append order —
+// the query's differential result timeline.
+func (s *Store) Timeline(qid int64) []Record {
+	var out []Record
+	for _, r := range s.Replay(qid) {
+		if r.Kind == KindEnter || r.Kind == KindLeave {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Instrument registers the store's gauges and counters on reg:
+//
+//	mobieyes_history_bytes             current retained log size
+//	mobieyes_history_records           current retained record count
+//	mobieyes_history_appends_total     records appended (lifetime)
+//	mobieyes_history_bytes_total       log bytes written (lifetime)
+//	mobieyes_history_evicted_total{what="segments"|"records"}
+//
+// No-op when s or reg is nil.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("mobieyes_history_bytes",
+		"Current retained history log size in bytes.",
+		func() float64 { return float64(s.Bytes()) })
+	reg.GaugeFunc("mobieyes_history_records",
+		"Current retained history record count.",
+		func() float64 { return float64(s.Records()) })
+	reg.RegisterCounter("mobieyes_history_appends_total",
+		"History records appended over the store's lifetime.", &s.appends)
+	reg.RegisterCounter("mobieyes_history_bytes_total",
+		"History log bytes written over the store's lifetime.", &s.bytesWritten)
+	reg.RegisterCounter("mobieyes_history_evicted_total",
+		"History log evictions by unit.", &s.evictedSegs, "what", "segments")
+	reg.RegisterCounter("mobieyes_history_evicted_total",
+		"History log evictions by unit.", &s.evictedRecs, "what", "records")
+}

@@ -1,0 +1,136 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Summary is the JSON shape of the store-level statistics.
+type Summary struct {
+	Bytes        int   `json:"bytes"`
+	Records      int   `json:"records"`
+	Appended     int64 `json:"appended_total"`
+	BytesWritten int64 `json:"bytes_written_total"`
+	EvictedSegs  int64 `json:"evicted_segments_total"`
+	EvictedRecs  int64 `json:"evicted_records_total"`
+}
+
+// Summarize returns the store-level statistics.
+func (s *Store) Summarize() Summary {
+	appended, written, esegs, erecs := s.Stats()
+	return Summary{
+		Bytes: s.Bytes(), Records: s.Records(),
+		Appended: appended, BytesWritten: written,
+		EvictedSegs: esegs, EvictedRecs: erecs,
+	}
+}
+
+// Attach mounts the history endpoint on mux:
+//
+//	/debug/history    the append-only replay store
+//
+// Query parameters (all optional):
+//
+//	qid=N        replay query N's timeline (enter/leave transitions plus
+//	             its install/remove marks)
+//	oid=N        replay object N's position samples
+//	format=json  JSON instead of the human-readable text dump
+//	format=raw   the raw log bytes (segments as written) — feed this to
+//	             cmd/mobiviz -replay; qid/oid filters are ignored
+//
+// With no scope parameter the endpoint reports store statistics. When s is
+// nil (history disabled) it answers 404 so probes can distinguish "no
+// store" from "no records".
+func Attach(mux *http.ServeMux, s *Store) {
+	mux.HandleFunc("/debug/history", func(w http.ResponseWriter, req *http.Request) {
+		if s == nil {
+			http.Error(w, "history disabled", http.StatusNotFound)
+			return
+		}
+		q := req.URL.Query()
+		if q.Get("format") == "raw" {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			s.WriteTo(w)
+			return
+		}
+		asJSON := q.Get("format") == "json"
+		intParam := func(key string) (int64, bool, bool) {
+			v := q.Get(key)
+			if v == "" {
+				return 0, false, true
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				http.Error(w, "bad "+key+" parameter", http.StatusBadRequest)
+				return 0, false, false
+			}
+			return n, true, true
+		}
+		qid, hasQID, ok := intParam("qid")
+		if !ok {
+			return
+		}
+		oid, hasOID, ok := intParam("oid")
+		if !ok {
+			return
+		}
+
+		var recs []Record
+		switch {
+		case hasQID:
+			recs = s.Replay(qid)
+		case hasOID:
+			for _, r := range s.All() {
+				if r.Kind == KindPos && r.OID == oid {
+					recs = append(recs, r)
+				}
+			}
+		default:
+			// Store statistics only.
+			if asJSON {
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				enc.Encode(s.Summarize())
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			sum := s.Summarize()
+			fmt.Fprintf(w, "history %d bytes, %d records (%d appended, %d B written, evicted %d segments / %d records)\n",
+				sum.Bytes, sum.Records, sum.Appended, sum.BytesWritten, sum.EvictedSegs, sum.EvictedRecs)
+			return
+		}
+
+		if asJSON {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if recs == nil {
+				recs = []Record{}
+			}
+			enc.Encode(recs)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteText(w, recs)
+	})
+}
+
+// WriteText renders records as one line each, the text twin of the JSON
+// exposition (also used by the admin HIST command).
+func WriteText(w interface{ Write([]byte) (int, error) }, recs []Record) {
+	for _, r := range recs {
+		switch r.Kind {
+		case KindEnter, KindLeave:
+			fmt.Fprintf(w, "t %.6f qid %d seq %d oid %d %s\n", r.T, r.QID, r.Seq, r.OID, r.Kind)
+		case KindPos:
+			fmt.Fprintf(w, "t %.6f oid %d pos %.6f %.6f\n", r.T, r.OID, r.X, r.Y)
+		case KindQuery:
+			fmt.Fprintf(w, "t %.6f qid %d %s focal %d radius %.6f\n", r.T, r.QID, r.Kind, r.OID, r.X)
+		case KindQueryRemove:
+			fmt.Fprintf(w, "t %.6f qid %d %s\n", r.T, r.QID, r.Kind)
+		}
+	}
+}

@@ -290,6 +290,19 @@ type Accountant struct {
 	mode    string
 
 	q quality
+
+	// egress meters the observability downlink: SSE bytes leaving through
+	// the stream gateway and bytes entering the history log, charged at
+	// the encode boundary like remote frames (DESIGN.md §12/§17).
+	// Deliberately outside the Ledger hierarchy — observability egress is
+	// not wireless-protocol traffic, so the cross-backend ledger-identity
+	// oracle stays unaffected by who happens to be subscribed.
+	egress struct {
+		gatewayWrites  obs.Counter
+		gatewayBytes   obs.Counter
+		historyAppends obs.Counter
+		historyBytes   obs.Counter
+	}
 }
 
 // New returns an enabled accountant. Call Configure before use to size the
@@ -620,10 +633,37 @@ func (a *Accountant) Nodes() []LedgerSnap {
 // Reset zeroes every ledger, tally and quality instrument in place,
 // preserving registry registrations and configured scope sizes. Intended
 // for quiescent points (e.g. after warmup), like network.Meter.Reset.
+// GatewayEgress charges one SSE write of the given byte length to the
+// stream-gateway egress meter. Called by the gateway at the encode
+// boundary; nil-safe, so it can be installed unconditionally as a cost
+// hook.
+func (a *Accountant) GatewayEgress(bytes int) {
+	if a == nil {
+		return
+	}
+	a.egress.gatewayWrites.Add(1)
+	a.egress.gatewayBytes.Add(int64(bytes))
+}
+
+// HistoryAppend charges one history-log append of the given byte length
+// (record plus any segment header) to the history egress meter. Called by
+// the history store at the encode boundary; nil-safe.
+func (a *Accountant) HistoryAppend(bytes int) {
+	if a == nil {
+		return
+	}
+	a.egress.historyAppends.Add(1)
+	a.egress.historyBytes.Add(int64(bytes))
+}
+
 func (a *Accountant) Reset() {
 	if a == nil {
 		return
 	}
+	zero(&a.egress.gatewayWrites)
+	zero(&a.egress.gatewayBytes)
+	zero(&a.egress.historyAppends)
+	zero(&a.egress.historyBytes)
 	a.global.reset()
 	a.router.reset()
 	for i := range a.shards {

@@ -20,6 +20,8 @@ import (
 //	mobieyes_cost_staleness_total{le}       staleness bucket counts (steps,
 //	                                        non-cumulative buckets)
 //	mobieyes_cost_staleness_steps_sum       total staleness steps observed
+//	mobieyes_cost_egress_writes_total{sink} gateway/history egress writes
+//	mobieyes_cost_egress_bytes_total{sink}  gateway/history egress bytes
 //
 // The registered counters are the live ledger counters — no copying, no
 // per-update registry work. Call after Configure so per-shard series exist.
@@ -92,4 +94,16 @@ func (a *Accountant) Instrument(reg *obs.Registry) {
 	}
 	reg.RegisterCounter("mobieyes_cost_staleness_steps_sum",
 		"Total steps of result staleness observed.", &a.q.staleSum)
+	reg.RegisterCounter("mobieyes_cost_egress_writes_total",
+		"Observability egress writes by sink (encode-boundary charge).",
+		&a.egress.gatewayWrites, "sink", "gateway")
+	reg.RegisterCounter("mobieyes_cost_egress_writes_total",
+		"Observability egress writes by sink (encode-boundary charge).",
+		&a.egress.historyAppends, "sink", "history")
+	reg.RegisterCounter("mobieyes_cost_egress_bytes_total",
+		"Observability egress bytes by sink (encode-boundary charge).",
+		&a.egress.gatewayBytes, "sink", "gateway")
+	reg.RegisterCounter("mobieyes_cost_egress_bytes_total",
+		"Observability egress bytes by sink (encode-boundary charge).",
+		&a.egress.historyBytes, "sink", "history")
 }

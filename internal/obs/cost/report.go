@@ -99,6 +99,18 @@ type Snapshot struct {
 	Queries  []TallySnap    `json:"queries,omitempty"`
 	Objects  []TallySnap    `json:"objects,omitempty"`
 	Quality  *QualityReport `json:"quality,omitempty"`
+	Egress   *EgressReport  `json:"egress,omitempty"`
+}
+
+// EgressReport is the observability-downlink section of a snapshot: bytes
+// charged at the stream gateway's SSE encode boundary and at the history
+// store's log-append boundary. It lives outside the ledger hierarchy (see
+// Accountant.egress).
+type EgressReport struct {
+	GatewayWrites  int64 `json:"gateway_writes"`
+	GatewayBytes   int64 `json:"gateway_bytes"`
+	HistoryAppends int64 `json:"history_appends"`
+	HistoryBytes   int64 `json:"history_bytes"`
 }
 
 // Snapshot captures the whole accountant. Zero-valued cells/stations are
@@ -131,16 +143,32 @@ func (a *Accountant) Snapshot() Snapshot {
 			s.Stations = append(s.Stations, a.stations[i].snap(int64(i)))
 		}
 	}
-	s.Queries = snapMap(a, a.queries)
-	s.Objects = snapMap(a, a.objects)
+	s.Queries = snapMap(a, false)
+	s.Objects = snapMap(a, true)
 	if q := a.qualityReport(); q.TP != 0 || q.FP != 0 || q.FN != 0 || q.StaleCount != 0 {
 		s.Quality = &q
+	}
+	if e := (EgressReport{
+		GatewayWrites:  a.egress.gatewayWrites.Value(),
+		GatewayBytes:   a.egress.gatewayBytes.Value(),
+		HistoryAppends: a.egress.historyAppends.Value(),
+		HistoryBytes:   a.egress.historyBytes.Value(),
+	}); e != (EgressReport{}) {
+		s.Egress = &e
 	}
 	return s
 }
 
-func snapMap(a *Accountant, m map[int64]*Tally) []TallySnap {
+// snapMap snapshots one of the accountant's per-ID tally maps (queries, or
+// objects when objects is true). The map field is read under the lock:
+// Reset replaces the maps wholesale, so a caller-evaluated argument would
+// race with a concurrent Reset.
+func snapMap(a *Accountant, objects bool) []TallySnap {
 	a.mu.RLock()
+	m := a.queries
+	if objects {
+		m = a.objects
+	}
 	ids := make([]int64, 0, len(m))
 	tallies := make([]*Tally, 0, len(m))
 	for id, t := range m {
@@ -274,6 +302,10 @@ func (s Snapshot) WriteText(w io.Writer) {
 	}
 	fmt.Fprintf(tw, "scopes\t%d cells\t%d stations\t%d queries\t%d objects\n",
 		len(s.Cells), len(s.Stations), len(s.Queries), len(s.Objects))
+	if e := s.Egress; e != nil {
+		fmt.Fprintf(tw, "egress\tgateway %d writes / %d B\thistory %d appends / %d B\n",
+			e.GatewayWrites, e.GatewayBytes, e.HistoryAppends, e.HistoryBytes)
+	}
 	if q := s.Quality; q != nil {
 		fmt.Fprintf(tw, "quality\tprecision %.4f (cum %.4f)\trecall %.4f (cum %.4f)\n",
 			q.Precision, q.CumPrecision, q.Recall, q.CumRecall)

@@ -1,0 +1,49 @@
+package stream_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mobieyes/internal/obs/stream"
+)
+
+// BenchmarkStreamFanOut measures the engine-side Publish cost with N live
+// subscribers, each drained by its own goroutine — the bound on what the
+// gateway adds to the result hot path.
+func BenchmarkStreamFanOut(b *testing.B) {
+	for _, subs := range []int{0, 1, 16, 64} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			tap := stream.NewTap()
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for i := 0; i < subs; i++ {
+				sub, _ := tap.Subscribe(stream.Firehose, 1<<22)
+				wg.Add(1)
+				go func(sub *stream.Sub) {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							sub.Drain()
+							sub.Close()
+							return
+						case <-sub.Ready():
+							sub.Drain()
+						}
+					}
+				}(sub)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tap.Publish(int64(i%8+1), int64(i%1000), i%2 == 0)
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			if _, _, dropped, _ := tap.Stats(); dropped != 0 {
+				b.Fatalf("dropped %d events mid-benchmark", dropped)
+			}
+		})
+	}
+}

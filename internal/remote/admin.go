@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"mobieyes/internal/core"
+	"mobieyes/internal/history"
 	"mobieyes/internal/model"
 	"mobieyes/internal/obs/cost"
 	"mobieyes/internal/obs/trace"
@@ -49,6 +50,21 @@ import (
 //	                                           active alerts, "." terminated
 //	                                           ("err telemetry disabled" without
 //	                                           a telemetry plane)
+//	SUB <qid> [n]                            → live result subscription with
+//	                                           snapshot-then-delta semantics:
+//	                                           one "snapshot" line per query
+//	                                           (qid 0 = every query), then up
+//	                                           to n (default 10) "event" delta
+//	                                           lines as they happen, "."
+//	                                           terminated ("err streaming
+//	                                           disabled" without a stream tap;
+//	                                           "err evicted" if this session
+//	                                           falls behind the event rate)
+//	HIST [qid <id> | oid <id>]               → history-store summary, or a
+//	                                           query's replay timeline /
+//	                                           an object's position samples,
+//	                                           "." terminated ("err history
+//	                                           disabled" without a store)
 //	snapshot <path>                          → "ok" (writes a state snapshot)
 //	quit                                     → closes the session
 type AdminServer struct {
@@ -218,6 +234,10 @@ func (a *AdminServer) handleCommand(conn net.Conn, fields []string) bool {
 		fmt.Fprintln(conn, ".")
 	case "COSTS":
 		a.handleCosts(conn, fields[1:])
+	case "SUB":
+		a.handleSub(conn, fields[1:])
+	case "HIST":
+		a.handleHist(conn, fields[1:])
 	case "HEALTH":
 		p := a.srv.Telemetry()
 		if p == nil {
@@ -339,6 +359,114 @@ func (a *AdminServer) handleCosts(conn net.Conn, args []string) {
 			args[0], t.ID, t.UpMsgs, t.UpBytes, t.DownMsgs, t.DownBytes)
 	default:
 		fmt.Fprintln(conn, "err usage: COSTS [qid <id> | oid <id>]")
+		return
+	}
+	fmt.Fprintln(conn, ".")
+}
+
+// handleSub serves the SUB command: a snapshot of the subscribed query (or
+// all queries for qid 0), then up to n live delta events, "." terminated —
+// the admin-plane twin of the SSE gateway, with the same bounded-buffer
+// eviction protecting the engine from a stalled session.
+func (a *AdminServer) handleSub(conn net.Conn, args []string) {
+	tap := a.srv.Stream()
+	if tap == nil {
+		fmt.Fprintln(conn, "err streaming disabled")
+		return
+	}
+	if len(args) < 1 || len(args) > 2 {
+		fmt.Fprintln(conn, "err usage: SUB <qid> [n]")
+		return
+	}
+	qid, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil || qid < 0 {
+		fmt.Fprintln(conn, "err bad qid")
+		return
+	}
+	n := 10
+	if len(args) == 2 {
+		n, err = strconv.Atoi(args[1])
+		if err != nil || n < 0 {
+			fmt.Fprintln(conn, "err bad count")
+			return
+		}
+	}
+
+	sub, snap := tap.Subscribe(qid, 1024)
+	defer sub.Close()
+	for _, e := range snap {
+		fmt.Fprintf(conn, "snapshot qid %d seq %d members", e.QID, e.Seq)
+		for _, oid := range e.Members {
+			fmt.Fprintf(conn, " %d", oid)
+		}
+		fmt.Fprintln(conn)
+	}
+	for seen := 0; seen < n; {
+		select {
+		case <-a.done:
+			return
+		case <-sub.Ready():
+		}
+		evs, evicted := sub.Drain()
+		for _, ev := range evs {
+			if seen >= n {
+				break
+			}
+			verb := "leave"
+			if ev.Enter {
+				verb = "enter"
+			}
+			if _, err := fmt.Fprintf(conn, "event qid %d seq %d %s %d\n",
+				ev.QID, ev.Seq, verb, ev.OID); err != nil {
+				return // session gone
+			}
+			seen++
+		}
+		if evicted {
+			fmt.Fprintln(conn, "err evicted")
+			return
+		}
+	}
+	fmt.Fprintln(conn, ".")
+}
+
+// handleHist serves the HIST command: the history store's summary, one
+// query's replay timeline, or one object's position samples, "."
+// terminated like TRACE and COSTS.
+func (a *AdminServer) handleHist(conn net.Conn, args []string) {
+	st := a.srv.History()
+	if st == nil {
+		fmt.Fprintln(conn, "err history disabled")
+		return
+	}
+	switch {
+	case len(args) == 0:
+		sum := st.Summarize()
+		fmt.Fprintf(conn, "history %d bytes %d records appended %d evicted %d\n",
+			sum.Bytes, sum.Records, sum.Appended, sum.EvictedRecs)
+	case len(args) == 2:
+		id, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(conn, "err bad id")
+			return
+		}
+		switch args[0] {
+		case "qid":
+			history.WriteText(conn, st.Replay(id))
+		case "oid":
+			var recs []history.Record
+			for _, r := range st.All() {
+				if r.Kind == history.KindPos && r.OID == id {
+					recs = append(recs, r)
+				}
+			}
+			history.WriteText(conn, recs)
+		default:
+			fmt.Fprintln(conn, "err usage: HIST [qid <id> | oid <id>]")
+			return
+		}
+	default:
+		fmt.Fprintln(conn, "err usage: HIST [qid <id> | oid <id>]")
 		return
 	}
 	fmt.Fprintln(conn, ".")

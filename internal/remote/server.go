@@ -6,16 +6,19 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobieyes/internal/core"
 	"mobieyes/internal/geo"
 	"mobieyes/internal/grid"
+	"mobieyes/internal/history"
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
 	"mobieyes/internal/network"
 	"mobieyes/internal/obs"
 	"mobieyes/internal/obs/cost"
+	"mobieyes/internal/obs/stream"
 	"mobieyes/internal/obs/telemetry"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/wire"
@@ -74,6 +77,21 @@ type ServerConfig struct {
 	// fabric has no lattice) and exposes it via Costs() and the admin COSTS
 	// command. Nil disables accounting (the default).
 	Costs *cost.Accountant
+	// Stream, when non-nil, is the live result gateway's fan-out tap
+	// (internal/obs/stream, DESIGN.md §17): the server installs a result
+	// listener that publishes every differential result event into it,
+	// composing with any listener installed later via SetResultListener.
+	// The tap sits on the server tier, so with the clustered backend it is
+	// router-side and one gateway covers the whole cluster's in-process
+	// nodes. Exposed via Stream() and the admin SUB command.
+	Stream *stream.Tap
+	// History, when non-nil, is the append-only replay store
+	// (internal/history): the server tees result transitions (sequenced
+	// through Stream, or through a private tap when Stream is nil) plus
+	// object position samples from uplinks into it, stamped with
+	// wall-clock hours. Appends are charged to Costs' history egress
+	// meter. Exposed via History() and the admin HIST command.
+	History *history.Store
 	// DisconnectGrace defers the synthesized DepartureReport after an
 	// abrupt disconnect (one without a DepartureReport frame) by this long,
 	// canceled if the object reconnects in time. Zero keeps the original
@@ -96,6 +114,12 @@ type Server struct {
 	lat     *obs.LatencyView // per-stage latency over rec; nil without tracing
 	acct    *cost.Accountant // nil-safe; charged at the frame codec boundary
 	tel     *telemetry.Plane // cluster telemetry plane, nil unless attached
+	tap     *stream.Tap      // result fan-out tap; nil unless streaming or history is on
+	hist    *history.Store   // append-only replay store; nil unless history is on
+	// userFn is the application listener installed via SetResultListener
+	// when a tap owns the backend listener slot; the tap's composite
+	// callback invokes it after publishing.
+	userFn  atomic.Pointer[func(core.ResultEvent)]
 	done    chan struct{}
 	closing sync.Once
 	wg      sync.WaitGroup
@@ -164,6 +188,7 @@ func Serve(cfg ServerConfig, ln net.Listener) (*Server, error) {
 		s.backend.SetTracer(s.rec)
 	}
 	s.wireCosts()
+	s.wireStream()
 	s.start()
 	return s, nil
 }
@@ -187,6 +212,55 @@ func (s *Server) wireCosts() {
 	}
 	s.acct.Instrument(s.reg)
 	s.backend.SetAccountant(s.acct)
+}
+
+// wireStream connects the result-stream tap and the history store: the
+// backend's listener slot goes to a composite that publishes into the tap
+// (and forwards to any application listener), the tap's sink tees sequenced
+// result transitions into the history store stamped with wall hours, and
+// history appends are charged to the accountant's egress meter. When only
+// History is configured, a private tap provides the sequencing.
+func (s *Server) wireStream() {
+	s.tap = s.cfg.Stream
+	s.hist = s.cfg.History
+	if s.hist != nil {
+		if s.tap == nil {
+			s.tap = stream.NewTap()
+		}
+		if s.acct != nil {
+			s.hist.SetCostHook(s.acct.HistoryAppend)
+		}
+		s.hist.Instrument(s.reg)
+		hist := s.hist
+		s.tap.SetSink(func(qid int64, seq uint64, oid int64, enter bool) {
+			hist.AppendResult(float64(nowHours()), qid, seq, oid, enter)
+		})
+	}
+	if s.tap == nil {
+		return
+	}
+	s.tap.Instrument(s.reg)
+	tap := s.tap
+	s.backend.SetResultListener(func(ev core.ResultEvent) {
+		tap.Publish(int64(ev.QID), int64(ev.OID), ev.Entered)
+		if fn := s.userFn.Load(); fn != nil {
+			(*fn)(ev)
+		}
+	})
+}
+
+// historyQuery records a query installation in the history store. Circle
+// regions record their radius; other shapes record radius 0 (the replay
+// still carries the lifecycle and result timeline).
+func (s *Server) historyQuery(qid model.QueryID, focal model.ObjectID, region model.Region) {
+	if s.hist == nil {
+		return
+	}
+	radius := 0.0
+	if c, ok := region.(model.CircleRegion); ok {
+		radius = c.R
+	}
+	s.hist.AppendQuery(float64(nowHours()), int64(qid), int64(focal), radius)
 }
 
 func newServer(cfg ServerConfig, ln net.Listener) *Server {
@@ -258,7 +332,7 @@ func (s *Server) expiryLoop() {
 		case <-s.done:
 			return
 		case <-expiry.C:
-			s.backend.ExpireQueries(nowHours())
+			s.ExpireQueries(nowHours())
 			if s.Telemetry() != nil {
 				if cs, ok := s.backend.(*core.ClusterServer); ok {
 					cs.TelemetryRound()
@@ -291,17 +365,24 @@ func (s *Server) Telemetry() *telemetry.Plane {
 
 // InstallQuery installs a moving query.
 func (s *Server) InstallQuery(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64) model.QueryID {
-	return s.backend.InstallQuery(focal, region, filter, focalMaxVel)
+	qid := s.backend.InstallQuery(focal, region, filter, focalMaxVel)
+	s.historyQuery(qid, focal, region)
+	return qid
 }
 
 // InstallQueryUntil installs a moving query with an expiry time.
 func (s *Server) InstallQueryUntil(focal model.ObjectID, region model.Region, filter model.Filter, focalMaxVel float64, expiry model.Time) model.QueryID {
-	return s.backend.InstallQueryUntil(focal, region, filter, focalMaxVel, expiry)
+	qid := s.backend.InstallQueryUntil(focal, region, filter, focalMaxVel, expiry)
+	s.historyQuery(qid, focal, region)
+	return qid
 }
 
 // RemoveQuery uninstalls a query.
 func (s *Server) RemoveQuery(qid model.QueryID) {
 	s.backend.RemoveQuery(qid)
+	if s.hist != nil {
+		s.hist.AppendQueryRemove(float64(nowHours()), int64(qid))
+	}
 }
 
 // NumQueries returns the number of installed queries.
@@ -329,10 +410,30 @@ func (s *Server) Result(qid model.QueryID) []model.ObjectID {
 
 // SetResultListener streams differential result events. The callback may
 // fire concurrently from multiple connection goroutines; keep it fast and
-// make it safe for concurrent use.
+// make it safe for concurrent use. When a stream tap or history store is
+// configured, the tap owns the backend's single listener slot and the
+// application listener is invoked from its composite, after the event is
+// published.
 func (s *Server) SetResultListener(fn func(core.ResultEvent)) {
+	if s.tap != nil {
+		if fn == nil {
+			s.userFn.Store(nil)
+		} else {
+			s.userFn.Store(&fn)
+		}
+		return
+	}
 	s.backend.SetResultListener(fn)
 }
+
+// Stream returns the result fan-out tap, or nil when streaming is off. It
+// backs the admin SUB command and can be served as SSE by mounting a
+// stream.Gateway on a metrics mux.
+func (s *Server) Stream() *stream.Tap { return s.tap }
+
+// History returns the append-only replay store, or nil when history is
+// off. It backs the admin HIST command and history.Attach.
+func (s *Server) History() *history.Store { return s.hist }
 
 // Snapshot serializes the server's durable query state (see
 // core.Server.Snapshot) for restart without reinstalling queries.
@@ -364,6 +465,7 @@ func ListenAndRestore(cfg ServerConfig, snapshot io.Reader) (*Server, error) {
 		s.backend.SetTracer(s.rec)
 	}
 	s.wireCosts()
+	s.wireStream()
 	s.start()
 	return s, nil
 }
@@ -373,7 +475,13 @@ func (s *Server) Costs() *cost.Accountant { return s.acct }
 
 // ExpireQueries removes duration-bound queries past the given time.
 func (s *Server) ExpireQueries(now model.Time) []model.QueryID {
-	return s.backend.ExpireQueries(now)
+	expired := s.backend.ExpireQueries(now)
+	if s.hist != nil {
+		for _, qid := range expired {
+			s.hist.AppendQueryRemove(float64(nowHours()), int64(qid))
+		}
+	}
+	return expired
 }
 
 // Stats returns a snapshot of the traffic counters: message and byte totals
@@ -502,6 +610,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			continue
 		}
 		s.recordUplinkWire(m.Kind(), 4+len(payload))
+		if s.hist != nil {
+			// Tee position-bearing uplinks into the replay store so a
+			// recorded log can reconstruct visible state, not just result
+			// membership.
+			switch v := m.(type) {
+			case msg.PositionReport:
+				s.hist.AppendPos(float64(nowHours()), int64(v.OID), v.Pos.X, v.Pos.Y)
+			case msg.VelocityReport:
+				s.hist.AppendPos(float64(nowHours()), int64(v.OID), v.Pos.X, v.Pos.Y)
+			case msg.CellChangeReport:
+				s.hist.AppendPos(float64(nowHours()), int64(v.OID), v.Pos.X, v.Pos.Y)
+			case msg.FocalInfoResponse:
+				s.hist.AppendPos(float64(nowHours()), int64(v.OID), v.Pos.X, v.Pos.Y)
+			}
+		}
 		start := time.Now()
 		s.backend.HandleUplinkTraced(m, trace.ID(tid))
 		s.om.observeUplink(m.Kind(), start)

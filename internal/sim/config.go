@@ -13,8 +13,10 @@ import (
 
 	"mobieyes/internal/core"
 	"mobieyes/internal/geo"
+	"mobieyes/internal/history"
 	"mobieyes/internal/obs"
 	"mobieyes/internal/obs/cost"
+	"mobieyes/internal/obs/stream"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/power"
 	"mobieyes/internal/workload"
@@ -137,6 +139,24 @@ type Config struct {
 	// how many steps each wrong (qid, oid) pair stayed wrong. Requires
 	// Costs; costs extra time like MeasureError.
 	MeasureQuality bool
+
+	// Stream, when non-nil, attaches a live result tap to the engine: every
+	// differential enter/leave the server emits is published with a
+	// monotone per-query sequence number, and subscribers get a
+	// snapshot-then-delta view (see internal/obs/stream and DESIGN.md §17).
+	// The tap owns the server's single result-listener slot; subscribe to
+	// the tap instead of calling SetResultListener on the engine's server.
+	// Measurement only — behavior and determinism are unchanged.
+	Stream *stream.Tap
+
+	// ResultLog, when non-nil, records the run into an append-only history
+	// log (internal/history): query lifecycle marks, per-step object
+	// position samples, and every sequenced result transition, all stamped
+	// with simulation time so a replay is deterministic. If Stream is nil a
+	// private tap supplies the sequence numbers. Charged to Costs' egress
+	// meter at the encode boundary when Costs is set. (Not to be confused
+	// with Engine.History, the per-step metrics time series.)
+	ResultLog *history.Store
 }
 
 // DefaultConfig returns the Table 1 defaults: 100,000 mi² area, α = 5 mi,

@@ -8,10 +8,12 @@ import (
 
 	"mobieyes/internal/core"
 	"mobieyes/internal/grid"
+	"mobieyes/internal/history"
 	"mobieyes/internal/model"
 	"mobieyes/internal/msg"
 	"mobieyes/internal/network"
 	"mobieyes/internal/obs/cost"
+	"mobieyes/internal/obs/stream"
 	"mobieyes/internal/obs/trace"
 	"mobieyes/internal/power"
 	"mobieyes/internal/workload"
@@ -38,6 +40,8 @@ type Engine struct {
 	now   model.Time
 	obsm  *engineObs       // nil unless Config.Metrics set
 	acct  *cost.Accountant // nil unless Config.Costs set; nil-safe methods
+	tap   *stream.Tap      // nil unless Config.Stream or Config.ResultLog set
+	hist  *history.Store   // nil unless Config.ResultLog set
 
 	qids []model.QueryID // installed queries, parallel to w.Queries
 
@@ -153,6 +157,30 @@ func NewEngine(cfg Config) *Engine {
 			e.divergence = make(map[qualityKey]int)
 		}
 	}
+	if cfg.Stream != nil || cfg.ResultLog != nil {
+		e.tap = cfg.Stream
+		if e.tap == nil {
+			// History without streaming still needs the tap's monotone
+			// per-query sequencing; a private one does the numbering.
+			e.tap = stream.NewTap()
+		}
+		if cfg.ResultLog != nil {
+			e.hist = cfg.ResultLog
+			// Charge every appended log byte at the encode boundary; the
+			// accountant methods are nil-safe, so this holds with Costs off.
+			e.hist.SetCostHook(e.acct.HistoryAppend)
+			e.tap.SetSink(func(qid int64, seq uint64, oid int64, enter bool) {
+				e.hist.AppendResult(float64(e.now), qid, seq, oid, enter)
+			})
+		}
+		if cfg.Metrics != nil {
+			e.tap.Instrument(cfg.Metrics)
+			e.hist.Instrument(cfg.Metrics)
+		}
+		e.srv.SetResultListener(func(ev core.ResultEvent) {
+			e.tap.Publish(int64(ev.QID), int64(ev.OID), ev.Entered)
+		})
+	}
 	for i, o := range e.w.Objects {
 		up := engineUplink{e, i}
 		c := core.NewClient(g, cfg.Core, up, o.ID, o.Props, o.MaxVel, o.Pos)
@@ -162,6 +190,7 @@ func NewEngine(cfg Config) *Engine {
 	}
 	e.bkt.rebuild(e.w.Objects)
 	e.clientUp = make([][]msg.Message, len(e.cls))
+	e.samplePositions() // the t = 0 frame of the history log
 
 	// Install all queries; message exchange during installation is not
 	// metered as steady-state traffic (the paper measures the running
@@ -182,8 +211,24 @@ func NewEngine(cfg Config) *Engine {
 
 func (e *Engine) timedInstall(spec workload.QuerySpec, focalMaxVel float64) model.QueryID {
 	qid := e.srv.InstallQuery(spec.Focal, model.CircleRegion{R: spec.Radius}, spec.Filter, focalMaxVel)
+	if e.hist != nil {
+		e.hist.AppendQuery(float64(e.now), int64(qid), int64(spec.Focal), spec.Radius)
+	}
 	e.drain()
 	return qid
+}
+
+// samplePositions tees every object's current position into the history
+// log, stamped with simulation time. One sample per object per step keeps
+// replays (mobiviz -replay) positionally exact; the store's size bound
+// caps the cost.
+func (e *Engine) samplePositions() {
+	if e.hist == nil {
+		return
+	}
+	for _, o := range e.w.Objects {
+		e.hist.AppendPos(float64(e.now), int64(o.ID), o.Pos.X, o.Pos.Y)
+	}
 }
 
 // Grid returns the engine's grid (for inspection and tests).
@@ -412,12 +457,20 @@ func (e *Engine) Step() {
 		o.Move(dt)
 	}
 	e.bkt.rebuild(e.w.Objects)
+	e.samplePositions()
 
-	// Duration-bound queries expire as the clock advances.
+	// Duration-bound queries expire as the clock advances. Expiry emits the
+	// implicit leaves through the result listener first, so the history
+	// log's remove mark lands after its query's final transitions.
 	start0 := time.Now()
-	e.srv.ExpireQueries(e.now)
+	expired := e.srv.ExpireQueries(e.now)
 	if e.measuring {
 		e.serverNanos += time.Since(start0).Nanoseconds()
+	}
+	if e.hist != nil {
+		for _, qid := range expired {
+			e.hist.AppendQueryRemove(float64(e.now), int64(qid))
+		}
 	}
 	e.drain()
 
@@ -488,6 +541,15 @@ func (e *Engine) Step() {
 		o.stepLat.Observe(time.Since(stepStart).Seconds())
 	}
 }
+
+// ResultTap returns the live result tap, or nil when neither Config.Stream
+// nor Config.ResultLog enabled one. Subscribe here for snapshot-then-delta
+// result streams; the tap owns the server's result-listener slot.
+func (e *Engine) ResultTap() *stream.Tap { return e.tap }
+
+// ResultLog returns the history store recording this run, or nil when
+// Config.ResultLog is unset.
+func (e *Engine) ResultLog() *history.Store { return e.hist }
 
 // CollectHistory enables per-step time-series collection for subsequent
 // measured steps; History returns the records.

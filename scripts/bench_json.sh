@@ -1,5 +1,5 @@
 #!/bin/sh
-# Emits the PR benchmark set as JSON (BENCH_PR9.json by default): the
+# Emits the PR benchmark set as JSON (BENCH_PR10.json by default): the
 # cost-accounting overhead benchmarks of internal/obs/cost (disabled-path
 # nil-accountant calls, enabled-path charges, scrape-under-load), the
 # instrumentation overhead benchmarks of internal/obs, the causal-tracing
@@ -10,7 +10,10 @@
 # internal/core — the sharded-vs-clustered delta at 10k/100k objects is the
 # router-forwarding overhead — and the open-loop sustained-throughput series
 # of internal/obs/load (saturation rate at 10k/100k objects, serial and
-# sharded; each iteration is a full load run, so these always run 1x).
+# sharded; each iteration is a full load run, so these always run 1x) —
+# plus the result-stream fan-out benchmarks of internal/obs/stream
+# (per-publish cost at 0/1/16/64 subscribers) and the history-log append
+# benchmarks of internal/history (steady-state and evicting).
 # Usage:
 #
 #   scripts/bench_json.sh [output.json]
@@ -18,7 +21,7 @@
 # Tune BENCHTIME for fidelity vs speed (default 1s; CI smoke uses 1x).
 set -eu
 
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 
 {
@@ -28,6 +31,8 @@ BENCHTIME="${BENCHTIME:-1s}"
 	go test -run '^$' -bench . -benchtime "$BENCHTIME" ./internal/obs/telemetry/
 	go test -run '^$' -bench 'BenchmarkUplink(Serial|Sharded|Clustered)(10k|100k)' -benchtime "$BENCHTIME" ./internal/core/
 	go test -run '^$' -bench 'BenchmarkSustained' -benchtime 1x ./internal/obs/load/
+	go test -run '^$' -bench 'BenchmarkStreamFanOut' -benchtime "$BENCHTIME" ./internal/obs/stream/
+	go test -run '^$' -bench 'BenchmarkHistoryAppend' -benchtime "$BENCHTIME" ./internal/history/
 } | awk '
 	/^Benchmark/ {
 		name = $1
